@@ -1,0 +1,40 @@
+"""Shared benchmark-harness helpers.
+
+Each benchmark regenerates one of the paper's tables/figures: it runs the
+experiment once (timed by pytest-benchmark), prints the same rows/series the
+paper plots, and writes them to ``benchmarks/reports/<name>.txt`` so results
+persist outside the pytest capture.
+
+Heavy parameter sweeps default to a four-trace subset (SWEEP_BENCHMARKS) to
+keep the full harness under a few minutes; headline figures use the full
+Table III suite.
+"""
+
+import pathlib
+
+import pytest
+
+#: full Table III suite for the headline figures
+FULL_BENCHMARKS = ("cod2", "cry", "grid", "mirror", "nfs", "stal", "ut3",
+                   "wolf")
+#: subset for multi-configuration sweeps (Fig 18-22)
+SWEEP_BENCHMARKS = ("cod2", "grid", "stal", "wolf")
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def reports_dir():
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+def emit(reports_dir, name, text):
+    """Print a figure's rows and persist them."""
+    print("\n" + text)
+    (reports_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Time one full regeneration of the experiment."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Ablation: interconnect topology — why CHOPIN assumes NVLink-class p2p.
+
+Compares the DGX-like point-to-point fabric (the paper's §V assumption)
+against a shared-bus fabric with 2 links' worth of aggregate bandwidth.
+Bursty all-to-all phases (duplication's RT-switch broadcasts) collapse on
+a shared medium, while CHOPIN's scheduled, temporally spread composition
+degrades the least.
+"""
+
+from repro.harness import make_setup, run_benchmark
+from repro.harness import report as R
+from repro.stats import gmean
+
+from conftest import SWEEP_BENCHMARKS, emit, run_once
+
+SCHEMES = ("duplication", "gpupd", "chopin", "chopin+sched")
+
+
+def test_ablation_topology(benchmark, reports_dir):
+    def experiment():
+        p2p = make_setup("tiny", num_gpus=8)
+        bus = make_setup("tiny", num_gpus=8, topology="bus")
+        table = {}
+        for scheme in SCHEMES:
+            slowdowns = []
+            for bench in SWEEP_BENCHMARKS:
+                fast = run_benchmark(scheme, bench, p2p)
+                slow = run_benchmark(scheme, bench, bus)
+                slowdowns.append(slow.frame_cycles / fast.frame_cycles)
+            table[scheme] = {"bus slowdown": gmean(slowdowns)}
+        return table
+
+    table = run_once(benchmark, experiment)
+    for scheme in SCHEMES:
+        assert table[scheme]["bus slowdown"] >= 0.999  # bus never helps
+    assert table["chopin+sched"]["bus slowdown"] \
+        <= table["duplication"]["bus slowdown"] + 0.05
+    emit(reports_dir, "ablation_topology",
+         R.render_keyed_matrix(table, "scheme",
+                               "Ablation: shared-bus fabric slowdown "
+                               "(gmean vs point-to-point)"))

@@ -1,0 +1,15 @@
+"""Table II: the simulated architecture configuration."""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+from conftest import emit, run_once
+
+
+def test_table2_config(benchmark, reports_dir):
+    table = run_once(benchmark, E.table2_config)
+    assert table["Number of GPUs"] == "8"
+    assert table["Inter-GPU bandwidth"] == "64 GB/s"
+    assert table["Inter-GPU latency"] == "200 cycles"
+    emit(reports_dir, "table2",
+         R.render_dict(table, "Table II: simulated architecture"))

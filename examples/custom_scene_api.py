@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Author a scene with the §IV-A command API and run it through CHOPIN.
+
+Demonstrates the paper's software layer: record draw commands with state
+changes and explicit CompGroupStart()/CompGroupEnd() markers, inspect the
+driver's grouping, and render the scene on the simulated multi-GPU system.
+
+Run:  python examples/custom_scene_api.py
+"""
+
+import numpy as np
+
+from repro.api import CommandRecorder, driver_groups
+from repro.geometry import BlendOp
+from repro.harness import make_setup, run
+
+
+def rock(rng, count, center, depth, spread=0.12, size=0.05):
+    """One localized mesh: triangles clustered around ``center``."""
+    centers = center + rng.uniform(-spread, spread, (count, 2))
+    offsets = rng.normal(0.0, size, (count, 2, 2))
+    positions = np.empty((count, 3, 3), dtype=np.float32)
+    positions[:, 0, :2] = centers
+    positions[:, 1, :2] = centers + offsets[:, 0]
+    positions[:, 2, :2] = centers + offsets[:, 1]
+    positions[..., 2] = depth + rng.normal(0, 0.005, (count, 1))
+    colors = np.empty((count, 3, 4), dtype=np.float32)
+    colors[..., :3] = rng.uniform(0.3, 0.8, 3)
+    colors[..., 3] = 1.0
+    return positions, colors
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    rec = CommandRecorder(width=160, height=120)
+
+    # Sky: cheap pixel shader. (Worth knowing: sort-last distributes whole
+    # draws, so a single full-screen draw with an *expensive* shader lands
+    # on one GPU and cannot be split — unlike region-split SFR. Games keep
+    # full-screen passes cheap; so does this scene.)
+    rec.draw_quad(-1, -1, 1, 1, 0.998, (0.25, 0.45, 0.75, 1.0),
+                  pixel_cost=2.0)
+
+    # a field of localized rocks, submitted front to back, as one explicit
+    # composition group (each mesh occupies its own patch of screen)
+    rec.comp_group_start()
+    for depth in np.linspace(0.2, 0.9, 36):
+        center = rng.uniform(-0.8, 0.8, 2)
+        rec.draw_triangles(*rock(rng, 24, center, float(depth)))
+    rec.comp_group_end()
+
+    # glass pane, blended over the scene
+    rec.set_blend(BlendOp.OVER)
+    pane = np.array([[[-0.5, -0.5, 0.15], [0.5, -0.5, 0.15],
+                      [0.5, 0.5, 0.15]],
+                     [[-0.5, -0.5, 0.15], [0.5, 0.5, 0.15],
+                      [-0.5, 0.5, 0.15]]], dtype=np.float32)
+    glass = np.tile(np.array([0.1, 0.25, 0.1, 0.45], np.float32), (2, 3, 1))
+    rec.draw_triangles(pane, glass)
+
+    trace = rec.finish("custom-scene")
+    print(f"recorded {trace.num_draws} draws, "
+          f"{trace.num_triangles} triangles")
+    for group in driver_groups(trace):
+        print(f"  driver group {group.index}: {group.num_draws} draws, "
+              f"{group.num_triangles} tris, "
+              f"{'transparent' if group.transparent else 'opaque'}")
+
+    setup = make_setup("tiny", num_gpus=4)
+    dup = run("duplication", trace, setup)
+    chopin = run("chopin+sched", trace, setup)
+    assert dup.image.same_image(chopin.image)
+    print(f"\nduplication : {dup.frame_cycles:10,.0f} cycles")
+    print(f"chopin+sched: {chopin.frame_cycles:10,.0f} cycles "
+          f"({dup.frame_cycles / chopin.frame_cycles:.2f}x)")
+    print("(a scene this small doesn't amortize composition — cf. Fig 19's "
+          "2-4 GPU points; the Table III-sized benchmarks do)")
+    chopin.image.write_ppm("custom_scene.ppm")
+    print("frame written to custom_scene.ppm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""CHOPIN: scalable multi-GPU split-frame rendering via parallel image
+composition — a full reproduction of Ren & Lis, HPCA 2021.
+
+The package layers, bottom-up:
+
+- :mod:`repro.sim` — a discrete-event simulation kernel;
+- :mod:`repro.geometry` / :mod:`repro.raster` / :mod:`repro.shading` /
+  :mod:`repro.framebuffer` — a functional graphics pipeline;
+- :mod:`repro.composition` — image-composition operators and exchange
+  algorithms (direct-send, binary-swap, radix-k);
+- :mod:`repro.traces` — the synthetic Table III workload suite;
+- :mod:`repro.timing` — cycle-level GPU and interconnect models;
+- :mod:`repro.core` — CHOPIN's contribution: composition grouping, the
+  draw-command scheduler, and the image composition scheduler;
+- :mod:`repro.sfr` — full SFR schemes (duplication, GPUpd, CHOPIN, AFR);
+- :mod:`repro.harness` — experiment drivers reproducing every table/figure.
+
+Quickstart::
+
+    from repro import load_benchmark, make_setup, run
+
+    setup = make_setup(scale="tiny", num_gpus=8)
+    trace = load_benchmark("cod2", "tiny")
+    result = run("chopin+sched", trace, setup)
+    print(result.frame_cycles)
+"""
+
+from .config import GPUConfig, LinkConfig, SystemConfig, TABLE2
+from .errors import (CompositionError, ConfigError, PipelineError,
+                     ReproError, SchedulingError, SimulationError,
+                     TraceError)
+from .harness import MAIN_SCHEMES, SCHEMES, make_setup, run, run_benchmark
+from .stats import RunStats, gmean, speedup
+from .traces import BENCHMARK_NAMES, load_benchmark, load_suite
+from .validation import validate_schemes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CompositionError",
+    "ConfigError",
+    "GPUConfig",
+    "LinkConfig",
+    "MAIN_SCHEMES",
+    "PipelineError",
+    "ReproError",
+    "RunStats",
+    "SCHEMES",
+    "SchedulingError",
+    "SimulationError",
+    "SystemConfig",
+    "TABLE2",
+    "TraceError",
+    "__version__",
+    "gmean",
+    "load_benchmark",
+    "load_suite",
+    "make_setup",
+    "run",
+    "run_benchmark",
+    "speedup",
+    "validate_schemes",
+]

@@ -1,0 +1,6 @@
+"""The §IV-A software layer: a command-recording graphics API with
+CompGroupStart()/CompGroupEnd() markers."""
+
+from .recorder import CommandRecorder, driver_groups
+
+__all__ = ["CommandRecorder", "driver_groups"]

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+========
+
+``render``          run one scheme on a benchmark, print stats, optionally
+                    dump the frame as a PPM
+``compare``         run several schemes on one benchmark, print speedups
+``figures``         regenerate one or more of the paper's figures
+``inspect``         print a trace's structure (groups, histogram, coverage)
+``timeline``        render an ASCII execution Gantt for one scheme
+``export``          synthesize a benchmark trace and save it to a .npz file
+``export-results``  run schemes and write a CSV/JSON of flattened results
+
+Every command accepts ``--scale {tiny,small,paper}`` and ``--gpus N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import plan_frame, split_into_groups, summarize_plan
+from .harness import MAIN_SCHEMES, SCHEMES, make_setup, run
+from .harness import experiments as experiments_module
+from .harness import report as report_module
+from .stats import ALL_STAGES
+from .traces import BENCHMARK_NAMES, load_benchmark, triangle_histogram
+from .traces.io import load_trace, save_trace
+
+#: figure name -> (experiment callable name, renderer callable name)
+FIGURES = {
+    "table2": ("table2_config", "render_dict"),
+    "table3": ("table3_benchmarks", "render_table3"),
+    "fig2": ("fig2_geometry_share", "render_fig2"),
+    "fig4": ("fig4_gpupd_overheads", "render_fig4"),
+    "fig13": ("fig13_performance", None),
+    "fig15": ("fig15_depth_test", "render_fig15"),
+    "fig17": ("fig17_traffic", "render_fig17"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHOPIN multi-GPU rendering reproduction (HPCA 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--scale", default="tiny",
+                       choices=("tiny", "small", "paper"))
+        p.add_argument("--gpus", type=int, default=8)
+
+    render = sub.add_parser("render", help="run one scheme on a benchmark")
+    common(render)
+    render.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    render.add_argument("--scheme", default="chopin+sched",
+                        choices=sorted(SCHEMES))
+    render.add_argument("--ppm", metavar="PATH",
+                        help="write the rendered frame as a PPM image")
+
+    compare = sub.add_parser("compare",
+                             help="speedups of several schemes")
+    common(compare)
+    compare.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    compare.add_argument("--schemes", nargs="+", default=list(MAIN_SCHEMES),
+                         choices=sorted(SCHEMES))
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    common(figures)
+    figures.add_argument("names", nargs="+", choices=sorted(FIGURES))
+    figures.add_argument("--benchmarks", nargs="+",
+                         default=list(BENCHMARK_NAMES),
+                         choices=BENCHMARK_NAMES)
+
+    inspect = sub.add_parser("inspect", help="show a trace's structure")
+    common(inspect)
+    inspect.add_argument("benchmark", choices=BENCHMARK_NAMES)
+
+    export = sub.add_parser("export", help="save a benchmark trace to .npz")
+    common(export)
+    export.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    export.add_argument("output", help="output .npz path")
+
+    timeline = sub.add_parser(
+        "timeline", help="render an ASCII execution Gantt for one scheme")
+    common(timeline)
+    timeline.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    timeline.add_argument("--scheme", default="chopin+sched",
+                          choices=sorted(SCHEMES))
+    timeline.add_argument("--width", type=int, default=100)
+    timeline.add_argument("--links", action="store_true",
+                          help="include inter-GPU link lanes")
+
+    results = sub.add_parser(
+        "export-results", help="run schemes and write a CSV/JSON of results")
+    common(results)
+    results.add_argument("output", help="output .csv or .json path")
+    results.add_argument("--benchmarks", nargs="+",
+                         default=list(BENCHMARK_NAMES),
+                         choices=BENCHMARK_NAMES)
+    results.add_argument("--schemes", nargs="+", default=list(MAIN_SCHEMES),
+                         choices=sorted(SCHEMES))
+
+    return parser
+
+
+def cmd_render(args) -> int:
+    setup = make_setup(args.scale, num_gpus=args.gpus)
+    trace = load_benchmark(args.benchmark, args.scale)
+    result = run(args.scheme, trace, setup)
+    print(f"{args.scheme} on {args.benchmark} ({args.gpus} GPUs, "
+          f"{args.scale} scale)")
+    print(f"  frame time : {result.frame_cycles:,.0f} cycles")
+    totals = result.stats.stage_cycle_totals()
+    busy = sum(totals.values()) or 1.0
+    for stage in ALL_STAGES:
+        if totals.get(stage, 0.0) > 0:
+            print(f"  {stage:<13}: {totals[stage]:14,.0f} cycles "
+                  f"({100 * totals[stage] / busy:5.1f}%)")
+    print(f"  traffic    : {result.stats.traffic_total() / 1e6:.2f} MB")
+    if args.ppm:
+        result.image.write_ppm(args.ppm)
+        print(f"  frame written to {args.ppm}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    setup = make_setup(args.scale, num_gpus=args.gpus)
+    trace = load_benchmark(args.benchmark, args.scale)
+    baseline = run("duplication", trace, setup)
+    print(f"{args.benchmark} ({args.gpus} GPUs): speedup vs duplication")
+    print(f"  {'duplication':<14} 1.000  "
+          f"({baseline.frame_cycles:,.0f} cycles)")
+    for scheme in args.schemes:
+        result = run(scheme, trace, setup)
+        print(f"  {scheme:<14} "
+              f"{baseline.frame_cycles / result.frame_cycles:.3f}  "
+              f"({result.frame_cycles:,.0f} cycles)")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    for name in args.names:
+        experiment_name, renderer_name = FIGURES[name]
+        experiment = getattr(experiments_module, experiment_name)
+        if name in ("table2",):
+            data = experiment()
+        elif name == "table3":
+            data = experiment(scale=args.scale)
+        else:
+            data = experiment(scale=args.scale,
+                              benchmarks=tuple(args.benchmarks))
+        if renderer_name is None:
+            print(report_module.render_speedups(
+                data, f"{name}: speedup vs duplication"))
+        else:
+            renderer = getattr(report_module, renderer_name)
+            print(renderer(data))
+        print()
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    setup = make_setup(args.scale, num_gpus=args.gpus)
+    trace = load_benchmark(args.benchmark, args.scale)
+    print(f"{trace.name}: {trace.resolution}, {trace.num_draws} draws, "
+          f"{trace.num_triangles} triangles")
+    print("draw-size histogram:",
+          triangle_histogram(trace, [8, 64, 256, 1024]))
+    groups = split_into_groups(trace.frame)
+    plans = plan_frame(groups, setup.config)
+    summary = summarize_plan(plans)
+    print(f"composition groups: {summary.total_groups} "
+          f"({summary.accelerated_groups} accelerated, "
+          f"{100 * summary.triangle_coverage:.1f}% triangle coverage)")
+    for plan in plans:
+        group = plan.group
+        print(f"  group {group.index:3d}: {group.num_draws:4d} draws "
+              f"{group.num_triangles:7d} tris  mode={plan.mode.value:<11} "
+              f"boundary={group.boundary_reason}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    trace = load_benchmark(args.benchmark, args.scale)
+    save_trace(trace, args.output)
+    loaded = load_trace(args.output)
+    assert loaded.num_triangles == trace.num_triangles
+    print(f"wrote {args.output}: {loaded.num_draws} draws, "
+          f"{loaded.num_triangles} triangles (round-trip verified)")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from .harness import build_scheme
+    from .timing import record_timeline
+    setup = make_setup(args.scale, num_gpus=args.gpus)
+    trace = load_benchmark(args.benchmark, args.scale)
+    with record_timeline() as timeline:
+        result = build_scheme(args.scheme, setup).run(trace)
+    lanes = [f"gpu{i}" for i in range(args.gpus)]
+    if args.links:
+        lanes = None  # all lanes, links included
+    print(f"{args.scheme} on {args.benchmark}: "
+          f"{result.frame_cycles:,.0f} cycles")
+    print(timeline.render(width=args.width, lanes=lanes))
+    return 0
+
+
+def cmd_export_results(args) -> int:
+    from .harness.export import collect_rows, write_csv, write_json
+    setup = make_setup(args.scale, num_gpus=args.gpus)
+    rows = collect_rows(args.benchmarks, args.schemes, setup)
+    if args.output.endswith(".json"):
+        write_json(rows, args.output)
+    else:
+        write_csv(rows, args.output)
+    print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
+COMMANDS = {
+    "render": cmd_render,
+    "export-results": cmd_export_results,
+    "timeline": cmd_timeline,
+    "compare": cmd_compare,
+    "figures": cmd_figures,
+    "inspect": cmd_inspect,
+    "export": cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

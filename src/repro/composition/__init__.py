@@ -1,0 +1,35 @@
+"""Image-composition substrate: operators, reductions, exchange algorithms."""
+
+from .operators import (additive, blend, identity_for, is_associative_pair,
+                        multiply, over, replace)
+from .compositor import (SubImage, blend_merge, composite_opaque,
+                         composite_transparent, composite_transparent_tree,
+                         depth_merge, resolve_to_background,
+                         resolve_to_framebuffer)
+from .direct_send import Transfer, direct_send, slice_bounds, total_traffic_pixels
+from .binary_swap import binary_swap
+from .radix_k import default_factorization, radix_k
+
+__all__ = [
+    "SubImage",
+    "Transfer",
+    "additive",
+    "binary_swap",
+    "blend",
+    "blend_merge",
+    "composite_opaque",
+    "composite_transparent",
+    "composite_transparent_tree",
+    "default_factorization",
+    "depth_merge",
+    "direct_send",
+    "identity_for",
+    "is_associative_pair",
+    "multiply",
+    "over",
+    "radix_k",
+    "replace",
+    "resolve_to_background",
+    "slice_bounds",
+    "total_traffic_pixels",
+]

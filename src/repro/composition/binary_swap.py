@@ -1,0 +1,122 @@
+"""Binary-swap compositing (Ma et al.; paper section II-D background).
+
+In each of log2(N) rounds, GPUs pair up at stride 2^r, split their current
+working region in half, swap halves, and merge what they receive. After the
+last round each GPU holds a fully composed 1/N of the image; a final gather
+assembles the frame. Requires a power-of-two GPU count.
+
+Functional model: we track, per GPU, the (lo, hi) flat-pixel region it is
+responsible for and the merged data for that region, logging every transfer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CompositionError
+from ..geometry.primitives import BlendOp
+from .compositor import SubImage, blend_merge, depth_merge
+from .direct_send import Transfer
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def binary_swap(images: Sequence[SubImage],
+                op: Optional[BlendOp] = None) -> tuple:
+    """Compose via binary-swap. Returns ``(composed, transfers)``.
+
+    For transparent operators, merge order follows GPU index order: the
+    partner with the lower index always supplies the *front* operand, which
+    preserves the ordered reduction under associativity.
+    """
+    n = len(images)
+    if not _is_power_of_two(n):
+        raise CompositionError(f"binary-swap needs 2^k GPUs, got {n}")
+    height, width = images[0].shape
+    num_pixels = height * width
+    opaque = op is None or op is BlendOp.REPLACE
+
+    def flat(img: SubImage) -> SubImage:
+        return SubImage(color=img.color.reshape(1, num_pixels, 4).copy(),
+                        depth=img.depth.reshape(1, num_pixels).copy(),
+                        touched=img.touched.reshape(1, num_pixels).copy())
+
+    working = [flat(img) for img in images]
+    regions = [(0, num_pixels)] * n
+    # Each GPU also remembers the *order rank* of the block of original
+    # sub-images its working data summarizes; adjacency is maintained by
+    # construction (partners differ only in one address bit).
+    transfers: List[Transfer] = []
+
+    rounds = n.bit_length() - 1
+    for r in range(rounds):
+        stride = 1 << r
+        new_working = list(working)
+        new_regions = list(regions)
+        for gpu in range(n):
+            partner = gpu ^ stride
+            if partner < gpu:
+                continue
+            lo, hi = regions[gpu]
+            mid = (lo + hi) // 2
+            # gpu keeps [lo, mid), partner keeps [mid, hi); each sends the
+            # half it gives up.
+            transfers.append(Transfer(r, gpu, partner, hi - mid))
+            transfers.append(Transfer(r, partner, gpu, mid - lo))
+            front, back = working[gpu], working[partner]
+
+            def piece(img: SubImage, a: int, b: int) -> SubImage:
+                return SubImage(color=img.color[:, a:b], depth=img.depth[:, a:b],
+                                touched=img.touched[:, a:b])
+
+            if opaque:
+                low_half = depth_merge(piece(front, lo, mid),
+                                       piece(back, lo, mid))
+                high_half = depth_merge(piece(front, mid, hi),
+                                        piece(back, mid, hi))
+            else:
+                low_half = blend_merge(piece(front, lo, mid),
+                                       piece(back, lo, mid), op)
+                high_half = blend_merge(piece(front, mid, hi),
+                                        piece(back, mid, hi), op)
+
+            keep_front = _store(working[gpu], low_half, lo)
+            keep_back = _store(working[partner], high_half, mid)
+            new_working[gpu] = keep_front
+            new_working[partner] = keep_back
+            new_regions[gpu] = (lo, mid)
+            new_regions[partner] = (mid, hi)
+        working = new_working
+        regions = new_regions
+
+    # Final gather to GPU 0 (counted as one more round of transfers).
+    out_color = np.empty((num_pixels, 4), dtype=np.float32)
+    out_depth = np.empty(num_pixels, dtype=np.float32)
+    out_touch = np.empty(num_pixels, dtype=bool)
+    for gpu in range(n):
+        lo, hi = regions[gpu]
+        out_color[lo:hi] = working[gpu].color[0, lo:hi]
+        out_depth[lo:hi] = working[gpu].depth[0, lo:hi]
+        out_touch[lo:hi] = working[gpu].touched[0, lo:hi]
+        if gpu != 0:
+            transfers.append(Transfer(rounds, gpu, 0, hi - lo))
+
+    composed = SubImage(color=out_color.reshape(height, width, 4),
+                        depth=out_depth.reshape(height, width),
+                        touched=out_touch.reshape(height, width))
+    return composed, transfers
+
+
+def _store(base: SubImage, piece: SubImage, lo: int) -> SubImage:
+    """Copy ``piece`` into ``base`` starting at flat index ``lo``."""
+    hi = lo + piece.color.shape[1]
+    merged = SubImage(color=base.color.copy(), depth=base.depth.copy(),
+                      touched=base.touched.copy())
+    merged.color[:, lo:hi] = piece.color
+    merged.depth[:, lo:hi] = piece.depth
+    merged.touched[:, lo:hi] = piece.touched
+    return merged

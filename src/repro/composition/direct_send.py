@@ -1,0 +1,98 @@
+"""Direct-send parallel compositing (Hsu/Neumann; paper section II-D).
+
+Every GPU is assigned a disjoint slice of the final image. After rendering,
+each GPU sends, to every other GPU, the part of its sub-image that lies in
+the destination's slice; each GPU then reduces the N contributions for its
+own slice. Simple, single round — but with many GPUs the all-to-all burst
+congests the network, which is the failure mode CHOPIN's composition
+scheduler addresses.
+
+This module provides both the *functional* reduction and the *exchange plan*
+(who sends how many pixels to whom) used for traffic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CompositionError
+from ..geometry.primitives import BlendOp
+from .compositor import SubImage, blend_merge, depth_merge
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point message in a compositing exchange."""
+
+    round_index: int
+    src: int
+    dst: int
+    pixels: int
+
+    def bytes(self, pixel_bytes: int = 8) -> int:
+        return self.pixels * pixel_bytes
+
+
+def slice_bounds(num_pixels: int, num_gpus: int) -> List[tuple]:
+    """Contiguous flat-index slices assigning ~1/N of the image per GPU."""
+    bounds = np.linspace(0, num_pixels, num_gpus + 1).astype(int)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(num_gpus)]
+
+
+def direct_send(images: Sequence[SubImage],
+                op: Optional[BlendOp] = None) -> tuple:
+    """Compose via direct-send. Returns ``(composed, transfers)``.
+
+    ``op=None`` (or REPLACE) means opaque depth compositing; any other
+    operator means ordered transparent blending, reduced in GPU index order
+    within each destination slice.
+    """
+    if not images:
+        raise CompositionError("direct-send needs at least one sub-image")
+    n = len(images)
+    height, width = images[0].shape
+    num_pixels = height * width
+    slices = slice_bounds(num_pixels, n)
+    opaque = op is None or op is BlendOp.REPLACE
+
+    flat_color = [img.color.reshape(num_pixels, 4) for img in images]
+    flat_depth = [img.depth.reshape(num_pixels) for img in images]
+    flat_touch = [img.touched.reshape(num_pixels) for img in images]
+
+    out_color = np.empty((num_pixels, 4), dtype=np.float32)
+    out_depth = np.empty(num_pixels, dtype=np.float32)
+    out_touch = np.empty(num_pixels, dtype=bool)
+
+    transfers: List[Transfer] = []
+    for dst, (lo, hi) in enumerate(slices):
+        piece = SubImage(color=flat_color[0][lo:hi].reshape(1, -1, 4),
+                         depth=flat_depth[0][lo:hi].reshape(1, -1),
+                         touched=flat_touch[0][lo:hi].reshape(1, -1))
+        if dst != 0:
+            transfers.append(Transfer(0, 0, dst, hi - lo))
+        for src in range(1, n):
+            incoming = SubImage(
+                color=flat_color[src][lo:hi].reshape(1, -1, 4),
+                depth=flat_depth[src][lo:hi].reshape(1, -1),
+                touched=flat_touch[src][lo:hi].reshape(1, -1))
+            if src != dst:
+                transfers.append(Transfer(0, src, dst, hi - lo))
+            if opaque:
+                piece = depth_merge(piece, incoming)
+            else:
+                piece = blend_merge(piece, incoming, op)
+        out_color[lo:hi] = piece.color.reshape(-1, 4)
+        out_depth[lo:hi] = piece.depth.reshape(-1)
+        out_touch[lo:hi] = piece.touched.reshape(-1)
+
+    composed = SubImage(color=out_color.reshape(height, width, 4),
+                        depth=out_depth.reshape(height, width),
+                        touched=out_touch.reshape(height, width))
+    return composed, transfers
+
+
+def total_traffic_pixels(transfers: Sequence[Transfer]) -> int:
+    return sum(t.pixels for t in transfers)

@@ -1,0 +1,78 @@
+"""Pixel composition operators (paper section II-D).
+
+Colours are premultiplied-alpha RGBA float32. The central operator is
+Porter-Duff *over*: ``p = p_new + (1 - alpha_new) * p_old`` — exactly the
+formula the paper quotes. All the blending operators here are associative but
+not commutative; :func:`is_associative_pair` captures the section IV-A rule
+that associativity does not transfer *across* different operators (event 5
+group boundaries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CompositionError
+from ..geometry.primitives import BlendOp
+
+
+def over(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Porter-Duff over with premultiplied alpha: new composited onto old."""
+    new_alpha = new[..., 3:4]
+    return (new + (1.0 - new_alpha) * old).astype(np.float32)
+
+
+def additive(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Additive blending, clamped to keep energy finite."""
+    return np.minimum(old + new, 1.0).astype(np.float32)
+
+
+def multiply(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Multiplicative blending (e.g., light maps)."""
+    return (old * new).astype(np.float32)
+
+
+def replace(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Opaque overwrite."""
+    return new.astype(np.float32)
+
+
+_BLENDERS = {
+    BlendOp.OVER: over,
+    BlendOp.ADDITIVE: additive,
+    BlendOp.MULTIPLY: multiply,
+    BlendOp.REPLACE: replace,
+}
+
+
+def blend(op: BlendOp, old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Apply blending operator ``op``; shapes must broadcast."""
+    try:
+        fn = _BLENDERS[op]
+    except KeyError:
+        raise CompositionError(f"unknown blend operator: {op!r}")
+    return fn(old, new)
+
+
+def is_associative_pair(op_a: BlendOp, op_b: BlendOp) -> bool:
+    """Whether draws using ``op_a`` then ``op_b`` can share a composition group.
+
+    Each operator is associative with itself, but mixing operators (or mixing
+    opaque REPLACE with any transparent blend) breaks the reordering CHOPIN
+    relies on — hence the event-5 group boundary.
+    """
+    return op_a is op_b
+
+
+def identity_for(op: BlendOp) -> np.ndarray:
+    """The neutral element pixel for an operator, where one exists.
+
+    OVER and ADDITIVE treat fully transparent black as identity; MULTIPLY
+    treats white. REPLACE has no left identity (any value is overwritten),
+    which is why opaque groups composite by depth instead.
+    """
+    if op in (BlendOp.OVER, BlendOp.ADDITIVE):
+        return np.zeros(4, dtype=np.float32)
+    if op is BlendOp.MULTIPLY:
+        return np.ones(4, dtype=np.float32)
+    raise CompositionError(f"{op!r} has no identity element")

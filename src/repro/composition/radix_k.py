@@ -1,0 +1,124 @@
+"""Radix-k compositing (Peterka et al.; paper section II-D background).
+
+Generalizes binary-swap: GPU count N factors into rounds ``k1 * k2 * ... *
+km``; in round i, groups of ``k_i`` GPUs run a direct-send exchange over
+their current working region, splitting it into ``k_i`` parts. ``k = [N]``
+degenerates to single-round direct-send; ``k = [2, 2, ...]`` is binary-swap.
+
+As with the other compositors we return ``(composed, transfers)``; ordering
+for transparent operators follows original GPU index order, which the group
+structure preserves (groups are contiguous in index at every round).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CompositionError
+from ..geometry.primitives import BlendOp
+from .compositor import SubImage, blend_merge, depth_merge
+from .direct_send import Transfer
+
+
+def default_factorization(n: int) -> List[int]:
+    """A reasonable k-vector: repeated factors of 2 then the odd remainder."""
+    if n <= 0:
+        raise CompositionError("GPU count must be positive")
+    factors = []
+    remaining = n
+    while remaining % 2 == 0:
+        factors.append(2)
+        remaining //= 2
+    if remaining > 1:
+        factors.append(remaining)
+    return factors or [1]
+
+
+def radix_k(images: Sequence[SubImage], k_vector: Optional[List[int]] = None,
+            op: Optional[BlendOp] = None) -> tuple:
+    """Compose via radix-k. Returns ``(composed, transfers)``."""
+    n = len(images)
+    if n == 0:
+        raise CompositionError("radix-k needs at least one sub-image")
+    ks = k_vector if k_vector is not None else default_factorization(n)
+    if math.prod(ks) != n:
+        raise CompositionError(
+            f"k-vector {ks} does not factor GPU count {n}")
+
+    height, width = images[0].shape
+    num_pixels = height * width
+    opaque = op is None or op is BlendOp.REPLACE
+
+    colors = [img.color.reshape(num_pixels, 4).copy() for img in images]
+    depths = [img.depth.reshape(num_pixels).copy() for img in images]
+    touches = [img.touched.reshape(num_pixels).copy() for img in images]
+    regions = [(0, num_pixels)] * n
+    transfers: List[Transfer] = []
+
+    # Stride grows from 1 so every round merges *adjacent* blocks of original
+    # sub-images — required for ordered (transparent) reductions.
+    stride = 1
+    for round_index, k in enumerate(ks):
+        block = stride * k
+        for base in range(0, n, block):
+            for offset in range(stride):
+                members = [base + offset + j * stride for j in range(k)]
+                _exchange_group(members, colors, depths, touches, regions,
+                                transfers, round_index, opaque, op)
+        stride = block
+
+    out_color = np.empty((num_pixels, 4), dtype=np.float32)
+    out_depth = np.empty(num_pixels, dtype=np.float32)
+    out_touch = np.empty(num_pixels, dtype=bool)
+    final_round = len(ks)
+    for gpu in range(n):
+        lo, hi = regions[gpu]
+        out_color[lo:hi] = colors[gpu][lo:hi]
+        out_depth[lo:hi] = depths[gpu][lo:hi]
+        out_touch[lo:hi] = touches[gpu][lo:hi]
+        if gpu != 0 and hi > lo:
+            transfers.append(Transfer(final_round, gpu, 0, hi - lo))
+
+    composed = SubImage(color=out_color.reshape(height, width, 4),
+                        depth=out_depth.reshape(height, width),
+                        touched=out_touch.reshape(height, width))
+    return composed, transfers
+
+
+def _exchange_group(members, colors, depths, touches, regions, transfers,
+                    round_index, opaque, op) -> None:
+    """Direct-send within one group over the members' shared region."""
+    lo, hi = regions[members[0]]
+    k = len(members)
+    bounds = np.linspace(lo, hi, k + 1).astype(int)
+    for slot, owner in enumerate(members):
+        part_lo, part_hi = int(bounds[slot]), int(bounds[slot + 1])
+        acc_color = colors[members[0]][part_lo:part_hi].reshape(1, -1, 4)
+        acc_depth = depths[members[0]][part_lo:part_hi].reshape(1, -1)
+        acc_touch = touches[members[0]][part_lo:part_hi].reshape(1, -1)
+        acc = SubImage(color=acc_color.copy(), depth=acc_depth.copy(),
+                       touched=acc_touch.copy())
+        if members[0] != owner and part_hi > part_lo:
+            transfers.append(
+                Transfer(round_index, members[0], owner, part_hi - part_lo))
+        for src in members[1:]:
+            incoming = SubImage(
+                color=colors[src][part_lo:part_hi].reshape(1, -1, 4),
+                depth=depths[src][part_lo:part_hi].reshape(1, -1),
+                touched=touches[src][part_lo:part_hi].reshape(1, -1))
+            if src != owner and part_hi > part_lo:
+                transfers.append(
+                    Transfer(round_index, src, owner, part_hi - part_lo))
+            if opaque:
+                acc = depth_merge(acc, incoming)
+            else:
+                # Members are listed in ascending block order, so the
+                # accumulator is always the front operand.
+                acc = blend_merge(acc, incoming, op)
+        colors[owner][part_lo:part_hi] = acc.color.reshape(-1, 4)
+        depths[owner][part_lo:part_hi] = acc.depth.reshape(-1)
+        touches[owner][part_lo:part_hi] = acc.touched.reshape(-1)
+        regions[owner] = (part_lo, part_hi)

@@ -1,0 +1,47 @@
+"""CHOPIN's core contribution: grouping, schedulers, workflow, HW model."""
+
+from .grouping import (BOUNDARY_BLEND_OP, BOUNDARY_DEPTH_FUNC,
+                       BOUNDARY_DEPTH_WRITE, BOUNDARY_FRAME, BOUNDARY_TARGET,
+                       CompositionGroup, boundary_reason, split_into_groups)
+from .draw_scheduler import (DrawScheduler, LeastRemainingTrianglesScheduler,
+                             OracleLPTScheduler, RoundRobinScheduler,
+                             SampledRateScheduler, even_split_by_triangles)
+from .composition_scheduler import (CompositionStatus,
+                                    ImageCompositionScheduler,
+                                    adjacency_pairs)
+from .workflow import (GroupMode, GroupPlan, WorkflowSummary, plan_frame,
+                       plan_group, summarize_plan)
+from .hardware import (composition_scheduler_size_bytes,
+                       composition_scheduler_traffic_bytes,
+                       draw_scheduler_size_bytes,
+                       draw_scheduler_traffic_bytes)
+
+__all__ = [
+    "BOUNDARY_BLEND_OP",
+    "BOUNDARY_DEPTH_FUNC",
+    "BOUNDARY_DEPTH_WRITE",
+    "BOUNDARY_FRAME",
+    "BOUNDARY_TARGET",
+    "CompositionGroup",
+    "CompositionStatus",
+    "DrawScheduler",
+    "GroupMode",
+    "GroupPlan",
+    "ImageCompositionScheduler",
+    "LeastRemainingTrianglesScheduler",
+    "OracleLPTScheduler",
+    "RoundRobinScheduler",
+    "SampledRateScheduler",
+    "WorkflowSummary",
+    "adjacency_pairs",
+    "boundary_reason",
+    "composition_scheduler_size_bytes",
+    "composition_scheduler_traffic_bytes",
+    "draw_scheduler_size_bytes",
+    "draw_scheduler_traffic_bytes",
+    "even_split_by_triangles",
+    "plan_frame",
+    "plan_group",
+    "split_into_groups",
+    "summarize_plan",
+]

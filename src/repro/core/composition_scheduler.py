@@ -1,0 +1,196 @@
+"""The image composition scheduler (paper §IV-E, Fig 11/12, Table I).
+
+Tracks per-GPU composition status in a table with exactly the paper's
+fields:
+
+=============  ====================================================
+Field          Meaning
+=============  ====================================================
+CGID           Composition Group ID
+Ready          Ready to compose with others?
+Receiving      Receiving pixels from another GPU?
+Sending        Sending pixels to another GPU?
+SentGPUs       GPUs the sub-image has been sent to (bit vector)
+ReceivedGPUs   GPUs we have composed with (bit vector)
+=============  ====================================================
+
+A pair (sender -> receiver) may start only when (Fig 12): both are Ready in
+the same CGID, the receiver has not yet composed with that sender, the
+sender is not Sending, and the receiver is not Receiving. For transparent
+groups only *adjacent* partners (in the current reduction tree) are
+eligible, since transparent sub-images cannot be composed fully
+out-of-order (§II-D).
+
+The scheduler is a passive table; the DES layer drives it through
+``mark_ready`` / ``begin`` / ``complete`` and waits on ``wait_change``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..errors import SchedulingError
+from ..sim import Event, Simulator
+
+
+@dataclass
+class CompositionStatus:
+    """One GPU's row in the scheduler table (paper Table I)."""
+
+    cgid: int = 0
+    ready: bool = False
+    receiving: bool = False
+    sending: bool = False
+    sent_gpus: Set[int] = field(default_factory=set)
+    received_gpus: Set[int] = field(default_factory=set)
+
+    def reset(self) -> None:
+        self.ready = False
+        self.receiving = False
+        self.sending = False
+        self.sent_gpus.clear()
+        self.received_gpus.clear()
+
+    def size_bits(self, num_gpus: int, cgid_bits: int = 8) -> int:
+        """Hardware cost of this row (§VI-F)."""
+        return cgid_bits + 3 + 2 * num_gpus
+
+
+class ImageCompositionScheduler:
+    """Centralized pairing of GPUs for sub-image exchange."""
+
+    def __init__(self, num_gpus: int,
+                 sim: Optional[Simulator] = None) -> None:
+        if num_gpus <= 0:
+            raise SchedulingError("need at least one GPU")
+        self.num_gpus = num_gpus
+        self.sim = sim
+        self.table = [CompositionStatus() for _ in range(num_gpus)]
+        #: partner restriction for the current group (None = all-to-all)
+        self._allowed: Optional[List[Set[int]]] = None
+        self._waiters: List[Event] = []
+
+    # -- table driving -------------------------------------------------------
+
+    def start_group(self, cgid: int,
+                    allowed_partners: Optional[List[Set[int]]] = None) -> None:
+        """Begin a new composition phase; optionally restrict partners."""
+        if allowed_partners is not None:
+            if len(allowed_partners) != self.num_gpus:
+                raise SchedulingError("allowed_partners must cover every GPU")
+        self._allowed = allowed_partners
+        for row in self.table:
+            row.reset()
+            row.cgid = cgid
+
+    def mark_ready(self, gpu: int) -> None:
+        """GPU finished its draws and generated its sub-image (Fig 12 step 1)."""
+        row = self.table[gpu]
+        if row.ready:
+            raise SchedulingError(f"GPU{gpu} marked ready twice")
+        row.ready = True
+        self._notify()
+
+    def partners_of(self, gpu: int) -> Set[int]:
+        if self._allowed is not None:
+            return self._allowed[gpu]
+        return {g for g in range(self.num_gpus) if g != gpu}
+
+    def find_sender_for(self, receiver: int) -> Optional[int]:
+        """A sender this receiver may compose with now (Fig 12 conditions)."""
+        row = self.table[receiver]
+        if not row.ready or row.receiving:
+            return None
+        for sender in sorted(self.partners_of(receiver)):
+            remote = self.table[sender]
+            if (remote.ready and remote.cgid == row.cgid
+                    and sender not in row.received_gpus
+                    and not remote.sending):
+                return sender
+        return None
+
+    def begin(self, sender: int, receiver: int) -> None:
+        """Claim the pair: set Sending/Receiving (Fig 12 step 4)."""
+        s, r = self.table[sender], self.table[receiver]
+        if s.sending or r.receiving:
+            raise SchedulingError("pair members already busy")
+        if sender in r.received_gpus:
+            raise SchedulingError("pair already composed")
+        s.sending = True
+        r.receiving = True
+
+    def complete(self, sender: int, receiver: int) -> None:
+        """Transfer done: clear flags, record Sent/Received (Fig 12 step 5)."""
+        s, r = self.table[sender], self.table[receiver]
+        if not s.sending or not r.receiving:
+            raise SchedulingError("completing a pair that never began")
+        s.sending = False
+        r.receiving = False
+        s.sent_gpus.add(receiver)
+        r.received_gpus.add(sender)
+        self._notify()
+
+    def extend_partners(self, gpu: int, partners: Set[int]) -> None:
+        """Widen a GPU's allowed partner set (tree reductions grow reach)."""
+        if self._allowed is None:
+            return
+        self._allowed[gpu] = set(partners)
+        self._notify()
+
+    # -- completion tests ----------------------------------------------------
+
+    def gpu_done(self, gpu: int) -> bool:
+        """All sends and receives for this GPU's partner set finished."""
+        row = self.table[gpu]
+        partners = self.partners_of(gpu)
+        return (row.sent_gpus >= partners and row.received_gpus >= partners)
+
+    def all_done(self) -> bool:
+        return all(self.gpu_done(g) for g in range(self.num_gpus))
+
+    # -- DES integration -----------------------------------------------------
+
+    def wait_change(self) -> Event:
+        """Event fired at the next table state change."""
+        if self.sim is None:
+            raise SchedulingError("scheduler built without a simulator")
+        event = Event(self.sim)
+        self._waiters.append(event)
+        return event
+
+    def _notify(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    # -- hardware accounting ---------------------------------------------------
+
+    def table_size_bytes(self, cgid_bits: int = 8) -> int:
+        """Total scheduler storage (§VI-F: 27 bytes for 8 GPUs)."""
+        bits = sum(row.size_bits(self.num_gpus, cgid_bits)
+                   for row in self.table)
+        return (bits + 7) // 8
+
+
+def adjacency_pairs(num_gpus: int) -> List[Tuple[int, int]]:
+    """The adjacent-pair reduction tree for transparent groups.
+
+    Returns (sender, receiver) pairs level by level: at each level, odd-rank
+    survivors send to their even-rank left neighbours; receivers survive to
+    the next level. Senders and receivers are *adjacent* in submission order
+    at every level, which is what associativity permits.
+    """
+    pairs: List[Tuple[int, int]] = []
+    survivors = list(range(num_gpus))
+    while len(survivors) > 1:
+        next_level = []
+        for i in range(0, len(survivors) - 1, 2):
+            receiver, sender = survivors[i], survivors[i + 1]
+            pairs.append((sender, receiver))
+            next_level.append(receiver)
+        if len(survivors) % 2 == 1:
+            next_level.append(survivors[-1])
+        survivors = next_level
+    return pairs

@@ -1,0 +1,210 @@
+"""Draw-command scheduling (paper §IV-D, Fig 10).
+
+The draw-command scheduler keeps, per GPU, the number of *scheduled* and
+*processed* geometry-stage triangles; each new draw goes to the GPU with the
+fewest remaining (scheduled - processed) triangles. Processed counts arrive
+from the GPUs in chunks of ``update_interval`` triangles (the Fig 18
+sensitivity knob). A round-robin scheduler is included as the strawman the
+paper measures in Fig 8, and an oracle longest-processing-time scheduler as
+an ablation upper bound.
+
+The transparent-group path does not use dynamic scheduling: to preserve
+primitive order it splits the group's primitives into equal contiguous
+chunks (§IV-C step 4), implemented by :func:`even_split_by_triangles`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import SchedulingError
+from ..geometry.primitives import DrawCommand
+
+
+class DrawScheduler:
+    """Interface: pick a GPU for each issued draw command."""
+
+    name = "base"
+
+    def __init__(self, num_gpus: int) -> None:
+        if num_gpus <= 0:
+            raise SchedulingError("need at least one GPU")
+        self.num_gpus = num_gpus
+
+    def pick(self, triangles: int) -> int:
+        raise NotImplementedError
+
+    def report_processed(self, gpu: int, triangles: int) -> None:
+        """Progress feedback from the geometry stage (may be ignored)."""
+
+    def reset(self) -> None:
+        """Forget cross-group state (schedulers persist across groups)."""
+
+
+class RoundRobinScheduler(DrawScheduler):
+    """Naive rotation — the load-imbalance strawman of Fig 8."""
+
+    name = "round-robin"
+
+    def __init__(self, num_gpus: int) -> None:
+        super().__init__(num_gpus)
+        self._next = 0
+
+    def pick(self, triangles: int) -> int:
+        gpu = self._next
+        self._next = (self._next + 1) % self.num_gpus
+        return gpu
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class LeastRemainingTrianglesScheduler(DrawScheduler):
+    """CHOPIN's scheduler: fewest remaining geometry-stage triangles wins.
+
+    ``scheduled`` increments at issue; ``processed`` increments as the GPU
+    reports geometry progress (chunked by the engine's update interval).
+    The remaining-triangle count is the workload estimate the paper justifies
+    with Fig 9 (geometry triangle rate tracks whole-pipeline triangle rate).
+    """
+
+    name = "least-remaining"
+
+    def __init__(self, num_gpus: int) -> None:
+        super().__init__(num_gpus)
+        self.scheduled = [0] * num_gpus
+        self.processed = [0] * num_gpus
+
+    def remaining(self, gpu: int) -> int:
+        return self.scheduled[gpu] - self.processed[gpu]
+
+    def pick(self, triangles: int) -> int:
+        gpu = min(range(self.num_gpus), key=self.remaining)
+        self.scheduled[gpu] += triangles
+        return gpu
+
+    def report_processed(self, gpu: int, triangles: int) -> None:
+        self.processed[gpu] += triangles
+        if self.processed[gpu] > self.scheduled[gpu]:
+            raise SchedulingError(
+                f"GPU{gpu} reported more processed than scheduled triangles")
+
+    def reset(self) -> None:
+        self.scheduled = [0] * self.num_gpus
+        self.processed = [0] * self.num_gpus
+
+
+class SampledRateScheduler(DrawScheduler):
+    """OO-VR-style static estimation (§IV-D's second strawman).
+
+    Implements the Wimmer-Wonka heuristic ``t = c1*#tv + c2*#pix`` with
+    ``c1``/``c2`` *sampled from the first few draw commands* and reused for
+    the rest of the frame — the approach the paper rejects because "these
+    parameters vary substantially, and such samples form a poor estimate
+    for the dynamic execution state of the whole system."
+
+    ``estimates`` must align with the draws that will be ``pick``ed, in
+    order; construction helpers live on the CHOPIN scheme, which knows the
+    cost model.
+    """
+
+    name = "sampled-rate"
+
+    def __init__(self, num_gpus: int, estimates: Sequence[float]) -> None:
+        super().__init__(num_gpus)
+        self._estimates = list(estimates)
+        self._cursor = 0
+        self.load = [0.0] * num_gpus
+
+    def pick(self, triangles: int) -> int:
+        if self._cursor >= len(self._estimates):
+            raise SchedulingError("sampled scheduler ran out of estimates")
+        estimate = self._estimates[self._cursor]
+        self._cursor += 1
+        gpu = min(range(self.num_gpus), key=self.load.__getitem__)
+        self.load[gpu] += estimate
+        return gpu
+
+    def reset(self) -> None:
+        self.load = [0.0] * self.num_gpus
+        self._cursor = 0
+
+
+class OracleLPTScheduler(DrawScheduler):
+    """Ablation: offline longest-processing-time assignment by *total* draw
+    cost (geometry + fragment estimate), which the paper deems unrealistic
+    (exact runtimes are unknown before execution). Used to bound how much
+    headroom remains above the triangle heuristic."""
+
+    name = "oracle-lpt"
+
+    def __init__(self, num_gpus: int, costs: Sequence[float]) -> None:
+        super().__init__(num_gpus)
+        self._costs = list(costs)
+        self._cursor = 0
+        self.load = [0.0] * num_gpus
+
+    def pick(self, triangles: int) -> int:
+        if self._cursor >= len(self._costs):
+            raise SchedulingError("oracle scheduler ran out of cost entries")
+        cost = self._costs[self._cursor]
+        self._cursor += 1
+        gpu = min(range(self.num_gpus), key=self.load.__getitem__)
+        self.load[gpu] += cost
+        return gpu
+
+    def reset(self) -> None:
+        self.load = [0.0] * self.num_gpus
+        self._cursor = 0
+
+
+def even_split_by_triangles(draws: Sequence[DrawCommand],
+                            num_gpus: int) -> List[List[DrawCommand]]:
+    """Split a transparent group into ``num_gpus`` contiguous chunks.
+
+    Chunks hold (nearly) equal triangle counts and preserve submission
+    order; a draw straddling a chunk boundary is split with
+    :meth:`DrawCommand.split` so primitive order is kept exactly.
+    """
+    if num_gpus <= 0:
+        raise SchedulingError("need at least one GPU")
+    total = sum(d.num_triangles for d in draws)
+    chunks: List[List[DrawCommand]] = [[] for _ in range(num_gpus)]
+    if total == 0:
+        return chunks
+    # Chunk k holds triangles [boundary[k], boundary[k+1]) of the
+    # concatenated primitive stream.
+    boundaries = [round(k * total / num_gpus) for k in range(num_gpus + 1)]
+    gpu = 0
+    placed = 0  # triangles placed so far, across all chunks
+    for draw in draws:
+        remaining_draw = draw
+        while remaining_draw.num_triangles > 0:
+            while placed >= boundaries[gpu + 1] and gpu < num_gpus - 1:
+                gpu += 1
+            space = boundaries[gpu + 1] - placed
+            if gpu == num_gpus - 1 or remaining_draw.num_triangles <= space:
+                chunks[gpu].append(remaining_draw)
+                placed += remaining_draw.num_triangles
+                break
+            head, tail = _split_at(remaining_draw, space)
+            if head.num_triangles:
+                chunks[gpu].append(head)
+                placed += head.num_triangles
+            remaining_draw = tail
+    return chunks
+
+
+def _split_at(draw: DrawCommand, count: int) -> tuple:
+    """Split one draw into (first ``count`` triangles, rest)."""
+    head = DrawCommand(
+        draw_id=draw.draw_id, positions=draw.positions[:count],
+        colors=draw.colors[:count], state=draw.state,
+        vertex_cost=draw.vertex_cost, pixel_cost=draw.pixel_cost,
+        texture_id=draw.texture_id)
+    tail = DrawCommand(
+        draw_id=draw.draw_id, positions=draw.positions[count:],
+        colors=draw.colors[count:], state=draw.state,
+        vertex_cost=draw.vertex_cost, pixel_cost=draw.pixel_cost,
+        texture_id=draw.texture_id)
+    return head, tail

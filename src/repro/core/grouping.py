@@ -1,0 +1,123 @@
+"""Composition-group splitting (paper §IV-A).
+
+CHOPIN's software layer walks the frame's draw commands greedily (the paper
+assumes Immediate Mode Rendering, so commands are never reordered) and
+inserts a group boundary between two adjacent draws on any of:
+
+1. swapping to the next frame             (implicit: one frame per call);
+2. switching render target or depth buffer;
+3. enabling/disabling depth-buffer updates;
+4. changing the fragment occlusion (depth) test function;
+5. changing the pixel composition (blend) operator.
+
+Every draw inside a group therefore shares render target, depth buffer,
+depth-write mode, depth function, and blend operator — the preconditions for
+reordering/associative composition within the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SchedulingError
+from ..geometry.primitives import BlendOp, DepthFunc, DrawCommand
+from ..traces.trace import Frame
+
+#: boundary-reason labels (why the *previous* group ended)
+BOUNDARY_FRAME = "frame-swap"
+BOUNDARY_TARGET = "render-target-or-depth-buffer-switch"
+BOUNDARY_DEPTH_WRITE = "depth-write-toggle"
+BOUNDARY_DEPTH_FUNC = "depth-func-change"
+BOUNDARY_BLEND_OP = "blend-op-change"
+
+
+@dataclass
+class CompositionGroup:
+    """A maximal run of draw commands with compatible composition state."""
+
+    index: int
+    draws: List[DrawCommand] = field(default_factory=list)
+    boundary_reason: str = BOUNDARY_FRAME
+
+    @property
+    def num_draws(self) -> int:
+        return len(self.draws)
+
+    @property
+    def num_triangles(self) -> int:
+        return sum(d.num_triangles for d in self.draws)
+
+    @property
+    def transparent(self) -> bool:
+        return self.draws[0].transparent
+
+    @property
+    def blend_op(self) -> BlendOp:
+        return self.draws[0].state.blend_op
+
+    @property
+    def depth_func(self) -> DepthFunc:
+        return self.draws[0].state.depth_func
+
+    @property
+    def render_target(self) -> int:
+        return self.draws[0].state.render_target
+
+    @property
+    def depth_buffer(self) -> int:
+        return self.draws[0].state.depth_buffer
+
+    @property
+    def depth_write(self) -> bool:
+        return self.draws[0].state.depth_write
+
+    def validate(self) -> None:
+        """Every draw must share the group-defining state fields."""
+        if not self.draws:
+            raise SchedulingError(f"group {self.index} is empty")
+        head = self.draws[0].state
+        for draw in self.draws[1:]:
+            state = draw.state
+            same = (state.render_target == head.render_target
+                    and state.depth_buffer == head.depth_buffer
+                    and state.depth_write == head.depth_write
+                    and state.depth_func == head.depth_func
+                    and state.blend_op == head.blend_op)
+            if not same:
+                raise SchedulingError(
+                    f"group {self.index}: draw {draw.draw_id} state differs")
+
+
+def boundary_reason(prev: DrawCommand, nxt: DrawCommand) -> Optional[str]:
+    """The §IV-A event splitting ``prev`` and ``nxt``, or None."""
+    a, b = prev.state, nxt.state
+    if a.render_target != b.render_target or a.depth_buffer != b.depth_buffer:
+        return BOUNDARY_TARGET
+    if a.depth_write != b.depth_write:
+        return BOUNDARY_DEPTH_WRITE
+    if a.depth_func != b.depth_func:
+        return BOUNDARY_DEPTH_FUNC
+    if a.blend_op != b.blend_op:
+        return BOUNDARY_BLEND_OP
+    return None
+
+
+def split_into_groups(frame: Frame) -> List[CompositionGroup]:
+    """Greedy grouping of one frame's draw list (CompGroupStart/End points)."""
+    if not frame.draws:
+        return []
+    groups: List[CompositionGroup] = []
+    current = CompositionGroup(index=0, draws=[frame.draws[0]])
+    for draw in frame.draws[1:]:
+        reason = boundary_reason(current.draws[-1], draw)
+        if reason is None:
+            current.draws.append(draw)
+        else:
+            groups.append(current)
+            current = CompositionGroup(index=len(groups), draws=[draw],
+                                       boundary_reason=reason)
+    groups.append(current)
+    for group in groups:
+        group.validate()
+    return groups

@@ -1,0 +1,61 @@
+"""Hardware-cost and scheduler-traffic models (paper §VI-D and §VI-F).
+
+The paper's numbers for an 8-GPU system:
+
+- draw-command scheduler table: 2 fields x 64 bits x 8 entries = **128 B**;
+- image-composition scheduler table: per entry 8-bit CGID + 3 flag bits +
+  two 8-bit GPU vectors -> 8 x 27 bits = 216 bits = **27 B**;
+- draw-scheduler update traffic: one 4 B message per ``update_interval``
+  triangles (4 KB per million triangles at interval 1024);
+- composition-scheduler traffic: per GPU, one request + one response per
+  partner plus one pair for the background: ``(n + n) * n * 4 = 512 B``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+#: field widths the paper assumes
+DRAW_SCHED_FIELD_BITS = 64
+CGID_BITS = 8
+MESSAGE_BYTES = 4
+
+
+def draw_scheduler_size_bytes(num_gpus: int,
+                              field_bits: int = DRAW_SCHED_FIELD_BITS) -> int:
+    """Bytes of draw-scheduler table storage (two counters per GPU)."""
+    if num_gpus <= 0:
+        raise ConfigError("num_gpus must be positive")
+    return num_gpus * 2 * field_bits // 8
+
+
+def composition_scheduler_size_bytes(num_gpus: int,
+                                     cgid_bits: int = CGID_BITS) -> int:
+    """Bytes of composition-scheduler table storage (Table I fields)."""
+    if num_gpus <= 0:
+        raise ConfigError("num_gpus must be positive")
+    bits_per_entry = cgid_bits + 3 + 2 * num_gpus
+    return (num_gpus * bits_per_entry + 7) // 8
+
+
+def draw_scheduler_traffic_bytes(total_triangles: int,
+                                 update_interval: int = 1,
+                                 message_bytes: int = MESSAGE_BYTES) -> int:
+    """Progress-update traffic for a workload of ``total_triangles``."""
+    if update_interval <= 0:
+        raise ConfigError("update interval must be positive")
+    messages = (total_triangles + update_interval - 1) // update_interval
+    return messages * message_bytes
+
+
+def composition_scheduler_traffic_bytes(
+        num_gpus: int, message_bytes: int = MESSAGE_BYTES) -> int:
+    """Ready/grant notification traffic for one composition phase.
+
+    Each GPU exchanges a request/response pair per partner (n-1 partners)
+    plus one pair for the background merge — the paper rounds this to
+    ``(n + n) * n * message_bytes``.
+    """
+    if num_gpus <= 0:
+        raise ConfigError("num_gpus must be positive")
+    return (num_gpus + num_gpus) * num_gpus * message_bytes

@@ -1,0 +1,149 @@
+"""Per-scheme GPU memory-footprint model.
+
+The paper's design choices are repeatedly justified by buffering costs:
+
+- GPUpd distributes primitive IDs **sequentially** because unordered
+  exchange "would need a large memory to buffer exchanged primitive IDs
+  and a complex sorting structure to reorder them" (§III-A);
+- CHOPIN's transparent groups need an **extra render target per GPU**
+  because transparent sub-images cannot blend with the background
+  independently (§IV-A/Fig 7);
+- sort-middle buffers full post-geometry attributes.
+
+This module turns those arguments into numbers: per-GPU bytes of surface
+and staging memory each scheme requires on a given trace, beyond the
+baseline framebuffer itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..config import SystemConfig
+from ..traces.trace import Trace
+from .grouping import split_into_groups
+from .workflow import GroupMode, plan_frame
+
+#: bytes per pixel of one colour surface (RGBA8)
+COLOR_BYTES = 4
+#: bytes per pixel of one depth/stencil surface (D24S8)
+DEPTH_BYTES = 4
+
+
+@dataclass
+class MemoryFootprint:
+    """Per-GPU memory requirement breakdown, in bytes."""
+
+    scheme: str
+    surfaces: int = 0          # render targets + depth buffers
+    extra_targets: int = 0     # CHOPIN transparent-group layers
+    staging: int = 0           # sub-image / primitive exchange buffers
+    reorder: int = 0           # ID reorder buffers (unordered exchange)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (self.surfaces + self.extra_targets + self.staging
+                + self.reorder)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"surfaces": self.surfaces,
+                "extra_targets": self.extra_targets,
+                "staging": self.staging, "reorder": self.reorder,
+                "total": self.total}
+
+
+def _surface_bytes(trace: Trace) -> int:
+    """One full-resolution colour + depth surface pair."""
+    return trace.width * trace.height * (COLOR_BYTES + DEPTH_BYTES)
+
+
+def _surface_count(trace: Trace) -> int:
+    """Distinct render targets the frame draws into."""
+    targets = {d.state.render_target for d in trace.frame.draws}
+    return max(len(targets), 1)
+
+
+def duplication_memory(trace: Trace, config: SystemConfig,
+                       ) -> MemoryFootprint:
+    """Conventional SFR: full surfaces everywhere (each GPU re-renders
+    everything, and RT-switch broadcasts require full-size buffers)."""
+    footprint = MemoryFootprint(scheme="duplication")
+    footprint.surfaces = _surface_count(trace) * _surface_bytes(trace)
+    return footprint
+
+
+def gpupd_memory(trace: Trace, config: SystemConfig,
+                 ordered: bool = True) -> MemoryFootprint:
+    """GPUpd: surfaces + primitive-ID buffers.
+
+    With the paper's *ordered* sequential exchange, a GPU only needs a
+    small FIFO per source (IDs arrive in order and are consumed on the
+    fly). An *unordered* exchange (the design GPUpd rejects) must buffer
+    every received ID until the frame's order can be reconstructed —
+    that's the "large memory + complex sorting structure" of §III-A.
+    """
+    footprint = MemoryFootprint(scheme="gpupd" if ordered
+                                else "gpupd-unordered")
+    footprint.surfaces = _surface_count(trace) * _surface_bytes(trace)
+    id_bytes = config.primitive_id_bytes
+    if ordered:
+        # one in-flight batch per source GPU
+        from ..harness.runner import GPUPD_BATCH_PRIMITIVES
+        footprint.staging = (config.num_gpus * GPUPD_BATCH_PRIMITIVES
+                             * id_bytes)
+        footprint.notes.append("ordered exchange: per-source batch FIFOs")
+    else:
+        # worst case: every primitive's ID buffered for reordering
+        footprint.reorder = trace.num_triangles * id_bytes * 2  # id + key
+        footprint.notes.append(
+            "unordered exchange: full-frame ID reorder buffer (§III-A)")
+    return footprint
+
+
+def sort_middle_memory(trace: Trace, config: SystemConfig,
+                       attribute_bytes: int = 1152) -> MemoryFootprint:
+    """Sort-middle: buffers full post-geometry attributes per batch."""
+    footprint = MemoryFootprint(scheme="sort-middle")
+    footprint.surfaces = _surface_count(trace) * _surface_bytes(trace)
+    from ..harness.runner import GPUPD_BATCH_PRIMITIVES
+    footprint.staging = (config.num_gpus * GPUPD_BATCH_PRIMITIVES
+                         * attribute_bytes)
+    footprint.notes.append("post-geometry attribute batches")
+    return footprint
+
+
+def chopin_memory(trace: Trace, config: SystemConfig) -> MemoryFootprint:
+    """CHOPIN: surfaces + transparent-group layers + composition staging.
+
+    Every GPU renders the *whole screen*, so local surfaces are full-size
+    (same as duplication). Transparent groups allocate one extra
+    full-screen colour layer per GPU (Fig 7 step 3); opaque composition
+    stages at most one incoming sub-image region at a time (the scheduler
+    pairs GPUs one-to-one).
+    """
+    footprint = MemoryFootprint(scheme="chopin")
+    footprint.surfaces = _surface_count(trace) * _surface_bytes(trace)
+    plans = plan_frame(split_into_groups(trace.frame), config)
+    has_transparent = any(p.mode is GroupMode.TRANSPARENT_PARALLEL
+                          for p in plans)
+    if has_transparent:
+        footprint.extra_targets = trace.width * trace.height * COLOR_BYTES
+        footprint.notes.append("one extra layer for transparent groups")
+    # staging: one incoming sub-image region (own tiles) during composition
+    own_pixels = trace.width * trace.height // config.num_gpus
+    footprint.staging = own_pixels * (COLOR_BYTES + DEPTH_BYTES)
+    return footprint
+
+
+def memory_comparison(trace: Trace,
+                      config: SystemConfig) -> Dict[str, MemoryFootprint]:
+    """All schemes' per-GPU footprints on one trace."""
+    return {
+        "duplication": duplication_memory(trace, config),
+        "gpupd": gpupd_memory(trace, config, ordered=True),
+        "gpupd-unordered": gpupd_memory(trace, config, ordered=False),
+        "sort-middle": sort_middle_memory(trace, config),
+        "chopin": chopin_memory(trace, config),
+    }

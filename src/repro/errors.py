@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from :class:`ReproError`
+so callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class PipelineError(ReproError):
+    """The graphics pipeline was driven with invalid inputs."""
+
+
+class CompositionError(ReproError):
+    """Image composition was requested with incompatible operands."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler (draw-command or composition) hit an invalid state."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or inconsistent."""

@@ -1,0 +1,12 @@
+"""Framebuffer substrate: colour/depth surfaces and depth-test functions."""
+
+from .depth import DEPTH_CLEAR, depth_test, is_order_independent
+from .framebuffer import Framebuffer, SurfacePool
+
+__all__ = [
+    "DEPTH_CLEAR",
+    "Framebuffer",
+    "SurfacePool",
+    "depth_test",
+    "is_order_independent",
+]

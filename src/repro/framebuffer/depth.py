@@ -1,0 +1,52 @@
+"""Depth/stencil test functions (paper Fig 1(b) stage 3, section IV-A event 4).
+
+The comparison runs vectorized over fragment arrays: ``depth_test`` returns a
+boolean pass mask given the incoming fragment depths and the depth-buffer
+values they compete with.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..geometry.primitives import DepthFunc
+
+_COMPARATORS: Dict[DepthFunc, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    DepthFunc.NEVER: lambda new, cur: np.zeros_like(new, dtype=bool),
+    DepthFunc.LESS: lambda new, cur: new < cur,
+    DepthFunc.LEQUAL: lambda new, cur: new <= cur,
+    DepthFunc.EQUAL: lambda new, cur: new == cur,
+    DepthFunc.GEQUAL: lambda new, cur: new >= cur,
+    DepthFunc.GREATER: lambda new, cur: new > cur,
+    DepthFunc.NOTEQUAL: lambda new, cur: new != cur,
+    DepthFunc.ALWAYS: lambda new, cur: np.ones_like(new, dtype=bool),
+}
+
+#: Clear value for depth buffers: the far plane under LESS-style tests.
+DEPTH_CLEAR = 1.0
+
+
+def depth_test(func: DepthFunc, new_depth: np.ndarray,
+               current_depth: np.ndarray) -> np.ndarray:
+    """Boolean mask of fragments passing ``func`` against the buffer."""
+    try:
+        comparator = _COMPARATORS[func]
+    except KeyError:
+        raise PipelineError(f"unknown depth function: {func!r}")
+    return comparator(np.asarray(new_depth), np.asarray(current_depth))
+
+
+def is_order_independent(func: DepthFunc) -> bool:
+    """Whether depth-compositing with ``func`` commutes across sub-images.
+
+    LESS/LEQUAL (and their GREATER duals) reduce to min/max selection, which
+    is commutative — the property that lets CHOPIN compose opaque sub-images
+    out-of-order (section II-D). EQUAL/NOTEQUAL depend on the buffer history
+    and do not commute.
+    """
+    return func in (DepthFunc.LESS, DepthFunc.LEQUAL,
+                    DepthFunc.GREATER, DepthFunc.GEQUAL,
+                    DepthFunc.ALWAYS, DepthFunc.NEVER)

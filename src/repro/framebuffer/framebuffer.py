@@ -1,0 +1,123 @@
+"""Framebuffers, depth buffers, and render-target management.
+
+A :class:`Framebuffer` is one colour surface (RGBA float32, premultiplied
+alpha) plus a depth surface. A :class:`SurfacePool` owns the numbered render
+targets and depth buffers a trace refers to (paper section IV-A event 2
+boundaries switch between them), mirroring what each GPU's memory would hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import PipelineError
+from .depth import DEPTH_CLEAR
+
+
+class Framebuffer:
+    """A colour + depth surface pair of fixed resolution."""
+
+    def __init__(self, width: int, height: int,
+                 clear_color: Tuple[float, float, float, float] = (0, 0, 0, 0)):
+        if width <= 0 or height <= 0:
+            raise PipelineError("framebuffer dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.clear_color = clear_color
+        self.color = np.empty((height, width, 4), dtype=np.float32)
+        self.depth = np.empty((height, width), dtype=np.float32)
+        self.clear()
+
+    def clear(self) -> None:
+        self.color[:] = np.asarray(self.clear_color, dtype=np.float32)
+        self.depth[:] = DEPTH_CLEAR
+
+    def copy(self) -> "Framebuffer":
+        dup = Framebuffer(self.width, self.height, self.clear_color)
+        dup.color[:] = self.color
+        dup.depth[:] = self.depth
+        return dup
+
+    @property
+    def num_pixels(self) -> int:
+        return self.width * self.height
+
+    def size_bytes(self, pixel_bytes: int = 8) -> int:
+        """Wire size of the full surface (colour + depth)."""
+        return self.num_pixels * pixel_bytes
+
+    def same_image(self, other: "Framebuffer", tol: float = 1e-4) -> bool:
+        """Colour equality within tolerance (blending order introduces ULPs)."""
+        if (self.width, self.height) != (other.width, other.height):
+            return False
+        return bool(np.allclose(self.color, other.color, atol=tol))
+
+    def max_color_error(self, other: "Framebuffer") -> float:
+        return float(np.abs(self.color - other.color).max())
+
+    def to_srgb_bytes(self) -> np.ndarray:
+        """Quantize to 8-bit RGBA for image dumps (no gamma, clamped)."""
+        return (np.clip(self.color, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+    def write_ppm(self, path: str) -> None:
+        """Dump the colour buffer as a binary PPM (RGB, alpha dropped)."""
+        rgb = self.to_srgb_bytes()[..., :3]
+        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+        with open(path, "wb") as fh:
+            fh.write(header)
+            fh.write(rgb.tobytes())
+
+
+class SurfacePool:
+    """Numbered render targets and depth buffers for one GPU.
+
+    Surfaces are created lazily on first use, as a driver would allocate
+    them; ``reset`` clears everything between frames.
+    """
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+        self._targets: Dict[int, Framebuffer] = {}
+        self._depths: Dict[int, np.ndarray] = {}
+
+    def render_target(self, target_id: int) -> Framebuffer:
+        if target_id not in self._targets:
+            self._targets[target_id] = Framebuffer(self.width, self.height)
+        return self._targets[target_id]
+
+    def depth_buffer(self, buffer_id: int) -> np.ndarray:
+        if buffer_id not in self._depths:
+            buf = np.full((self.height, self.width), DEPTH_CLEAR,
+                          dtype=np.float32)
+            self._depths[buffer_id] = buf
+        return self._depths[buffer_id]
+
+    def install_render_target(self, target_id: int, fb: Framebuffer) -> None:
+        """Bind an externally created surface as a numbered render target.
+
+        CHOPIN's transparent-group path uses this to render a group into a
+        fresh layer (cleared to the blend operator's identity) while leaving
+        the persistent target untouched (Fig 7 step 3).
+        """
+        if (fb.width, fb.height) != (self.width, self.height):
+            raise PipelineError("installed target size mismatch")
+        self._targets[target_id] = fb
+
+    def install_depth_buffer(self, buffer_id: int, depth: np.ndarray) -> None:
+        """Bind an externally provided depth surface (e.g., a synced copy)."""
+        if depth.shape != (self.height, self.width):
+            raise PipelineError("installed depth size mismatch")
+        self._depths[buffer_id] = depth
+
+    @property
+    def target_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._targets))
+
+    def reset(self) -> None:
+        for fb in self._targets.values():
+            fb.clear()
+        for depth in self._depths.values():
+            depth[:] = DEPTH_CLEAR

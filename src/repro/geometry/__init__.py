@@ -1,0 +1,25 @@
+"""Geometry substrate: 3D math, primitives, vertex transforms, clipping."""
+
+from .primitives import (BlendOp, DepthFunc, DrawCommand, RenderState,
+                         fullscreen_quad, make_triangle)
+from .transform import (perspective_divide, to_screen, transform_positions,
+                        triangle_screen_bounds)
+from .clipping import backface_cull_mask, clip_near_plane, frustum_cull_mask
+from . import vec
+
+__all__ = [
+    "BlendOp",
+    "DepthFunc",
+    "DrawCommand",
+    "RenderState",
+    "backface_cull_mask",
+    "clip_near_plane",
+    "frustum_cull_mask",
+    "fullscreen_quad",
+    "make_triangle",
+    "perspective_divide",
+    "to_screen",
+    "transform_positions",
+    "triangle_screen_bounds",
+    "vec",
+]

@@ -1,0 +1,107 @@
+"""Frustum culling and near-plane clipping in clip space.
+
+Like real GPUs, we do *guard-band* clipping: triangles entirely outside any
+frustum plane are culled; triangles crossing the near plane are properly
+clipped (Sutherland-Hodgman, yielding one or two triangles); triangles merely
+overhanging the side planes are left to the rasterizer's scissor.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+NEAR_EPS = 1e-5
+
+
+def frustum_cull_mask(clip: np.ndarray) -> np.ndarray:
+    """Boolean mask (T,) of triangles fully outside one frustum plane.
+
+    Clip-space inside test (DirectX-style depth): ``-w <= x, y <= w`` and
+    ``0 <= z <= w``. A triangle is culled when all three vertices are outside
+    the *same* plane.
+    """
+    x, y, z, w = (clip[..., 0], clip[..., 1], clip[..., 2], clip[..., 3])
+    outside = np.stack([
+        (x < -w).all(axis=1),
+        (x > w).all(axis=1),
+        (y < -w).all(axis=1),
+        (y > w).all(axis=1),
+        (z < 0).all(axis=1),
+        (z > w).all(axis=1),
+    ])
+    return outside.any(axis=0)
+
+
+def backface_cull_mask(clip: np.ndarray) -> np.ndarray:
+    """Mask of back-facing or zero-area triangles (counter-clockwise = front).
+
+    Computed from the signed area in NDC; triangles with any near-plane
+    vertex (w <= eps) are conservatively kept for the clipper.
+    """
+    w = np.maximum(clip[..., 3], NEAR_EPS)
+    ndc_x = clip[..., 0] / w
+    ndc_y = clip[..., 1] / w
+    ax = ndc_x[:, 1] - ndc_x[:, 0]
+    ay = ndc_y[:, 1] - ndc_y[:, 0]
+    bx = ndc_x[:, 2] - ndc_x[:, 0]
+    by = ndc_y[:, 2] - ndc_y[:, 0]
+    area2 = ax * by - ay * bx
+    behind = (clip[..., 3] <= NEAR_EPS).any(axis=1)
+    return (area2 <= 0) & ~behind
+
+
+def clip_near_plane(clip: np.ndarray,
+                    colors: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Clip triangles against the near plane ``z >= 0`` in clip space.
+
+    Returns new ``(clip, colors)`` arrays. Triangles fully in front pass
+    through untouched; fully-behind triangles are dropped; straddling
+    triangles are Sutherland-Hodgman clipped into one or two triangles with
+    attributes interpolated in clip space (correct for perspective).
+    """
+    z = clip[..., 2]
+    inside = z >= 0.0
+    all_in = inside.all(axis=1)
+    none_in = ~inside.any(axis=1)
+    easy = all_in
+    hard = ~all_in & ~none_in
+
+    kept_clip = [clip[easy]]
+    kept_col = [colors[easy]]
+
+    for tri_clip, tri_col, tri_in in zip(clip[hard], colors[hard], inside[hard]):
+        poly_pos, poly_col = _clip_polygon(tri_clip, tri_col, tri_in)
+        # Fan-triangulate the clipped polygon (3 or 4 vertices).
+        for i in range(1, len(poly_pos) - 1):
+            kept_clip.append(np.stack(
+                [poly_pos[0], poly_pos[i], poly_pos[i + 1]])[None])
+            kept_col.append(np.stack(
+                [poly_col[0], poly_col[i], poly_col[i + 1]])[None])
+
+    if not kept_clip:
+        return (np.empty((0, 3, 4), dtype=np.float32),
+                np.empty((0, 3, 4), dtype=np.float32))
+    return (np.concatenate(kept_clip).astype(np.float32),
+            np.concatenate(kept_col).astype(np.float32))
+
+
+def _clip_polygon(tri_clip: np.ndarray, tri_col: np.ndarray,
+                  inside: np.ndarray) -> Tuple[list, list]:
+    """Sutherland-Hodgman step for one straddling triangle."""
+    out_pos, out_col = [], []
+    for i in range(3):
+        j = (i + 1) % 3
+        p_i, p_j = tri_clip[i], tri_clip[j]
+        c_i, c_j = tri_col[i], tri_col[j]
+        if inside[i]:
+            out_pos.append(p_i)
+            out_col.append(c_i)
+        if inside[i] != inside[j]:
+            # Intersection with z = 0: t such that z_i + t (z_j - z_i) = 0.
+            denom = p_j[2] - p_i[2]
+            t = -p_i[2] / denom
+            out_pos.append(p_i + t * (p_j - p_i))
+            out_col.append(c_i + t * (c_j - c_i))
+    return out_pos, out_col

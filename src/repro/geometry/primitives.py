@@ -1,0 +1,160 @@
+"""Primitive and draw-command data model.
+
+A :class:`DrawCommand` is the unit of work the paper's schedulers distribute:
+a batch of triangles sharing one :class:`RenderState` (render target, depth
+buffer, depth function, blend operator, transparency). A frame is a list of
+draw commands; CHOPIN groups consecutive commands into composition groups at
+state-change boundaries (paper section IV-A, events 1-5).
+
+Triangle data is stored vectorized: ``positions`` has shape ``(T, 3, 3)``
+(T triangles x 3 vertices x xyz) and ``colors`` has shape ``(T, 3, 4)``
+(per-vertex RGBA, premultiplied-alpha for transparent draws).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import PipelineError
+
+
+class DepthFunc(enum.Enum):
+    """Fragment occlusion test functions (paper event 4 boundaries)."""
+
+    NEVER = "never"
+    LESS = "less"
+    LEQUAL = "lequal"
+    EQUAL = "equal"
+    GEQUAL = "gequal"
+    GREATER = "greater"
+    NOTEQUAL = "notequal"
+    ALWAYS = "always"
+
+
+class BlendOp(enum.Enum):
+    """Pixel composition operators (paper section II-D).
+
+    All are associative; none except MIN/MAX-style depth selection are
+    commutative, which is exactly the property CHOPIN exploits (section II-D).
+    """
+
+    REPLACE = "replace"   # opaque write (implicit depth-select composition)
+    OVER = "over"         # Porter-Duff over, premultiplied alpha
+    ADDITIVE = "add"
+    MULTIPLY = "mul"
+
+
+@dataclass(frozen=True)
+class RenderState:
+    """Pipeline state attached to a draw command.
+
+    The five composition-group boundary events of section IV-A are all
+    derivable from consecutive pairs of these states (plus frame swaps).
+    """
+
+    render_target: int = 0
+    depth_buffer: int = 0
+    depth_write: bool = True
+    depth_func: DepthFunc = DepthFunc.LESS
+    blend_op: BlendOp = BlendOp.REPLACE
+    #: whether the early depth/stencil test may run before the pixel shader
+    #: (disabled when the shader discards fragments or writes depth, Fig 15)
+    early_z: bool = True
+
+    @property
+    def transparent(self) -> bool:
+        """Transparent draws blend rather than overwrite."""
+        return self.blend_op is not BlendOp.REPLACE
+
+
+@dataclass
+class DrawCommand:
+    """A batch of triangles with uniform state and shader costs.
+
+    ``vertex_cost`` and ``pixel_cost`` model the per-triangle geometry-stage
+    and per-fragment shading cost in cycles on a single SM/ROP lane; real
+    draws vary widely in both (paper Fig 9), so the trace generator draws
+    them from per-draw distributions.
+    """
+
+    draw_id: int
+    positions: np.ndarray          # (T, 3, 3) float32, world space
+    colors: np.ndarray             # (T, 3, 4) float32 RGBA
+    state: RenderState = field(default_factory=RenderState)
+    vertex_cost: float = 8.0       # cycles per triangle in geometry stage
+    pixel_cost: float = 2.0        # cycles per shaded fragment
+    texture_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float32)
+        self.colors = np.asarray(self.colors, dtype=np.float32)
+        if self.positions.ndim != 3 or self.positions.shape[1:] != (3, 3):
+            raise PipelineError(
+                f"positions must be (T, 3, 3), got {self.positions.shape}")
+        if self.colors.shape != self.positions.shape[:2] + (4,):
+            raise PipelineError(
+                f"colors must be (T, 3, 4) matching positions, "
+                f"got {self.colors.shape}")
+        if self.vertex_cost <= 0 or self.pixel_cost <= 0:
+            raise PipelineError("shader costs must be positive")
+
+    @property
+    def num_triangles(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def transparent(self) -> bool:
+        return self.state.transparent
+
+    def split(self, num_parts: int) -> list["DrawCommand"]:
+        """Divide into ``num_parts`` contiguous sub-draws (order-preserving).
+
+        Used by CHOPIN's transparent-group path ("evenly divide draws",
+        Fig 7) and by GPUpd's initial 1/N primitive partitioning. Parts may
+        be empty when there are fewer triangles than parts.
+        """
+        if num_parts <= 0:
+            raise PipelineError("num_parts must be positive")
+        bounds = np.linspace(0, self.num_triangles, num_parts + 1).astype(int)
+        parts = []
+        for i in range(num_parts):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            parts.append(DrawCommand(
+                draw_id=self.draw_id,
+                positions=self.positions[lo:hi],
+                colors=self.colors[lo:hi],
+                state=self.state,
+                vertex_cost=self.vertex_cost,
+                pixel_cost=self.pixel_cost,
+                texture_id=self.texture_id,
+            ))
+        return parts
+
+
+def make_triangle(v0, v1, v2, color=(1.0, 1.0, 1.0, 1.0)) -> DrawCommand:
+    """Convenience: a single-triangle draw command with a flat colour."""
+    positions = np.array([[v0, v1, v2]], dtype=np.float32)
+    colors = np.tile(np.asarray(color, dtype=np.float32), (1, 3, 1))
+    return DrawCommand(draw_id=0, positions=positions, colors=colors)
+
+
+def fullscreen_quad(color=(0.0, 0.0, 0.0, 1.0), depth: float = 0.999,
+                    draw_id: int = 0) -> DrawCommand:
+    """A background quad (two triangles) covering the whole screen in NDC.
+
+    The paper calls these out explicitly: background draws have trivially few
+    triangles, which is why CHOPIN reverts to duplication below the
+    composition-group threshold (Fig 7 step 2).
+    """
+    x0, y0, x1, y1 = -1.0, -1.0, 1.0, 1.0
+    quad = np.array([
+        [[x0, y0, depth], [x1, y0, depth], [x1, y1, depth]],
+        [[x0, y0, depth], [x1, y1, depth], [x0, y1, depth]],
+    ], dtype=np.float32)
+    colors = np.tile(np.asarray(color, dtype=np.float32), (2, 3, 1))
+    return DrawCommand(draw_id=draw_id, positions=quad, colors=colors,
+                       vertex_cost=4.0, pixel_cost=1.0)

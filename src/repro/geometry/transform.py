@@ -1,0 +1,68 @@
+"""Vertex transformation: world space -> clip space -> NDC -> screen space.
+
+This implements the fixed-function half of the paper's geometry stage
+(Fig 1(b), stage 1): vertex shading is modeled as a matrix transform plus a
+per-draw cost, tessellation is pre-expanded by the trace generator, and
+culling/clipping lives in :mod:`repro.geometry.clipping`.
+
+All functions are vectorized over triangles: positions are ``(T, 3, 3)``,
+clip-space coordinates ``(T, 3, 4)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PipelineError
+
+#: Minimum w after projection; vertices closer than this are near-clipped.
+MIN_W = 1e-6
+
+
+def transform_positions(positions: np.ndarray, mvp: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 model-view-projection matrix to (T, 3, 3) positions.
+
+    Returns clip-space homogeneous coordinates of shape (T, 3, 4).
+    """
+    positions = np.asarray(positions, dtype=np.float32)
+    mvp = np.asarray(mvp, dtype=np.float32)
+    if mvp.shape != (4, 4):
+        raise PipelineError(f"mvp must be 4x4, got {mvp.shape}")
+    t, v = positions.shape[0], positions.shape[1]
+    homogeneous = np.concatenate(
+        [positions, np.ones((t, v, 1), dtype=np.float32)], axis=2)
+    # (T, 3, 4) @ (4, 4)^T
+    return homogeneous @ mvp.T
+
+
+def perspective_divide(clip: np.ndarray) -> np.ndarray:
+    """Clip space -> normalized device coordinates (x, y in [-1,1], z in [0,1]).
+
+    Vertices with non-positive ``w`` must have been near-clipped first;
+    they are clamped here to keep the math finite but will produce degenerate
+    triangles that the rasterizer rejects.
+    """
+    w = np.maximum(clip[..., 3:4], MIN_W)
+    return (clip[..., :3] / w).astype(np.float32)
+
+
+def to_screen(ndc: np.ndarray, width: int, height: int) -> tuple:
+    """NDC -> pixel coordinates and depth.
+
+    Returns ``(xy, depth)`` where ``xy`` is (T, 3, 2) pixel coordinates with
+    y growing downward (raster convention) and ``depth`` is (T, 3) in [0, 1].
+    """
+    if width <= 0 or height <= 0:
+        raise PipelineError("viewport dimensions must be positive")
+    xy = np.empty(ndc.shape[:2] + (2,), dtype=np.float32)
+    xy[..., 0] = (ndc[..., 0] + 1.0) * 0.5 * width
+    xy[..., 1] = (1.0 - ndc[..., 1]) * 0.5 * height
+    depth = ndc[..., 2].astype(np.float32)
+    return xy, depth
+
+
+def triangle_screen_bounds(xy: np.ndarray) -> np.ndarray:
+    """Axis-aligned bounding boxes (T, 4) as [xmin, ymin, xmax, ymax]."""
+    mins = xy.min(axis=1)
+    maxs = xy.max(axis=1)
+    return np.concatenate([mins, maxs], axis=1)

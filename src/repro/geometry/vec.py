@@ -1,0 +1,118 @@
+"""Small vector/matrix toolkit for the graphics pipeline.
+
+Conventions (matching OpenGL/DirectX math as used in the paper's pipeline
+description, Fig 1):
+
+- column-vector convention: a point ``p`` transforms as ``M @ p``;
+- right-handed view space, camera looking down -Z;
+- clip space is the standard [-w, w]^3 cube; NDC depth maps to [0, 1] in the
+  viewport transform (DirectX style), so *smaller depth is closer*.
+
+Everything is float32 NumPy; helpers accept Python sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def vec3(x: float, y: float, z: float) -> Array:
+    return np.array([x, y, z], dtype=np.float32)
+
+
+def vec4(x: float, y: float, z: float, w: float = 1.0) -> Array:
+    return np.array([x, y, z, w], dtype=np.float32)
+
+
+def normalize(v: Array) -> Array:
+    n = float(np.linalg.norm(v))
+    if n == 0.0:
+        raise ValueError("cannot normalize a zero vector")
+    return (v / n).astype(np.float32)
+
+
+def identity() -> Array:
+    return np.eye(4, dtype=np.float32)
+
+
+def translate(t: Sequence[float]) -> Array:
+    m = identity()
+    m[:3, 3] = t
+    return m
+
+
+def scale(s: Sequence[float]) -> Array:
+    m = identity()
+    m[0, 0], m[1, 1], m[2, 2] = s
+    return m
+
+
+def rotate_x(angle: float) -> Array:
+    c, s = math.cos(angle), math.sin(angle)
+    m = identity()
+    m[1, 1], m[1, 2] = c, -s
+    m[2, 1], m[2, 2] = s, c
+    return m
+
+
+def rotate_y(angle: float) -> Array:
+    c, s = math.cos(angle), math.sin(angle)
+    m = identity()
+    m[0, 0], m[0, 2] = c, s
+    m[2, 0], m[2, 2] = -s, c
+    return m
+
+
+def rotate_z(angle: float) -> Array:
+    c, s = math.cos(angle), math.sin(angle)
+    m = identity()
+    m[0, 0], m[0, 1] = c, -s
+    m[1, 0], m[1, 1] = s, c
+    return m
+
+
+def look_at(eye: Sequence[float], target: Sequence[float],
+            up: Sequence[float] = (0.0, 1.0, 0.0)) -> Array:
+    """Right-handed view matrix: camera at ``eye`` looking at ``target``."""
+    eye_v = np.asarray(eye, dtype=np.float32)
+    forward = normalize(np.asarray(target, dtype=np.float32) - eye_v)
+    right = normalize(np.cross(forward, np.asarray(up, dtype=np.float32)))
+    true_up = np.cross(right, forward)
+    m = identity()
+    m[0, :3] = right
+    m[1, :3] = true_up
+    m[2, :3] = -forward
+    m[:3, 3] = -m[:3, :3] @ eye_v
+    return m
+
+
+def perspective(fov_y: float, aspect: float, near: float, far: float) -> Array:
+    """Perspective projection; ``fov_y`` in radians, maps depth to [0, 1]."""
+    if near <= 0 or far <= near:
+        raise ValueError("require 0 < near < far")
+    f = 1.0 / math.tan(fov_y / 2.0)
+    m = np.zeros((4, 4), dtype=np.float32)
+    m[0, 0] = f / aspect
+    m[1, 1] = f
+    m[2, 2] = far / (near - far)
+    m[2, 3] = near * far / (near - far)
+    m[3, 2] = -1.0
+    return m
+
+
+def orthographic(left: float, right: float, bottom: float, top: float,
+                 near: float, far: float) -> Array:
+    """Orthographic projection mapping the box to clip space, depth to [0,1]."""
+    m = identity()
+    m[0, 0] = 2.0 / (right - left)
+    m[1, 1] = 2.0 / (top - bottom)
+    m[2, 2] = 1.0 / (near - far)
+    m[0, 3] = -(right + left) / (right - left)
+    m[1, 3] = -(top + bottom) / (top - bottom)
+    m[2, 3] = near / (near - far)
+    return m

@@ -1,0 +1,26 @@
+"""Experiment harness: runner, experiments, reports, animation, export."""
+
+from .runner import (MAIN_SCHEMES, SCHEMES, Setup, build_scheme,
+                     clear_result_cache, compare, make_setup, run,
+                     run_benchmark)
+from .animation import AnimationResult, compare_afr_sfr, run_animation
+from . import experiments, export, report, sweeps
+
+__all__ = [
+    "AnimationResult",
+    "MAIN_SCHEMES",
+    "SCHEMES",
+    "Setup",
+    "build_scheme",
+    "clear_result_cache",
+    "compare",
+    "compare_afr_sfr",
+    "experiments",
+    "export",
+    "make_setup",
+    "report",
+    "run",
+    "run_animation",
+    "run_benchmark",
+    "sweeps",
+]

@@ -1,0 +1,434 @@
+"""Per-figure experiment drivers.
+
+One function per table/figure of the paper's evaluation. Each returns plain
+dict/list data that :mod:`repro.harness.report` renders as the same rows or
+series the paper plots. All functions accept a trace ``scale`` and default to
+the full Table III suite at ``tiny`` scale (see DESIGN.md section 6 for the
+scaling argument).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..config import TABLE2, SystemConfig
+from ..core import (composition_scheduler_size_bytes,
+                    composition_scheduler_traffic_bytes,
+                    draw_scheduler_size_bytes, draw_scheduler_traffic_bytes,
+                    plan_frame, split_into_groups, summarize_plan)
+from ..sfr.base import reference_pass
+from ..stats import (STAGE_COMPOSITION, STAGE_DISTRIBUTION, STAGE_FRAGMENT,
+                     STAGE_GEOMETRY, STAGE_PROJECTION, STAGE_SYNC,
+                     TRAFFIC_COMPOSITION, gmean)
+from ..traces import BENCHMARK_NAMES, TABLE3, load_benchmark, scale_for
+from .runner import MAIN_SCHEMES, make_setup, run_benchmark
+
+Benchmarks = Sequence[str]
+
+
+# --------------------------------------------------------------------- tables
+
+def table2_config(config: SystemConfig = TABLE2) -> Dict[str, str]:
+    """The simulated architecture configuration (paper Table II)."""
+    link = config.link
+    return {
+        "GPU frequency": f"{config.gpu.frequency_hz / 1e9:g} GHz",
+        "Number of GPUs": str(config.num_gpus),
+        "Number of SMs": (f"{config.num_gpus * config.gpu.num_sms} "
+                          f"({config.gpu.num_sms} per GPU)"),
+        "Number of ROPs": (f"{config.num_gpus * config.gpu.num_rops} "
+                           f"({config.gpu.num_rops} per GPU)"),
+        "SM configuration": (f"{config.gpu.shader_cores_per_sm} shader cores"
+                             f", {config.gpu.texture_units_per_sm} TEX"),
+        "Composition group threshold": str(config.composition_threshold),
+        "Inter-GPU bandwidth": f"{link.bandwidth_gb_per_s:g} GB/s",
+        "Inter-GPU latency": f"{link.latency_cycles} cycles",
+    }
+
+
+def table3_benchmarks(scale: str = "tiny") -> List[Dict[str, object]]:
+    """Benchmark suite statistics (paper Table III), at paper and run scale."""
+    rows = []
+    for name in BENCHMARK_NAMES:
+        spec = TABLE3[name]
+        trace = load_benchmark(name, scale)
+        summary = trace.summary()
+        rows.append({
+            "benchmark": name,
+            "paper_resolution": f"{spec.width} x {spec.height}",
+            "paper_draws": spec.num_draws,
+            "paper_triangles": spec.num_triangles,
+            "run_resolution": summary["resolution"],
+            "run_draws": summary["draws"],
+            "run_triangles": summary["triangles"],
+        })
+    return rows
+
+
+# -------------------------------------------------------------- motivation
+
+def fig2_geometry_share(scale: str = "tiny",
+                        benchmarks: Benchmarks = BENCHMARK_NAMES,
+                        gpu_counts: Sequence[int] = (1, 2, 4, 8),
+                        ) -> Dict[str, Dict[int, float]]:
+    """Fraction of busy cycles spent in geometry processing, conventional
+    SFR (primitive duplication), per GPU count."""
+    shares: Dict[str, Dict[int, float]] = {}
+    for bench in benchmarks:
+        shares[bench] = {}
+        for n in gpu_counts:
+            setup = make_setup(scale, num_gpus=n)
+            result = run_benchmark("duplication", bench, setup)
+            shares[bench][n] = result.stats.stage_fraction(STAGE_GEOMETRY)
+    return shares
+
+
+def fig4_gpupd_overheads(scale: str = "tiny",
+                         benchmarks: Benchmarks = BENCHMARK_NAMES,
+                         gpu_counts: Sequence[int] = (2, 4, 8),
+                         ) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """GPUpd's extra-stage share of busy cycles (projection, distribution)."""
+    overheads: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for bench in benchmarks:
+        overheads[bench] = {}
+        for n in gpu_counts:
+            setup = make_setup(scale, num_gpus=n)
+            result = run_benchmark("gpupd", bench, setup)
+            overheads[bench][n] = {
+                "projection": result.stats.stage_fraction(STAGE_PROJECTION),
+                "distribution": result.stats.stage_fraction(
+                    STAGE_DISTRIBUTION),
+            }
+    return overheads
+
+
+def fig5_ideal_speedup(scale: str = "tiny",
+                       benchmarks: Benchmarks = BENCHMARK_NAMES,
+                       ) -> Dict[str, Dict[str, float]]:
+    """Potential of parallel composition: ideal GPUpd vs ideal CHOPIN."""
+    return _speedup_table(scale, benchmarks,
+                          ("gpupd", "gpupd-ideal", "chopin-ideal"))
+
+
+def fig8_round_robin(scale: str = "tiny",
+                     benchmarks: Benchmarks = BENCHMARK_NAMES,
+                     ) -> Dict[str, Dict[str, float]]:
+    """Round-robin draw scheduling vs GPUpd (load-imbalance strawman)."""
+    return _speedup_table(scale, benchmarks, ("gpupd", "chopin-rr"))
+
+
+def fig9_triangle_rate(scale: str = "tiny", benchmark: str = "cod2",
+                       ) -> List[Dict[str, float]]:
+    """Per-draw triangle rate: geometry stage vs whole pipeline (cod2).
+
+    The correlation between the two series is the justification for using
+    remaining geometry-stage triangles as the scheduler's load estimate.
+    """
+    setup = make_setup(scale, num_gpus=1)
+    trace = load_benchmark(benchmark, scale)
+    prep = reference_pass(trace, setup.config)
+    rows = []
+    for draw, metrics in zip(trace.frame.draws, prep.metrics):
+        triangles = draw.num_triangles
+        if triangles == 0:
+            continue
+        geo = setup.costs.geometry_cycles(triangles, draw.vertex_cost)
+        frag = setup.costs.fragment_cycles(
+            metrics.triangles_rasterized, metrics.fragments_shaded,
+            draw.pixel_cost)
+        rows.append({
+            "draw": draw.draw_id,
+            "triangles": triangles,
+            "geometry_rate": geo / triangles,
+            "pipeline_rate": (geo + frag) / triangles,
+        })
+    return rows
+
+
+def fig9_correlation(scale: str = "tiny", benchmark: str = "cod2") -> float:
+    """Pearson correlation of the two Fig 9 series."""
+    rows = fig9_triangle_rate(scale, benchmark)
+    geo = np.array([r["geometry_rate"] for r in rows])
+    pipe = np.array([r["pipeline_rate"] for r in rows])
+    return float(np.corrcoef(geo, pipe)[0, 1])
+
+
+# ------------------------------------------------------------- main results
+
+def _speedup_table(scale: str, benchmarks: Benchmarks,
+                   schemes: Sequence[str], num_gpus: int = 8,
+                   table2_baseline: bool = False,
+                   **setup_kwargs) -> Dict[str, Dict[str, float]]:
+    """Speedup matrix over primitive duplication.
+
+    With ``table2_baseline`` the baseline runs on the *default* Table II
+    link configuration regardless of ``setup_kwargs`` — the normalization
+    the paper uses for its link-parameter sweeps (Fig 20/21).
+    """
+    setup = make_setup(scale, num_gpus=num_gpus, **setup_kwargs)
+    baseline_setup = make_setup(scale, num_gpus=num_gpus) \
+        if table2_baseline else setup
+    table: Dict[str, Dict[str, float]] = {}
+    for bench in benchmarks:
+        base = run_benchmark("duplication", bench, baseline_setup)
+        table[bench] = {}
+        for scheme in schemes:
+            result = run_benchmark(scheme, bench, setup)
+            table[bench][scheme] = base.frame_cycles / result.frame_cycles
+    table["GMean"] = {
+        scheme: gmean(table[b][scheme] for b in benchmarks)
+        for scheme in schemes
+    }
+    return table
+
+
+def fig13_performance(scale: str = "tiny",
+                      benchmarks: Benchmarks = BENCHMARK_NAMES,
+                      ) -> Dict[str, Dict[str, float]]:
+    """The headline result: all schemes on the 8-GPU Table II system."""
+    return _speedup_table(scale, benchmarks, MAIN_SCHEMES)
+
+
+BREAKDOWN_STAGES = (STAGE_GEOMETRY, STAGE_FRAGMENT, STAGE_PROJECTION,
+                    STAGE_DISTRIBUTION, STAGE_COMPOSITION, STAGE_SYNC)
+BREAKDOWN_SCHEMES = ("duplication", "gpupd", "chopin", "chopin+sched",
+                     "chopin-ideal")
+
+
+def fig14_breakdown(scale: str = "tiny",
+                    benchmarks: Benchmarks = BENCHMARK_NAMES,
+                    ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Busy-cycle breakdown by stage, normalized to duplication's total."""
+    setup = make_setup(scale)
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for bench in benchmarks:
+        base_total = sum(run_benchmark("duplication", bench, setup)
+                         .stats.stage_cycle_totals().values())
+        table[bench] = {}
+        for scheme in BREAKDOWN_SCHEMES:
+            totals = run_benchmark(scheme, bench, setup) \
+                .stats.stage_cycle_totals()
+            table[bench][scheme] = {
+                stage: totals.get(stage, 0.0) / base_total
+                for stage in BREAKDOWN_STAGES
+            }
+    return table
+
+
+def fig15_depth_test(scale: str = "tiny",
+                     benchmarks: Benchmarks = BENCHMARK_NAMES,
+                     ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fragments passing depth/stencil tests, normalized to duplication,
+    split into early-Z and late ("other") passes."""
+    setup = make_setup(scale)
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for bench in benchmarks:
+        dup = run_benchmark("duplication", bench, setup).stats
+        chopin = run_benchmark("chopin+sched", bench, setup).stats
+        base = max(dup.total_fragments_passed, 1)
+        table[bench] = {}
+        for label, stats in (("duplication", dup), ("chopin+sched", chopin)):
+            early = sum(g.fragments_passed_early_z for g in stats.gpus)
+            late = sum(g.fragments_passed_late for g in stats.gpus)
+            table[bench][label] = {"early": early / base,
+                                   "other": late / base,
+                                   "total": (early + late) / base}
+    return table
+
+
+def fig16_culling_sensitivity(scale: str = "tiny", benchmark: str = "ut3",
+                              retained: Sequence[float] = (
+                                  0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30,
+                                  0.35, 0.40),
+                              ) -> List[Dict[str, float]]:
+    """Artificially retain depth-culled fragments and watch CHOPIN's edge
+    erode (paper Fig 16, ut3)."""
+    base_setup = make_setup(scale)
+    dup = run_benchmark("duplication", benchmark, base_setup)
+    rows = []
+    for fraction in retained:
+        setup = make_setup(scale, retained_cull_fraction=fraction)
+        result = run_benchmark("chopin+sched", benchmark, setup)
+        extra = (result.stats.total_fragments_shaded
+                 / max(dup.stats.total_fragments_shaded, 1)) - 1.0
+        rows.append({
+            "retained_fraction": fraction,
+            "speedup": dup.frame_cycles / result.frame_cycles,
+            "extra_fragments": extra,
+        })
+    return rows
+
+
+def fig17_traffic(scale: str = "tiny",
+                  benchmarks: Benchmarks = BENCHMARK_NAMES,
+                  ) -> Dict[str, float]:
+    """Composition traffic in MB, rescaled to paper-equivalent pixels."""
+    setup = make_setup(scale)
+    pixel_scale = scale_for(scale).resolution_divisor ** 2
+    traffic = {}
+    for bench in benchmarks:
+        result = run_benchmark("chopin+sched", bench, setup)
+        traffic[bench] = (result.stats.traffic_total(TRAFFIC_COMPOSITION)
+                          * pixel_scale / 1e6)
+    traffic["Avg"] = float(np.mean([traffic[b] for b in benchmarks]))
+    return traffic
+
+
+# ---------------------------------------------------------- sensitivity
+
+def fig18_update_interval(scale: str = "tiny",
+                          benchmarks: Benchmarks = BENCHMARK_NAMES,
+                          intervals: Sequence[int] = (1, 256, 512, 1024),
+                          schemes: Sequence[str] = (
+                              "chopin", "chopin+sched", "chopin-ideal"),
+                          ) -> Dict[int, Dict[str, float]]:
+    """Draw-scheduler statistics update frequency sweep (paper-scale
+    triangle units)."""
+    table: Dict[int, Dict[str, float]] = {}
+    for interval in intervals:
+        speeds = _speedup_table(scale, benchmarks, schemes,
+                                scheduler_update_interval=interval)
+        table[interval] = speeds["GMean"]
+    return table
+
+
+def fig19_gpu_scaling(scale: str = "tiny",
+                      benchmarks: Benchmarks = BENCHMARK_NAMES,
+                      gpu_counts: Sequence[int] = (2, 4, 8, 16),
+                      schemes: Sequence[str] = MAIN_SCHEMES,
+                      ) -> Dict[int, Dict[str, float]]:
+    """Speedup vs duplication at the same GPU count, per GPU count."""
+    table: Dict[int, Dict[str, float]] = {}
+    for n in gpu_counts:
+        speeds = _speedup_table(scale, benchmarks, schemes, num_gpus=n)
+        table[n] = speeds["GMean"]
+    return table
+
+
+def fig20_bandwidth(scale: str = "tiny",
+                    benchmarks: Benchmarks = BENCHMARK_NAMES,
+                    bandwidths: Sequence[float] = (16.0, 32.0, 64.0, 128.0),
+                    schemes: Sequence[str] = MAIN_SCHEMES,
+                    ) -> Dict[float, Dict[str, float]]:
+    """Inter-GPU link bandwidth sweep (GB/s)."""
+    table: Dict[float, Dict[str, float]] = {}
+    for bandwidth in bandwidths:
+        speeds = _speedup_table(scale, benchmarks, schemes,
+                                table2_baseline=True,
+                                bandwidth_gb_per_s=bandwidth)
+        table[bandwidth] = speeds["GMean"]
+    return table
+
+
+def fig21_latency(scale: str = "tiny",
+                  benchmarks: Benchmarks = BENCHMARK_NAMES,
+                  latencies: Sequence[int] = (100, 200, 300, 400),
+                  schemes: Sequence[str] = MAIN_SCHEMES,
+                  ) -> Dict[int, Dict[str, float]]:
+    """Inter-GPU link latency sweep (cycles)."""
+    table: Dict[int, Dict[str, float]] = {}
+    for latency in latencies:
+        speeds = _speedup_table(scale, benchmarks, schemes,
+                                table2_baseline=True,
+                                latency_cycles=latency)
+        table[latency] = speeds["GMean"]
+    return table
+
+
+def fig22_threshold(scale: str = "tiny",
+                    benchmarks: Benchmarks = BENCHMARK_NAMES,
+                    thresholds: Sequence[int] = (256, 1024, 4096, 16384),
+                    schemes: Sequence[str] = (
+                        "chopin", "chopin+sched", "chopin-ideal"),
+                    ) -> Dict[int, Dict[str, float]]:
+    """Composition-group size threshold sweep (paper-scale triangles)."""
+    table: Dict[int, Dict[str, float]] = {}
+    for threshold in thresholds:
+        speeds = _speedup_table(scale, benchmarks, schemes,
+                                composition_threshold=threshold)
+        table[threshold] = speeds["GMean"]
+    return table
+
+
+def fig22_coverage(scale: str = "tiny",
+                   benchmarks: Benchmarks = BENCHMARK_NAMES,
+                   thresholds: Sequence[int] = (4096, 16384),
+                   ) -> Dict[int, Dict[str, float]]:
+    """Accelerated groups / triangle coverage per threshold (§VI-E's
+    '6.5 groups covering 92.44% of triangles' observation)."""
+    divisor = scale_for(scale).triangle_divisor
+    table: Dict[int, Dict[str, float]] = {}
+    for threshold in thresholds:
+        groups, coverage = [], []
+        for bench in benchmarks:
+            trace = load_benchmark(bench, scale)
+            setup = make_setup(scale, composition_threshold=threshold)
+            plans = plan_frame(split_into_groups(trace.frame), setup.config)
+            summary = summarize_plan(plans)
+            groups.append(summary.accelerated_groups)
+            coverage.append(summary.triangle_coverage)
+        table[threshold] = {
+            "accelerated_groups": float(np.mean(groups)),
+            "triangle_coverage": float(np.mean(coverage)),
+        }
+    return table
+
+
+# -------------------------------------------------------- hardware & trends
+
+def sec6d_scheduler_traffic(num_gpus: int = 8) -> Dict[str, object]:
+    """Scheduler bandwidth estimates (paper §VI-D)."""
+    return {
+        "draw_sched_traffic_1M_tris_interval_1024":
+            draw_scheduler_traffic_bytes(1_000_000, 1024),
+        "draw_sched_traffic_1B_tris_interval_1024":
+            draw_scheduler_traffic_bytes(1_000_000_000, 1024),
+        "composition_sched_traffic_bytes":
+            composition_scheduler_traffic_bytes(num_gpus),
+    }
+
+
+def sec6f_hardware_cost(num_gpus: int = 8) -> Dict[str, int]:
+    """Scheduler table storage (paper §VI-F: 128 B + 27 B at 8 GPUs)."""
+    return {
+        "draw_scheduler_bytes": draw_scheduler_size_bytes(num_gpus),
+        "composition_scheduler_bytes":
+            composition_scheduler_size_bytes(num_gpus),
+    }
+
+
+def sec6g_workload_trend(scale: str = "tiny", benchmark: str = "cry",
+                         detail_factors: Sequence[float] = (1.0, 2.0, 4.0),
+                         ) -> List[Dict[str, float]]:
+    """Primitive vs fragment processing time as geometric detail grows.
+
+    The paper's §VI-G argument: triangle counts grow much faster than
+    resolutions (Crysis Remastered: primitive time already exceeds fragment
+    time), which favours sort-last schemes. We scale a trace's triangle
+    count by ``detail_factors`` at fixed resolution and report both times.
+    """
+    setup = make_setup(scale, num_gpus=1)
+    trace = load_benchmark(benchmark, scale)
+    prep = reference_pass(trace, setup.config)
+    base_geo = 0.0
+    base_frag = 0.0
+    for draw, metrics in zip(trace.frame.draws, prep.metrics):
+        base_geo += setup.costs.geometry_cycles(draw.num_triangles,
+                                                draw.vertex_cost)
+        base_frag += setup.costs.fragment_cycles(
+            metrics.triangles_rasterized, metrics.fragments_shaded,
+            draw.pixel_cost)
+    rows = []
+    for factor in detail_factors:
+        # More, proportionally smaller triangles: geometry scales with the
+        # factor; fragment work stays pinned to the resolution.
+        rows.append({
+            "detail_factor": factor,
+            "primitive_cycles": base_geo * factor,
+            "fragment_cycles": base_frag,
+            "primitive_share": (base_geo * factor)
+            / (base_geo * factor + base_frag),
+        })
+    return rows

@@ -1,0 +1,83 @@
+"""Result export: serialize scheme runs to JSON or CSV.
+
+For downstream analysis (plotting, spreadsheets) the harness can dump its
+measurements in machine-readable form:
+
+    rows = collect_rows(benchmarks, schemes, setup)
+    write_csv(rows, "results.csv")
+    write_json(rows, "results.json")
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, Iterable, List, Union
+
+from ..sfr.base import SchemeResult
+from ..stats import ALL_STAGES
+from .runner import Setup, run_benchmark
+
+PathLike = Union[str, pathlib.Path]
+
+#: the flat columns a result row carries
+COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "frame_cycles",
+           "speedup_vs_duplication", "triangles", "fragments_shaded",
+           "fragments_passed", "traffic_bytes") + tuple(
+               f"cycles_{stage}" for stage in ALL_STAGES)
+
+
+def result_row(result: SchemeResult, setup: Setup,
+               baseline_cycles: float) -> Dict[str, object]:
+    """Flatten one run into an export row."""
+    totals = result.stats.stage_cycle_totals()
+    row: Dict[str, object] = {
+        "benchmark": result.trace_name,
+        "scheme": result.scheme,
+        "num_gpus": result.num_gpus,
+        "scale": setup.scale,
+        "frame_cycles": result.frame_cycles,
+        "speedup_vs_duplication": baseline_cycles / result.frame_cycles,
+        "triangles": result.stats.total_triangles,
+        "fragments_shaded": result.stats.total_fragments_shaded,
+        "fragments_passed": result.stats.total_fragments_passed,
+        "traffic_bytes": result.stats.traffic_total(),
+    }
+    for stage in ALL_STAGES:
+        row[f"cycles_{stage}"] = totals.get(stage, 0.0)
+    return row
+
+
+def collect_rows(benchmarks: Iterable[str], schemes: Iterable[str],
+                 setup: Setup) -> List[Dict[str, object]]:
+    """Run (benchmark x scheme) and flatten everything into rows."""
+    rows: List[Dict[str, object]] = []
+    for bench in benchmarks:
+        baseline = run_benchmark("duplication", bench, setup)
+        rows.append(result_row(baseline, setup, baseline.frame_cycles))
+        for scheme in schemes:
+            if scheme == "duplication":
+                continue
+            result = run_benchmark(scheme, bench, setup)
+            rows.append(result_row(result, setup, baseline.frame_cycles))
+    return rows
+
+
+def write_csv(rows: List[Dict[str, object]], path: PathLike) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=COLUMNS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def write_json(rows: List[Dict[str, object]], path: PathLike) -> None:
+    with open(path, "w") as handle:
+        json.dump(rows, handle, indent=2)
+
+
+def read_rows(path: PathLike) -> List[Dict[str, object]]:
+    """Load rows back from a JSON export."""
+    with open(path) as handle:
+        return json.load(handle)

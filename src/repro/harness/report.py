@@ -1,0 +1,148 @@
+"""ASCII rendering of experiment results — the rows the paper's figures plot.
+
+Each ``render_*`` function takes the matching experiment's return value and
+produces a fixed-width table string; ``print`` it or write it to a report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+def _format_cell(value, width: int = 8) -> str:
+    if isinstance(value, float):
+        return f"{value:{width}.3f}"
+    return f"{value!s:>{width}}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Generic fixed-width table."""
+    widths = [max(len(str(h)), 8) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_format_cell(cell).strip()))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(f"{h:>{w}}" for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(
+            _format_cell(cell, w).rjust(w)
+            for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_keyed_matrix(data: Mapping, row_label: str, title: str = "",
+                        percent: bool = False) -> str:
+    """Render {row: {col: value}} as a table (e.g., speedup matrices)."""
+    rows_keys = list(data)
+    col_keys: List[str] = []
+    for row in rows_keys:
+        for col in data[row]:
+            if col not in col_keys:
+                col_keys.append(col)
+    rows = []
+    for row in rows_keys:
+        cells: List[object] = [row]
+        for col in col_keys:
+            value = data[row].get(col, "")
+            if percent and isinstance(value, float):
+                value = f"{100 * value:.1f}%"
+            cells.append(value)
+        rows.append(cells)
+    return render_table([row_label] + [str(c) for c in col_keys], rows, title)
+
+
+def render_fig2(shares: Mapping, title: str = "Fig 2: geometry share of "
+                "busy cycles (conventional SFR)") -> str:
+    data = {bench: {f"{n} GPU{'s' if n > 1 else ''}": frac
+                    for n, frac in per_n.items()}
+            for bench, per_n in shares.items()}
+    return render_keyed_matrix(data, "bench", title, percent=True)
+
+
+def render_fig4(overheads: Mapping, title: str = "Fig 4: GPUpd overhead "
+                "share (projection / distribution)") -> str:
+    data = {}
+    for bench, per_n in overheads.items():
+        data[bench] = {}
+        for n, parts in per_n.items():
+            data[bench][f"proj@{n}"] = f"{100 * parts['projection']:.1f}%"
+            data[bench][f"dist@{n}"] = f"{100 * parts['distribution']:.1f}%"
+    return render_keyed_matrix(data, "bench", title)
+
+
+def render_speedups(table: Mapping, title: str) -> str:
+    return render_keyed_matrix(table, "bench", title)
+
+
+def render_fig9(rows: Sequence[Mapping], title: str = "Fig 9: triangle rate "
+                "(cycles/tri), geometry vs whole pipeline",
+                max_rows: int = 20) -> str:
+    shown = rows[:max_rows]
+    body = [[r["draw"], r["triangles"], r["geometry_rate"],
+             r["pipeline_rate"]] for r in shown]
+    table = render_table(["draw", "tris", "geo rate", "pipe rate"], body,
+                         title)
+    if len(rows) > max_rows:
+        table += f"\n... ({len(rows) - max_rows} more draws)"
+    return table
+
+
+def render_fig14(table: Mapping, title: str = "Fig 14: cycle breakdown "
+                 "(normalized to duplication)") -> str:
+    lines = [title]
+    for bench, per_scheme in table.items():
+        lines.append(f"\n[{bench}]")
+        data = {scheme: {stage: f"{share:.3f}"
+                         for stage, share in stages.items() if share > 0}
+                for scheme, stages in per_scheme.items()}
+        lines.append(render_keyed_matrix(data, "scheme"))
+    return "\n".join(lines)
+
+
+def render_fig15(table: Mapping, title: str = "Fig 15: fragments passing "
+                 "depth/stencil (normalized to duplication)") -> str:
+    data = {}
+    for bench, per_scheme in table.items():
+        data[bench] = {}
+        for scheme, parts in per_scheme.items():
+            tag = "dup" if scheme == "duplication" else "chopin+"
+            data[bench][f"{tag} early"] = parts["early"]
+            data[bench][f"{tag} total"] = parts["total"]
+    return render_keyed_matrix(data, "bench", title)
+
+
+def render_fig16(rows: Sequence[Mapping], title: str = "Fig 16: sensitivity "
+                 "to retained depth-culled fragments (ut3)") -> str:
+    body = [[f"{r['retained_fraction']:.0%}", r["speedup"],
+             f"{r['extra_fragments']:.1%}"] for r in rows]
+    return render_table(["retained", "speedup", "extra frags"], body, title)
+
+
+def render_fig17(traffic: Mapping, title: str = "Fig 17: composition "
+                 "traffic (MB, paper-equivalent)") -> str:
+    body = [[bench, mb] for bench, mb in traffic.items()]
+    return render_table(["bench", "MB"], body, title)
+
+
+def render_sweep(table: Mapping, axis_label: str, title: str) -> str:
+    return render_keyed_matrix(table, axis_label, title)
+
+
+def render_dict(data: Mapping, title: str = "") -> str:
+    body = [[key, value] for key, value in data.items()]
+    return render_table(["key", "value"], body, title)
+
+
+def render_table3(rows: Sequence[Mapping], title: str = "Table III: "
+                  "benchmarks (paper-scale vs generated)") -> str:
+    body = [[r["benchmark"], r["paper_resolution"], r["paper_draws"],
+             r["paper_triangles"], r["run_resolution"], r["run_draws"],
+             r["run_triangles"]] for r in rows]
+    return render_table(
+        ["bench", "paper res", "draws", "tris", "run res", "run draws",
+         "run tris"], body, title)

@@ -1,0 +1,183 @@
+"""Experiment runner: scheme registry, scaled configs, and result caching.
+
+Everything the benchmark harness and the examples need to launch a run:
+
+- :data:`SCHEMES` — name -> scheme class, covering every bar in the paper's
+  figures (duplication baseline, GPUpd and its ideal, CHOPIN with/without
+  the composition scheduler, IdealCHOPIN, and the round-robin strawman);
+- :func:`make_setup` — a Table II :class:`~repro.config.SystemConfig` plus
+  cost model, consistently re-scaled for a chosen trace scale;
+- :func:`run` — cached execution of (scheme, benchmark, setup), so the many
+  figures that share runs (Fig 13/14/15/17...) pay for each simulation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional, Type
+
+from ..config import SystemConfig
+from ..errors import ConfigError
+from ..sfr import (Chopin, ChopinOracle, ChopinRoundRobin, ChopinSampled,
+                   ChopinWithScheduler, GPUpd,
+                   IdealChopin, IdealGPUpd, PrimitiveDuplication, SchemeResult,
+                   SFRScheme, SortMiddle)
+from ..timing.costs import CostModel
+from ..traces import load_benchmark, scale_for
+from ..traces.trace import Trace
+
+SCHEMES: Dict[str, Type[SFRScheme]] = {
+    "duplication": PrimitiveDuplication,
+    "gpupd": GPUpd,
+    "gpupd-ideal": IdealGPUpd,
+    "chopin": Chopin,
+    "chopin+sched": ChopinWithScheduler,
+    "chopin-ideal": IdealChopin,
+    "chopin-rr": ChopinRoundRobin,
+    "chopin-oracle": ChopinOracle,
+    "chopin-sampled": ChopinSampled,
+    "sort-middle": SortMiddle,
+}
+
+#: the Fig 13 bar order
+MAIN_SCHEMES = ("gpupd", "gpupd-ideal", "chopin", "chopin+sched",
+                "chopin-ideal")
+
+#: GPUpd's distribution batch size at paper scale (primitives per batch)
+GPUPD_BATCH_PRIMITIVES = 2048
+
+
+@dataclass(frozen=True)
+class Setup:
+    """A fully resolved experiment environment."""
+
+    scale: str
+    config: SystemConfig
+    costs: CostModel
+
+    def replace_config(self, **kwargs) -> "Setup":
+        return Setup(scale=self.scale, config=replace(self.config, **kwargs),
+                     costs=self.costs)
+
+    @property
+    def gpupd_batch(self) -> int:
+        divisor = scale_for(self.scale).triangle_divisor
+        return max(1, GPUPD_BATCH_PRIMITIVES // divisor)
+
+
+def make_setup(scale: str = "tiny", num_gpus: int = 8,
+               bandwidth_gb_per_s: Optional[float] = None,
+               latency_cycles: Optional[int] = None,
+               composition_threshold: Optional[int] = None,
+               scheduler_update_interval: Optional[int] = None,
+               retained_cull_fraction: float = 0.0,
+               topology: Optional[str] = None,
+               msaa_samples: int = 1,
+               model_memory: bool = False,
+               dram_gb_per_s: Optional[float] = None) -> Setup:
+    """Build a Table II setup re-scaled for ``scale``.
+
+    ``composition_threshold`` and ``scheduler_update_interval`` are given in
+    *paper-scale primitives* and divided by the scale's triangle divisor, so
+    sweeps like Fig 18/22 use the paper's axis values directly.
+    """
+    trace_scale = scale_for(scale)
+    divisor = trace_scale.triangle_divisor
+    gpu_kwargs = {}
+    if dram_gb_per_s is not None:
+        # per-GPU share of the system DRAM bandwidth (Table II: 2 TB/s / 8)
+        gpu_kwargs["dram_bandwidth_bytes_per_s"] = int(
+            dram_gb_per_s * 1e9 / num_gpus)
+    threshold = composition_threshold if composition_threshold is not None \
+        else 4096
+    interval = scheduler_update_interval if scheduler_update_interval \
+        is not None else 1
+    from ..config import GPUConfig
+    config = SystemConfig(
+        num_gpus=num_gpus,
+        gpu=GPUConfig(**gpu_kwargs),
+        tile_size=trace_scale.tile_size(),
+        composition_threshold=max(1, threshold // divisor),
+        scheduler_update_interval=max(1, interval // divisor or 1),
+        primitive_id_bytes=trace_scale.primitive_id_bytes(),
+        retained_cull_fraction=retained_cull_fraction,
+        msaa_samples=msaa_samples,
+    )
+    if bandwidth_gb_per_s is not None or latency_cycles is not None:
+        config = config.with_link(bandwidth_gb_per_s=bandwidth_gb_per_s,
+                                  latency_cycles=latency_cycles)
+    if topology is not None:
+        from dataclasses import replace as dc_replace
+        config = dc_replace(config,
+                            link=dc_replace(config.link, topology=topology))
+    costs = CostModel(gpu=config.gpu,
+                      draw_issue_cost=trace_scale.draw_issue_cost(),
+                      model_memory=model_memory)
+    return Setup(scale=scale, config=config, costs=costs)
+
+
+def build_scheme(name: str, setup: Setup) -> SFRScheme:
+    """Instantiate a registered scheme for the given setup."""
+    try:
+        cls = SCHEMES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}")
+    if name.startswith("gpupd"):
+        return cls(setup.config, setup.costs,
+                   batch_primitives=setup.gpupd_batch)
+    if name == "sort-middle":
+        # attribute payloads scale like primitive IDs (see TraceScale)
+        factor = scale_for(setup.scale).cost_multiplier
+        from ..sfr.sort_middle import ATTRIBUTE_BYTES_PER_TRIANGLE
+        return cls(setup.config, setup.costs,
+                   attribute_bytes=max(1, round(
+                       ATTRIBUTE_BYTES_PER_TRIANGLE * factor)),
+                   batch_primitives=setup.gpupd_batch)
+    return cls(setup.config, setup.costs)
+
+
+_RESULT_CACHE: Dict[tuple, SchemeResult] = {}
+
+
+def _cache_key(scheme: str, trace: Trace, setup: Setup) -> tuple:
+    cfg = setup.config
+    return (scheme, id(trace), setup.scale, cfg.num_gpus, cfg.tile_size,
+            cfg.composition_threshold, cfg.scheduler_update_interval,
+            cfg.retained_cull_fraction, cfg.link.bandwidth_gb_per_s,
+            cfg.link.latency_cycles, cfg.link.ideal, cfg.link.topology,
+            cfg.msaa_samples, setup.costs.model_memory,
+            cfg.gpu.dram_bandwidth_bytes_per_s)
+
+
+def run(scheme: str, trace: Trace, setup: Setup,
+        use_cache: bool = True) -> SchemeResult:
+    """Run one scheme on one trace (cached)."""
+    key = _cache_key(scheme, trace, setup)
+    if use_cache and key in _RESULT_CACHE:
+        return _RESULT_CACHE[key]
+    result = build_scheme(scheme, setup).run(trace)
+    if use_cache:
+        _RESULT_CACHE[key] = result
+    return result
+
+
+def run_benchmark(scheme: str, benchmark: str, setup: Setup) -> SchemeResult:
+    """Run one scheme on a named Table III benchmark."""
+    return run(scheme, load_benchmark(benchmark, setup.scale), setup)
+
+
+def compare(benchmark: str, setup: Setup,
+            schemes: Iterable[str] = MAIN_SCHEMES,
+            baseline: str = "duplication") -> Dict[str, float]:
+    """Speedups of ``schemes`` over ``baseline`` on one benchmark."""
+    base = run_benchmark(baseline, benchmark, setup)
+    speedups = {baseline: 1.0}
+    for scheme in schemes:
+        result = run_benchmark(scheme, benchmark, setup)
+        speedups[scheme] = base.frame_cycles / result.frame_cycles
+    return speedups
+
+
+def clear_result_cache() -> None:
+    _RESULT_CACHE.clear()

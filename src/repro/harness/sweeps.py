@@ -1,0 +1,85 @@
+"""Generic parameter-sweep utility over the experiment setup space.
+
+The per-figure drivers in :mod:`repro.harness.experiments` hard-code the
+paper's axes; this module exposes the same machinery for ad-hoc
+exploration:
+
+    from repro.harness.sweeps import sweep
+
+    table = sweep("bandwidth_gb_per_s", [8, 16, 32, 64, 128],
+                  schemes=("chopin+sched",), benchmarks=("cod2", "wolf"))
+
+Any keyword accepted by :func:`repro.harness.make_setup` can be the swept
+``parameter`` (``num_gpus``, ``latency_cycles``, ``composition_threshold``,
+``scheduler_update_interval``, ``msaa_samples``, ``topology``,
+``retained_cull_fraction``, ``dram_gb_per_s``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from ..errors import ConfigError
+from ..stats import gmean
+from .runner import make_setup, run_benchmark
+
+#: parameters the sweep accepts (make_setup keywords)
+SWEEPABLE = ("num_gpus", "bandwidth_gb_per_s", "latency_cycles",
+             "composition_threshold", "scheduler_update_interval",
+             "retained_cull_fraction", "topology", "msaa_samples",
+             "model_memory", "dram_gb_per_s")
+
+
+def sweep(parameter: str, values: Iterable,
+          schemes: Sequence[str] = ("chopin+sched",),
+          benchmarks: Sequence[str] = ("cod2",),
+          scale: str = "tiny",
+          baseline: str = "duplication",
+          baseline_follows_sweep: bool = True,
+          **fixed) -> Dict:
+    """Speedup of ``schemes`` over ``baseline`` at each parameter value.
+
+    Returns ``{value: {scheme: gmean_speedup}}``. With
+    ``baseline_follows_sweep`` the baseline re-runs at each swept value
+    (Fig 19-style normalization); otherwise it is pinned to the default
+    configuration (Fig 20/21-style).
+    """
+    if parameter not in SWEEPABLE:
+        raise ConfigError(
+            f"cannot sweep {parameter!r}; choose from {SWEEPABLE}")
+    if parameter in fixed:
+        raise ConfigError(f"{parameter!r} is both swept and fixed")
+
+    pinned_setup = make_setup(scale, **fixed)
+    table: Dict = {}
+    for value in values:
+        setup = make_setup(scale, **{parameter: value}, **fixed)
+        baseline_setup = setup if baseline_follows_sweep else pinned_setup
+        per_scheme: Dict[str, float] = {}
+        for scheme in schemes:
+            speedups = []
+            for bench in benchmarks:
+                base = run_benchmark(baseline, bench, baseline_setup)
+                result = run_benchmark(scheme, bench, setup)
+                speedups.append(base.frame_cycles / result.frame_cycles)
+            per_scheme[scheme] = gmean(speedups)
+        table[value] = per_scheme
+    return table
+
+
+def crossover(parameter: str, values: Sequence, scheme_a: str,
+              scheme_b: str, benchmarks: Sequence[str] = ("cod2",),
+              scale: str = "tiny", **fixed):
+    """First swept value at which ``scheme_a`` overtakes ``scheme_b``.
+
+    Returns ``(value, margin)`` or ``None`` if no crossover occurs in the
+    given range — the "where does the verdict flip" question most of the
+    paper's sensitivity studies are implicitly asking.
+    """
+    table = sweep(parameter, values, schemes=(scheme_a, scheme_b),
+                  benchmarks=benchmarks, scale=scale, **fixed)
+    for value in values:
+        margin = table[value][scheme_a] - table[value][scheme_b]
+        if margin > 0:
+            return value, margin
+    return None

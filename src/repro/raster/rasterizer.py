@@ -1,0 +1,130 @@
+"""Triangle rasterization: screen-space triangles -> fragments.
+
+A vectorized barycentric rasterizer with the conventional top-left fill rule,
+so shared edges between triangles are covered exactly once (this matters for
+transparent draws, where double-hitting an edge pixel would blend it twice).
+
+Fragments for one triangle come back as parallel arrays (x, y, depth, rgba);
+the functional pipeline applies depth testing, shading, and blending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FragmentBatch:
+    """Fragments produced by rasterizing one triangle."""
+
+    xs: np.ndarray      # (N,) int32 pixel x
+    ys: np.ndarray      # (N,) int32 pixel y
+    depths: np.ndarray  # (N,) float32
+    colors: np.ndarray  # (N, 4) float32 RGBA
+
+    @property
+    def count(self) -> int:
+        return int(self.xs.shape[0])
+
+    def select(self, mask: np.ndarray) -> "FragmentBatch":
+        return FragmentBatch(self.xs[mask], self.ys[mask],
+                             self.depths[mask], self.colors[mask])
+
+
+_EMPTY = FragmentBatch(
+    xs=np.empty(0, dtype=np.int32),
+    ys=np.empty(0, dtype=np.int32),
+    depths=np.empty(0, dtype=np.float32),
+    colors=np.empty((0, 4), dtype=np.float32),
+)
+
+
+def _edge(ax, ay, bx, by, px, py):
+    """Signed edge function: >0 when (px,py) is left of a->b (y-down CCW)."""
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def rasterize_triangle(xy: np.ndarray, depth: np.ndarray, colors: np.ndarray,
+                       width: int, height: int) -> FragmentBatch:
+    """Rasterize one screen-space triangle.
+
+    ``xy`` is (3, 2) pixel coordinates, ``depth`` (3,), ``colors`` (3, 4).
+    Attributes are interpolated linearly in screen space. Returns the covered
+    fragments clipped to the screen.
+    """
+    v0, v1, v2 = xy[0], xy[1], xy[2]
+    area = _edge(v0[0], v0[1], v1[0], v1[1], v2[0], v2[1])
+    if area == 0.0:
+        return _EMPTY
+    if area < 0.0:
+        # Normalize winding so the inside test is uniform.
+        v1, v2 = v2, v1
+        depth = depth[[0, 2, 1]]
+        colors = colors[[0, 2, 1]]
+        area = -area
+
+    x_min = max(int(np.floor(min(v0[0], v1[0], v2[0]))), 0)
+    x_max = min(int(np.ceil(max(v0[0], v1[0], v2[0]))), width)
+    y_min = max(int(np.floor(min(v0[1], v1[1], v2[1]))), 0)
+    y_max = min(int(np.ceil(max(v0[1], v1[1], v2[1]))), height)
+    if x_min >= x_max or y_min >= y_max:
+        return _EMPTY
+
+    px = np.arange(x_min, x_max, dtype=np.float32) + 0.5
+    py = np.arange(y_min, y_max, dtype=np.float32) + 0.5
+    grid_x, grid_y = np.meshgrid(px, py)
+
+    w0 = _edge(v1[0], v1[1], v2[0], v2[1], grid_x, grid_y)
+    w1 = _edge(v2[0], v2[1], v0[0], v0[1], grid_x, grid_y)
+    w2 = _edge(v0[0], v0[1], v1[0], v1[1], grid_x, grid_y)
+
+    # Top-left rule: edges that are "top" or "left" include w == 0 pixels.
+    inside = ((w0 > 0) | ((w0 == 0) & _top_left(v1, v2))) \
+        & ((w1 > 0) | ((w1 == 0) & _top_left(v2, v0))) \
+        & ((w2 > 0) | ((w2 == 0) & _top_left(v0, v1)))
+    if not inside.any():
+        return _EMPTY
+
+    b0 = w0[inside] / area
+    b1 = w1[inside] / area
+    b2 = w2[inside] / area
+
+    ys_idx, xs_idx = np.nonzero(inside)
+    xs = (xs_idx + x_min).astype(np.int32)
+    ys = (ys_idx + y_min).astype(np.int32)
+    frag_depth = (b0 * depth[0] + b1 * depth[1] + b2 * depth[2]) \
+        .astype(np.float32)
+    frag_color = (b0[:, None] * colors[0][None, :]
+                  + b1[:, None] * colors[1][None, :]
+                  + b2[:, None] * colors[2][None, :]).astype(np.float32)
+    return FragmentBatch(xs, ys, frag_depth, frag_color)
+
+
+def _top_left(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether edge a->b is a top or left edge (y grows downward)."""
+    # Left edge: goes down. Top edge: horizontal and goes right.
+    return bool(b[1] > a[1] or (b[1] == a[1] and b[0] < a[0]))
+
+
+def estimate_coverage(xy: np.ndarray, width: int, height: int) -> float:
+    """Cheap area-based fragment-count estimate for one triangle.
+
+    Used by timing-only paths that do not need exact per-pixel coverage
+    (e.g., GPUpd's projection phase cost model).
+    """
+    v0, v1, v2 = xy[0], xy[1], xy[2]
+    area = abs(_edge(v0[0], v0[1], v1[0], v1[1], v2[0], v2[1])) * 0.5
+    # Clamp to the screen bounding box overlap fraction.
+    bbox = (max(min(v0[0], v1[0], v2[0]), 0), max(min(v0[1], v1[1], v2[1]), 0),
+            min(max(v0[0], v1[0], v2[0]), width),
+            min(max(v0[1], v1[1], v2[1]), height))
+    if bbox[0] >= bbox[2] or bbox[1] >= bbox[3]:
+        return 0.0
+    full = ((max(v0[0], v1[0], v2[0]) - min(v0[0], v1[0], v2[0]))
+            * (max(v0[1], v1[1], v2[1]) - min(v0[1], v1[1], v2[1])))
+    if full == 0.0:
+        return 0.0
+    overlap = (bbox[2] - bbox[0]) * (bbox[3] - bbox[1])
+    return float(area * overlap / full)

@@ -1,0 +1,115 @@
+"""Screen tiling and tile-to-GPU assignment (the SFR screen split).
+
+The paper's SFR implementation "splits each frame by interleaving 64x64 pixel
+tiles to different GPUs" (section V). :class:`TileGrid` owns that mapping and
+the derived per-GPU pixel masks used both functionally (which fragments a GPU
+keeps) and for traffic accounting (which sub-image regions must travel to
+which GPU during composition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class TileGrid:
+    """A width x height screen partitioned into square tiles.
+
+    GPU ownership interleaves tiles in raster order:
+    ``owner(tx, ty) = (ty * tiles_x + tx) mod num_gpus``, which is the
+    checkerboard distribution SLI-style SFR uses to balance fragment load.
+    """
+
+    def __init__(self, width: int, height: int, tile_size: int = 64) -> None:
+        if width <= 0 or height <= 0 or tile_size <= 0:
+            raise ConfigError("tile grid dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.tile_size = tile_size
+        self.tiles_x = (width + tile_size - 1) // tile_size
+        self.tiles_y = (height + tile_size - 1) // tile_size
+
+    @property
+    def num_tiles(self) -> int:
+        return self.tiles_x * self.tiles_y
+
+    def tile_of_pixel(self, x: int, y: int) -> Tuple[int, int]:
+        return x // self.tile_size, y // self.tile_size
+
+    def tile_index(self, tx: int, ty: int) -> int:
+        return ty * self.tiles_x + tx
+
+    def owner_of_tile(self, tx: int, ty: int, num_gpus: int) -> int:
+        return self.tile_index(tx, ty) % num_gpus
+
+    def owner_map(self, num_gpus: int) -> np.ndarray:
+        """(H, W) int array: owning GPU of every pixel."""
+        if num_gpus <= 0:
+            raise ConfigError("num_gpus must be positive")
+        tile_owners = (np.arange(self.num_tiles, dtype=np.int32)
+                       .reshape(self.tiles_y, self.tiles_x) % num_gpus)
+        expanded = np.repeat(np.repeat(tile_owners, self.tile_size, axis=0),
+                             self.tile_size, axis=1)
+        return expanded[:self.height, :self.width]
+
+    def gpu_pixel_mask(self, gpu: int, num_gpus: int) -> np.ndarray:
+        """(H, W) boolean mask of the pixels owned by ``gpu``."""
+        return self.owner_map(num_gpus) == gpu
+
+    def pixels_per_gpu(self, num_gpus: int) -> List[int]:
+        owner = self.owner_map(num_gpus)
+        return [int((owner == g).sum()) for g in range(num_gpus)]
+
+    def tile_bounds(self, tx: int, ty: int) -> Tuple[int, int, int, int]:
+        """Pixel bounds (x0, y0, x1, y1), half-open, clamped to the screen."""
+        x0 = tx * self.tile_size
+        y0 = ty * self.tile_size
+        return (x0, y0,
+                min(x0 + self.tile_size, self.width),
+                min(y0 + self.tile_size, self.height))
+
+    def tiles_of_gpu(self, gpu: int, num_gpus: int) -> List[Tuple[int, int]]:
+        tiles = []
+        for ty in range(self.tiles_y):
+            for tx in range(self.tiles_x):
+                if self.owner_of_tile(tx, ty, num_gpus) == gpu:
+                    tiles.append((tx, ty))
+        return tiles
+
+    def touched_tiles(self, touched_pixels: np.ndarray) -> np.ndarray:
+        """(tiles_y, tiles_x) bool: tiles containing any touched pixel.
+
+        The paper filters out "screen tiles that are not rendered by any draw
+        commands" from composition traffic (section VI-C); this computes that
+        filter from a touched-pixel mask.
+        """
+        if touched_pixels.shape != (self.height, self.width):
+            raise ConfigError("touched mask must match the screen")
+        pad_y = self.tiles_y * self.tile_size - self.height
+        pad_x = self.tiles_x * self.tile_size - self.width
+        padded = np.pad(touched_pixels, ((0, pad_y), (0, pad_x)))
+        blocks = padded.reshape(self.tiles_y, self.tile_size,
+                                self.tiles_x, self.tile_size)
+        return blocks.any(axis=(1, 3))
+
+    def region_sizes_to_gpus(self, touched_pixels: np.ndarray,
+                             num_gpus: int) -> Dict[int, int]:
+        """Pixels of a sub-image destined for each GPU, tile-filtered.
+
+        Whole touched tiles are counted (transfers happen at tile
+        granularity), assigned to the tile's owner.
+        """
+        touched = self.touched_tiles(touched_pixels)
+        sizes: Dict[int, int] = {g: 0 for g in range(num_gpus)}
+        for ty in range(self.tiles_y):
+            for tx in range(self.tiles_x):
+                if not touched[ty, tx]:
+                    continue
+                x0, y0, x1, y1 = self.tile_bounds(tx, ty)
+                owner = self.owner_of_tile(tx, ty, num_gpus)
+                sizes[owner] += (x1 - x0) * (y1 - y0)
+        return sizes

@@ -1,0 +1,36 @@
+"""Split-frame-rendering schemes: duplication, GPUpd, CHOPIN, AFR."""
+
+from .base import (ReferencePass, SchemeResult, SFRScheme,
+                   build_shader_library, clear_reference_cache,
+                   reference_pass, render_reference_image)
+from .duplication import PrimitiveDuplication
+from .gpupd import GPUpd, IdealGPUpd, clear_projection_cache
+from .chopin import (Chopin, ChopinOracle, ChopinRoundRobin, ChopinSampled,
+                     ChopinWithScheduler, IdealChopin, clear_chopin_cache)
+from .sort_middle import SortMiddle
+from .afr import AFRResult, AlternateFrameRendering, frame_render_cycles
+
+__all__ = [
+    "AFRResult",
+    "AlternateFrameRendering",
+    "Chopin",
+    "ChopinOracle",
+    "ChopinRoundRobin",
+    "ChopinSampled",
+    "ChopinWithScheduler",
+    "GPUpd",
+    "IdealChopin",
+    "IdealGPUpd",
+    "PrimitiveDuplication",
+    "ReferencePass",
+    "SchemeResult",
+    "SFRScheme",
+    "SortMiddle",
+    "build_shader_library",
+    "clear_chopin_cache",
+    "clear_projection_cache",
+    "clear_reference_cache",
+    "frame_render_cycles",
+    "reference_pass",
+    "render_reference_image",
+]

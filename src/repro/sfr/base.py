@@ -1,0 +1,194 @@
+"""Common machinery for split-frame-rendering scheme implementations.
+
+Every scheme follows the same contract: ``scheme.run(trace)`` renders the
+trace's frame on a simulated ``config.num_gpus``-GPU system and returns a
+:class:`SchemeResult` holding
+
+- the final framebuffer (which must match single-GPU rendering — the
+  correctness invariant the test suite enforces across all schemes),
+- a :class:`~repro.stats.RunStats` with per-GPU stage cycles and traffic,
+- the end-to-end frame time in cycles (``stats.frame_cycles``), which is
+  what all of the paper's speedup figures compare.
+
+The functional single-GPU *reference pass* lives here too: it renders the
+frame once with per-owner fragment attribution and records per-draw metrics.
+Sort-first schemes (primitive duplication, GPUpd) reuse it directly because
+every GPU observes the same depth history; CHOPIN runs its own per-GPU
+functional pass (sort-last GPUs see partial depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import PipelineError
+from ..framebuffer.framebuffer import Framebuffer, SurfacePool
+from ..geometry.primitives import DrawCommand
+from ..raster.pipeline import DrawMetrics, GraphicsPipeline
+from ..raster.tiles import TileGrid
+from ..shading.shaders import ShaderLibrary
+from ..shading.texture import checkerboard, value_noise
+from ..stats import RunStats
+from ..timing.costs import CostModel
+from ..traces.trace import Trace
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of one simulated run."""
+
+    scheme: str
+    trace_name: str
+    num_gpus: int
+    stats: RunStats
+    image: Framebuffer
+    #: per-draw functional metrics in submission order (when recorded)
+    draw_metrics: List[DrawMetrics] = field(default_factory=list)
+
+    @property
+    def frame_cycles(self) -> float:
+        return self.stats.frame_cycles
+
+
+def build_shader_library(trace: Trace,
+                         num_textures: int = 4) -> ShaderLibrary:
+    """Deterministic texture set for a trace (ids 0..num_textures-1)."""
+    shaders = ShaderLibrary(trace.width, trace.height)
+    for texture_id in range(num_textures):
+        if texture_id % 2 == 0:
+            texture = checkerboard(size=16, squares=4 + texture_id)
+        else:
+            texture = value_noise(size=16, seed=texture_id)
+        shaders.register_texture(texture_id, texture)
+    return shaders
+
+
+@dataclass
+class ReferencePass:
+    """Single-GPU functional render with per-owner attribution."""
+
+    trace: Trace
+    num_gpus: int
+    grid: TileGrid
+    owner_map: np.ndarray
+    pool: SurfacePool
+    metrics: List[DrawMetrics]
+    #: indices i such that a render-target/depth-buffer sync precedes draw i
+    sync_points: List[int]
+    #: per-surface touched masks at frame end {render_target: (H, W) bool}
+    touched: Dict[int, np.ndarray]
+
+    @property
+    def image(self) -> Framebuffer:
+        return self.pool.render_target(0)
+
+
+_REFERENCE_CACHE: Dict[Tuple[int, int, int], ReferencePass] = {}
+
+
+def reference_pass(trace: Trace, config: SystemConfig,
+                   use_cache: bool = True) -> ReferencePass:
+    """Render the frame once on a virtual single GPU, attributing fragments
+    to tile owners. Cached per (trace, num_gpus, tile_size)."""
+    key = (id(trace), config.num_gpus, config.tile_size)
+    if use_cache and key in _REFERENCE_CACHE:
+        return _REFERENCE_CACHE[key]
+
+    frame = trace.frame
+    grid = TileGrid(trace.width, trace.height, config.tile_size)
+    owner_map = grid.owner_map(config.num_gpus)
+    shaders = build_shader_library(trace)
+    pipeline = GraphicsPipeline(trace.width, trace.height, shaders)
+    pool = SurfacePool(trace.width, trace.height)
+    metrics: List[DrawMetrics] = []
+    sync_points: List[int] = []
+    touched: Dict[int, np.ndarray] = {}
+
+    previous: Optional[DrawCommand] = None
+    for index, draw in enumerate(frame.draws):
+        if previous is not None:
+            prev_state, state = previous.state, draw.state
+            if (prev_state.render_target != state.render_target
+                    or prev_state.depth_buffer != state.depth_buffer):
+                sync_points.append(index)
+        mask = touched.setdefault(
+            draw.state.render_target,
+            np.zeros((trace.height, trace.width), dtype=bool))
+        metrics.append(pipeline.execute_draw(
+            draw, pool, mvp=trace.camera, owner_map=owner_map,
+            num_owners=config.num_gpus, touched=mask))
+        previous = draw
+
+    result = ReferencePass(trace=trace, num_gpus=config.num_gpus, grid=grid,
+                           owner_map=owner_map, pool=pool, metrics=metrics,
+                           sync_points=sync_points, touched=touched)
+    if use_cache:
+        _REFERENCE_CACHE[key] = result
+    return result
+
+
+def clear_reference_cache() -> None:
+    _REFERENCE_CACHE.clear()
+
+
+def render_reference_image(trace: Trace,
+                           config: Optional[SystemConfig] = None) -> Framebuffer:
+    """Ground-truth final image (single GPU, submission order)."""
+    cfg = config or SystemConfig(num_gpus=1)
+    return reference_pass(trace, cfg, use_cache=False).image
+
+
+class SFRScheme:
+    """Base class: holds the system config and the derived cost model."""
+
+    name = "base"
+
+    def __init__(self, config: SystemConfig,
+                 costs: Optional[CostModel] = None) -> None:
+        self.config = config
+        self.costs = costs or CostModel(gpu=config.gpu)
+
+    def run(self, trace: Trace) -> SchemeResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _run_sim_checked(sim, processes) -> float:
+        """Run the event loop and fail loudly on deadlock.
+
+        A drained event queue with unfinished GPU processes means the
+        protocol wedged (e.g., a circular port/gate dependency); silently
+        returning a too-small frame time would corrupt every speedup figure.
+        """
+        frame_cycles = sim.run()
+        stuck = [p.name for p in processes if not p.triggered]
+        if stuck:
+            from ..errors import SimulationError
+            raise SimulationError(
+                f"simulation deadlocked with pending processes: {stuck}")
+        return frame_cycles
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _segments(self, trace: Trace,
+                  prep: ReferencePass) -> List[Tuple[int, int]]:
+        """Frame split into [start, end) draw ranges between sync points."""
+        n = trace.frame.num_draws
+        bounds = [0] + list(prep.sync_points) + [n]
+        return [(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
+
+    def _sync_broadcast_bytes(self, trace: Trace) -> float:
+        """Per-GPU bytes broadcast at a render-target switch: each GPU sends
+        its owned region of the current colour+depth surfaces to every peer."""
+        own_pixels = trace.width * trace.height / self.config.num_gpus
+        return own_pixels * self.config.effective_pixel_bytes
+
+    def _check_image(self, result_image: Framebuffer,
+                     reference: Framebuffer, tol: float = 2e-3) -> None:
+        if not result_image.same_image(reference, tol=tol):
+            raise PipelineError(
+                f"{self.name}: final image deviates from single-GPU "
+                f"reference by {result_image.max_color_error(reference):.4f}")

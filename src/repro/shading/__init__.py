@@ -1,0 +1,13 @@
+"""Shading substrate: pixel-shader models and procedural textures."""
+
+from .shaders import PixelShader, ShaderLibrary, TexturedShader
+from .texture import Texture, checkerboard, value_noise
+
+__all__ = [
+    "PixelShader",
+    "ShaderLibrary",
+    "TexturedShader",
+    "Texture",
+    "checkerboard",
+    "value_noise",
+]

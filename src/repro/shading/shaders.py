@@ -1,0 +1,68 @@
+"""Programmable-shading models for the functional pipeline.
+
+The timing side of shading lives in the per-draw ``vertex_cost`` /
+``pixel_cost`` fields (cycles per triangle / fragment); this module provides
+the *functional* side — what colour a shaded fragment gets. The default
+shader passes interpolated vertex colour through; the texture shader
+modulates it with a screen-projected texture lookup, exercising the TEX path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .texture import Texture
+
+
+class PixelShader:
+    """Base pixel shader: pass interpolated colour through unchanged."""
+
+    def shade(self, xs: np.ndarray, ys: np.ndarray,
+              colors: np.ndarray) -> np.ndarray:
+        return colors
+
+
+class TexturedShader(PixelShader):
+    """Modulates fragment colour by a texture sampled in screen space.
+
+    Screen-projective addressing keeps the rasterizer attribute set small
+    (no per-vertex UVs) while still driving real texture sampling.
+    """
+
+    def __init__(self, texture: Texture, screen_width: int,
+                 screen_height: int, tiling: float = 8.0) -> None:
+        self.texture = texture
+        self.screen_width = screen_width
+        self.screen_height = screen_height
+        self.tiling = tiling
+
+    def shade(self, xs: np.ndarray, ys: np.ndarray,
+              colors: np.ndarray) -> np.ndarray:
+        u = xs.astype(np.float32) / self.screen_width * self.tiling
+        v = ys.astype(np.float32) / self.screen_height * self.tiling
+        texel = self.texture.sample(u, v)
+        shaded = colors.copy()
+        shaded[:, :3] *= texel[:, :3]
+        return shaded
+
+
+class ShaderLibrary:
+    """Maps draw-command ``texture_id`` values to pixel shaders."""
+
+    def __init__(self, screen_width: int, screen_height: int) -> None:
+        self.screen_width = screen_width
+        self.screen_height = screen_height
+        self._default = PixelShader()
+        self._by_texture: Dict[int, PixelShader] = {}
+
+    def register_texture(self, texture_id: int, texture: Texture,
+                         tiling: float = 8.0) -> None:
+        self._by_texture[texture_id] = TexturedShader(
+            texture, self.screen_width, self.screen_height, tiling)
+
+    def shader_for(self, texture_id: Optional[int]) -> PixelShader:
+        if texture_id is None:
+            return self._default
+        return self._by_texture.get(texture_id, self._default)

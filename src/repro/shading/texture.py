@@ -1,0 +1,58 @@
+"""Procedural textures and sampling (the TEX units of Fig 1(c)).
+
+Textures are small RGBA arrays sampled with wrap-around nearest filtering.
+Procedural constructors stand in for game assets: a checkerboard and a seeded
+value-noise texture are enough to exercise the texture path end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PipelineError
+
+
+class Texture:
+    """An RGBA texture with nearest-neighbour, wrap-mode sampling."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 3 or data.shape[2] != 4:
+            raise PipelineError(f"texture data must be (H, W, 4), got {data.shape}")
+        self.data = data
+
+    @property
+    def height(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[1]
+
+    def sample(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Sample at normalized (u, v); arrays broadcast, wrap addressing."""
+        tx = (np.asarray(u) % 1.0 * self.width).astype(np.int64) % self.width
+        ty = (np.asarray(v) % 1.0 * self.height).astype(np.int64) % self.height
+        return self.data[ty, tx]
+
+
+def checkerboard(size: int = 16, squares: int = 4,
+                 color_a=(1.0, 1.0, 1.0, 1.0),
+                 color_b=(0.4, 0.4, 0.4, 1.0)) -> Texture:
+    """A ``squares`` x ``squares`` checkerboard of ``size`` x ``size`` texels."""
+    if size <= 0 or squares <= 0:
+        raise PipelineError("size and squares must be positive")
+    idx = np.arange(size) * squares // size
+    pattern = (idx[:, None] + idx[None, :]) % 2
+    data = np.where(pattern[..., None] == 0,
+                    np.asarray(color_a, dtype=np.float32),
+                    np.asarray(color_b, dtype=np.float32))
+    return Texture(data.astype(np.float32))
+
+
+def value_noise(size: int = 16, seed: int = 0) -> Texture:
+    """Seeded random RGB noise with full alpha."""
+    rng = np.random.default_rng(seed)
+    rgb = rng.random((size, size, 3), dtype=np.float32)
+    alpha = np.ones((size, size, 1), dtype=np.float32)
+    return Texture(np.concatenate([rgb, alpha], axis=2))

@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel (mini-SimPy) used by the timing models."""
+
+from .core import AllOf, AnyOf, Event, Process, Simulator, Timeout
+from .resources import (Barrier, Countdown, PriorityRequest,
+                        PriorityResource, Request, Resource, Store)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Barrier",
+    "Countdown",
+    "Event",
+    "PriorityRequest",
+    "PriorityResource",
+    "Process",
+    "Request",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

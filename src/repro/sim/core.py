@@ -1,0 +1,222 @@
+"""A small discrete-event simulation kernel.
+
+This is the substrate underneath the cycle-level timing model: a priority
+queue of timestamped events, generator-based processes, and combinators for
+waiting on several events. The API is intentionally close to SimPy's, which
+keeps the timing models readable:
+
+    def worker(sim):
+        yield sim.timeout(10)          # advance 10 cycles
+        done = sim.event()
+        ...
+        yield done                     # wait on an event
+
+    sim = Simulator()
+    sim.process(worker(sim))
+    sim.run()
+
+Time is measured in GPU cycles (floats, since transfers divide bytes by
+bandwidth).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, becomes *triggered* once :meth:`succeed` is
+    called, and then runs its callbacks exactly once when the simulator
+    processes it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event; its callbacks run at the current sim time."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        sim._schedule(self, delay=delay)
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered; value is their values."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._pending = 0
+        self._events = list(events)
+        for event in self._events:
+            if event.processed:
+                continue
+            self._pending += 1
+            event.callbacks.append(self._on_child)
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+    def _on_child(self, _: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Triggers as soon as any child event triggers; value is that event."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        for event in self._events:
+            if event.processed:
+                self.succeed(event)
+                return
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not self.triggered:
+            self.succeed(event)
+
+
+class Process(Event):
+    """Wraps a generator; the process is itself an event that fires on return.
+
+    The generator yields :class:`Event` instances; each time a yielded event
+    is processed, the generator resumes with that event's value.
+    """
+
+    __slots__ = ("generator", "name")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: str = "") -> None:
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once the simulator starts (or immediately if
+        # already running).
+        Timeout(sim, 0.0).callbacks.append(self._resume)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        value = event.value if event is not None else None
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event")
+        if target.processed:
+            # Already happened; resume on the next tick at the same time.
+            tick = Timeout(self.sim, 0.0)
+            tick._value = target.value
+            tick.callbacks.append(self._resume)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """The event loop: schedules events in (time, insertion-order) order."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[tuple] = []
+        self._sequence = 0
+        self._running = False
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        time, _, event = heapq.heappop(self._queue)
+        if time < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = time
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or until the given time); returns now."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.now

@@ -1,0 +1,162 @@
+"""Per-run statistics: cycle accounting by pipeline stage and traffic counters.
+
+The paper's figures slice execution time along two axes:
+
+- by pipeline *stage* (Fig 2, Fig 4, Fig 14): geometry processing,
+  rasterization + fragment processing, primitive projection, primitive
+  distribution, image composition, and synchronization stalls;
+- by *traffic* (Fig 17, section VI-D): bytes moved for composition, primitive
+  distribution, buffer synchronization, and scheduler updates.
+
+:class:`RunStats` accumulates both, per GPU, and provides the aggregations the
+report layer prints.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+# Canonical stage names, in the order the paper's breakdown figures stack them.
+STAGE_GEOMETRY = "geometry"
+STAGE_FRAGMENT = "fragment"
+STAGE_PROJECTION = "projection"          # GPUpd phase 1
+STAGE_DISTRIBUTION = "distribution"      # GPUpd phase 2
+STAGE_COMPOSITION = "composition"        # CHOPIN parallel composition
+STAGE_SYNC = "sync"                      # RT/depth-buffer broadcasts, barriers
+
+ALL_STAGES = (
+    STAGE_GEOMETRY,
+    STAGE_FRAGMENT,
+    STAGE_PROJECTION,
+    STAGE_DISTRIBUTION,
+    STAGE_COMPOSITION,
+    STAGE_SYNC,
+)
+
+# Traffic categories.
+TRAFFIC_COMPOSITION = "composition"
+TRAFFIC_PRIMITIVES = "primitives"
+TRAFFIC_SYNC = "sync"
+TRAFFIC_SCHEDULER = "scheduler"
+
+
+@dataclass
+class GPUStats:
+    """Counters for a single GPU."""
+
+    stage_cycles: Dict[str, float] = field(
+        default_factory=lambda: defaultdict(float))
+    traffic_bytes: Dict[str, float] = field(
+        default_factory=lambda: defaultdict(float))
+    triangles_processed: int = 0
+    fragments_generated: int = 0
+    fragments_early_z_tested: int = 0
+    fragments_passed_early_z: int = 0
+    fragments_passed_late: int = 0
+    fragments_shaded: int = 0
+    draws_executed: int = 0
+    busy_until: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.stage_cycles.values())
+
+    @property
+    def fragments_passed(self) -> int:
+        """Fragments that survived any depth/stencil test (Fig 15)."""
+        return self.fragments_passed_early_z + self.fragments_passed_late
+
+
+@dataclass
+class RunStats:
+    """Statistics for a full simulated run on an N-GPU system."""
+
+    num_gpus: int
+    gpus: List[GPUStats] = field(default_factory=list)
+    #: end-to-end frame time in cycles (the critical path, not the sum)
+    frame_cycles: float = 0.0
+    composition_groups: int = 0
+    accelerated_groups: int = 0
+    #: per-draw (draw_index, triangles, geometry_cycles, total_cycles) samples,
+    #: recorded when tracing is on (Fig 9)
+    draw_samples: List[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            self.gpus = [GPUStats() for _ in range(self.num_gpus)]
+
+    # -- accumulation ------------------------------------------------------
+
+    def add_cycles(self, gpu: int, stage: str, cycles: float) -> None:
+        self.gpus[gpu].stage_cycles[stage] += cycles
+
+    def add_traffic(self, gpu: int, category: str, num_bytes: float) -> None:
+        self.gpus[gpu].traffic_bytes[category] += num_bytes
+
+    # -- aggregation -------------------------------------------------------
+
+    def stage_cycle_totals(self) -> Dict[str, float]:
+        """Sum of cycles spent in each stage across all GPUs."""
+        totals: Dict[str, float] = defaultdict(float)
+        for gpu in self.gpus:
+            for stage, cycles in gpu.stage_cycles.items():
+                totals[stage] += cycles
+        return dict(totals)
+
+    def stage_fraction(self, stage: str) -> float:
+        """Fraction of all busy cycles spent in ``stage`` (Fig 2, Fig 4)."""
+        totals = self.stage_cycle_totals()
+        busy = sum(totals.values())
+        if busy == 0:
+            return 0.0
+        return totals.get(stage, 0.0) / busy
+
+    def traffic_total(self, category: str | None = None) -> float:
+        """Total bytes moved, optionally restricted to one category."""
+        total = 0.0
+        for gpu in self.gpus:
+            if category is None:
+                total += sum(gpu.traffic_bytes.values())
+            else:
+                total += gpu.traffic_bytes.get(category, 0.0)
+        return total
+
+    @property
+    def total_fragments_passed(self) -> int:
+        return sum(g.fragments_passed for g in self.gpus)
+
+    @property
+    def total_fragments_shaded(self) -> int:
+        return sum(g.fragments_shaded for g in self.gpus)
+
+    @property
+    def total_triangles(self) -> int:
+        return sum(g.triangles_processed for g in self.gpus)
+
+
+def speedup(baseline: RunStats, candidate: RunStats) -> float:
+    """Performance of ``candidate`` relative to ``baseline`` (higher=faster)."""
+    if candidate.frame_cycles == 0:
+        raise ZeroDivisionError("candidate run has zero frame cycles")
+    return baseline.frame_cycles / candidate.frame_cycles
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean, as used by the paper's summary columns."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("gmean of empty sequence")
+    product = 1.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError("gmean requires positive values")
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def normalize(results: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalize a {name: cycles} mapping to speedups over ``baseline_key``."""
+    base = results[baseline_key]
+    return {name: base / cycles for name, cycles in results.items()}

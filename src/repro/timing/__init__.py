@@ -1,0 +1,10 @@
+"""Cycle-level timing models: costs, GPU pipeline engine, interconnect,
+timeline recording."""
+
+from .costs import CostModel
+from .gpu import DrawWork, GPUEngine
+from .interconnect import Interconnect
+from .timeline import Span, TimelineRecorder, record_timeline
+
+__all__ = ["CostModel", "DrawWork", "GPUEngine", "Interconnect", "Span",
+           "TimelineRecorder", "record_timeline"]

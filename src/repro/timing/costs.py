@@ -1,0 +1,85 @@
+"""Cycle-cost model: functional counts -> pipeline-stage cycles.
+
+Maps the paper's Table II resources onto stage throughputs:
+
+- the **geometry** stage runs a draw's vertex shading/tessellation across the
+  GPU's SMs: ``triangles * vertex_cost / num_sms`` cycles;
+- the **fragment** stage (rasterization + shading + ROP) costs
+  ``(triangles * raster_cost + fragments * pixel_cost) / num_rops`` cycles;
+- GPUpd's **projection** phase is a position-only transform, a fixed fraction
+  of full vertex shading (it skips attribute shading and tessellation);
+- **composition** costs ``pixels * compose_cost / num_rops`` on the receiving
+  GPU (the ROPs read, blend, and write each composed pixel, §IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GPUConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Stage-cycle cost model for one GPU."""
+
+    gpu: GPUConfig
+    raster_cost_per_triangle: float = 1.0
+    compose_cost_per_pixel: float = 2.0
+    #: projection does position transform only (GPUpd phase 1)
+    projection_fraction: float = 0.3
+    #: driver cycles to issue one draw command to a GPU
+    draw_issue_cost: float = 50.0
+    #: off-chip bytes touched per shaded fragment (texture reads + colour/
+    #: depth read-modify-write), after L2 filtering
+    fragment_memory_bytes: float = 24.0
+    #: fraction of fragment memory traffic absorbed by the L2 (Table II's
+    #: 6 MB cache); the remainder contends for DRAM bandwidth
+    l2_hit_rate: float = 0.7
+    #: enable the DRAM roofline on the fragment stage
+    model_memory: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.projection_fraction <= 1.0:
+            raise ConfigError("projection fraction must be in (0, 1]")
+        if not 0.0 <= self.l2_hit_rate <= 1.0:
+            raise ConfigError("L2 hit rate must be in [0, 1]")
+        if self.fragment_memory_bytes < 0:
+            raise ConfigError("fragment memory bytes cannot be negative")
+
+    def geometry_cycles(self, triangles: int, vertex_cost: float) -> float:
+        return triangles * vertex_cost / self.gpu.num_sms
+
+    def dram_bytes_per_cycle(self) -> float:
+        """Per-GPU DRAM bandwidth at the GPU clock (Table II: 2 TB/s for
+        the whole 8-GPU system)."""
+        return (self.gpu.dram_bandwidth_bytes_per_s
+                / self.gpu.frequency_hz)
+
+    def fragment_memory_cycles(self, fragments_shaded: int) -> float:
+        """Cycles the fragment stage needs just to move its DRAM traffic."""
+        if not self.model_memory:
+            return 0.0
+        miss_bytes = (fragments_shaded * self.fragment_memory_bytes
+                      * (1.0 - self.l2_hit_rate))
+        return miss_bytes / self.dram_bytes_per_cycle()
+
+    def fragment_cycles(self, triangles: int, fragments_shaded: int,
+                        pixel_cost: float) -> float:
+        """Fragment-stage cycles: compute, rooflined by DRAM bandwidth.
+
+        Compute and memory streams overlap in the ROPs/SMs, so the stage
+        takes the *max* of the two (a classic roofline), not their sum.
+        """
+        raster = triangles * self.raster_cost_per_triangle
+        shade = fragments_shaded * pixel_cost
+        compute = (raster + shade) / self.gpu.num_rops
+        return max(compute, self.fragment_memory_cycles(fragments_shaded))
+
+    def projection_cycles(self, triangles: int, vertex_cost: float) -> float:
+        return (triangles * vertex_cost * self.projection_fraction
+                / self.gpu.num_sms)
+
+    def compose_cycles(self, pixels: int) -> float:
+        return pixels * self.compose_cost_per_pixel / self.gpu.num_rops

@@ -1,0 +1,128 @@
+"""Per-GPU execution engine: a two-stage (geometry -> fragment) pipeline.
+
+Mirrors the macro-structure of Fig 1(c): the geometry front-end (PolyMorph
+engines + vertex-shading SMs) feeds rasterization/fragment back-end work
+through a queue, so geometry of draw *i+1* overlaps fragment processing of
+draw *i* — the overlap that makes the geometry stage the frame-rate limiter
+in geometry-bound workloads (Fig 9's observation).
+
+The geometry stage optionally reports triangle-completion progress in chunks
+of ``update_interval`` triangles; this feeds CHOPIN's draw-command scheduler
+statistics (Fig 10, sensitivity in Fig 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+from ..sim import Event, Simulator, Store
+from ..stats import (STAGE_FRAGMENT, STAGE_GEOMETRY, GPUStats)
+from .costs import CostModel
+from . import timeline
+
+
+@dataclass
+class DrawWork:
+    """One draw command's timed work on one GPU."""
+
+    draw_id: int
+    triangles: int
+    geometry_cycles: float
+    fragment_cycles: float
+    fragments: int = 0
+    geometry_stage: str = STAGE_GEOMETRY
+    fragment_stage: str = STAGE_FRAGMENT
+
+
+class GPUEngine:
+    """Geometry front-end plus pipelined fragment back-end for one GPU."""
+
+    def __init__(self, sim: Simulator, gpu_id: int, costs: CostModel,
+                 stats: GPUStats, update_interval: int = 1,
+                 on_triangles: Optional[Callable[[int, int], None]] = None,
+                 ) -> None:
+        self.sim = sim
+        self.gpu_id = gpu_id
+        self.costs = costs
+        self.stats = stats
+        self.update_interval = max(1, update_interval)
+        self.on_triangles = on_triangles
+        self._queue: Store = Store(sim, name=f"gpu{gpu_id}-frag")
+        self._in_flight = 0
+        self._drain_waiters: List[Event] = []
+        sim.process(self._fragment_loop(), name=f"gpu{gpu_id}-fragment")
+
+    # -- geometry front-end (runs inside the caller's process) --------------
+
+    def geometry(self, work: DrawWork) -> Generator:
+        """Process fragment: run one draw's geometry stage, then enqueue its
+        fragment work. Reports triangle progress in update-interval chunks."""
+        triangles = work.triangles
+        span_start = self.sim.now
+        if triangles > 0 and work.geometry_cycles > 0:
+            per_tri = work.geometry_cycles / triangles
+            reported = 0
+            while reported < triangles:
+                chunk = min(self.update_interval, triangles - reported)
+                yield self.sim.timeout(chunk * per_tri)
+                reported += chunk
+                if self.on_triangles is not None:
+                    self.on_triangles(self.gpu_id, chunk)
+        elif triangles > 0 and self.on_triangles is not None:
+            self.on_triangles(self.gpu_id, triangles)
+        recorder = timeline.current()
+        if recorder is not None:
+            recorder.record(f"gpu{self.gpu_id}", work.geometry_stage,
+                            span_start, self.sim.now)
+        self.stats.stage_cycles[work.geometry_stage] += work.geometry_cycles
+        self.stats.triangles_processed += triangles
+        self.stats.draws_executed += 1
+        self._in_flight += 1
+        self._queue.put(work)
+
+    def run_draws(self, works: List[DrawWork]) -> Generator:
+        """Process fragment: run a sequence of draws' geometry back-to-back."""
+        for work in works:
+            yield from self.geometry(work)
+
+    # -- fragment back-end ---------------------------------------------------
+
+    def _fragment_loop(self) -> Generator:
+        while True:
+            work = yield self._queue.get()
+            span_start = self.sim.now
+            if work.fragment_cycles > 0:
+                yield self.sim.timeout(work.fragment_cycles)
+                recorder = timeline.current()
+                if recorder is not None:
+                    recorder.record(f"gpu{self.gpu_id}",
+                                    work.fragment_stage, span_start,
+                                    self.sim.now)
+            self.stats.stage_cycles[work.fragment_stage] += work.fragment_cycles
+            self._in_flight -= 1
+            if self._in_flight == 0 and len(self._queue) == 0:
+                waiters, self._drain_waiters = self._drain_waiters, []
+                for event in waiters:
+                    event.succeed()
+
+    def drain(self) -> Event:
+        """Event that fires when all submitted work has left the pipeline."""
+        event = Event(self.sim)
+        if self._in_flight == 0 and len(self._queue) == 0:
+            event.succeed()
+        else:
+            self._drain_waiters.append(event)
+        return event
+
+    def busy_work(self, cycles: float, stage: str) -> Generator:
+        """Process fragment: occupy this GPU for non-draw work (composition,
+        projection, etc.), attributing the cycles to ``stage``."""
+        if cycles > 0:
+            span_start = self.sim.now
+            yield self.sim.timeout(cycles)
+            recorder = timeline.current()
+            if recorder is not None:
+                recorder.record(f"gpu{self.gpu_id}", stage, span_start,
+                                self.sim.now)
+        self.stats.stage_cycles[stage] += cycles

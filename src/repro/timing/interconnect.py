@@ -1,0 +1,143 @@
+"""Inter-GPU interconnect timing model.
+
+Point-to-point links between every GPU pair (the NVLink/NVSwitch topology of
+NVIDIA DGX, §V), modeled with three contention points:
+
+- a per-GPU **egress port** — a GPU streams one outbound message at a time;
+- a per-GPU **ingress port** — a GPU drains one inbound message at a time;
+- the directed link itself (implicit: with single egress/ingress ports the
+  pairwise links never contend beyond the ports).
+
+A transfer claims the sender's egress, propagates head latency, then queues
+FIFO at the receiver's ingress. An optional ``gate`` event models the naive
+direct-send failure mode (§IV-E): the receiver does not drain until it has
+finished rendering, so queued messages pin their senders' egress ports —
+exactly the congestion the image composition scheduler avoids.
+
+With ``LinkConfig.ideal`` transfers are free (but traffic is still counted),
+for the upper-bound variants of Fig 5.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..sim import Event, Resource, Simulator
+from ..stats import RunStats
+from . import timeline
+
+
+class Interconnect:
+    """DES model of the all-to-all inter-GPU fabric."""
+
+    def __init__(self, sim: Simulator, config: SystemConfig,
+                 stats: RunStats) -> None:
+        self.sim = sim
+        self.config = config
+        self.stats = stats
+        n = config.num_gpus
+        self.egress = [Resource(sim, name=f"egress{g}") for g in range(n)]
+        self.ingress = [Resource(sim, name=f"ingress{g}") for g in range(n)]
+        self._bytes_per_cycle = config.link.bandwidth_bytes_per_cycle(
+            config.gpu.frequency_hz)
+        # Shared-bus ablation: all transfers serialize through one medium
+        # of bus_bandwidth_x links' worth of aggregate bandwidth.
+        from ..config import TOPOLOGY_SHARED_BUS
+        self._bus: Optional[Resource] = None
+        if (config.link.topology == TOPOLOGY_SHARED_BUS
+                and not config.link.ideal):
+            self._bus = Resource(sim, name="bus")
+            self._bytes_per_cycle *= config.link.bus_bandwidth_x
+
+    def occupancy_cycles(self, num_bytes: float) -> float:
+        if self.config.link.ideal:
+            return 0.0
+        return num_bytes / self._bytes_per_cycle
+
+    def transfer(self, src: int, dst: int, num_bytes: float, category: str,
+                 gate: Optional[Event] = None,
+                 receive_cycles: float = 0.0,
+                 ports_released: Optional[Event] = None) -> Generator:
+        """Process: move ``num_bytes`` from ``src`` to ``dst``.
+
+        Timeline: claim the sender's egress and the receiver's ingress
+        (FIFO), stream for ``num_bytes / bandwidth`` cycles, release both
+        ports, then pay the head latency (the last byte propagating) and any
+        ``receive_cycles`` of post-receive work (e.g., ROP composition) off
+        the ports — so back-to-back transfers pipeline their latencies.
+
+        ``gate`` models the naive direct-send failure mode (§IV-E): while
+        the gate is pending the message sits in the network with both ports
+        pinned — the congestion the composition scheduler avoids.
+
+        ``ports_released`` (if given) fires the moment both ports free up,
+        letting a scheduler start the next pairing while this message's tail
+        is still in flight.
+        """
+        if src == dst:
+            raise SimulationError("transfer to self")
+        self.stats.add_traffic(src, category, num_bytes)
+        if self.config.link.ideal:
+            if ports_released is not None:
+                ports_released.succeed()
+            if receive_cycles:
+                yield self.sim.timeout(receive_cycles)
+            return
+
+        egress_req = self.egress[src].request()
+        yield egress_req
+        try:
+            if gate is not None and not gate.processed:
+                # Receiver not ready: the message parks in the network,
+                # pinning the sender's egress — everything queued behind it
+                # stalls (the naive direct-send congestion of §IV-E). The
+                # receiver's ingress is only claimed once the gate opens, so
+                # ungated traffic to the same receiver still drains.
+                yield gate
+            ingress_req = self.ingress[dst].request()
+            yield ingress_req
+            bus_req = None
+            try:
+                if self._bus is not None:
+                    bus_req = self._bus.request()
+                    yield bus_req
+                span_start = self.sim.now
+                yield self.sim.timeout(self.occupancy_cycles(num_bytes))
+                recorder = timeline.current()
+                if recorder is not None:
+                    recorder.record(f"link{src}->{dst}", "transfer",
+                                    span_start, self.sim.now)
+            finally:
+                if bus_req is not None:
+                    self._bus.release(bus_req)
+                self.ingress[dst].release(ingress_req)
+        finally:
+            self.egress[src].release(egress_req)
+            if ports_released is not None and not ports_released.triggered:
+                ports_released.succeed()
+        yield self.sim.timeout(self.config.link.latency_cycles)
+        if receive_cycles:
+            receive_start = self.sim.now
+            yield self.sim.timeout(receive_cycles)
+            recorder = timeline.current()
+            if recorder is not None:
+                recorder.record(f"gpu{dst}", "composition",
+                                receive_start, self.sim.now)
+
+    def broadcast(self, src: int, num_bytes_each: float,
+                  category: str) -> Generator:
+        """Process: send ``num_bytes_each`` from ``src`` to every other GPU.
+
+        Messages go out back-to-back through the single egress port (their
+        latencies overlap); completes when the last is delivered.
+        """
+        done = []
+        for dst in range(self.config.num_gpus):
+            if dst == src:
+                continue
+            done.append(self.sim.process(
+                self.transfer(src, dst, num_bytes_each, category)))
+        if done:
+            yield self.sim.all_of(done)

@@ -1,0 +1,159 @@
+"""Execution timeline recording and ASCII Gantt rendering.
+
+Wrap any scheme run in :func:`record_timeline` to capture per-GPU stage
+spans and inter-GPU transfers from the DES, then render them as an ASCII
+occupancy chart — the quickest way to *see* where a scheme stalls (the
+staggered composition phases, GPUpd's sequential exchange, barrier idle):
+
+    with record_timeline() as timeline:
+        result = scheme.run(trace)
+    print(timeline.render(width=100))
+
+Recording is opt-in and costs nothing when inactive: the engine and the
+interconnect consult :func:`current` (a module-level slot) per span.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..stats import (STAGE_COMPOSITION, STAGE_DISTRIBUTION, STAGE_FRAGMENT,
+                     STAGE_GEOMETRY, STAGE_PROJECTION, STAGE_SYNC)
+
+#: one glyph per stage in the Gantt rendering
+STAGE_GLYPHS = {
+    STAGE_GEOMETRY: "G",
+    STAGE_FRAGMENT: "f",
+    STAGE_PROJECTION: "p",
+    STAGE_DISTRIBUTION: "d",
+    STAGE_COMPOSITION: "C",
+    STAGE_SYNC: "s",
+    "transfer": "=",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous activity interval on one lane."""
+
+    lane: str          # "gpu3" or "link2->5"
+    stage: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TimelineRecorder:
+    """Accumulates spans; renders them as a per-lane occupancy chart."""
+
+    spans: List[Span] = field(default_factory=list)
+
+    def record(self, lane: str, stage: str, start: float,
+               end: float) -> None:
+        if end > start:
+            self.spans.append(Span(lane, stage, start, end))
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def end_time(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+    def lanes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.lane, None)
+        return sorted(seen, key=_lane_key)
+
+    def busy_time(self, lane: str) -> float:
+        """Total un-overlapped busy time on a lane."""
+        intervals = sorted((s.start, s.end) for s in self.spans
+                           if s.lane == lane)
+        total, cursor = 0.0, float("-inf")
+        for start, end in intervals:
+            start = max(start, cursor)
+            if end > start:
+                total += end - start
+                cursor = end
+        return total
+
+    def utilization(self, lane: str) -> float:
+        horizon = self.end_time
+        if horizon == 0:
+            return 0.0
+        return self.busy_time(lane) / horizon
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self, width: int = 80, lanes: Optional[List[str]] = None,
+               show_legend: bool = True) -> str:
+        """ASCII Gantt: one row per lane, '.' = idle, glyphs per stage.
+
+        When multiple stages occupy the same cell, the one covering most of
+        the cell wins.
+        """
+        horizon = self.end_time
+        chosen = lanes if lanes is not None else self.lanes()
+        lines = []
+        if horizon <= 0 or not chosen:
+            return "(empty timeline)"
+        cell = horizon / width
+        label_width = max(len(lane) for lane in chosen)
+        for lane in chosen:
+            weights: List[Dict[str, float]] = [dict() for _ in range(width)]
+            for span in self.spans:
+                if span.lane != lane:
+                    continue
+                first = int(span.start / cell)
+                last = min(int(span.end / cell), width - 1)
+                for index in range(first, last + 1):
+                    cell_start = index * cell
+                    overlap = (min(span.end, cell_start + cell)
+                               - max(span.start, cell_start))
+                    if overlap > 0:
+                        bucket = weights[index]
+                        bucket[span.stage] = bucket.get(span.stage, 0.0) \
+                            + overlap
+            row = "".join(
+                STAGE_GLYPHS.get(max(bucket, key=bucket.get), "?")
+                if bucket else "."
+                for bucket in weights)
+            busy = self.utilization(lane)
+            lines.append(f"{lane:>{label_width}} |{row}| {100 * busy:5.1f}%")
+        if show_legend:
+            legend = "  ".join(f"{glyph}={stage}"
+                               for stage, glyph in STAGE_GLYPHS.items())
+            lines.append(f"{'':>{label_width}}  0 {'-' * (width - 14)} "
+                         f"{horizon:,.0f} cycles")
+            lines.append(legend)
+        return "\n".join(lines)
+
+
+def _lane_key(lane: str):
+    digits = "".join(ch for ch in lane if ch.isdigit())
+    return (lane.rstrip("0123456789->"), int(digits) if digits else -1)
+
+
+_ACTIVE: List[TimelineRecorder] = []
+
+
+def current() -> Optional[TimelineRecorder]:
+    """The innermost active recorder, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextlib.contextmanager
+def record_timeline() -> Iterator[TimelineRecorder]:
+    """Activate a recorder for the dynamic extent of the block."""
+    recorder = TimelineRecorder()
+    _ACTIVE.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.pop()

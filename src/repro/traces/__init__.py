@@ -1,0 +1,27 @@
+"""Workload substrate: trace containers, synthetic generator, benchmarks."""
+
+from .trace import Frame, Trace, transparent_runs, triangle_histogram
+from .synthetic import SCALES, TraceScale, TraceSpec, synthesize
+from .benchmarks import (BENCHMARK_NAMES, TABLE3, clear_cache, load_benchmark,
+                         load_benchmark_variant, load_suite, scale_for)
+from .stress import STRESS_WORKLOADS, load_stress
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Frame",
+    "SCALES",
+    "STRESS_WORKLOADS",
+    "TABLE3",
+    "Trace",
+    "TraceScale",
+    "TraceSpec",
+    "clear_cache",
+    "load_benchmark",
+    "load_benchmark_variant",
+    "load_stress",
+    "load_suite",
+    "scale_for",
+    "synthesize",
+    "transparent_runs",
+    "triangle_histogram",
+]

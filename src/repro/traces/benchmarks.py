@@ -1,0 +1,126 @@
+"""The paper's benchmark suite (Table III), as synthetic-trace specs.
+
+=================================  ======  ===========  =======  ==========
+Benchmark                          Abbr.   Resolution   # Draws  # Triangles
+=================================  ======  ===========  =======  ==========
+Call of Duty 2                     cod2    640 x 480     1005      219,950
+Crysis                             cry     800 x 600     1427      800,948
+GRID                               grid    1280 x 1024   2623      466,806
+Mirror's Edge                      mirror  1280 x 1024   1257      381,422
+Need for Speed: Undercover         nfs     1280 x 1024   1858      534,121
+S.T.A.L.K.E.R.: Call of Pripyat    stal    1280 x 1024   1086      546,733
+Unreal Tournament 3                ut3     1280 x 1024   1944      630,302
+Wolfenstein                        wolf    640 x 480     1697      243,052
+=================================  ======  ===========  =======  ==========
+
+Per-benchmark personality knobs reflect behaviour the paper reports — e.g.
+``grid`` has "many large triangles that cover big screen regions" (§VI-C),
+which drives its outsized composition traffic, and ``ut3`` has the largest
+depth-test sensitivity (Fig 15/16). Traces are generated at a chosen
+:class:`~repro.traces.synthetic.TraceScale` and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import TraceError
+from .synthetic import SCALES, TraceScale, TraceSpec, synthesize
+from .trace import Trace
+
+TABLE3: Dict[str, TraceSpec] = {
+    "cod2": TraceSpec(
+        name="cod2", width=640, height=480, num_draws=1005,
+        num_triangles=219_950, seed=0xC0D2,
+        num_clusters=36, overdraw=4.0),
+    "cry": TraceSpec(
+        name="cry", width=800, height=600, num_draws=1427,
+        num_triangles=800_948, seed=0xC47,
+        num_clusters=48, overdraw=4.5, vertex_cost_log_sigma=0.8),
+    "grid": TraceSpec(
+        name="grid", width=1280, height=1024, num_draws=2623,
+        num_triangles=466_806, seed=0x641D,
+        num_clusters=32, overdraw=5.0, big_triangle_fraction=0.18),
+    "mirror": TraceSpec(
+        name="mirror", width=1280, height=1024, num_draws=1257,
+        num_triangles=381_422, seed=0x312202,
+        num_clusters=40, overdraw=3.5),
+    "nfs": TraceSpec(
+        name="nfs", width=1280, height=1024, num_draws=1858,
+        num_triangles=534_121, seed=0x2F5,
+        num_clusters=44, overdraw=4.0, transparent_fraction=0.07),
+    "stal": TraceSpec(
+        name="stal", width=1280, height=1024, num_draws=1086,
+        num_triangles=546_733, seed=0x57A1,
+        num_clusters=40, overdraw=4.0),
+    "ut3": TraceSpec(
+        name="ut3", width=1280, height=1024, num_draws=1944,
+        num_triangles=630_302, seed=0x073,
+        num_clusters=56, overdraw=5.5, early_z_disabled_fraction=0.08,
+        cluster_spread=0.22),
+    "wolf": TraceSpec(
+        name="wolf", width=640, height=480, num_draws=1697,
+        num_triangles=243_052, seed=0x301F,
+        num_clusters=40, overdraw=4.0),
+}
+
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(TABLE3)
+
+_CACHE: Dict[Tuple[str, str], Trace] = {}
+
+
+def load_benchmark(name: str, scale: str = "tiny") -> Trace:
+    """Generate (or fetch from cache) one Table III benchmark trace."""
+    if name not in TABLE3:
+        raise TraceError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}")
+    if scale not in SCALES:
+        raise TraceError(f"unknown scale {scale!r}; choose from {list(SCALES)}")
+    key = (name, scale)
+    if key not in _CACHE:
+        spec = SCALES[scale].apply(TABLE3[name])
+        trace = synthesize(spec)
+        trace.metadata["scale"] = scale
+        _CACHE[key] = trace
+    return _CACHE[key]
+
+
+def load_benchmark_variant(name: str, scale: str = "tiny",
+                           seed_offset: int = 0) -> Trace:
+    """A re-seeded variant of a benchmark (same statistics, new sample).
+
+    Used by the seed-sensitivity study: conclusions should not hinge on one
+    particular random draw of the synthetic generator.
+    """
+    if seed_offset == 0:
+        return load_benchmark(name, scale)
+    if name not in TABLE3:
+        raise TraceError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}")
+    key = (name, scale, seed_offset)
+    if key not in _CACHE:
+        from dataclasses import replace
+        spec = SCALES[scale].apply(
+            replace(TABLE3[name], seed=TABLE3[name].seed + seed_offset))
+        trace = synthesize(spec)
+        trace.metadata["scale"] = scale
+        trace.metadata["seed_offset"] = seed_offset
+        _CACHE[key] = trace
+    return _CACHE[key]
+
+
+def load_suite(scale: str = "tiny",
+               names: Tuple[str, ...] = BENCHMARK_NAMES) -> List[Trace]:
+    """The full (or a named subset of the) benchmark suite."""
+    return [load_benchmark(name, scale) for name in names]
+
+
+def scale_for(scale: str) -> TraceScale:
+    if scale not in SCALES:
+        raise TraceError(f"unknown scale {scale!r}; choose from {list(SCALES)}")
+    return SCALES[scale]
+
+
+def clear_cache() -> None:
+    """Drop cached traces (tests use this to control memory)."""
+    _CACHE.clear()

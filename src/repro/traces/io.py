@@ -1,0 +1,145 @@
+"""Trace serialization: save/load traces as compressed NPZ archives.
+
+A trace file bundles, per draw, its vertex positions/colours and all
+render-state fields as flat NumPy arrays, so loading never executes
+anything but array slicing. The format is versioned; loaders reject
+unknown versions rather than guessing.
+
+    save_trace(trace, "cod2.npz")
+    trace = load_trace("cod2.npz")
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+import numpy as np
+
+from ..errors import TraceError
+from ..geometry.primitives import (BlendOp, DepthFunc, DrawCommand,
+                                   RenderState)
+from .trace import Frame, Trace
+
+FORMAT_VERSION = 1
+
+_DEPTH_FUNCS = list(DepthFunc)
+_BLEND_OPS = list(BlendOp)
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write a trace to ``path`` as a compressed ``.npz`` archive."""
+    draws: List[DrawCommand] = [d for frame in trace.frames
+                                for d in frame.draws]
+    frame_sizes = np.array([frame.num_draws for frame in trace.frames],
+                           dtype=np.int64)
+    tri_counts = np.array([d.num_triangles for d in draws], dtype=np.int64)
+    if draws:
+        positions = np.concatenate([d.positions.reshape(-1, 3, 3)
+                                    for d in draws])
+        colors = np.concatenate([d.colors.reshape(-1, 3, 4) for d in draws])
+    else:
+        positions = np.empty((0, 3, 3), dtype=np.float32)
+        colors = np.empty((0, 3, 4), dtype=np.float32)
+
+    def state_field(getter, dtype):
+        return np.array([getter(d) for d in draws], dtype=dtype)
+
+    header = {
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "width": trace.width,
+        "height": trace.height,
+        "metadata": {k: v for k, v in trace.metadata.items()
+                     if isinstance(v, (str, int, float, bool))},
+    }
+    camera = (trace.camera if trace.camera is not None
+              else np.zeros((0, 0), dtype=np.float32))
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"),
+                             dtype=np.uint8),
+        camera=camera,
+        frame_sizes=frame_sizes,
+        tri_counts=tri_counts,
+        positions=positions.astype(np.float32),
+        colors=colors.astype(np.float32),
+        draw_ids=state_field(lambda d: d.draw_id, np.int64),
+        vertex_costs=state_field(lambda d: d.vertex_cost, np.float64),
+        pixel_costs=state_field(lambda d: d.pixel_cost, np.float64),
+        texture_ids=state_field(
+            lambda d: -1 if d.texture_id is None else d.texture_id,
+            np.int64),
+        render_targets=state_field(lambda d: d.state.render_target,
+                                   np.int64),
+        depth_buffers=state_field(lambda d: d.state.depth_buffer, np.int64),
+        depth_writes=state_field(lambda d: d.state.depth_write, np.bool_),
+        early_z=state_field(lambda d: d.state.early_z, np.bool_),
+        depth_funcs=state_field(
+            lambda d: _DEPTH_FUNCS.index(d.state.depth_func), np.int64),
+        blend_ops=state_field(
+            lambda d: _BLEND_OPS.index(d.state.blend_op), np.int64),
+    )
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}")
+    try:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"{path} is not a trace file: {exc}")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {header.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})")
+
+    tri_counts = archive["tri_counts"]
+    positions = archive["positions"]
+    colors = archive["colors"]
+    offsets = np.concatenate([[0], np.cumsum(tri_counts)])
+    if offsets[-1] != positions.shape[0]:
+        raise TraceError(f"{path}: triangle data does not match counts")
+
+    draws: List[DrawCommand] = []
+    for i, count in enumerate(tri_counts):
+        lo, hi = offsets[i], offsets[i + 1]
+        texture = int(archive["texture_ids"][i])
+        draws.append(DrawCommand(
+            draw_id=int(archive["draw_ids"][i]),
+            positions=positions[lo:hi],
+            colors=colors[lo:hi],
+            state=RenderState(
+                render_target=int(archive["render_targets"][i]),
+                depth_buffer=int(archive["depth_buffers"][i]),
+                depth_write=bool(archive["depth_writes"][i]),
+                depth_func=_DEPTH_FUNCS[int(archive["depth_funcs"][i])],
+                blend_op=_BLEND_OPS[int(archive["blend_ops"][i])],
+                early_z=bool(archive["early_z"][i]),
+            ),
+            vertex_cost=float(archive["vertex_costs"][i]),
+            pixel_cost=float(archive["pixel_costs"][i]),
+            texture_id=None if texture < 0 else texture,
+        ))
+
+    frames: List[Frame] = []
+    cursor = 0
+    for size in archive["frame_sizes"]:
+        frames.append(Frame(draws=draws[cursor:cursor + int(size)]))
+        cursor += int(size)
+
+    camera = None
+    if "camera" in archive and archive["camera"].size == 16:
+        camera = archive["camera"].astype(np.float32)
+    trace = Trace(name=header["name"], width=int(header["width"]),
+                  height=int(header["height"]), frames=frames,
+                  metadata=dict(header.get("metadata", {})),
+                  camera=camera)
+    trace.validate()
+    return trace

@@ -1,0 +1,92 @@
+"""Stress and future-workload traces (paper §VI-G's trend argument).
+
+Named extreme workloads built on the synthetic generator:
+
+- ``micro_triangle`` — Unreal-Engine-5-style geometry: triangle count far
+  above pixel count growth (the paper profiles Crysis Remastered at 12M
+  triangles/frame and cites "a billion triangles per frame" as the near
+  future). Sort-last schemes should *extend* their lead here.
+- ``transparency_heavy`` — a third of the frame's draws blend; exercises
+  the associative adjacent-pair composition path hard.
+- ``fragment_bound`` — few, huge triangles at high overdraw: the regime
+  that favours sort-first (fragment work splits perfectly by region).
+- ``many_groups`` — frequent state changes: lots of small composition
+  groups, stressing group-boundary overheads.
+
+All return ordinary :class:`~repro.traces.trace.Trace` objects and work
+with every scheme and the whole harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict
+
+from ..errors import TraceError
+from .synthetic import SCALES, TraceSpec, synthesize
+from .trace import Trace
+
+#: base spec stress workloads derive from (a mid-sized Table III-like frame)
+_BASE = TraceSpec(name="stress-base", width=1280, height=1024,
+                  num_draws=1600, num_triangles=500_000, seed=0x57E55)
+
+
+def micro_triangle(scale: str = "tiny", detail: float = 4.0) -> Trace:
+    """Triangle count scaled up ``detail``x at fixed resolution (§VI-G)."""
+    if detail < 1.0:
+        raise TraceError("detail factor must be >= 1")
+    spec = replace(
+        _BASE, name=f"micro-tri-{detail:g}x",
+        num_triangles=int(_BASE.num_triangles * detail),
+        num_draws=int(_BASE.num_draws * min(detail, 2.0)),
+        overdraw=_BASE.overdraw,  # fragments pinned to the resolution
+        seed=_BASE.seed + int(detail * 10))
+    return synthesize(SCALES[scale].apply(spec))
+
+
+def transparency_heavy(scale: str = "tiny") -> Trace:
+    """A third of all draws are transparent, split across both operators."""
+    spec = replace(_BASE, name="transparency-heavy",
+                   transparent_fraction=0.33, additive_fraction=0.4,
+                   seed=_BASE.seed + 1)
+    return synthesize(SCALES[scale].apply(spec))
+
+
+def fragment_bound(scale: str = "tiny") -> Trace:
+    """Few triangles, heavy overdraw: the sort-first-friendly regime."""
+    spec = replace(_BASE, name="fragment-bound",
+                   num_triangles=_BASE.num_triangles // 8,
+                   num_draws=_BASE.num_draws // 4,
+                   overdraw=8.0, big_triangle_fraction=0.3,
+                   seed=_BASE.seed + 2)
+    return synthesize(SCALES[scale].apply(spec))
+
+
+def many_groups(scale: str = "tiny") -> Trace:
+    """Frequent state changes: one composition group every few draws."""
+    spec = replace(_BASE, name="many-groups",
+                   rt_switches=24, depth_toggle_events=12,
+                   depth_func_events=8, num_render_targets=6,
+                   seed=_BASE.seed + 3)
+    return synthesize(SCALES[scale].apply(spec))
+
+
+STRESS_WORKLOADS: Dict[str, Callable[[str], Trace]] = {
+    "micro-triangle": micro_triangle,
+    "transparency-heavy": transparency_heavy,
+    "fragment-bound": fragment_bound,
+    "many-groups": many_groups,
+}
+
+_STRESS_CACHE: Dict[tuple, Trace] = {}
+
+
+def load_stress(name: str, scale: str = "tiny") -> Trace:
+    """Generate (cached) one named stress workload."""
+    if name not in STRESS_WORKLOADS:
+        raise TraceError(f"unknown stress workload {name!r}; "
+                         f"choose from {sorted(STRESS_WORKLOADS)}")
+    key = (name, scale)
+    if key not in _STRESS_CACHE:
+        _STRESS_CACHE[key] = STRESS_WORKLOADS[name](scale)
+    return _STRESS_CACHE[key]

@@ -1,0 +1,439 @@
+"""Synthetic game-trace generator.
+
+The paper evaluates on single-frame traces captured from eight games
+(Table III). Those traces are not redistributable, so we synthesize traces
+with the same *statistics*, which is what the evaluation actually exercises:
+
+- matching resolution, draw count, and triangle count;
+- a **bimodal** per-draw triangle distribution (few-triangle background/UI
+  draws vs. many-triangle object draws — the reason the composition-group
+  threshold works, §VI-E);
+- **spatial clustering** of objects (the source of inter-GPU load imbalance
+  that the draw-command scheduler addresses, §IV-D);
+- **front-to-back** opaque submission (what makes early-Z effective and what
+  CHOPIN partially loses across GPUs, §VI-B), with back-to-front transparent
+  draws at the end of the frame;
+- per-draw shader cost variation (the reason static rendering-time estimates
+  fail, Fig 9);
+- state-change events (render-target switches, depth-write toggles, depth
+  function and blend-operator changes) that induce composition-group
+  boundaries (§IV-A events 1-5).
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import TraceError
+from ..geometry.primitives import (BlendOp, DepthFunc, DrawCommand,
+                                   RenderState)
+from .trace import Frame, Trace
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Generator parameters for one synthetic benchmark trace."""
+
+    name: str
+    width: int
+    height: int
+    num_draws: int
+    num_triangles: int
+    seed: int
+    #: fraction of draws that are transparent (games: a small fraction, §IV-C)
+    transparent_fraction: float = 0.05
+    #: fraction of transparent draws using ADDITIVE instead of OVER
+    additive_fraction: float = 0.2
+    #: fraction of draws that are tiny (UI / background, 2-8 triangles)
+    tiny_draw_fraction: float = 0.25
+    #: spatial clusters objects gather in (load-imbalance knob)
+    num_clusters: int = 40
+    cluster_spread: float = 0.35
+    draw_spread: float = 0.10
+    #: target total fragments / screen pixels for opaque object draws
+    overdraw: float = 4.0
+    #: fraction of object draws with 8x-larger triangles (grid's big-triangle
+    #: behaviour, §VI-C)
+    big_triangle_fraction: float = 0.0
+    #: render-target switch events per frame (§IV-A event 2)
+    rt_switches: int = 3
+    num_render_targets: int = 3
+    #: depth-write toggle runs per frame (§IV-A event 3)
+    depth_toggle_events: int = 2
+    #: depth-function change runs per frame (§IV-A event 4)
+    depth_func_events: int = 1
+    #: draws whose shader disables the early depth test (Fig 15 "other" bars)
+    early_z_disabled_fraction: float = 0.05
+    #: geometry-stage cycles per triangle, lognormal parameters (Fig 9)
+    vertex_cost_log_mean: float = math.log(36.0)
+    vertex_cost_log_sigma: float = 0.8
+    #: fragment-shading cycles per fragment, lognormal parameters
+    pixel_cost_log_mean: float = math.log(110.0)
+    pixel_cost_log_sigma: float = 0.7
+    #: multiplies vertex costs; used by scaling to preserve the
+    #: geometry:fragment cycle ratio when triangles shrink faster than pixels
+    cost_multiplier: float = 1.0
+    #: distinct texture ids used by object draws (0 = untextured only)
+    num_textures: int = 4
+
+
+@dataclass(frozen=True)
+class TraceScale:
+    """Down-scaling of a paper-sized trace to keep Python runtimes sane.
+
+    Triangles shrink by ``triangle_divisor``, draws by ``draw_divisor``, and
+    each resolution axis by ``resolution_divisor``. Vertex costs are
+    multiplied by ``triangle_divisor / resolution_divisor**2`` so that the
+    aggregate geometry:fragment cycle ratio — which Fig 2/13/14 depend on —
+    is preserved.
+    """
+
+    name: str
+    triangle_divisor: int = 1
+    draw_divisor: int = 1
+    resolution_divisor: int = 1
+
+    @property
+    def cost_multiplier(self) -> float:
+        return self.triangle_divisor / self.resolution_divisor ** 2
+
+    def tile_size(self, base: int = 64) -> int:
+        return max(4, base // self.resolution_divisor)
+
+    def composition_threshold(self, base: int = 4096) -> int:
+        return max(8, base // self.triangle_divisor)
+
+    def draw_issue_cost(self, base: float = 50.0) -> float:
+        """Driver cycles per issued draw. Draws shrink by draw_divisor while
+        frame cycles shrink by resolution_divisor**2; rescale so the driver
+        issue overhead keeps its paper-scale share of the frame."""
+        return base * self.draw_divisor / self.resolution_divisor ** 2
+
+    def primitive_id_bytes(self, base: int = 4) -> int:
+        """Primitive IDs shrink with triangles but compute shrinks with
+        pixels; scale the per-ID wire size to keep GPUpd's distribution
+        weight (Fig 4) invariant under trace scaling."""
+        return max(1, round(base * self.cost_multiplier))
+
+    def apply(self, spec: TraceSpec) -> TraceSpec:
+        from dataclasses import replace
+        return replace(
+            spec,
+            width=max(32, spec.width // self.resolution_divisor),
+            height=max(32, spec.height // self.resolution_divisor),
+            num_draws=max(12, spec.num_draws // self.draw_divisor),
+            num_triangles=max(200, spec.num_triangles // self.triangle_divisor),
+            cost_multiplier=spec.cost_multiplier * self.cost_multiplier,
+        )
+
+
+SCALES = {
+    "paper": TraceScale("paper", 1, 1, 1),
+    "small": TraceScale("small", 16, 2, 2),
+    "tiny": TraceScale("tiny", 64, 4, 4),
+}
+
+
+def synthesize(spec: TraceSpec) -> Trace:
+    """Generate a single-frame trace from ``spec`` (deterministic in seed)."""
+    if spec.num_draws < 8:
+        raise TraceError("need at least 8 draws for a plausible frame")
+    if spec.num_triangles < 2 * spec.num_draws:
+        raise TraceError("need at least 2 triangles per draw on average")
+    rng = np.random.default_rng(spec.seed)
+    builder = _FrameBuilder(spec, rng)
+    frame = builder.build()
+    trace = Trace(name=spec.name, width=spec.width, height=spec.height,
+                  frames=[frame],
+                  metadata={"seed": spec.seed, "spec": spec})
+    trace.validate()
+    actual = trace.num_triangles
+    if actual != spec.num_triangles:
+        raise TraceError(
+            f"generator bug: {actual} triangles, wanted {spec.num_triangles}")
+    return trace
+
+
+class _FrameBuilder:
+    """Stateful helper that assembles one frame's draw list."""
+
+    def __init__(self, spec: TraceSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.next_draw_id = 0
+        self.clusters = rng.uniform(-0.75, 0.75, size=(spec.num_clusters, 2))
+
+    def build(self) -> Frame:
+        spec = self.spec
+        n_transparent = max(1, int(round(spec.num_draws
+                                         * spec.transparent_fraction)))
+        n_tiny = max(1, int(round(spec.num_draws * spec.tiny_draw_fraction)))
+        n_background = 1
+        n_object = spec.num_draws - n_transparent - n_tiny - n_background
+        if n_object < 4:
+            raise TraceError("draw budget too small for object draws")
+
+        tri_budget = spec.num_triangles - 2 * n_background
+        tiny_counts = self.rng.integers(2, 9, size=n_tiny)
+        tri_budget -= int(tiny_counts.sum())
+        object_counts = self._partition_triangles(
+            tri_budget, n_object + n_transparent)
+        opaque_counts = object_counts[:n_object]
+        transparent_counts = object_counts[n_object:]
+
+        draws: List[DrawCommand] = [self._background()]
+        draws.extend(self._object_draws(opaque_counts))
+        self._apply_state_events(draws)
+        draws.extend(self._tiny_draws(tiny_counts))
+        draws.extend(self._transparent_draws(transparent_counts))
+        return Frame(draws=draws)
+
+    # -- draw-count partitioning -------------------------------------------
+
+    def _partition_triangles(self, total: int, parts: int) -> np.ndarray:
+        """Lognormal weights, integerized to sum exactly to ``total``."""
+        weights = self.rng.lognormal(0.0, 1.3, size=parts)
+        raw = weights / weights.sum() * (total - parts)
+        counts = np.floor(raw).astype(int) + 1
+        deficit = total - int(counts.sum())
+        # Distribute the rounding remainder over the largest draws.
+        order = np.argsort(-raw)
+        for i in range(abs(deficit)):
+            counts[order[i % parts]] += 1 if deficit > 0 else -1
+        counts = np.maximum(counts, 1)
+        # Final exact fix-up on the largest draw.
+        counts[order[0]] += total - int(counts.sum())
+        if counts.min() < 1 or int(counts.sum()) != total:
+            raise TraceError("triangle partitioning failed")
+        return counts
+
+    # -- draw constructors ---------------------------------------------------
+
+    def _take_id(self) -> int:
+        draw_id = self.next_draw_id
+        self.next_draw_id += 1
+        return draw_id
+
+    def _costs(self) -> tuple:
+        """Correlated per-draw shader costs.
+
+        A draw's material complexity drives both its vertex and pixel
+        shaders, so the two costs share a common lognormal factor. This is
+        what makes the geometry-stage triangle rate track the whole-pipeline
+        triangle rate (paper Fig 9) — and hence what makes remaining-triangle
+        feedback a usable load estimate for the draw-command scheduler.
+        """
+        spec = self.spec
+        complexity = self.rng.lognormal(0.0, 0.55)
+        vertex = float(np.clip(
+            math.exp(spec.vertex_cost_log_mean) * complexity
+            * self.rng.lognormal(0.0, spec.vertex_cost_log_sigma / 2),
+            8.0, 2000.0)) * spec.cost_multiplier
+        pixel = float(np.clip(
+            math.exp(spec.pixel_cost_log_mean) * complexity
+            * self.rng.lognormal(0.0, spec.pixel_cost_log_sigma / 2),
+            8.0, 600.0))
+        return vertex, pixel
+
+    def _texture(self) -> Optional[int]:
+        if self.spec.num_textures == 0 or self.rng.random() < 0.6:
+            return None
+        return int(self.rng.integers(0, self.spec.num_textures))
+
+    def _background(self) -> DrawCommand:
+        """Full-screen sky/backdrop: 2 triangles at the far plane."""
+        color = self.rng.uniform(0.05, 0.35, size=3)
+        quad = _quad(-1.0, -1.0, 1.0, 1.0, depth=0.998)
+        colors = np.tile(np.append(color, 1.0).astype(np.float32), (2, 3, 1))
+        return DrawCommand(draw_id=self._take_id(), positions=quad,
+                           colors=colors,
+                           state=RenderState(),
+                           vertex_cost=40.0 * self.spec.cost_multiplier,
+                           pixel_cost=1.0)
+
+    def _draw_geometry(self, count: int, big: bool) -> tuple:
+        """(footprint sigma, triangle edge) in NDC for a ``count``-triangle
+        draw.
+
+        Real scenes put most overdraw *inside* a draw (a mesh overlapping
+        itself) while different draws cover mostly disjoint screen areas —
+        which is why early-Z culling loses little when draws move to
+        different GPUs (paper Fig 15: only 3-7% extra fragments). We model
+        that: each draw gets a footprint proportional to its triangle share,
+        and its triangles stack ``overdraw`` layers deep inside it.
+        """
+        spec = self.spec
+        share = count / max(spec.num_triangles, 1)
+        screen_area_ndc = 4.0  # [-1, 1]^2
+        # Footprints cover ~75% of the screen between them (a bit of slack
+        # keeps inter-draw overlap — the occlusion CHOPIN loses — rare),
+        # while triangle sizes keep the nominal overdraw in total fragments.
+        footprint_area = screen_area_ndc * share * 0.75
+        tri_area = spec.overdraw * screen_area_ndc * share / max(count, 1)
+        edge = math.sqrt(tri_area)
+        if big:
+            edge *= 4.0
+        # Triangle centres spread over a half-extent such that the draw's
+        # *effective* square — centre spread plus triangle size — matches the
+        # footprint; otherwise small draws with relatively large triangles
+        # would sprawl far past their share of the screen.
+        half_extent = max((math.sqrt(footprint_area) - 2.0 * edge) / 2.0, 0.0)
+        return half_extent, max(edge, 0.004)
+
+    def _make_mesh(self, count: int, center: np.ndarray, depth: float,
+                   edge: float, depth_jitter: float = 0.02,
+                   spread: Optional[float] = None) -> tuple:
+        """Clustered triangle soup around ``center`` at roughly ``depth``."""
+        rng = self.rng
+        if spread is None:
+            centers = rng.normal(center, self.spec.draw_spread,
+                                 size=(count, 2))
+        else:
+            # Bounded footprint: uniform placement inside the half-extent.
+            centers = center + rng.uniform(-spread, spread, size=(count, 2))
+        centers = np.clip(centers, -0.98, 0.98)
+        offsets = rng.normal(0.0, edge, size=(count, 2, 2))
+        verts = np.empty((count, 3, 3), dtype=np.float32)
+        verts[:, 0, :2] = centers
+        verts[:, 1, :2] = centers + offsets[:, 0]
+        verts[:, 2, :2] = centers + offsets[:, 1]
+        tri_depth = np.clip(
+            depth + rng.normal(0.0, depth_jitter, size=(count, 1)),
+            0.001, 0.995).astype(np.float32)
+        verts[:, :, 2] = tri_depth  # flat triangles: same depth per triangle
+        base = rng.uniform(0.15, 0.95, size=3)
+        colors = np.empty((count, 3, 4), dtype=np.float32)
+        colors[..., :3] = np.clip(
+            base + rng.normal(0.0, 0.08, size=(count, 3, 3)), 0.0, 1.0)
+        colors[..., 3] = 1.0
+        return verts, colors
+
+    def _object_draws(self, counts: np.ndarray) -> List[DrawCommand]:
+        """Opaque scene geometry, submitted front-to-back."""
+        spec = self.spec
+        n = len(counts)
+        # Front-to-back with noise: sorted depths, then locally shuffled.
+        depths = np.sort(self.rng.uniform(0.05, 0.95, size=n))
+        depths = np.clip(
+            depths + self.rng.normal(0.0, 0.03, size=n), 0.01, 0.97)
+        # Big-triangle draws model sky/road/terrain geometry: submitted
+        # *early* (like a skybox) but at *far* depth. They cover many screen
+        # tiles — grid's outsized composition traffic (§VI-C) — yet neither
+        # occlude nor get occluded much, so depth-culling behaviour is
+        # barely affected (grid is unremarkable in the paper's Fig 15).
+        n_big = int(round(n * spec.big_triangle_fraction))
+        big_flags = np.zeros(n, dtype=bool)
+        if n_big:
+            big_flags[:n_big] = True
+            depths[:n_big] = np.sort(
+                self.rng.uniform(0.85, 0.97, size=n_big))
+
+        draws = []
+        for i, count in enumerate(counts):
+            cluster = self.clusters[self.rng.integers(0, spec.num_clusters)]
+            center = np.clip(
+                cluster + self.rng.normal(0.0, spec.cluster_spread, size=2),
+                -0.9, 0.9)
+            sigma, edge = self._draw_geometry(int(count), bool(big_flags[i]))
+            verts, colors = self._make_mesh(
+                int(count), center, float(depths[i]), edge, spread=sigma)
+            vertex_cost, pixel_cost = self._costs()
+            early_z = self.rng.random() >= spec.early_z_disabled_fraction
+            draws.append(DrawCommand(
+                draw_id=self._take_id(), positions=verts, colors=colors,
+                state=RenderState(early_z=early_z),
+                vertex_cost=vertex_cost, pixel_cost=pixel_cost,
+                texture_id=self._texture()))
+        return draws
+
+    def _apply_state_events(self, draws: List[DrawCommand]) -> None:
+        """Inject RT switches, depth-write toggles, depth-func changes.
+
+        Each event converts a short run of consecutive object draws, creating
+        the §IV-A group boundaries. Mutates draw states in place (index 0 is
+        the background and is left alone).
+        """
+        from dataclasses import replace as dc_replace
+        spec = self.spec
+        n = len(draws)
+        if n < 10:
+            return
+
+        def pick_run(run_len: int) -> range:
+            start = int(self.rng.integers(1, max(2, n - run_len)))
+            return range(start, min(start + run_len, n))
+
+        for _ in range(spec.rt_switches):
+            rt = int(self.rng.integers(1, max(2, spec.num_render_targets)))
+            for i in pick_run(int(self.rng.integers(2, 6))):
+                draws[i].state = dc_replace(
+                    draws[i].state, render_target=rt, depth_buffer=rt)
+        for _ in range(spec.depth_toggle_events):
+            for i in pick_run(int(self.rng.integers(2, 5))):
+                draws[i].state = dc_replace(draws[i].state, depth_write=False)
+        for _ in range(spec.depth_func_events):
+            for i in pick_run(int(self.rng.integers(2, 5))):
+                draws[i].state = dc_replace(
+                    draws[i].state, depth_func=DepthFunc.LEQUAL)
+
+    def _tiny_draws(self, counts: np.ndarray) -> List[DrawCommand]:
+        """UI / decal draws: very few triangles, near the camera."""
+        draws = []
+        for count in counts:
+            center = self.rng.uniform(-0.9, 0.9, size=2)
+            verts, colors = self._make_mesh(
+                int(count), center, depth=float(self.rng.uniform(0.01, 0.05)),
+                edge=0.04, depth_jitter=0.002)
+            vertex_cost, pixel_cost = self._costs()
+            draws.append(DrawCommand(
+                draw_id=self._take_id(), positions=verts, colors=colors,
+                state=RenderState(),
+                vertex_cost=vertex_cost, pixel_cost=pixel_cost))
+        return draws
+
+    def _transparent_draws(self, counts: np.ndarray) -> List[DrawCommand]:
+        """Transparent geometry at the end of the frame, back-to-front."""
+        spec = self.spec
+        n = len(counts)
+        depths = np.sort(self.rng.uniform(0.1, 0.9, size=n))[::-1]
+        n_additive = int(round(n * spec.additive_fraction))
+        draws = []
+        for i, count in enumerate(counts):
+            # Additive draws (glow/particles) come last so each operator run
+            # is contiguous -> one group per operator (§IV-A event 5).
+            op = BlendOp.ADDITIVE if i >= n - n_additive else BlendOp.OVER
+            cluster = self.clusters[self.rng.integers(0, spec.num_clusters)]
+            center = np.clip(
+                cluster + self.rng.normal(0.0, spec.cluster_spread, size=2),
+                -0.9, 0.9)
+            sigma, edge = self._draw_geometry(int(count), big=False)
+            verts, colors = self._make_mesh(
+                int(count), center, float(depths[i]), edge * 1.5,
+                spread=sigma)
+            alpha = float(self.rng.uniform(0.2, 0.6))
+            if op is BlendOp.OVER:
+                colors[..., :3] *= alpha  # premultiply
+                colors[..., 3] = alpha
+            else:
+                colors[..., :3] *= 0.3    # additive glow intensity
+                colors[..., 3] = 0.0
+            vertex_cost, pixel_cost = self._costs()
+            draws.append(DrawCommand(
+                draw_id=self._take_id(), positions=verts, colors=colors,
+                state=RenderState(depth_write=False, blend_op=op),
+                vertex_cost=vertex_cost, pixel_cost=pixel_cost))
+        return draws
+
+
+def _quad(x0: float, y0: float, x1: float, y1: float,
+          depth: float) -> np.ndarray:
+    return np.array([
+        [[x0, y0, depth], [x1, y0, depth], [x1, y1, depth]],
+        [[x0, y0, depth], [x1, y1, depth], [x0, y1, depth]],
+    ], dtype=np.float32)

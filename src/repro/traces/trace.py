@@ -1,0 +1,150 @@
+"""Workload traces: frames of draw commands, plus summary statistics.
+
+A :class:`Trace` is what the paper calls a benchmark: one (or more) frames,
+each a list of :class:`~repro.geometry.primitives.DrawCommand` in submission
+order, at a fixed resolution. Traces are the input to every SFR scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import TraceError
+from ..geometry.primitives import BlendOp, DrawCommand
+
+
+@dataclass
+class Frame:
+    """One frame's draw commands, in submission order."""
+
+    draws: List[DrawCommand] = field(default_factory=list)
+
+    @property
+    def num_draws(self) -> int:
+        return len(self.draws)
+
+    @property
+    def num_triangles(self) -> int:
+        return sum(d.num_triangles for d in self.draws)
+
+    @property
+    def num_transparent_draws(self) -> int:
+        return sum(1 for d in self.draws if d.transparent)
+
+    def __iter__(self) -> Iterator[DrawCommand]:
+        return iter(self.draws)
+
+
+@dataclass
+class Trace:
+    """A named workload at a fixed resolution."""
+
+    name: str
+    width: int
+    height: int
+    frames: List[Frame] = field(default_factory=list)
+    #: generator metadata (seed, scale, target counts) for reproducibility
+    metadata: Dict[str, object] = field(default_factory=dict)
+    #: optional 4x4 model-view-projection matrix applied to every draw
+    #: (None = geometry is already in NDC, the synthetic traces' convention)
+    camera: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise TraceError("trace resolution must be positive")
+        if self.camera is not None:
+            self.camera = np.asarray(self.camera, dtype=np.float32)
+            if self.camera.shape != (4, 4):
+                raise TraceError("camera must be a 4x4 matrix")
+
+    @property
+    def frame(self) -> Frame:
+        """The single frame of a single-frame trace (the paper's case)."""
+        if len(self.frames) != 1:
+            raise TraceError(
+                f"trace {self.name!r} has {len(self.frames)} frames; "
+                "use .frames for multi-frame traces")
+        return self.frames[0]
+
+    @property
+    def num_draws(self) -> int:
+        return sum(f.num_draws for f in self.frames)
+
+    @property
+    def num_triangles(self) -> int:
+        return sum(f.num_triangles for f in self.frames)
+
+    @property
+    def resolution(self) -> str:
+        return f"{self.width} x {self.height}"
+
+    def validate(self) -> None:
+        """Consistency checks a well-formed trace must satisfy."""
+        seen_ids = set()
+        for frame in self.frames:
+            for draw in frame.draws:
+                if draw.draw_id in seen_ids:
+                    raise TraceError(
+                        f"duplicate draw id {draw.draw_id} in {self.name!r}")
+                seen_ids.add(draw.draw_id)
+                if draw.transparent and draw.state.depth_write:
+                    raise TraceError(
+                        f"draw {draw.draw_id}: transparent draws must not "
+                        "write depth")
+
+    def summary(self) -> Dict[str, object]:
+        """The Table III row for this trace."""
+        transparent = sum(f.num_transparent_draws for f in self.frames)
+        return {
+            "name": self.name,
+            "resolution": self.resolution,
+            "frames": len(self.frames),
+            "draws": self.num_draws,
+            "triangles": self.num_triangles,
+            "transparent_draws": transparent,
+        }
+
+
+def triangle_histogram(trace: Trace, bins: List[int]) -> Dict[str, int]:
+    """Histogram of per-draw triangle counts (bimodality check, §VI-E)."""
+    edges = sorted(bins)
+    counts = {f"<{edges[0]}": 0}
+    for lo, hi in zip(edges, edges[1:]):
+        counts[f"{lo}-{hi}"] = 0
+    counts[f">={edges[-1]}"] = 0
+    for frame in trace.frames:
+        for draw in frame.draws:
+            t = draw.num_triangles
+            if t < edges[0]:
+                counts[f"<{edges[0]}"] += 1
+                continue
+            if t >= edges[-1]:
+                counts[f">={edges[-1]}"] += 1
+                continue
+            for lo, hi in zip(edges, edges[1:]):
+                if lo <= t < hi:
+                    counts[f"{lo}-{hi}"] += 1
+                    break
+    return counts
+
+
+def transparent_runs(frame: Frame) -> List[List[DrawCommand]]:
+    """Maximal runs of consecutive transparent draws sharing one operator."""
+    runs: List[List[DrawCommand]] = []
+    current: List[DrawCommand] = []
+    current_op: BlendOp | None = None
+    for draw in frame.draws:
+        if draw.transparent and (not current or draw.state.blend_op is current_op):
+            current.append(draw)
+            current_op = draw.state.blend_op
+        else:
+            if current:
+                runs.append(current)
+            current = [draw] if draw.transparent else []
+            current_op = draw.state.blend_op if draw.transparent else None
+    if current:
+        runs.append(current)
+    return runs

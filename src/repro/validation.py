@@ -1,0 +1,105 @@
+"""Image-validation utilities: checksums, PSNR, cross-scheme verification.
+
+The reproduction's central functional invariant — every SFR scheme renders
+the single-GPU reference image — is enforced here in a reusable form:
+
+    report = validate_schemes(trace, setup)
+    assert report.all_identical
+
+``image_checksum`` gives a stable fingerprint of the 8-bit quantized frame
+(useful as a golden value in regression tests), and ``psnr`` quantifies any
+deviation in dB when exact equality is not expected (e.g., across blending
+orders that differ only in float rounding).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from .framebuffer.framebuffer import Framebuffer
+from .harness.runner import MAIN_SCHEMES, Setup, run
+from .sfr.base import render_reference_image
+from .traces.trace import Trace
+
+
+def psnr(reference: Framebuffer, candidate: Framebuffer,
+         peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB; ``inf`` for identical images."""
+    if reference.color.shape != candidate.color.shape:
+        raise ValueError("image shapes differ")
+    mse = float(np.mean((reference.color - candidate.color) ** 2))
+    if mse == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / mse)
+
+
+def image_checksum(image: Framebuffer) -> str:
+    """SHA-256 of the 8-bit quantized RGBA frame (stable fingerprint)."""
+    return hashlib.sha256(image.to_srgb_bytes().tobytes()).hexdigest()
+
+
+@dataclass
+class SchemeValidation:
+    """One scheme's functional comparison against the reference."""
+
+    scheme: str
+    checksum: str
+    psnr_db: float
+    max_error: float
+
+    @property
+    def identical(self) -> bool:
+        """Identical after 8-bit quantization (sub-quantum float noise ok)."""
+        return self.max_error < 1.0 / 255.0
+
+
+@dataclass
+class ValidationReport:
+    """Cross-scheme functional validation for one trace."""
+
+    trace_name: str
+    reference_checksum: str
+    schemes: List[SchemeValidation] = field(default_factory=list)
+
+    @property
+    def all_identical(self) -> bool:
+        return all(entry.identical for entry in self.schemes)
+
+    def by_scheme(self) -> Dict[str, SchemeValidation]:
+        return {entry.scheme: entry for entry in self.schemes}
+
+    def summary(self) -> str:
+        lines = [f"validation: {self.trace_name} "
+                 f"(reference {self.reference_checksum[:12]}...)"]
+        for entry in self.schemes:
+            verdict = "OK " if entry.identical else "DIFF"
+            psnr_text = ("inf" if math.isinf(entry.psnr_db)
+                         else f"{entry.psnr_db:.1f}")
+            lines.append(f"  [{verdict}] {entry.scheme:<14} "
+                         f"psnr={psnr_text:>6} dB  "
+                         f"max_err={entry.max_error:.2e}")
+        return "\n".join(lines)
+
+
+def validate_schemes(trace: Trace, setup: Setup,
+                     schemes: Iterable[str] = ("duplication",)
+                     + tuple(MAIN_SCHEMES)) -> ValidationReport:
+    """Run every scheme and compare its final image to the reference."""
+    reference = render_reference_image(trace, setup.config)
+    report = ValidationReport(trace_name=trace.name,
+                              reference_checksum=image_checksum(reference))
+    for scheme in schemes:
+        result = run(scheme, trace, setup)
+        report.schemes.append(SchemeValidation(
+            scheme=scheme,
+            checksum=image_checksum(result.image),
+            psnr_db=psnr(reference, result.image),
+            max_error=float(np.abs(reference.color
+                                   - result.image.color).max()),
+        ))
+    return report

@@ -1,0 +1,53 @@
+"""Shared fixtures: small traces and setups reused across the test suite.
+
+Session-scoped fixtures exploit the library's internal caches so the
+expensive functional renders run once per session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.harness import make_setup
+from repro.sim import Simulator
+from repro.traces import TraceSpec, load_benchmark, synthesize
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture(scope="session")
+def tiny_setup():
+    """The Table II system at tiny trace scale (8 GPUs)."""
+    return make_setup(scale="tiny", num_gpus=8)
+
+
+@pytest.fixture(scope="session")
+def cod2_tiny():
+    return load_benchmark("cod2", "tiny")
+
+
+@pytest.fixture(scope="session")
+def micro_trace():
+    """A very small but structurally complete synthetic trace."""
+    spec = TraceSpec(name="micro", width=64, height=64, num_draws=24,
+                     num_triangles=600, seed=7, rt_switches=1,
+                     depth_toggle_events=1, depth_func_events=1,
+                     cost_multiplier=4.0)
+    return synthesize(spec)
+
+
+@pytest.fixture(scope="session")
+def micro_setup():
+    """A 4-GPU system matched to the micro trace."""
+    config = SystemConfig(num_gpus=4, tile_size=8, composition_threshold=32)
+    from repro.timing.costs import CostModel
+    from repro.harness.runner import Setup
+    return Setup(scale="tiny", config=config, costs=CostModel(gpu=config.gpu))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

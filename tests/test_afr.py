@@ -1,0 +1,77 @@
+"""Alternate Frame Rendering and the micro-stutter motivation (§I)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.sfr import AlternateFrameRendering, frame_render_cycles
+from repro.timing.costs import CostModel
+from repro.traces import TraceSpec, synthesize
+from repro.traces.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def multi_frame_trace():
+    """Several frames with alternating cost (stutter-inducing)."""
+    frames = []
+    for index in range(8):
+        spec = TraceSpec(name=f"f{index}", width=64, height=64,
+                         num_draws=16,
+                         num_triangles=400 if index % 2 == 0 else 1600,
+                         seed=100 + index, cost_multiplier=4.0)
+        frames.append(synthesize(spec).frame)
+    return Trace(name="anim", width=64, height=64, frames=frames)
+
+
+class TestFrameCycles:
+    def test_positive_and_monotone_in_content(self):
+        light = synthesize(TraceSpec(name="l", width=64, height=64,
+                                     num_draws=16, num_triangles=400,
+                                     seed=1, cost_multiplier=4.0))
+        heavy = synthesize(TraceSpec(name="h", width=64, height=64,
+                                     num_draws=16, num_triangles=3200,
+                                     seed=1, cost_multiplier=4.0))
+        costs = CostModel(gpu=SystemConfig().gpu)
+        light_cycles = frame_render_cycles(light.frame, 64, 64, costs)
+        heavy_cycles = frame_render_cycles(heavy.frame, 64, 64, costs)
+        assert 0 < light_cycles < heavy_cycles
+
+
+class TestAFR:
+    def test_throughput_scales_with_gpus(self, multi_frame_trace):
+        single = AlternateFrameRendering(
+            SystemConfig(num_gpus=1)).run(multi_frame_trace)
+        quad = AlternateFrameRendering(
+            SystemConfig(num_gpus=4)).run(multi_frame_trace)
+        # pacing can idle a single GPU slightly; throughput stays ~1
+        assert 0.85 <= single.throughput_speedup <= 1.0
+        assert quad.throughput_speedup > 2.0
+
+    def test_frame_latency_not_improved(self, multi_frame_trace):
+        """AFR's defining weakness: each frame still takes a full
+        single-GPU render time."""
+        result = AlternateFrameRendering(
+            SystemConfig(num_gpus=4)).run(multi_frame_trace)
+        assert result.completion_times[0] \
+            == pytest.approx(result.frame_cycles[0])
+
+    def test_micro_stutter_on_uneven_frames(self, multi_frame_trace):
+        result = AlternateFrameRendering(
+            SystemConfig(num_gpus=4)).run(multi_frame_trace)
+        assert result.micro_stutter > 0.1
+
+    def test_uniform_frames_are_smooth(self):
+        frames = [synthesize(TraceSpec(name="u", width=64, height=64,
+                                       num_draws=16, num_triangles=800,
+                                       seed=5, cost_multiplier=4.0)).frame
+                  for _ in range(8)]
+        trace = Trace(name="smooth", width=64, height=64, frames=frames)
+        result = AlternateFrameRendering(SystemConfig(num_gpus=4)).run(trace)
+        assert result.micro_stutter == pytest.approx(0.0, abs=1e-6)
+
+    def test_round_robin_assignment(self, multi_frame_trace):
+        result = AlternateFrameRendering(
+            SystemConfig(num_gpus=3)).run(multi_frame_trace)
+        # frame i completes on gpu i%3; later frames on the same GPU stack up
+        assert result.completion_times[3] > result.completion_times[0]
+        assert len(result.completion_times) == 8

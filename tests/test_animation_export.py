@@ -1,0 +1,93 @@
+"""Multi-frame animation runs and result export."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (compare_afr_sfr, make_setup, run_animation)
+from repro.harness.export import (COLUMNS, collect_rows, read_rows,
+                                  result_row, write_csv, write_json)
+from repro.harness.runner import run_benchmark
+from repro.traces import TraceSpec, synthesize
+from repro.traces.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def animated_trace():
+    frames = []
+    for index in range(6):
+        spec = TraceSpec(name=f"f{index}", width=64, height=64,
+                         num_draws=16,
+                         num_triangles=500 if index % 2 else 1500,
+                         seed=700 + index, cost_multiplier=4.0)
+        frames.append(synthesize(spec).frame)
+    return Trace(name="anim", width=64, height=64, frames=frames)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("tiny", num_gpus=4)
+
+
+class TestAnimation:
+    def test_per_frame_cycles_recorded(self, animated_trace, setup):
+        result = run_animation("chopin+sched", animated_trace, setup)
+        assert len(result.frame_cycles) == 6
+        assert all(c > 0 for c in result.frame_cycles)
+
+    def test_heavy_frames_cost_more(self, animated_trace, setup):
+        result = run_animation("duplication", animated_trace, setup)
+        heavy = result.frame_cycles[0::2]
+        light = result.frame_cycles[1::2]
+        # 3x the triangles => heavier frames on average (fragment cost is
+        # resolution-pinned, so the gap is geometry-driven)
+        assert float(np.mean(heavy)) > float(np.mean(light))
+
+    def test_completion_monotone(self, animated_trace, setup):
+        result = run_animation("chopin+sched", animated_trace, setup)
+        times = result.completion_times
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(result.total_cycles)
+
+    def test_stutter_reflects_variance(self, animated_trace, setup):
+        result = run_animation("duplication", animated_trace, setup)
+        assert result.micro_stutter > 0.1
+
+
+class TestAfrVsSfr:
+    def test_comparison_metrics(self, animated_trace, setup):
+        report = compare_afr_sfr(animated_trace, setup)
+        # SFR improves single-frame latency; AFR does not
+        assert report["sfr_mean_latency"] < report["afr_mean_latency"]
+        # AFR wins raw throughput (frames fully parallel)
+        assert report["afr_total_cycles"] < report["sfr_total_cycles"]
+        assert report["frames"] == 6
+
+
+class TestExport:
+    def test_row_has_all_columns(self, setup):
+        result = run_benchmark("chopin+sched", "wolf", setup)
+        row = result_row(result, setup, baseline_cycles=result.frame_cycles)
+        assert set(row) == set(COLUMNS)
+        assert row["speedup_vs_duplication"] == pytest.approx(1.0)
+
+    def test_csv_round_trip_header(self, setup, tmp_path):
+        rows = collect_rows(["wolf"], ["chopin+sched"], setup)
+        path = tmp_path / "out.csv"
+        write_csv(rows, path)
+        lines = path.read_text().splitlines()
+        assert lines[0].split(",") == list(COLUMNS)
+        assert len(lines) == 1 + len(rows)
+
+    def test_json_round_trip(self, setup, tmp_path):
+        rows = collect_rows(["wolf"], ["chopin+sched", "gpupd"], setup)
+        path = tmp_path / "out.json"
+        write_json(rows, path)
+        loaded = read_rows(path)
+        assert loaded == [
+            {k: v for k, v in row.items()} for row in rows]
+
+    def test_baseline_row_included_once(self, setup):
+        rows = collect_rows(["wolf"], ["duplication", "chopin+sched"],
+                            setup)
+        dup_rows = [r for r in rows if r["scheme"] == "duplication"]
+        assert len(dup_rows) == 1

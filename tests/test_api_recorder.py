@@ -1,0 +1,141 @@
+"""The command-recording API (§IV-A software extension)."""
+
+import numpy as np
+import pytest
+
+from repro.api import CommandRecorder, driver_groups
+from repro.errors import PipelineError, TraceError
+from repro.geometry import BlendOp, DepthFunc
+from repro.harness import make_setup, run
+
+
+def triangles(count, depth=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-0.9, 0.9, (count, 3, 3)).astype(np.float32)
+    positions[..., 2] = depth
+    colors = rng.random((count, 3, 4), dtype=np.float32)
+    colors[..., 3] = 1.0
+    return positions, colors
+
+
+class TestRecording:
+    def test_simple_scene(self):
+        rec = CommandRecorder(64, 64)
+        rec.draw_quad(-1, -1, 1, 1, 0.99, (0.1, 0.1, 0.2, 1.0))
+        rec.draw_triangles(*triangles(20, depth=0.4))
+        trace = rec.finish("scene")
+        assert trace.num_draws == 2
+        assert trace.num_triangles == 22
+
+    def test_draw_ids_sequential(self):
+        rec = CommandRecorder(64, 64)
+        ids = [rec.draw_quad(-1, -1, 0, 0, 0.5, (1, 1, 1, 1))
+               for _ in range(3)]
+        assert ids == [0, 1, 2]
+
+    def test_state_carried_into_draws(self):
+        rec = CommandRecorder(64, 64)
+        rec.set_render_target(2)
+        rec.set_depth_func(DepthFunc.LEQUAL)
+        rec.draw_triangles(*triangles(4))
+        trace = rec.finish("t")
+        state = trace.frame.draws[0].state
+        assert state.render_target == 2
+        assert state.depth_buffer == 2
+        assert state.depth_func is DepthFunc.LEQUAL
+
+    def test_set_blend_disables_depth_write(self):
+        rec = CommandRecorder(64, 64)
+        rec.set_blend(BlendOp.OVER)
+        rec.draw_triangles(*triangles(4))
+        trace = rec.finish("t")
+        assert not trace.frame.draws[0].state.depth_write
+        assert trace.frame.draws[0].transparent
+
+    def test_multi_frame(self):
+        rec = CommandRecorder(64, 64)
+        rec.draw_quad(-1, -1, 1, 1, 0.5, (1, 0, 0, 1))
+        rec.end_frame()
+        rec.draw_quad(-1, -1, 1, 1, 0.5, (0, 1, 0, 1))
+        trace = rec.finish("anim")
+        assert len(trace.frames) == 2
+
+    def test_empty_frame_rejected(self):
+        rec = CommandRecorder(64, 64)
+        with pytest.raises(TraceError):
+            rec.end_frame()
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            CommandRecorder(64, 64).finish("empty")
+
+
+class TestGroupMarkers:
+    def test_well_placed_markers_accepted(self):
+        rec = CommandRecorder(64, 64)
+        rec.comp_group_start()
+        rec.draw_triangles(*triangles(10))
+        rec.draw_triangles(*triangles(10, seed=1))
+        rec.comp_group_end()
+        rec.set_render_target(1)
+        rec.comp_group_start()
+        rec.draw_triangles(*triangles(10, seed=2))
+        rec.comp_group_end()
+        trace = rec.finish("ok")
+        assert len(driver_groups(trace)) == 2
+
+    def test_marker_spanning_rt_switch_rejected(self):
+        rec = CommandRecorder(64, 64)
+        rec.comp_group_start()
+        rec.draw_triangles(*triangles(10))
+        rec.set_render_target(1)
+        rec.draw_triangles(*triangles(10, seed=1))
+        with pytest.raises(PipelineError):
+            rec.validate_markers()
+
+    def test_marker_spanning_blend_change_rejected(self):
+        rec = CommandRecorder(64, 64)
+        rec.comp_group_start()
+        rec.draw_triangles(*triangles(10))
+        rec.set_blend(BlendOp.OVER)
+        rec.draw_triangles(*triangles(10, seed=1))
+        rec.comp_group_end()
+        with pytest.raises(PipelineError):
+            rec.finish("bad")
+
+    def test_nested_group_rejected(self):
+        rec = CommandRecorder(64, 64)
+        rec.comp_group_start()
+        with pytest.raises(TraceError):
+            rec.comp_group_start()
+
+    def test_unopened_end_rejected(self):
+        rec = CommandRecorder(64, 64)
+        with pytest.raises(TraceError):
+            rec.comp_group_end()
+
+    def test_open_group_at_frame_end_rejected(self):
+        rec = CommandRecorder(64, 64)
+        rec.comp_group_start()
+        rec.draw_triangles(*triangles(4))
+        with pytest.raises(TraceError):
+            rec.end_frame()
+
+
+class TestEndToEnd:
+    def test_recorded_scene_runs_through_schemes(self):
+        rec = CommandRecorder(128, 128)
+        rec.draw_quad(-1, -1, 1, 1, 0.99, (0.1, 0.1, 0.2, 1.0))
+        for layer, depth in enumerate((0.2, 0.4, 0.6)):
+            rec.draw_triangles(*triangles(120, depth=depth, seed=layer))
+        rec.set_blend(BlendOp.OVER)
+        positions, colors = triangles(40, depth=0.3, seed=9)
+        colors[..., :3] *= 0.4
+        colors[..., 3] = 0.4
+        rec.draw_triangles(positions, colors)
+        trace = rec.finish("recorded")
+
+        setup = make_setup("tiny", num_gpus=4)
+        dup = run("duplication", trace, setup)
+        chopin = run("chopin+sched", trace, setup)
+        assert np.abs(dup.image.color - chopin.image.color).max() < 3e-3

@@ -1,0 +1,98 @@
+"""Frustum culling and near-plane clipping."""
+
+import numpy as np
+
+from repro.geometry.clipping import (backface_cull_mask, clip_near_plane,
+                                     frustum_cull_mask)
+
+
+def tri_clip(vertices):
+    """Build a (1, 3, 4) clip-space triangle."""
+    return np.array([vertices], dtype=np.float32)
+
+
+def uniform_colors():
+    return np.ones((1, 3, 4), dtype=np.float32)
+
+
+class TestFrustumCull:
+    def test_inside_triangle_kept(self):
+        clip = tri_clip([[0, 0, 0.5, 1], [0.5, 0, 0.5, 1], [0, 0.5, 0.5, 1]])
+        assert not frustum_cull_mask(clip)[0]
+
+    def test_fully_left_culled(self):
+        clip = tri_clip([[-2, 0, 0.5, 1], [-3, 0, 0.5, 1], [-2, 1, 0.5, 1]])
+        assert frustum_cull_mask(clip)[0]
+
+    def test_straddling_kept(self):
+        clip = tri_clip([[-2, 0, 0.5, 1], [0.5, 0, 0.5, 1], [0, 0.5, 0.5, 1]])
+        assert not frustum_cull_mask(clip)[0]
+
+    def test_behind_far_plane_culled(self):
+        clip = tri_clip([[0, 0, 2.0, 1], [0.5, 0, 2.0, 1], [0, 0.5, 1.5, 1]])
+        assert frustum_cull_mask(clip)[0]
+
+    def test_each_vertex_outside_different_plane_kept(self):
+        # Conservative test must keep triangles spanning multiple planes.
+        clip = tri_clip([[-2, 0, 0.5, 1], [2, 0, 0.5, 1], [0, 2, 0.5, 1]])
+        assert not frustum_cull_mask(clip)[0]
+
+
+class TestBackfaceCull:
+    def test_ccw_front_facing_kept(self):
+        # Counter-clockwise in NDC (y up).
+        clip = tri_clip([[0, 0, 0.5, 1], [1, 0, 0.5, 1], [0, 1, 0.5, 1]])
+        assert not backface_cull_mask(clip)[0]
+
+    def test_cw_back_facing_culled(self):
+        clip = tri_clip([[0, 0, 0.5, 1], [0, 1, 0.5, 1], [1, 0, 0.5, 1]])
+        assert backface_cull_mask(clip)[0]
+
+    def test_near_plane_vertices_conservatively_kept(self):
+        clip = tri_clip([[0, 0, 0.5, 0.0], [0, 1, 0.5, 1], [1, 0, 0.5, 1]])
+        assert not backface_cull_mask(clip)[0]
+
+
+class TestNearClip:
+    def test_fully_in_front_unchanged(self):
+        clip = tri_clip([[0, 0, 0.5, 1], [1, 0, 0.5, 1], [0, 1, 0.5, 1]])
+        out_clip, out_colors = clip_near_plane(clip, uniform_colors())
+        assert out_clip.shape == (1, 3, 4)
+        assert np.allclose(out_clip, clip)
+
+    def test_fully_behind_dropped(self):
+        clip = tri_clip([[0, 0, -1, 1], [1, 0, -2, 1], [0, 1, -1, 1]])
+        out_clip, _ = clip_near_plane(clip, uniform_colors())
+        assert out_clip.shape[0] == 0
+
+    def test_one_vertex_behind_gives_two_triangles(self):
+        clip = tri_clip([[0, 0, -1, 1], [1, 0, 1, 1], [0, 1, 1, 1]])
+        out_clip, out_colors = clip_near_plane(clip, uniform_colors())
+        assert out_clip.shape[0] == 2
+        assert out_colors.shape[0] == 2
+        # every output vertex is on or in front of the near plane
+        assert (out_clip[..., 2] >= -1e-6).all()
+
+    def test_two_vertices_behind_gives_one_triangle(self):
+        clip = tri_clip([[0, 0, 1, 1], [1, 0, -1, 1], [0, 1, -1, 1]])
+        out_clip, _ = clip_near_plane(clip, uniform_colors())
+        assert out_clip.shape[0] == 1
+        assert (out_clip[..., 2] >= -1e-6).all()
+
+    def test_intersection_interpolates_attributes(self):
+        clip = tri_clip([[0, 0, -1, 1], [0, 0, 1, 1], [1, 0, 1, 1]])
+        colors = np.array([[[1, 0, 0, 1], [0, 1, 0, 1], [0, 0, 1, 1]]],
+                          dtype=np.float32)
+        out_clip, out_colors = clip_near_plane(clip, colors)
+        # the edge v0->v1 crosses z=0 at its midpoint: colour (0.5, 0.5, 0)
+        flat = out_colors.reshape(-1, 4)
+        mids = [c for c in flat if np.allclose(c[:2], [0.5, 0.5], atol=1e-5)]
+        assert mids, "expected an interpolated midpoint colour"
+
+    def test_mixed_batch_preserves_front_triangles(self):
+        front = [[0, 0, 0.5, 1], [1, 0, 0.5, 1], [0, 1, 0.5, 1]]
+        behind = [[0, 0, -1, 1], [1, 0, -2, 1], [0, 1, -1, 1]]
+        clip = np.array([front, behind], dtype=np.float32)
+        colors = np.ones((2, 3, 4), dtype=np.float32)
+        out_clip, _ = clip_near_plane(clip, colors)
+        assert out_clip.shape[0] == 1

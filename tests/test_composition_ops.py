@@ -1,0 +1,181 @@
+"""Composition operators and sub-image reductions, incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.composition import (SubImage, blend, blend_merge, composite_opaque,
+                               composite_transparent,
+                               composite_transparent_tree, depth_merge,
+                               identity_for, is_associative_pair, over,
+                               resolve_to_background)
+from repro.errors import CompositionError
+from repro.framebuffer import DEPTH_CLEAR, Framebuffer
+from repro.geometry import BlendOp
+
+pixels = hnp.arrays(np.float32, (4,), elements=st.floats(
+    0.0, 1.0, width=32, allow_nan=False))
+
+
+def random_subimage(rng, shape=(6, 6), touched_p=0.8):
+    return SubImage(
+        color=rng.random(shape + (4,), dtype=np.float32),
+        depth=rng.random(shape, dtype=np.float32),
+        touched=rng.random(shape) < touched_p,
+    )
+
+
+class TestOperators:
+    def test_over_formula(self):
+        old = np.array([0.4, 0.4, 0.4, 1.0], dtype=np.float32)
+        new = np.array([0.3, 0.0, 0.0, 0.5], dtype=np.float32)
+        out = over(old, new)
+        assert np.allclose(out, new + 0.5 * old)
+
+    def test_over_opaque_new_replaces(self):
+        old = np.array([0.4, 0.4, 0.4, 1.0], dtype=np.float32)
+        new = np.array([1.0, 0.0, 0.0, 1.0], dtype=np.float32)
+        assert np.allclose(over(old, new), new)
+
+    @given(a=pixels, b=pixels, c=pixels)
+    @settings(max_examples=60, deadline=None)
+    def test_over_is_associative(self, a, b, c):
+        # ((a over b) over c) == (a over (b-and-c merged as one layer))
+        left = over(over(a, b), c)
+        merged = over(b, c)
+        assert np.allclose(over(a, merged), left, atol=1e-5)
+
+    @given(a=pixels, b=pixels, c=pixels)
+    @settings(max_examples=60, deadline=None)
+    def test_additive_is_associative(self, a, b, c):
+        left = blend(BlendOp.ADDITIVE, blend(BlendOp.ADDITIVE, a, b), c)
+        right = blend(BlendOp.ADDITIVE, a, blend(BlendOp.ADDITIVE, b, c))
+        assert np.allclose(left, right, atol=1e-5)
+
+    @given(a=pixels, b=pixels, c=pixels)
+    @settings(max_examples=60, deadline=None)
+    def test_multiply_is_associative(self, a, b, c):
+        left = blend(BlendOp.MULTIPLY, blend(BlendOp.MULTIPLY, a, b), c)
+        right = blend(BlendOp.MULTIPLY, a, blend(BlendOp.MULTIPLY, b, c))
+        assert np.allclose(left, right, atol=1e-5)
+
+    def test_over_not_commutative(self):
+        glass = np.array([0.2, 0.2, 0.8, 0.5], dtype=np.float32)
+        pink = np.array([0.5, 0.2, 0.2, 0.4], dtype=np.float32)
+        assert not np.allclose(over(glass, pink), over(pink, glass))
+
+    def test_identity_elements(self):
+        p = np.array([0.3, 0.5, 0.7, 0.6], dtype=np.float32)
+        assert np.allclose(blend(BlendOp.OVER, identity_for(BlendOp.OVER), p),
+                           p)
+        assert np.allclose(
+            blend(BlendOp.MULTIPLY, identity_for(BlendOp.MULTIPLY), p), p)
+        with pytest.raises(CompositionError):
+            identity_for(BlendOp.REPLACE)
+
+    def test_associative_pair_rule(self):
+        assert is_associative_pair(BlendOp.OVER, BlendOp.OVER)
+        assert not is_associative_pair(BlendOp.OVER, BlendOp.ADDITIVE)
+
+
+class TestDepthMerge:
+    def test_closer_pixel_wins(self, rng):
+        a = random_subimage(rng, touched_p=1.0)
+        b = random_subimage(rng, touched_p=1.0)
+        merged = depth_merge(a, b)
+        wins_b = b.depth < a.depth
+        assert np.allclose(merged.color[wins_b], b.color[wins_b])
+        assert np.allclose(merged.color[~wins_b], a.color[~wins_b])
+
+    def test_untouched_side_never_wins(self, rng):
+        a = random_subimage(rng, touched_p=1.0)
+        b = random_subimage(rng, touched_p=1.0)
+        b.depth[:] = 0.0         # b "closer" everywhere...
+        b.touched[:] = False     # ...but b never actually drew
+        merged = depth_merge(a, b)
+        assert np.allclose(merged.color, a.color)
+
+    def test_commutative_on_distinct_depths(self, rng):
+        a = random_subimage(rng, touched_p=1.0)
+        b = random_subimage(rng, touched_p=1.0)
+        ab, ba = depth_merge(a, b), depth_merge(b, a)
+        distinct = a.depth != b.depth
+        assert np.allclose(ab.color[distinct], ba.color[distinct])
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(CompositionError):
+            depth_merge(random_subimage(rng, (4, 4)),
+                        random_subimage(rng, (6, 6)))
+
+
+class TestOpaqueComposition:
+    def test_any_order_gives_same_image(self, rng):
+        images = [random_subimage(rng) for _ in range(5)]
+        forward = composite_opaque(images)
+        backward = composite_opaque(images, order=[4, 3, 2, 1, 0])
+        shuffled = composite_opaque(images, order=[2, 0, 4, 1, 3])
+        assert np.allclose(forward.color, backward.color)
+        assert np.allclose(forward.color, shuffled.color)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompositionError):
+            composite_opaque([])
+
+
+class TestTransparentComposition:
+    @pytest.mark.parametrize("count", [2, 3, 5, 8])
+    def test_tree_matches_sequential(self, rng, count):
+        images = [random_subimage(rng) for _ in range(count)]
+        sequential = composite_transparent(images, BlendOp.OVER)
+        tree = composite_transparent_tree(images, BlendOp.OVER)
+        assert np.allclose(sequential.color, tree.color, atol=1e-5)
+
+    def test_order_matters(self, rng):
+        a, b = random_subimage(rng), random_subimage(rng)
+        ab = composite_transparent([a, b], BlendOp.OVER)
+        ba = composite_transparent([b, a], BlendOp.OVER)
+        assert not np.allclose(ab.color, ba.color, atol=1e-4)
+
+    def test_blank_layers_are_identity(self, rng):
+        layer = random_subimage(rng)
+        blank = SubImage.blank(6, 6, BlendOp.OVER)
+        merged = blend_merge(blank, layer, BlendOp.OVER)
+        assert np.allclose(merged.color, layer.color, atol=1e-6)
+
+
+class TestResolve:
+    def test_opaque_resolve_depth_tested(self, rng):
+        fb = Framebuffer(6, 6)
+        fb.depth[:] = 0.5
+        fb.color[:] = 0.25
+        composed = random_subimage(rng, touched_p=1.0)
+        composed.depth[:] = 0.9   # everything behind the background
+        resolve_to_background(fb.color, fb.depth, composed, BlendOp.REPLACE)
+        assert np.allclose(fb.color, 0.25)
+
+    def test_opaque_resolve_writes_winners(self, rng):
+        fb = Framebuffer(6, 6)
+        composed = random_subimage(rng, touched_p=1.0)
+        composed.depth[:] = 0.1
+        resolve_to_background(fb.color, fb.depth, composed, BlendOp.REPLACE)
+        assert np.allclose(fb.color, composed.color)
+        assert np.allclose(fb.depth, 0.1)
+
+    def test_transparent_resolve_blends_once(self, rng):
+        fb = Framebuffer(6, 6)
+        fb.color[:] = np.array([0.5, 0.5, 0.5, 1.0])
+        composed = random_subimage(rng, touched_p=1.0)
+        expected = blend(BlendOp.OVER, fb.color.copy(), composed.color)
+        resolve_to_background(fb.color, fb.depth, composed, BlendOp.OVER,
+                              depth_write=False)
+        assert np.allclose(fb.color, expected, atol=1e-6)
+        assert (fb.depth == DEPTH_CLEAR).all()
+
+    def test_size_mismatch_rejected(self, rng):
+        fb = Framebuffer(4, 4)
+        with pytest.raises(CompositionError):
+            resolve_to_background(fb.color, fb.depth,
+                                  random_subimage(rng, (6, 6)),
+                                  BlendOp.REPLACE)

@@ -1,0 +1,82 @@
+"""Configuration (Table II) validation and derived quantities."""
+
+import pytest
+
+from repro.config import GIGA, GPUConfig, LinkConfig, SystemConfig, TABLE2
+from repro.errors import ConfigError
+
+
+class TestGPUConfig:
+    def test_defaults_match_table2(self):
+        gpu = GPUConfig()
+        assert gpu.num_sms == 8
+        assert gpu.num_rops == 8
+        assert gpu.shader_cores_per_sm == 32
+        assert gpu.frequency_hz == GIGA
+
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(num_sms=0)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(frequency_hz=-1)
+
+
+class TestLinkConfig:
+    def test_default_bandwidth_bytes_per_cycle(self):
+        link = LinkConfig()
+        assert link.bandwidth_bytes_per_cycle(GIGA) == pytest.approx(64.0)
+
+    def test_transfer_cycles_includes_latency(self):
+        link = LinkConfig(bandwidth_gb_per_s=64.0, latency_cycles=200)
+        assert link.transfer_cycles(6400) == pytest.approx(200 + 100)
+
+    def test_ideal_link_is_free(self):
+        link = LinkConfig(ideal=True)
+        assert link.transfer_cycles(10**9) == 0.0
+        assert link.bandwidth_bytes_per_cycle() == float("inf")
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigError):
+            LinkConfig(bandwidth_gb_per_s=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            LinkConfig(latency_cycles=-5)
+
+
+class TestSystemConfig:
+    def test_table2_defaults(self):
+        assert TABLE2.num_gpus == 8
+        assert TABLE2.composition_threshold == 4096
+        assert TABLE2.tile_size == 64
+        assert TABLE2.link.bandwidth_gb_per_s == 64.0
+        assert TABLE2.link.latency_cycles == 200
+
+    def test_with_gpus_copies(self):
+        other = TABLE2.with_gpus(16)
+        assert other.num_gpus == 16
+        assert TABLE2.num_gpus == 8
+
+    def test_with_link_partial_override(self):
+        other = TABLE2.with_link(latency_cycles=400)
+        assert other.link.latency_cycles == 400
+        assert other.link.bandwidth_gb_per_s == TABLE2.link.bandwidth_gb_per_s
+
+    def test_idealized_keeps_structure(self):
+        ideal = TABLE2.idealized()
+        assert ideal.link.ideal
+        assert ideal.num_gpus == TABLE2.num_gpus
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_gpus=0)
+
+    def test_rejects_bad_retained_fraction(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(retained_cull_fraction=1.5)
+
+    def test_rejects_zero_update_interval(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(scheduler_update_interval=0)

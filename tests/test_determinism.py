@@ -1,0 +1,66 @@
+"""Determinism: identical inputs must produce bit-identical outputs.
+
+The DES breaks simultaneous-event ties FIFO and all randomness is seeded,
+so every layer — trace generation, functional rendering, scheduling,
+timing — must be exactly reproducible run-to-run. Any drift here would make
+the harness's cached results unrepresentative.
+"""
+
+import numpy as np
+
+from repro.harness import build_scheme, make_setup
+from repro.sfr import clear_chopin_cache, clear_reference_cache
+from repro.traces import TraceSpec, load_benchmark, synthesize
+from repro.traces.benchmarks import clear_cache
+
+
+class TestTraceDeterminism:
+    def test_regenerated_benchmark_identical(self):
+        first = load_benchmark("wolf", "tiny")
+        clear_cache()
+        second = load_benchmark("wolf", "tiny")
+        assert first is not second
+        assert first.num_draws == second.num_draws
+        for a, b in zip(first.frame.draws, second.frame.draws):
+            assert np.array_equal(a.positions, b.positions)
+            assert np.array_equal(a.colors, b.colors)
+            assert a.vertex_cost == b.vertex_cost
+            assert a.state == b.state
+
+    def test_spec_fully_determines_trace(self):
+        spec = TraceSpec(name="d", width=64, height=64, num_draws=20,
+                         num_triangles=600, seed=99)
+        a, b = synthesize(spec), synthesize(spec)
+        assert all(np.array_equal(x.positions, y.positions)
+                   for x, y in zip(a.frame.draws, b.frame.draws))
+
+
+class TestSchemeDeterminism:
+    def test_duplication_cycles_exactly_repeat(self):
+        setup = make_setup("tiny", num_gpus=8)
+        trace = load_benchmark("wolf", "tiny")
+        first = build_scheme("duplication", setup).run(trace)
+        second = build_scheme("duplication", setup).run(trace)
+        assert first.frame_cycles == second.frame_cycles
+        assert np.array_equal(first.image.color, second.image.color)
+
+    def test_chopin_cycles_exactly_repeat_with_cold_caches(self):
+        setup = make_setup("tiny", num_gpus=8)
+        trace = load_benchmark("wolf", "tiny")
+        first = build_scheme("chopin+sched", setup).run(trace)
+        clear_chopin_cache()
+        clear_reference_cache()
+        second = build_scheme("chopin+sched", setup).run(trace)
+        assert first.frame_cycles == second.frame_cycles
+        assert np.array_equal(first.image.color, second.image.color)
+        totals_a = first.stats.stage_cycle_totals()
+        totals_b = second.stats.stage_cycle_totals()
+        assert totals_a == totals_b
+
+    def test_gpupd_traffic_exactly_repeats(self):
+        setup = make_setup("tiny", num_gpus=4)
+        trace = load_benchmark("wolf", "tiny")
+        first = build_scheme("gpupd", setup).run(trace)
+        second = build_scheme("gpupd", setup).run(trace)
+        assert first.stats.traffic_total() == second.stats.traffic_total()
+        assert first.frame_cycles == second.frame_cycles

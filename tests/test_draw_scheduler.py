@@ -1,0 +1,164 @@
+"""Draw-command schedulers (§IV-D) and the transparent even-split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (LeastRemainingTrianglesScheduler, OracleLPTScheduler,
+                        RoundRobinScheduler, even_split_by_triangles)
+from repro.errors import SchedulingError
+from repro.geometry import DrawCommand
+
+
+def make_draw(draw_id, tris):
+    positions = np.zeros((tris, 3, 3), dtype=np.float32)
+    colors = np.zeros((tris, 3, 4), dtype=np.float32)
+    return DrawCommand(draw_id=draw_id, positions=positions, colors=colors)
+
+
+class TestRoundRobin:
+    def test_cycles_through_gpus(self):
+        sched = RoundRobinScheduler(3)
+        assert [sched.pick(10) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_ignores_triangle_counts(self):
+        sched = RoundRobinScheduler(2)
+        assert sched.pick(1000) == 0
+        assert sched.pick(1) == 1
+
+    def test_reset(self):
+        sched = RoundRobinScheduler(3)
+        sched.pick(1)
+        sched.reset()
+        assert sched.pick(1) == 0
+
+
+class TestLeastRemaining:
+    def test_first_picks_spread(self):
+        sched = LeastRemainingTrianglesScheduler(4)
+        assert [sched.pick(10) for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_picks_least_loaded(self):
+        sched = LeastRemainingTrianglesScheduler(2)
+        sched.pick(100)   # gpu0 loaded
+        assert sched.pick(10) == 1
+        assert sched.pick(10) == 1  # gpu1 at 20 < gpu0 at 100... still least
+        assert sched.remaining(1) == 20
+
+    def test_progress_reports_free_capacity(self):
+        sched = LeastRemainingTrianglesScheduler(2)
+        sched.pick(100)          # gpu0: 100 remaining
+        sched.pick(60)           # gpu1: 60 remaining
+        sched.report_processed(0, 90)  # gpu0: 10 remaining
+        assert sched.pick(1) == 0
+
+    def test_overreporting_rejected(self):
+        sched = LeastRemainingTrianglesScheduler(2)
+        sched.pick(10)
+        with pytest.raises(SchedulingError):
+            sched.report_processed(0, 20)
+
+    def test_reset_clears_counters(self):
+        sched = LeastRemainingTrianglesScheduler(2)
+        sched.pick(50)
+        sched.reset()
+        assert sched.remaining(0) == 0
+
+    def test_balances_triangles_better_than_round_robin(self):
+        rng = np.random.default_rng(42)
+        sizes = rng.lognormal(3.0, 1.3, size=200).astype(int) + 1
+        least = LeastRemainingTrianglesScheduler(8)
+        rr = RoundRobinScheduler(8)
+        least_load, rr_load = [0] * 8, [0] * 8
+        for size in sizes:
+            least_load[least.pick(int(size))] += int(size)
+            rr_load[rr.pick(int(size))] += int(size)
+        assert max(least_load) < max(rr_load)
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(SchedulingError):
+            LeastRemainingTrianglesScheduler(0)
+
+
+class TestOracle:
+    def test_lpt_by_cost(self):
+        sched = OracleLPTScheduler(2, costs=[100.0, 10.0, 10.0])
+        assert sched.pick(1) == 0     # heavy job to gpu0
+        assert sched.pick(1) == 1
+        assert sched.pick(1) == 1     # gpu1 at 20 < gpu0 at 100
+
+    def test_runs_out_of_costs(self):
+        sched = OracleLPTScheduler(2, costs=[1.0])
+        sched.pick(1)
+        with pytest.raises(SchedulingError):
+            sched.pick(1)
+
+
+class TestEvenSplit:
+    def test_preserves_order_and_total(self):
+        draws = [make_draw(i, t) for i, t in enumerate([10, 20, 5, 15])]
+        chunks = even_split_by_triangles(draws, 3)
+        total = sum(d.num_triangles for chunk in chunks for d in chunk)
+        assert total == 50
+        ids = [d.draw_id for chunk in chunks for d in chunk]
+        assert ids == sorted(ids)
+
+    def test_splits_large_draw_across_chunks(self):
+        draws = [make_draw(0, 100)]
+        chunks = even_split_by_triangles(draws, 4)
+        counts = [sum(d.num_triangles for d in c) for c in chunks]
+        assert counts == [25, 25, 25, 25]
+
+    def test_empty_draw_list(self):
+        chunks = even_split_by_triangles([], 4)
+        assert chunks == [[], [], [], []]
+
+    def test_fewer_triangles_than_gpus(self):
+        draws = [make_draw(0, 2)]
+        chunks = even_split_by_triangles(draws, 8)
+        assert sum(sum(d.num_triangles for d in c) for c in chunks) == 2
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(SchedulingError):
+            even_split_by_triangles([], 0)
+
+    @given(st.lists(st.integers(1, 200), min_size=1, max_size=30),
+           st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_property_balanced_and_order_preserving(self, sizes, num_gpus):
+        draws = [make_draw(i, t) for i, t in enumerate(sizes)]
+        chunks = even_split_by_triangles(draws, num_gpus)
+        counts = [sum(d.num_triangles for d in c) for c in chunks]
+        total = sum(sizes)
+        assert sum(counts) == total
+        # each chunk within one triangle of the ideal share (contiguity
+        # with draw splitting allows exact boundaries up to rounding)
+        ideal = total / num_gpus
+        assert all(abs(c - ideal) <= 1.0 for c in counts)
+        # concatenation preserves primitive order per draw id
+        ids = [d.draw_id for chunk in chunks for d in chunk]
+        assert ids == sorted(ids)
+
+
+class TestSampledRate:
+    def test_lpt_by_frozen_estimates(self):
+        from repro.core import SampledRateScheduler
+        sched = SampledRateScheduler(2, estimates=[100.0, 10.0, 10.0])
+        assert sched.pick(1) == 0
+        assert sched.pick(1) == 1
+        assert sched.pick(1) == 1
+
+    def test_runs_out(self):
+        from repro.core import SampledRateScheduler
+        sched = SampledRateScheduler(2, estimates=[1.0])
+        sched.pick(1)
+        with pytest.raises(SchedulingError):
+            sched.pick(1)
+
+    def test_reset(self):
+        from repro.core import SampledRateScheduler
+        sched = SampledRateScheduler(2, estimates=[5.0, 5.0])
+        sched.pick(1)
+        sched.reset()
+        assert sched.pick(1) == 0

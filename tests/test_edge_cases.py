@@ -1,0 +1,136 @@
+"""Edge cases across the scheme layer: odd GPU counts, empty assignments,
+opaque-only / transparent-heavy frames, minimal traces."""
+
+import numpy as np
+import pytest
+
+from repro.api import CommandRecorder
+from repro.geometry import BlendOp
+from repro.harness import build_scheme, make_setup
+from repro.harness.runner import Setup
+from repro.config import SystemConfig
+from repro.timing.costs import CostModel
+from repro.sfr import render_reference_image
+
+
+def setup_for(num_gpus, tile_size=8, composition_threshold=16):
+    config = SystemConfig(num_gpus=num_gpus, tile_size=tile_size,
+                          composition_threshold=composition_threshold)
+    return Setup(scale="tiny", config=config,
+                 costs=CostModel(gpu=config.gpu, draw_issue_cost=10.0))
+
+
+def localized_draws(rec, rng, count, tris=30):
+    for index in range(count):
+        center = rng.uniform(-0.8, 0.8, 2)
+        positions = np.empty((tris, 3, 3), dtype=np.float32)
+        base = center + rng.uniform(-0.1, 0.1, (tris, 2))
+        positions[:, 0, :2] = base
+        positions[:, 1, :2] = base + rng.normal(0, 0.05, (tris, 2))
+        positions[:, 2, :2] = base + rng.normal(0, 0.05, (tris, 2))
+        positions[..., 2] = 0.1 + 0.8 * index / max(count, 1)
+        colors = np.ones((tris, 3, 4), dtype=np.float32)
+        colors[..., :3] = rng.random(3)
+        rec.draw_triangles(positions, colors)
+
+
+def check_all_schemes(trace, setup, tol=3e-3):
+    reference = render_reference_image(trace, setup.config)
+    for scheme in ("duplication", "gpupd", "sort-middle", "chopin",
+                   "chopin+sched", "chopin-ideal"):
+        result = build_scheme(scheme, setup).run(trace)
+        error = float(np.abs(result.image.color - reference.color).max())
+        assert error < tol, f"{scheme}: {error}"
+        assert np.isfinite(result.frame_cycles)
+        assert result.frame_cycles > 0
+
+
+class TestOddGPUCounts:
+    @pytest.mark.parametrize("num_gpus", [1, 2, 3, 5, 7])
+    def test_all_schemes_on_odd_counts(self, num_gpus):
+        rng = np.random.default_rng(42)
+        rec = CommandRecorder(64, 64)
+        rec.draw_quad(-1, -1, 1, 1, 0.99, (0.1, 0.1, 0.3, 1.0),
+                      pixel_cost=2.0)
+        localized_draws(rec, rng, 20)
+        rec.set_blend(BlendOp.OVER)
+        positions = np.array([[[-0.4, -0.4, 0.05], [0.4, -0.4, 0.05],
+                               [0.0, 0.4, 0.05]]], dtype=np.float32)
+        colors = np.tile(np.array([0.2, 0.1, 0.1, 0.5], np.float32),
+                         (1, 3, 1))
+        rec.draw_triangles(positions, colors)
+        trace = rec.finish("odd")
+        check_all_schemes(trace, setup_for(num_gpus))
+
+
+class TestDegenerateFrames:
+    def test_opaque_only_frame(self):
+        """No transparent groups at all (generator always adds some, the
+        recorder need not)."""
+        rng = np.random.default_rng(1)
+        rec = CommandRecorder(64, 64)
+        localized_draws(rec, rng, 16)
+        trace = rec.finish("opaque-only")
+        check_all_schemes(trace, setup_for(4))
+
+    def test_transparent_only_frame(self):
+        """A frame that is one big transparent group."""
+        rng = np.random.default_rng(2)
+        rec = CommandRecorder(64, 64)
+        rec.set_blend(BlendOp.OVER)
+        for index in range(6):
+            positions = rng.uniform(-0.7, 0.7, (20, 3, 3)) \
+                .astype(np.float32)
+            positions[..., 2] = 0.9 - index * 0.1
+            colors = np.full((20, 3, 4), 0.2, dtype=np.float32)
+            rec.draw_triangles(positions, colors)
+        trace = rec.finish("transparent-only")
+        check_all_schemes(trace, setup_for(4), tol=5e-3)
+
+    def test_fewer_draws_than_gpus(self):
+        rng = np.random.default_rng(3)
+        rec = CommandRecorder(64, 64)
+        localized_draws(rec, rng, 3, tris=40)
+        trace = rec.finish("sparse")
+        check_all_schemes(trace, setup_for(8))
+
+    def test_single_draw_frame(self):
+        rec = CommandRecorder(32, 32)
+        rec.draw_quad(-1, -1, 1, 1, 0.5, (1, 0, 0, 1), pixel_cost=2.0)
+        trace = rec.finish("one-draw")
+        check_all_schemes(trace, setup_for(4))
+
+    def test_draws_entirely_offscreen(self):
+        rng = np.random.default_rng(4)
+        rec = CommandRecorder(32, 32)
+        rec.draw_quad(-1, -1, 1, 1, 0.9, (0, 0, 1, 1), pixel_cost=2.0)
+        positions = rng.uniform(3.0, 5.0, (25, 3, 3)).astype(np.float32)
+        positions[..., 2] = 0.5
+        rec.draw_triangles(positions,
+                           np.ones((25, 3, 4), dtype=np.float32))
+        trace = rec.finish("offscreen")
+        check_all_schemes(trace, setup_for(4))
+
+
+class TestExtremeKnobs:
+    def test_tiny_tile_size(self):
+        rng = np.random.default_rng(5)
+        rec = CommandRecorder(64, 64)
+        localized_draws(rec, rng, 12)
+        trace = rec.finish("tiny-tiles")
+        check_all_schemes(trace, setup_for(4, tile_size=4))
+
+    def test_tile_larger_than_screen(self):
+        rng = np.random.default_rng(6)
+        rec = CommandRecorder(32, 32)
+        localized_draws(rec, rng, 8)
+        trace = rec.finish("one-tile")
+        # a single 64px tile: GPU0 owns everything
+        check_all_schemes(trace, setup_for(4, tile_size=64))
+
+    def test_zero_threshold_everything_composed(self):
+        rng = np.random.default_rng(7)
+        rec = CommandRecorder(64, 64)
+        localized_draws(rec, rng, 10)
+        trace = rec.finish("all-composed")
+        check_all_schemes(trace, setup_for(4, composition_threshold=0))

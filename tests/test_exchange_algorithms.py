@@ -1,0 +1,146 @@
+"""Direct-send, binary-swap, and radix-k compositing algorithms.
+
+All three must produce exactly the image of the sequential reduction — for
+opaque (commutative) and transparent (ordered, associative) operators — and
+their transfer logs must match the algorithms' known communication volumes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.composition import (binary_swap, composite_opaque,
+                               composite_transparent, default_factorization,
+                               direct_send, radix_k, slice_bounds,
+                               total_traffic_pixels)
+from repro.composition.compositor import SubImage
+from repro.errors import CompositionError
+from repro.geometry import BlendOp
+
+
+def make_images(rng, count, shape=(8, 8)):
+    return [SubImage(color=rng.random(shape + (4,), dtype=np.float32),
+                     depth=rng.random(shape, dtype=np.float32),
+                     touched=np.ones(shape, dtype=bool))
+            for _ in range(count)]
+
+
+class TestDirectSend:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8])
+    def test_opaque_matches_sequential(self, rng, count):
+        images = make_images(rng, count)
+        expected = composite_opaque(images)
+        composed, _ = direct_send(images)
+        assert np.allclose(composed.color, expected.color)
+        assert np.allclose(composed.depth, expected.depth)
+
+    @pytest.mark.parametrize("count", [2, 4, 7])
+    def test_transparent_matches_sequential(self, rng, count):
+        images = make_images(rng, count)
+        expected = composite_transparent(images, BlendOp.OVER)
+        composed, _ = direct_send(images, op=BlendOp.OVER)
+        assert np.allclose(composed.color, expected.color, atol=1e-5)
+
+    def test_transfer_count_all_to_all(self, rng):
+        images = make_images(rng, 4)
+        _, transfers = direct_send(images)
+        # every GPU sends each other GPU's slice: n*(n-1) messages
+        assert len(transfers) == 4 * 3
+
+    def test_traffic_volume(self, rng):
+        images = make_images(rng, 4, shape=(8, 8))
+        _, transfers = direct_send(images)
+        # each of 64 pixels travels n-1 times
+        assert total_traffic_pixels(transfers) == 64 * 3
+
+    def test_slice_bounds_partition(self):
+        bounds = slice_bounds(100, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 100
+        assert all(a[1] == b[0] for a, b in zip(bounds, bounds[1:]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompositionError):
+            direct_send([])
+
+
+class TestBinarySwap:
+    @pytest.mark.parametrize("count", [2, 4, 8])
+    def test_opaque_matches_sequential(self, rng, count):
+        images = make_images(rng, count)
+        expected = composite_opaque(images)
+        composed, _ = binary_swap(images)
+        assert np.allclose(composed.color, expected.color)
+
+    @pytest.mark.parametrize("count", [2, 4, 8])
+    def test_transparent_matches_sequential(self, rng, count):
+        images = make_images(rng, count)
+        expected = composite_transparent(images, BlendOp.OVER)
+        composed, _ = binary_swap(images, op=BlendOp.OVER)
+        assert np.allclose(composed.color, expected.color, atol=1e-4)
+
+    def test_non_power_of_two_rejected(self, rng):
+        with pytest.raises(CompositionError):
+            binary_swap(make_images(rng, 6))
+
+    def test_round_structure(self, rng):
+        images = make_images(rng, 8, shape=(8, 8))
+        _, transfers = binary_swap(images)
+        rounds = {t.round_index for t in transfers}
+        # log2(8) swap rounds plus the final gather round
+        assert rounds == {0, 1, 2, 3}
+
+    def test_swap_avoids_receiver_contention(self, rng):
+        """Binary-swap's advantage over direct-send is not bytes (both move
+        each pixel ~n-1 times in total) but contention: every GPU receives
+        exactly one message per swap round, versus n-1 simultaneous
+        messages per receiver in single-round direct-send."""
+        images = make_images(rng, 8, shape=(8, 8))
+        _, ds_transfers = direct_send(images)
+        _, bs_transfers = binary_swap(images)
+        for round_index in range(3):
+            receivers = [t.dst for t in bs_transfers
+                         if t.round_index == round_index]
+            assert sorted(receivers) == list(range(8))
+        ds_receivers = [t.dst for t in ds_transfers]
+        assert ds_receivers.count(0) == 7  # all-to-one burst
+
+
+class TestRadixK:
+    def test_default_factorization(self):
+        assert default_factorization(8) == [2, 2, 2]
+        assert default_factorization(6) == [2, 3]
+        assert default_factorization(7) == [7]
+        assert default_factorization(1) == [1]
+
+    @pytest.mark.parametrize("count,ks", [(4, [4]), (4, [2, 2]),
+                                          (8, [2, 4]), (8, [4, 2]),
+                                          (6, [2, 3]), (6, None)])
+    def test_opaque_matches_sequential(self, rng, count, ks):
+        images = make_images(rng, count)
+        expected = composite_opaque(images)
+        composed, _ = radix_k(images, k_vector=ks)
+        assert np.allclose(composed.color, expected.color)
+
+    @pytest.mark.parametrize("count,ks", [(4, [2, 2]), (8, [2, 4]),
+                                          (6, [3, 2])])
+    def test_transparent_matches_sequential(self, rng, count, ks):
+        images = make_images(rng, count)
+        expected = composite_transparent(images, BlendOp.OVER)
+        composed, _ = radix_k(images, k_vector=ks, op=BlendOp.OVER)
+        assert np.allclose(composed.color, expected.color, atol=1e-4)
+
+    def test_single_round_equals_direct_send_traffic(self, rng):
+        images = make_images(rng, 4, shape=(8, 8))
+        _, rk = radix_k(images, k_vector=[4])
+        _, ds = direct_send(images)
+        rk_exchange = [t for t in rk if t.round_index == 0]
+        assert total_traffic_pixels(rk_exchange) == total_traffic_pixels(ds)
+
+    def test_bad_factorization_rejected(self, rng):
+        with pytest.raises(CompositionError):
+            radix_k(make_images(rng, 8), k_vector=[3, 2])
+
+    def test_additive_operator(self, rng):
+        images = make_images(rng, 4)
+        expected = composite_transparent(images, BlendOp.ADDITIVE)
+        composed, _ = radix_k(images, op=BlendOp.ADDITIVE)
+        assert np.allclose(composed.color, expected.color, atol=1e-5)

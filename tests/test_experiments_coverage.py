@@ -1,0 +1,81 @@
+"""Smoke coverage for the remaining experiment drivers on a small subset."""
+
+import pytest
+
+from repro.harness import experiments as E
+
+ONE = ("wolf",)
+
+
+class TestSpeedupExperiments:
+    def test_fig5_contains_ideals(self):
+        table = E.fig5_ideal_speedup(benchmarks=ONE)
+        assert {"gpupd", "gpupd-ideal", "chopin-ideal"} \
+            <= set(table["wolf"])
+        assert table["wolf"]["chopin-ideal"] > 0
+
+    def test_fig8_round_robin_columns(self):
+        table = E.fig8_round_robin(benchmarks=ONE)
+        assert "chopin-rr" in table["wolf"]
+
+    def test_fig14_breakdown_normalized(self):
+        table = E.fig14_breakdown(benchmarks=ONE)
+        dup = table["wolf"]["duplication"]
+        total = sum(dup.values())
+        assert 0.9 < total <= 1.01  # duplication's own stages sum to ~1
+
+    def test_fig16_zero_retention_matches_fig13(self):
+        rows = E.fig16_culling_sensitivity(benchmark="wolf",
+                                           retained=(0.0,))
+        table = E.fig13_performance(benchmarks=("wolf",))
+        assert rows[0]["speedup"] == pytest.approx(
+            table["wolf"]["chopin+sched"], rel=1e-6)
+
+    def test_fig18_axis_in_paper_units(self):
+        table = E.fig18_update_interval(benchmarks=ONE,
+                                        intervals=(1, 1024),
+                                        schemes=("chopin+sched",))
+        assert set(table) == {1, 1024}
+
+    def test_fig19_multiple_counts(self):
+        table = E.fig19_gpu_scaling(benchmarks=ONE, gpu_counts=(2, 4),
+                                    schemes=("chopin+sched",))
+        assert set(table) == {2, 4}
+
+    def test_fig20_fixed_baseline_normalization(self):
+        """At the Table II default bandwidth, the sweep value equals the
+        same-config speedup (baseline == swept config)."""
+        sweep = E.fig20_bandwidth(benchmarks=ONE, bandwidths=(64.0,),
+                                  schemes=("chopin+sched",))
+        plain = E.fig13_performance(benchmarks=ONE)
+        assert sweep[64.0]["chopin+sched"] == pytest.approx(
+            plain["wolf"]["chopin+sched"], rel=1e-9)
+
+    def test_fig21_default_latency_matches(self):
+        sweep = E.fig21_latency(benchmarks=ONE, latencies=(200,),
+                                schemes=("chopin+sched",))
+        plain = E.fig13_performance(benchmarks=ONE)
+        assert sweep[200]["chopin+sched"] == pytest.approx(
+            plain["wolf"]["chopin+sched"], rel=1e-9)
+
+    def test_fig22_threshold_axis(self):
+        table = E.fig22_threshold(benchmarks=ONE,
+                                  thresholds=(4096,),
+                                  schemes=("chopin+sched",))
+        assert 4096 in table
+
+
+class TestScalarExperiments:
+    def test_sec6d_values(self):
+        data = E.sec6d_scheduler_traffic(num_gpus=8)
+        assert data["composition_sched_traffic_bytes"] == 512
+
+    def test_sec6f_scales_with_gpus(self):
+        assert E.sec6f_hardware_cost(16)["draw_scheduler_bytes"] == 256
+
+    def test_sec6g_monotone(self):
+        rows = E.sec6g_workload_trend(benchmark="wolf",
+                                      detail_factors=(1.0, 2.0))
+        assert rows[1]["primitive_cycles"] \
+            == pytest.approx(2 * rows[0]["primitive_cycles"])
+        assert rows[1]["fragment_cycles"] == rows[0]["fragment_cycles"]

@@ -1,0 +1,132 @@
+"""Framebuffers, surface pools, depth tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.framebuffer import (DEPTH_CLEAR, Framebuffer, SurfacePool,
+                               depth_test, is_order_independent)
+from repro.geometry import DepthFunc
+
+
+class TestDepthTest:
+    def test_less(self):
+        passed = depth_test(DepthFunc.LESS, np.array([0.2, 0.9]),
+                            np.array([0.5, 0.5]))
+        assert passed.tolist() == [True, False]
+
+    def test_lequal_accepts_ties(self):
+        passed = depth_test(DepthFunc.LEQUAL, np.array([0.5]),
+                            np.array([0.5]))
+        assert passed.tolist() == [True]
+
+    def test_greater(self):
+        passed = depth_test(DepthFunc.GREATER, np.array([0.9, 0.1]),
+                            np.array([0.5, 0.5]))
+        assert passed.tolist() == [True, False]
+
+    def test_always_and_never(self):
+        depths = np.array([0.1, 0.9])
+        buffer = np.array([0.5, 0.5])
+        assert depth_test(DepthFunc.ALWAYS, depths, buffer).all()
+        assert not depth_test(DepthFunc.NEVER, depths, buffer).any()
+
+    def test_equal_notequal(self):
+        depths = np.array([0.5, 0.4])
+        buffer = np.array([0.5, 0.5])
+        assert depth_test(DepthFunc.EQUAL, depths, buffer).tolist() == \
+            [True, False]
+        assert depth_test(DepthFunc.NOTEQUAL, depths, buffer).tolist() == \
+            [False, True]
+
+    def test_order_independence_classification(self):
+        assert is_order_independent(DepthFunc.LESS)
+        assert is_order_independent(DepthFunc.GEQUAL)
+        assert not is_order_independent(DepthFunc.EQUAL)
+        assert not is_order_independent(DepthFunc.NOTEQUAL)
+
+
+class TestFramebuffer:
+    def test_clear_state(self):
+        fb = Framebuffer(8, 4, clear_color=(0.1, 0.2, 0.3, 1.0))
+        assert fb.color.shape == (4, 8, 4)
+        assert np.allclose(fb.color[0, 0], [0.1, 0.2, 0.3, 1.0])
+        assert (fb.depth == DEPTH_CLEAR).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(PipelineError):
+            Framebuffer(0, 4)
+
+    def test_copy_is_independent(self):
+        fb = Framebuffer(4, 4)
+        dup = fb.copy()
+        dup.color[0, 0] = 1.0
+        assert fb.color[0, 0, 0] == 0.0
+
+    def test_same_image_tolerance(self):
+        a, b = Framebuffer(4, 4), Framebuffer(4, 4)
+        b.color += 1e-6
+        assert a.same_image(b)
+        b.color += 0.1
+        assert not a.same_image(b)
+
+    def test_same_image_different_sizes(self):
+        assert not Framebuffer(4, 4).same_image(Framebuffer(8, 8))
+
+    def test_size_bytes(self):
+        fb = Framebuffer(10, 10)
+        assert fb.size_bytes(pixel_bytes=8) == 800
+
+    def test_ppm_roundtrip(self, tmp_path):
+        fb = Framebuffer(3, 2)
+        fb.color[..., 0] = 1.0  # pure red
+        path = tmp_path / "out.ppm"
+        fb.write_ppm(str(path))
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n3 2\n255\n")
+        assert data.endswith(bytes([255, 0, 0]) * 6)
+
+    def test_srgb_bytes_clamped(self):
+        fb = Framebuffer(2, 2)
+        fb.color[..., 1] = 2.0
+        fb.color[..., 2] = -1.0
+        quantized = fb.to_srgb_bytes()
+        assert quantized[..., 1].max() == 255
+        assert quantized[..., 2].min() == 0
+
+
+class TestSurfacePool:
+    def test_lazy_creation(self):
+        pool = SurfacePool(8, 8)
+        assert pool.target_ids == ()
+        pool.render_target(2)
+        assert pool.target_ids == (2,)
+
+    def test_same_target_returned(self):
+        pool = SurfacePool(8, 8)
+        assert pool.render_target(0) is pool.render_target(0)
+
+    def test_depth_buffer_cleared_to_far(self):
+        pool = SurfacePool(8, 8)
+        assert (pool.depth_buffer(1) == DEPTH_CLEAR).all()
+
+    def test_reset_clears_everything(self):
+        pool = SurfacePool(8, 8)
+        pool.render_target(0).color[:] = 1.0
+        pool.depth_buffer(0)[:] = 0.25
+        pool.reset()
+        assert (pool.render_target(0).color == 0).all()
+        assert (pool.depth_buffer(0) == DEPTH_CLEAR).all()
+
+    def test_install_render_target(self):
+        pool = SurfacePool(8, 8)
+        custom = Framebuffer(8, 8)
+        pool.install_render_target(3, custom)
+        assert pool.render_target(3) is custom
+
+    def test_install_size_mismatch_rejected(self):
+        pool = SurfacePool(8, 8)
+        with pytest.raises(PipelineError):
+            pool.install_render_target(0, Framebuffer(4, 4))
+        with pytest.raises(PipelineError):
+            pool.install_depth_buffer(0, np.zeros((4, 4), np.float32))

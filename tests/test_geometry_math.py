@@ -1,0 +1,102 @@
+"""Vector/matrix toolkit and vertex transformation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.geometry import vec
+from repro.geometry.transform import (perspective_divide, to_screen,
+                                      transform_positions,
+                                      triangle_screen_bounds)
+
+
+class TestVec:
+    def test_normalize_unit_length(self):
+        v = vec.normalize(vec.vec3(3, 4, 0))
+        assert np.allclose(np.linalg.norm(v), 1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            vec.normalize(vec.vec3(0, 0, 0))
+
+    def test_translate_moves_point(self):
+        m = vec.translate((1, 2, 3))
+        p = m @ vec.vec4(0, 0, 0, 1)
+        assert np.allclose(p[:3], [1, 2, 3])
+
+    def test_scale(self):
+        m = vec.scale((2, 3, 4))
+        p = m @ vec.vec4(1, 1, 1, 1)
+        assert np.allclose(p[:3], [2, 3, 4])
+
+    def test_rotate_z_quarter_turn(self):
+        m = vec.rotate_z(math.pi / 2)
+        p = m @ vec.vec4(1, 0, 0, 1)
+        assert np.allclose(p[:3], [0, 1, 0], atol=1e-6)
+
+    def test_rotations_preserve_length(self):
+        for rot in (vec.rotate_x, vec.rotate_y, vec.rotate_z):
+            m = rot(0.7)
+            p = m @ vec.vec4(1, 2, 3, 1)
+            assert np.allclose(np.linalg.norm(p[:3]),
+                               np.linalg.norm([1, 2, 3]), atol=1e-5)
+
+    def test_look_at_centers_target(self):
+        view = vec.look_at(eye=(0, 0, 5), target=(0, 0, 0))
+        p = view @ vec.vec4(0, 0, 0, 1)
+        # target lies straight ahead on -Z at distance 5
+        assert np.allclose(p[:3], [0, 0, -5], atol=1e-5)
+
+    def test_perspective_maps_near_to_zero_far_to_one(self):
+        proj = vec.perspective(math.pi / 2, 1.0, near=1.0, far=100.0)
+        near_clip = proj @ vec.vec4(0, 0, -1.0, 1)
+        far_clip = proj @ vec.vec4(0, 0, -100.0, 1)
+        assert near_clip[2] / near_clip[3] == pytest.approx(0.0, abs=1e-5)
+        assert far_clip[2] / far_clip[3] == pytest.approx(1.0, abs=1e-5)
+
+    def test_perspective_rejects_bad_planes(self):
+        with pytest.raises(ValueError):
+            vec.perspective(1.0, 1.0, near=5.0, far=2.0)
+
+    def test_orthographic_unit_box(self):
+        m = vec.orthographic(-1, 1, -1, 1, 0, -1)
+        p = m @ vec.vec4(0.5, -0.5, -0.5, 1)
+        assert np.allclose(p[:2], [0.5, -0.5], atol=1e-6)
+
+
+class TestTransform:
+    def test_identity_transform_appends_w(self):
+        positions = np.zeros((2, 3, 3), dtype=np.float32)
+        clip = transform_positions(positions, np.eye(4))
+        assert clip.shape == (2, 3, 4)
+        assert np.allclose(clip[..., 3], 1.0)
+
+    def test_bad_matrix_shape_rejected(self):
+        with pytest.raises(PipelineError):
+            transform_positions(np.zeros((1, 3, 3)), np.eye(3))
+
+    def test_perspective_divide_clamps_tiny_w(self):
+        clip = np.array([[[0, 0, 0, 0.0], [0, 0, 0, 1.0],
+                          [0, 0, 0, 1.0]]], dtype=np.float32)
+        ndc = perspective_divide(clip)
+        assert np.isfinite(ndc).all()
+
+    def test_to_screen_corners(self):
+        ndc = np.array([[[-1, 1, 0.5], [1, -1, 0.5], [0, 0, 0.5]]],
+                       dtype=np.float32)
+        xy, depth = to_screen(ndc, 100, 50)
+        assert np.allclose(xy[0, 0], [0, 0])        # top-left
+        assert np.allclose(xy[0, 1], [100, 50])     # bottom-right
+        assert np.allclose(xy[0, 2], [50, 25])      # centre
+        assert np.allclose(depth, 0.5)
+
+    def test_to_screen_rejects_empty_viewport(self):
+        with pytest.raises(PipelineError):
+            to_screen(np.zeros((1, 3, 3), dtype=np.float32), 0, 10)
+
+    def test_triangle_screen_bounds(self):
+        xy = np.array([[[1, 2], [5, 9], [3, 4]]], dtype=np.float32)
+        bounds = triangle_screen_bounds(xy)
+        assert np.allclose(bounds[0], [1, 2, 5, 9])

@@ -1,0 +1,103 @@
+"""Composition-group splitting (§IV-A boundary events)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BOUNDARY_BLEND_OP, BOUNDARY_DEPTH_FUNC,
+                        BOUNDARY_DEPTH_WRITE, BOUNDARY_TARGET,
+                        CompositionGroup, boundary_reason, split_into_groups)
+from repro.errors import SchedulingError
+from repro.geometry import BlendOp, DepthFunc, DrawCommand, RenderState
+from repro.traces.trace import Frame
+
+
+def draw(draw_id, tris=4, **state_kwargs):
+    positions = np.random.default_rng(draw_id).random((tris, 3, 3),
+                                                      dtype=np.float32)
+    colors = np.ones((tris, 3, 4), dtype=np.float32)
+    return DrawCommand(draw_id=draw_id, positions=positions, colors=colors,
+                       state=RenderState(**state_kwargs))
+
+
+class TestBoundaryReason:
+    def test_same_state_no_boundary(self):
+        assert boundary_reason(draw(0), draw(1)) is None
+
+    def test_render_target_switch(self):
+        assert boundary_reason(draw(0), draw(1, render_target=1)) \
+            == BOUNDARY_TARGET
+
+    def test_depth_buffer_switch(self):
+        assert boundary_reason(draw(0), draw(1, depth_buffer=1)) \
+            == BOUNDARY_TARGET
+
+    def test_depth_write_toggle(self):
+        assert boundary_reason(draw(0), draw(1, depth_write=False)) \
+            == BOUNDARY_DEPTH_WRITE
+
+    def test_depth_func_change(self):
+        assert boundary_reason(
+            draw(0), draw(1, depth_func=DepthFunc.LEQUAL)) \
+            == BOUNDARY_DEPTH_FUNC
+
+    def test_blend_op_change(self):
+        assert boundary_reason(
+            draw(0), draw(1, blend_op=BlendOp.OVER, depth_write=False)) \
+            == BOUNDARY_DEPTH_WRITE  # depth-write differs first (event 3)
+
+    def test_blend_only_change(self):
+        prev = draw(0, depth_write=False)
+        nxt = draw(1, depth_write=False, blend_op=BlendOp.OVER)
+        assert boundary_reason(prev, nxt) == BOUNDARY_BLEND_OP
+
+
+class TestSplitting:
+    def test_uniform_frame_single_group(self):
+        frame = Frame(draws=[draw(i) for i in range(5)])
+        groups = split_into_groups(frame)
+        assert len(groups) == 1
+        assert groups[0].num_draws == 5
+
+    def test_split_at_every_event(self):
+        frame = Frame(draws=[
+            draw(0), draw(1),
+            draw(2, render_target=1, depth_buffer=1),
+            draw(3, render_target=1, depth_buffer=1, depth_write=False),
+            draw(4),
+            draw(5, depth_func=DepthFunc.LEQUAL),
+            draw(6, blend_op=BlendOp.OVER, depth_write=False),
+        ])
+        groups = split_into_groups(frame)
+        assert [g.num_draws for g in groups] == [2, 1, 1, 1, 1, 1]
+        assert groups[1].boundary_reason == BOUNDARY_TARGET
+        assert groups[2].boundary_reason == BOUNDARY_DEPTH_WRITE
+
+    def test_group_properties_reflect_first_draw(self):
+        frame = Frame(draws=[draw(0, blend_op=BlendOp.ADDITIVE,
+                                  depth_write=False)])
+        group = split_into_groups(frame)[0]
+        assert group.transparent
+        assert group.blend_op is BlendOp.ADDITIVE
+        assert not group.depth_write
+
+    def test_triangle_count_totals(self):
+        frame = Frame(draws=[draw(0, tris=3), draw(1, tris=7)])
+        assert split_into_groups(frame)[0].num_triangles == 10
+
+    def test_empty_frame_gives_no_groups(self):
+        assert split_into_groups(Frame()) == []
+
+    def test_groups_partition_frame_in_order(self, micro_trace):
+        groups = split_into_groups(micro_trace.frame)
+        flattened = [d for g in groups for d in g.draws]
+        assert flattened == micro_trace.frame.draws
+
+    def test_validate_catches_mixed_state(self):
+        group = CompositionGroup(index=0, draws=[draw(0),
+                                                 draw(1, render_target=1)])
+        with pytest.raises(SchedulingError):
+            group.validate()
+
+    def test_validate_rejects_empty_group(self):
+        with pytest.raises(SchedulingError):
+            CompositionGroup(index=0, draws=[]).validate()

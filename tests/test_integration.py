@@ -1,0 +1,126 @@
+"""End-to-end integration: paper-shape assertions and failure injection.
+
+These tests assert the *qualitative reproduction targets* from DESIGN.md —
+who wins, in which direction knobs move — on a benchmark subset, plus
+robustness scenarios (degraded links, straggler GPUs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import compare, make_setup, run_benchmark
+from repro.harness import experiments as E
+from repro.stats import gmean
+from repro.timing.costs import CostModel
+
+SUBSET = ("cod2", "wolf", "stal")
+
+
+class TestPaperShape:
+    def test_chopin_beats_duplication_and_gpupd(self):
+        table = E.fig13_performance(benchmarks=SUBSET)
+        means = table["GMean"]
+        assert means["chopin+sched"] > 1.05
+        assert means["chopin+sched"] > means["gpupd"]
+
+    def test_ideal_chopin_is_upper_bound(self):
+        table = E.fig13_performance(benchmarks=SUBSET)
+        for bench in SUBSET:
+            assert table[bench]["chopin-ideal"] \
+                >= table[bench]["chopin+sched"] * 0.999
+            assert table[bench]["chopin-ideal"] \
+                >= table[bench]["chopin"] * 0.999
+
+    def test_chopin_close_to_ideal(self):
+        """Paper: CHOPIN+CompSched within ~5% of IdealCHOPIN."""
+        table = E.fig13_performance(benchmarks=SUBSET)
+        gap = table["GMean"]["chopin-ideal"] / table["GMean"]["chopin+sched"]
+        assert gap < 1.15
+
+    def test_round_robin_clearly_worse(self):
+        setup = make_setup("tiny")
+        ratios = []
+        for bench in SUBSET:
+            speeds = compare(bench, setup, schemes=("chopin+sched",
+                                                    "chopin-rr"))
+            ratios.append(speeds["chopin-rr"] / speeds["chopin+sched"])
+        assert gmean(ratios) < 0.97
+
+    def test_chopin_scales_with_bandwidth(self):
+        table = E.fig20_bandwidth(benchmarks=SUBSET,
+                                  bandwidths=(16.0, 128.0),
+                                  schemes=("chopin+sched",))
+        chopin_gain = table[128.0]["chopin+sched"] / \
+            table[16.0]["chopin+sched"]
+        assert chopin_gain > 1.05
+
+    def test_gpupd_latency_sensitive(self):
+        table = E.fig21_latency(benchmarks=SUBSET, latencies=(100, 400),
+                                schemes=("gpupd", "chopin+sched"))
+        gpupd_loss = table[100]["gpupd"] / table[400]["gpupd"]
+        chopin_loss = table[100]["chopin+sched"] / table[400]["chopin+sched"]
+        assert gpupd_loss > 1.10          # sequential exchange hurts badly
+        assert chopin_loss < gpupd_loss   # CHOPIN much less sensitive
+
+    def test_chopin_advantage_grows_with_gpu_count(self):
+        table = E.fig19_gpu_scaling(benchmarks=SUBSET, gpu_counts=(2, 8),
+                                    schemes=("chopin+sched",))
+        assert table[8]["chopin+sched"] > table[2]["chopin+sched"]
+
+    def test_threshold_insensitivity(self):
+        """Paper Fig 22: the composition threshold barely matters."""
+        table = E.fig22_threshold(benchmarks=SUBSET,
+                                  thresholds=(1024, 4096, 16384),
+                                  schemes=("chopin+sched",))
+        values = [table[t]["chopin+sched"] for t in (1024, 4096, 16384)]
+        assert max(values) / min(values) < 1.3
+
+    def test_update_interval_insensitivity(self):
+        """Paper Fig 18: 1 -> 1024-triangle updates cost only a few %."""
+        table = E.fig18_update_interval(benchmarks=SUBSET,
+                                        intervals=(1, 1024),
+                                        schemes=("chopin+sched",))
+        ratio = table[1]["chopin+sched"] / table[1024]["chopin+sched"]
+        assert 0.85 < ratio < 1.2
+
+
+class TestFailureInjection:
+    def test_severely_degraded_link_kills_chopin_gains(self):
+        """With a 1 GB/s interconnect, composition dominates and CHOPIN
+        falls behind duplication — gracefully, not catastrophically."""
+        crippled = make_setup("tiny", bandwidth_gb_per_s=1.0)
+        healthy = make_setup("tiny")
+        slow = run_benchmark("chopin+sched", "cod2", crippled)
+        fast = run_benchmark("chopin+sched", "cod2", healthy)
+        assert slow.frame_cycles > fast.frame_cycles
+        assert np.isfinite(slow.frame_cycles)
+        # image still exactly correct under pressure
+        assert np.abs(slow.image.color - fast.image.color).max() < 1e-6
+
+    def test_extreme_latency_still_completes(self):
+        setup = make_setup("tiny", latency_cycles=50_000)
+        result = run_benchmark("chopin+sched", "cod2", setup)
+        assert np.isfinite(result.frame_cycles)
+
+    def test_straggler_gpu_via_slow_issue(self):
+        """A pathological driver (huge per-draw issue cost) slows the frame
+        but never deadlocks or corrupts the image."""
+        setup = make_setup("tiny")
+        slow_costs = CostModel(gpu=setup.config.gpu, draw_issue_cost=5000.0)
+        from repro.sfr import ChopinWithScheduler
+        from repro.traces import load_benchmark
+        scheme = ChopinWithScheduler(setup.config, slow_costs)
+        result = scheme.run(load_benchmark("cod2", "tiny"))
+        baseline = run_benchmark("chopin+sched", "cod2", setup)
+        assert result.frame_cycles > baseline.frame_cycles
+        assert np.abs(result.image.color
+                      - baseline.image.color).max() < 1e-6
+
+
+class TestScaleConsistency:
+    def test_small_scale_agrees_qualitatively(self):
+        """The headline ordering holds at the larger 'small' scale too
+        (single benchmark to keep runtime in check)."""
+        setup = make_setup("small")
+        speeds = compare("cod2", setup, schemes=("gpupd", "chopin+sched"))
+        assert speeds["chopin+sched"] > speeds["gpupd"]

@@ -1,0 +1,61 @@
+"""Per-scheme memory-footprint model."""
+
+import pytest
+
+from repro.core.memory import (chopin_memory, duplication_memory,
+                               gpupd_memory, memory_comparison,
+                               sort_middle_memory)
+from repro.harness import make_setup
+from repro.traces import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("tiny", num_gpus=8)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return load_benchmark("cod2", "tiny")
+
+
+class TestFootprints:
+    def test_duplication_scales_with_surfaces(self, trace, setup):
+        footprint = duplication_memory(trace, setup.config)
+        per_surface = trace.width * trace.height * 8
+        assert footprint.surfaces % per_surface == 0
+        assert footprint.surfaces >= per_surface
+        assert footprint.total == footprint.surfaces
+
+    def test_ordered_gpupd_buffers_are_small(self):
+        # the §III-A argument is about paper-sized workloads: unordered
+        # exchange must buffer every frame primitive's ID for reordering
+        setup = make_setup("paper", num_gpus=8)
+        trace = load_benchmark("cod2", "paper")
+        ordered = gpupd_memory(trace, setup.config, ordered=True)
+        unordered = gpupd_memory(trace, setup.config, ordered=False)
+        assert unordered.reorder > 5 * ordered.staging
+        assert ordered.reorder == 0
+
+    def test_chopin_extra_target_only_with_transparency(self, setup):
+        trace = load_benchmark("cod2", "tiny")  # has transparent draws
+        footprint = chopin_memory(trace, setup.config)
+        assert footprint.extra_targets == trace.width * trace.height * 4
+
+    def test_chopin_staging_shrinks_with_gpus(self, trace):
+        few = chopin_memory(trace, make_setup("tiny", num_gpus=2).config)
+        many = chopin_memory(trace, make_setup("tiny", num_gpus=8).config)
+        assert many.staging < few.staging
+
+    def test_sort_middle_staging_dwarfs_gpupd(self, trace, setup):
+        middle = sort_middle_memory(trace, setup.config)
+        gpupd = gpupd_memory(trace, setup.config, ordered=True)
+        assert middle.staging > 10 * gpupd.staging
+
+    def test_comparison_covers_all_schemes(self, trace, setup):
+        table = memory_comparison(trace, setup.config)
+        assert set(table) == {"duplication", "gpupd", "gpupd-unordered",
+                              "sort-middle", "chopin"}
+        for footprint in table.values():
+            assert footprint.total > 0
+            assert footprint.as_dict()["total"] == footprint.total

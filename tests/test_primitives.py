@@ -1,0 +1,102 @@
+"""Draw-command data model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.geometry import (BlendOp, DepthFunc, DrawCommand, RenderState,
+                            fullscreen_quad, make_triangle)
+
+
+def soup(count):
+    rng = np.random.default_rng(0)
+    positions = rng.random((count, 3, 3), dtype=np.float32)
+    colors = rng.random((count, 3, 4), dtype=np.float32)
+    return positions, colors
+
+
+class TestRenderState:
+    def test_defaults_are_opaque(self):
+        state = RenderState()
+        assert state.blend_op is BlendOp.REPLACE
+        assert not state.transparent
+        assert state.depth_func is DepthFunc.LESS
+        assert state.early_z
+
+    def test_blending_implies_transparent(self):
+        assert RenderState(blend_op=BlendOp.OVER).transparent
+        assert RenderState(blend_op=BlendOp.ADDITIVE).transparent
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RenderState().depth_write = False
+
+
+class TestDrawCommand:
+    def test_counts_triangles(self):
+        positions, colors = soup(5)
+        draw = DrawCommand(draw_id=1, positions=positions, colors=colors)
+        assert draw.num_triangles == 5
+
+    def test_rejects_mismatched_colors(self):
+        positions, _ = soup(5)
+        _, colors = soup(4)
+        with pytest.raises(PipelineError):
+            DrawCommand(draw_id=1, positions=positions, colors=colors)
+
+    def test_rejects_bad_position_shape(self):
+        with pytest.raises(PipelineError):
+            DrawCommand(draw_id=1, positions=np.zeros((5, 3)),
+                        colors=np.zeros((5, 3, 4)))
+
+    def test_rejects_nonpositive_costs(self):
+        positions, colors = soup(2)
+        with pytest.raises(PipelineError):
+            DrawCommand(draw_id=1, positions=positions, colors=colors,
+                        vertex_cost=0.0)
+
+    def test_split_preserves_order_and_total(self):
+        positions, colors = soup(10)
+        draw = DrawCommand(draw_id=3, positions=positions, colors=colors)
+        parts = draw.split(3)
+        assert len(parts) == 3
+        assert sum(p.num_triangles for p in parts) == 10
+        stitched = np.concatenate([p.positions for p in parts])
+        assert np.array_equal(stitched, draw.positions)
+
+    def test_split_more_parts_than_triangles(self):
+        positions, colors = soup(2)
+        draw = DrawCommand(draw_id=3, positions=positions, colors=colors)
+        parts = draw.split(5)
+        assert len(parts) == 5
+        assert sum(p.num_triangles for p in parts) == 2
+
+    def test_split_rejects_zero_parts(self):
+        positions, colors = soup(2)
+        draw = DrawCommand(draw_id=3, positions=positions, colors=colors)
+        with pytest.raises(PipelineError):
+            draw.split(0)
+
+    def test_split_keeps_state_and_costs(self):
+        positions, colors = soup(4)
+        state = RenderState(blend_op=BlendOp.OVER, depth_write=False)
+        draw = DrawCommand(draw_id=3, positions=positions, colors=colors,
+                           state=state, vertex_cost=99.0, pixel_cost=7.0)
+        part = draw.split(2)[0]
+        assert part.state is state
+        assert part.vertex_cost == 99.0
+        assert part.pixel_cost == 7.0
+
+
+class TestHelpers:
+    def test_make_triangle(self):
+        draw = make_triangle((0, 0, 0), (1, 0, 0), (0, 1, 0),
+                             color=(1, 0, 0, 1))
+        assert draw.num_triangles == 1
+        assert np.allclose(draw.colors[0, 0], [1, 0, 0, 1])
+
+    def test_fullscreen_quad_covers_ndc(self):
+        quad = fullscreen_quad()
+        assert quad.num_triangles == 2
+        xy = quad.positions[..., :2]
+        assert xy.min() == -1.0 and xy.max() == 1.0

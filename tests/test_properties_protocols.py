@@ -1,0 +1,102 @@
+"""Property-based tests on protocols and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ImageCompositionScheduler, adjacency_pairs
+from repro.sim import Simulator
+from repro.traces import TraceSpec, synthesize
+from repro.traces.io import load_trace, save_trace
+
+
+class TestSchedulerProtocolProperties:
+    @given(num_gpus=st.integers(2, 10), seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_drain_order_always_completes(self, num_gpus, seed):
+        """No matter the order GPUs become ready and receivers poll, the
+        pairing protocol drains every (sender, receiver) pair exactly once
+        and never wedges."""
+        rng = np.random.default_rng(seed)
+        sched = ImageCompositionScheduler(num_gpus, Simulator())
+        sched.start_group(0)
+        for gpu in rng.permutation(num_gpus):
+            sched.mark_ready(int(gpu))
+        transfers = []
+        stall_guard = 0
+        while not sched.all_done():
+            stall_guard += 1
+            assert stall_guard < 10_000, "protocol wedged"
+            receiver = int(rng.integers(0, num_gpus))
+            sender = sched.find_sender_for(receiver)
+            if sender is None:
+                continue
+            sched.begin(sender, receiver)
+            sched.complete(sender, receiver)
+            transfers.append((sender, receiver))
+        assert len(transfers) == num_gpus * (num_gpus - 1)
+        assert len(set(transfers)) == len(transfers)
+
+    @given(num_gpus=st.integers(2, 10), seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_concurrent_pairs_never_share_a_port(self, num_gpus, seed):
+        """While several pairs are in flight, no GPU sends twice or
+        receives twice simultaneously."""
+        rng = np.random.default_rng(seed)
+        sched = ImageCompositionScheduler(num_gpus, Simulator())
+        sched.start_group(0)
+        for gpu in range(num_gpus):
+            sched.mark_ready(gpu)
+        in_flight = []
+        for _ in range(200):
+            if in_flight and rng.random() < 0.4:
+                sender, receiver = in_flight.pop(
+                    int(rng.integers(0, len(in_flight))))
+                sched.complete(sender, receiver)
+                continue
+            receiver = int(rng.integers(0, num_gpus))
+            sender = sched.find_sender_for(receiver)
+            if sender is None:
+                continue
+            sched.begin(sender, receiver)
+            in_flight.append((sender, receiver))
+            senders = [s for s, _ in in_flight]
+            receivers = [r for _, r in in_flight]
+            assert len(set(senders)) == len(senders)
+            assert len(set(receivers)) == len(receivers)
+
+    @given(num_gpus=st.integers(1, 33))
+    @settings(max_examples=40, deadline=None)
+    def test_adjacency_tree_merges_everything_into_root(self, num_gpus):
+        pairs = adjacency_pairs(num_gpus)
+        assert len(pairs) == max(num_gpus - 1, 0)
+        alive = set(range(num_gpus))
+        for sender, receiver in pairs:
+            assert sender in alive and receiver in alive
+            assert receiver < sender  # earlier side absorbs later side
+            alive.remove(sender)
+        assert alive == ({0} if num_gpus else set())
+
+
+class TestTraceIOProperties:
+    @given(num_draws=st.integers(8, 24),
+           num_triangles=st.integers(100, 600),
+           seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_any_synthetic_trace(self, tmp_path_factory,
+                                            num_draws, num_triangles,
+                                            seed):
+        spec = TraceSpec(name="prop", width=48, height=48,
+                         num_draws=num_draws,
+                         num_triangles=max(num_triangles, 2 * num_draws),
+                         seed=seed)
+        trace = synthesize(spec)
+        path = tmp_path_factory.mktemp("io") / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.num_draws == trace.num_draws
+        assert loaded.num_triangles == trace.num_triangles
+        for a, b in zip(trace.frame.draws, loaded.frame.draws):
+            assert a.state == b.state
+            assert np.array_equal(a.positions, b.positions)

@@ -1,0 +1,108 @@
+"""Barycentric rasterizer: coverage, fill rule, interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.raster.rasterizer import (estimate_coverage, rasterize_triangle)
+
+
+def raster(v0, v1, v2, depths=(0.5, 0.5, 0.5), size=(32, 32)):
+    xy = np.array([v0, v1, v2], dtype=np.float32)
+    depth = np.array(depths, dtype=np.float32)
+    colors = np.eye(3, 4, dtype=np.float32)
+    return rasterize_triangle(xy, depth, colors, size[0], size[1])
+
+
+class TestCoverage:
+    def test_right_triangle_covers_half_square(self):
+        frags = raster([0, 0], [16, 0], [0, 16])
+        # half of a 16x16 square, ±edge effects
+        assert abs(frags.count - 128) <= 16
+
+    def test_degenerate_triangle_empty(self):
+        frags = raster([5, 5], [5, 5], [5, 5])
+        assert frags.count == 0
+
+    def test_offscreen_triangle_empty(self):
+        frags = raster([-20, -20], [-10, -20], [-20, -10])
+        assert frags.count == 0
+
+    def test_clipped_to_screen(self):
+        frags = raster([-100, -100], [100, -100], [0, 100], size=(8, 8))
+        assert 0 < frags.count <= 64
+        assert frags.xs.min() >= 0 and frags.xs.max() < 8
+        assert frags.ys.min() >= 0 and frags.ys.max() < 8
+
+    def test_winding_does_not_matter(self):
+        ccw = raster([2, 2], [20, 2], [2, 20])
+        cw = raster([2, 2], [2, 20], [20, 2])
+        assert ccw.count == cw.count
+        a = set(zip(ccw.xs.tolist(), ccw.ys.tolist()))
+        b = set(zip(cw.xs.tolist(), cw.ys.tolist()))
+        assert a == b
+
+    def test_subpixel_triangle_may_miss_all_centres(self):
+        frags = raster([3.1, 3.1], [3.3, 3.1], [3.1, 3.3])
+        assert frags.count == 0
+
+
+class TestTopLeftRule:
+    def test_shared_edge_covered_exactly_once(self):
+        """Splitting a square along its diagonal must cover each pixel of
+        the square exactly once — the reason transparent draws don't double
+        blend along shared edges."""
+        a = raster([0, 0], [16, 0], [16, 16])
+        b = raster([0, 0], [16, 16], [0, 16])
+        pixels_a = set(zip(a.xs.tolist(), a.ys.tolist()))
+        pixels_b = set(zip(b.xs.tolist(), b.ys.tolist()))
+        assert not pixels_a & pixels_b, "diagonal pixels double-covered"
+        assert len(pixels_a | pixels_b) == 256
+
+    def test_adjacent_triangles_tile_strip(self):
+        covered = []
+        for x in range(0, 16, 4):
+            covered.append(raster([x, 0], [x + 4, 0], [x + 4, 8]))
+            covered.append(raster([x, 0], [x + 4, 8], [x, 8]))
+        seen = {}
+        for frags in covered:
+            for px, py in zip(frags.xs.tolist(), frags.ys.tolist()):
+                seen[(px, py)] = seen.get((px, py), 0) + 1
+        assert all(count == 1 for count in seen.values())
+
+
+class TestInterpolation:
+    def test_vertex_colors_near_vertices(self):
+        frags = raster([0, 0], [31, 0], [0, 31])
+        idx = np.argmin(frags.xs + frags.ys)  # nearest the v0 corner
+        assert frags.colors[idx, 0] > 0.9  # v0 carries red
+
+    def test_depth_interpolates_linearly(self):
+        frags = raster([0, 0], [30, 0], [0, 30], depths=(0.0, 1.0, 1.0))
+        near_v0 = np.argmin(frags.xs + frags.ys)
+        far_corner = np.argmax(frags.xs)
+        assert frags.depths[near_v0] < 0.1
+        assert frags.depths[far_corner] > 0.8
+
+    def test_flat_depth_exact(self):
+        frags = raster([0, 0], [10, 0], [0, 10], depths=(0.25, 0.25, 0.25))
+        assert np.allclose(frags.depths, 0.25, atol=1e-5)
+
+    def test_select_filters_fragments(self):
+        frags = raster([0, 0], [16, 0], [0, 16])
+        mask = frags.xs < 4
+        sub = frags.select(mask)
+        assert sub.count == int(mask.sum())
+        assert (sub.xs < 4).all()
+
+
+class TestEstimateCoverage:
+    def test_matches_exact_for_onscreen_triangle(self):
+        estimate = estimate_coverage(
+            np.array([[0, 0], [16, 0], [0, 16]], dtype=np.float32), 32, 32)
+        assert estimate == pytest.approx(128, rel=0.1)
+
+    def test_zero_for_offscreen(self):
+        estimate = estimate_coverage(
+            np.array([[-10, -10], [-5, -10], [-10, -5]], dtype=np.float32),
+            32, 32)
+        assert estimate == 0.0

@@ -1,0 +1,85 @@
+"""Report rendering corners and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.harness import report as R
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("ConfigError", "SimulationError", "PipelineError",
+                     "CompositionError", "SchedulingError", "TraceError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TraceError("boom")
+
+    def test_distinct_branches(self):
+        assert not issubclass(errors.TraceError, errors.ConfigError)
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        text = R.render_table(["a"], [])
+        assert "a" in text
+        assert len(text.splitlines()) == 2  # header + rule
+
+    def test_wide_cells_stretch_columns(self):
+        text = R.render_table(["x"], [["a-very-long-cell-value"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-very-long-cell-value")
+
+    def test_mixed_types(self):
+        text = R.render_table(["k", "v"], [["name", 1.23456], ["n", 7]])
+        assert "1.235" in text
+        assert "7" in text
+
+    def test_title_on_first_line(self):
+        assert R.render_table(["a"], [[1]], "TITLE") \
+            .splitlines()[0] == "TITLE"
+
+
+class TestKeyedMatrix:
+    def test_union_of_columns(self):
+        data = {"r1": {"a": 1.0}, "r2": {"b": 2.0}}
+        text = R.render_keyed_matrix(data, "row")
+        assert "a" in text and "b" in text
+        # missing cells render empty, not crash
+        assert "r1" in text and "r2" in text
+
+    def test_percent_mode(self):
+        text = R.render_keyed_matrix({"r": {"c": 0.256}}, "row",
+                                     percent=True)
+        assert "25.6%" in text
+
+    def test_column_order_is_first_seen(self):
+        data = {"r1": {"z": 1.0, "a": 2.0}}
+        header = R.render_keyed_matrix(data, "row").splitlines()[0]
+        assert header.index("z") < header.index("a")
+
+
+class TestFigureRenderers:
+    def test_fig14_skips_zero_stages(self):
+        table = {"bench": {"scheme": {"geometry": 0.5, "sync": 0.0}}}
+        text = R.render_fig14(table)
+        assert "geometry" in text
+        assert "sync" not in text.split("[bench]")[1]
+
+    def test_fig17_includes_average_row(self):
+        text = R.render_fig17({"cod2": 22.8, "Avg": 59.0})
+        assert "Avg" in text
+
+    def test_render_sweep_passthrough(self):
+        text = R.render_sweep({16: {"chopin": 1.0}}, "GB/s", "T")
+        assert "GB/s" in text and "chopin" in text
+
+    def test_render_table3_columns(self):
+        rows = [{"benchmark": "cod2", "paper_resolution": "640 x 480",
+                 "paper_draws": 1005, "paper_triangles": 219950,
+                 "run_resolution": "160 x 120", "run_draws": 251,
+                 "run_triangles": 3436}]
+        text = R.render_table3(rows)
+        assert "cod2" in text and "219950" in text

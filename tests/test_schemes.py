@@ -1,0 +1,163 @@
+"""SFR scheme correctness and consistency.
+
+The central invariant: **every scheme renders the exact same final image as
+a single GPU**, for every benchmark. On top of that, per-scheme stats must
+be internally consistent (triangle totals, fragment counts, traffic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import SCHEMES, build_scheme, make_setup
+from repro.sfr import render_reference_image
+from repro.stats import (STAGE_COMPOSITION, STAGE_DISTRIBUTION,
+                         STAGE_GEOMETRY, STAGE_PROJECTION,
+                         TRAFFIC_COMPOSITION, TRAFFIC_PRIMITIVES)
+from repro.traces import load_benchmark
+
+BENCH_SUBSET = ("cod2", "grid", "nfs")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("tiny", num_gpus=8)
+
+
+@pytest.fixture(scope="module")
+def references(setup):
+    return {bench: render_reference_image(load_benchmark(bench, "tiny"),
+                                          setup.config)
+            for bench in BENCH_SUBSET}
+
+
+@pytest.fixture(scope="module")
+def results(setup):
+    out = {}
+    for bench in BENCH_SUBSET:
+        trace = load_benchmark(bench, "tiny")
+        out[bench] = {name: build_scheme(name, setup).run(trace)
+                      for name in SCHEMES}
+    return out
+
+
+class TestImageCorrectness:
+    @pytest.mark.parametrize("bench", BENCH_SUBSET)
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_final_image_matches_reference(self, results, references,
+                                           bench, scheme):
+        image = results[bench][scheme].image
+        error = float(np.abs(image.color - references[bench].color).max())
+        assert error < 3e-3, f"{scheme} on {bench} deviates by {error}"
+
+    def test_chopin_variants_share_functional_results(self, results):
+        """Same draw scheduler => identical images bit-for-bit."""
+        for bench in BENCH_SUBSET:
+            a = results[bench]["chopin"].image
+            b = results[bench]["chopin+sched"].image
+            assert np.array_equal(a.color, b.color)
+
+
+class TestTimingSanity:
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_positive_finite_frame_time(self, results, scheme):
+        for bench in BENCH_SUBSET:
+            cycles = results[bench][scheme].frame_cycles
+            assert np.isfinite(cycles) and cycles > 0
+
+    def test_frame_time_bounded_by_engine_work(self, results):
+        """Wall-clock can never be shorter than any single engine's serial
+        work (geometry and fragment engines each serialize per GPU;
+        composition may overlap rendering, so total busy is *not* a bound).
+        """
+        for bench in BENCH_SUBSET:
+            for scheme, result in results[bench].items():
+                for gpu_stats in result.stats.gpus:
+                    geometry = gpu_stats.stage_cycles.get(STAGE_GEOMETRY, 0)
+                    fragment = gpu_stats.stage_cycles.get("fragment", 0)
+                    bound = max(geometry, fragment)
+                    assert result.frame_cycles >= bound * 0.999, \
+                        f"{scheme}/{bench}"
+
+    def test_ideal_links_never_slower(self, results):
+        for bench in BENCH_SUBSET:
+            assert results[bench]["chopin-ideal"].frame_cycles \
+                <= results[bench]["chopin+sched"].frame_cycles * 1.001
+            assert results[bench]["gpupd-ideal"].frame_cycles \
+                <= results[bench]["gpupd"].frame_cycles * 1.001
+
+
+class TestStatsConsistency:
+    def test_duplication_processes_all_triangles_everywhere(self, results,
+                                                            setup):
+        for bench in BENCH_SUBSET:
+            trace = load_benchmark(bench, "tiny")
+            stats = results[bench]["duplication"].stats
+            for gpu_stats in stats.gpus:
+                assert gpu_stats.triangles_processed == trace.num_triangles
+
+    def test_chopin_avoids_redundant_geometry(self, results):
+        """CHOPIN's total triangle work is far below duplication's
+        (only duplicate-mode groups are redundant)."""
+        for bench in BENCH_SUBSET:
+            dup = results[bench]["duplication"].stats.total_triangles
+            chopin = results[bench]["chopin+sched"].stats.total_triangles
+            assert chopin < dup * 0.5
+
+    def test_chopin_extra_fragments_bounded(self, results):
+        """Fig 15: CHOPIN shades more fragments, but only modestly."""
+        for bench in BENCH_SUBSET:
+            dup = results[bench]["duplication"].stats.total_fragments_passed
+            chopin = results[bench]["chopin+sched"] \
+                .stats.total_fragments_passed
+            assert dup <= chopin <= dup * 1.6
+
+    def test_gpupd_fragments_match_duplication(self, results):
+        """Sort-first: GPUpd's depth behaviour equals duplication's."""
+        for bench in BENCH_SUBSET:
+            dup = results[bench]["duplication"].stats
+            gpupd = results[bench]["gpupd"].stats
+            assert gpupd.total_fragments_passed == dup.total_fragments_passed
+
+    def test_stage_attribution_per_scheme(self, results):
+        for bench in BENCH_SUBSET:
+            dup_stages = results[bench]["duplication"] \
+                .stats.stage_cycle_totals()
+            assert STAGE_PROJECTION not in dup_stages
+            assert STAGE_COMPOSITION not in dup_stages
+            gpupd_stages = results[bench]["gpupd"].stats.stage_cycle_totals()
+            assert gpupd_stages.get(STAGE_PROJECTION, 0) > 0
+            assert gpupd_stages.get(STAGE_DISTRIBUTION, 0) > 0
+            chopin_stages = results[bench]["chopin+sched"] \
+                .stats.stage_cycle_totals()
+            assert chopin_stages.get(STAGE_COMPOSITION, 0) > 0
+            assert STAGE_DISTRIBUTION not in chopin_stages
+
+    def test_traffic_categories(self, results):
+        for bench in BENCH_SUBSET:
+            gpupd = results[bench]["gpupd"].stats
+            assert gpupd.traffic_total(TRAFFIC_PRIMITIVES) > 0
+            assert gpupd.traffic_total(TRAFFIC_COMPOSITION) == 0
+            chopin = results[bench]["chopin+sched"].stats
+            assert chopin.traffic_total(TRAFFIC_COMPOSITION) > 0
+            assert chopin.traffic_total(TRAFFIC_PRIMITIVES) == 0
+
+    def test_geometry_share_grows_with_gpu_count(self):
+        trace = load_benchmark("cod2", "tiny")
+        shares = []
+        for n in (1, 4, 8):
+            setup_n = make_setup("tiny", num_gpus=n)
+            result = build_scheme("duplication", setup_n).run(trace)
+            shares.append(result.stats.stage_fraction(STAGE_GEOMETRY))
+        assert shares[0] < shares[1] < shares[2]
+
+
+class TestSingleGPUDegenerate:
+    """Every scheme must run (and agree) on a 1-GPU 'system'."""
+
+    @pytest.mark.parametrize("scheme", ["duplication", "chopin+sched"])
+    def test_single_gpu_runs(self, scheme):
+        setup = make_setup("tiny", num_gpus=1)
+        trace = load_benchmark("cod2", "tiny")
+        result = build_scheme(scheme, setup).run(trace)
+        reference = render_reference_image(trace, setup.config)
+        assert np.abs(result.image.color - reference.color).max() < 3e-3

@@ -1,0 +1,76 @@
+"""Textures and pixel-shader models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.shading import (PixelShader, ShaderLibrary, Texture, TexturedShader,
+                           checkerboard, value_noise)
+
+
+class TestTexture:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(PipelineError):
+            Texture(np.zeros((4, 4, 3)))
+
+    def test_sample_exact_texels(self):
+        data = np.zeros((2, 2, 4), dtype=np.float32)
+        data[0, 1] = [1, 2, 3, 4]
+        tex = Texture(data)
+        sample = tex.sample(np.array([0.75]), np.array([0.25]))
+        assert np.allclose(sample[0], [1, 2, 3, 4])
+
+    def test_wrap_addressing(self):
+        tex = checkerboard(size=8)
+        inside = tex.sample(np.array([0.1]), np.array([0.1]))
+        wrapped = tex.sample(np.array([1.1]), np.array([2.1]))
+        assert np.allclose(inside, wrapped)
+
+    def test_checkerboard_alternates(self):
+        tex = checkerboard(size=8, squares=2)
+        a = tex.sample(np.array([0.1]), np.array([0.1]))
+        b = tex.sample(np.array([0.6]), np.array([0.1]))
+        assert not np.allclose(a, b)
+
+    def test_checkerboard_rejects_bad_args(self):
+        with pytest.raises(PipelineError):
+            checkerboard(size=0)
+
+    def test_value_noise_deterministic(self):
+        assert np.array_equal(value_noise(8, seed=3).data,
+                              value_noise(8, seed=3).data)
+        assert not np.array_equal(value_noise(8, seed=3).data,
+                                  value_noise(8, seed=4).data)
+
+
+class TestShaders:
+    def test_passthrough(self):
+        shader = PixelShader()
+        colors = np.random.default_rng(0).random((5, 4)).astype(np.float32)
+        out = shader.shade(np.zeros(5, int), np.zeros(5, int), colors)
+        assert np.array_equal(out, colors)
+
+    def test_textured_modulates_rgb_not_alpha(self):
+        tex = Texture(np.full((2, 2, 4), 0.5, dtype=np.float32))
+        shader = TexturedShader(tex, 16, 16)
+        colors = np.ones((3, 4), dtype=np.float32)
+        out = shader.shade(np.array([0, 5, 10]), np.array([0, 5, 10]), colors)
+        assert np.allclose(out[:, :3], 0.5)
+        assert np.allclose(out[:, 3], 1.0)
+
+    def test_textured_does_not_mutate_input(self):
+        tex = Texture(np.full((2, 2, 4), 0.5, dtype=np.float32))
+        shader = TexturedShader(tex, 16, 16)
+        colors = np.ones((1, 4), dtype=np.float32)
+        shader.shade(np.array([0]), np.array([0]), colors)
+        assert np.allclose(colors, 1.0)
+
+    def test_library_fallback_to_default(self):
+        lib = ShaderLibrary(16, 16)
+        assert isinstance(lib.shader_for(None), PixelShader)
+        assert isinstance(lib.shader_for(99), PixelShader)
+
+    def test_library_registered_texture(self):
+        lib = ShaderLibrary(16, 16)
+        lib.register_texture(0, checkerboard())
+        assert isinstance(lib.shader_for(0), TexturedShader)

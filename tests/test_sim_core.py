@@ -1,0 +1,190 @@
+"""Discrete-event kernel: events, timeouts, processes, combinators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestEventBasics:
+    def test_event_starts_untriggered(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        sim.run()
+        assert event.processed
+        assert event.value == 42
+
+    def test_double_succeed_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+
+class TestProcesses:
+    def test_timeout_advances_clock(self, sim):
+        log = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            log.append(sim.now)
+            yield sim.timeout(2.5)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [5.0, 7.5]
+
+    def test_processes_interleave_by_time(self, sim):
+        order = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            order.append(name)
+
+        sim.process(proc("late", 10))
+        sim.process(proc("early", 1))
+        sim.process(proc("mid", 5))
+        sim.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_same_time_fifo_order(self, sim):
+        order = []
+
+        def proc(name):
+            yield sim.timeout(3)
+            order.append(name)
+
+        for name in "abc":
+            sim.process(proc(name))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_process_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "done"
+
+    def test_waiting_on_event_resumes_with_value(self, sim):
+        event = sim.event()
+        seen = []
+
+        def waiter():
+            value = yield event
+            seen.append(value)
+
+        def firer():
+            yield sim.timeout(4)
+            event.succeed("payload")
+
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_waiting_on_processed_event_still_resumes(self, sim):
+        event = sim.event()
+        event.succeed("early")
+        seen = []
+
+        def waiter():
+            yield sim.timeout(10)  # event processed long before this
+            value = yield event
+            seen.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.run()
+        assert seen == [(10.0, "early")]
+
+    def test_yielding_non_event_raises(self, sim):
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_chaining(self, sim):
+        def inner():
+            yield sim.timeout(3)
+            return 7
+
+        result = []
+
+        def outer():
+            value = yield sim.process(inner())
+            result.append((sim.now, value))
+
+        sim.process(outer())
+        sim.run()
+        assert result == [(3.0, 7)]
+
+
+class TestCombinators:
+    def test_all_of_waits_for_every_event(self, sim):
+        times = []
+
+        def proc():
+            events = [sim.timeout(2), sim.timeout(9), sim.timeout(5)]
+            yield sim.all_of(events)
+            times.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [9.0]
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        fired = []
+
+        def proc():
+            yield sim.all_of([])
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [0.0]
+
+    def test_any_of_fires_on_first(self, sim):
+        times = []
+
+        def proc():
+            yield sim.any_of([sim.timeout(8), sim.timeout(3)])
+            times.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [3.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self, sim):
+        def proc():
+            yield sim.timeout(100)
+
+        sim.process(proc())
+        now = sim.run(until=30)
+        assert now == 30
+
+    def test_step_without_events_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_run_returns_final_time(self, sim):
+        def proc():
+            yield sim.timeout(17)
+
+        sim.process(proc())
+        assert sim.run() == 17.0

@@ -1,0 +1,55 @@
+"""Sort-middle SFR: the Molnar-taxonomy completeness scheme."""
+
+import numpy as np
+import pytest
+
+from repro.harness import make_setup, run_benchmark
+from repro.sfr import SortMiddle
+from repro.stats import STAGE_DISTRIBUTION, TRAFFIC_PRIMITIVES
+from repro.traces import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("tiny", num_gpus=8)
+
+
+class TestSortMiddle:
+    def test_image_matches_duplication(self, setup):
+        dup = run_benchmark("duplication", "cod2", setup)
+        middle = run_benchmark("sort-middle", "cod2", setup)
+        assert np.array_equal(dup.image.color, middle.image.color)
+
+    def test_no_redundant_geometry(self, setup):
+        """Each GPU shades ~1/N of the vertices (the scheme's one virtue)."""
+        from repro.stats import STAGE_GEOMETRY
+        dup = run_benchmark("duplication", "cod2", setup)
+        middle = run_benchmark("sort-middle", "cod2", setup)
+        dup_geo = dup.stats.stage_cycle_totals()[STAGE_GEOMETRY]
+        mid_geo = middle.stats.stage_cycle_totals()[STAGE_GEOMETRY]
+        assert mid_geo < dup_geo * 0.25
+
+    def test_attribute_traffic_dwarfs_gpupd(self, setup):
+        """The paper's dismissal: geometry output is very large."""
+        gpupd = run_benchmark("gpupd", "cod2", setup)
+        middle = run_benchmark("sort-middle", "cod2", setup)
+        assert middle.stats.traffic_total(TRAFFIC_PRIMITIVES) \
+            > 20 * gpupd.stats.traffic_total(TRAFFIC_PRIMITIVES)
+
+    def test_exchange_cost_attributed(self, setup):
+        middle = run_benchmark("sort-middle", "cod2", setup)
+        assert middle.stats.stage_cycle_totals() \
+            .get(STAGE_DISTRIBUTION, 0) > 0
+
+    def test_attribute_size_drives_performance(self, setup):
+        trace = load_benchmark("cod2", "tiny")
+        light = SortMiddle(setup.config, setup.costs,
+                           attribute_bytes=4).run(trace)
+        heavy = SortMiddle(setup.config, setup.costs,
+                           attribute_bytes=4096).run(trace)
+        assert heavy.frame_cycles > light.frame_cycles * 1.5
+
+    def test_loses_to_chopin_on_default_payload(self, setup):
+        chopin = run_benchmark("chopin+sched", "cod2", setup)
+        middle = run_benchmark("sort-middle", "cod2", setup)
+        assert middle.frame_cycles > chopin.frame_cycles

@@ -1,0 +1,63 @@
+"""Stress/future workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.harness import make_setup, run
+from repro.traces import STRESS_WORKLOADS, load_stress
+from repro.traces.stress import micro_triangle
+
+
+class TestGenerators:
+    def test_all_workloads_generate_and_validate(self):
+        for name in STRESS_WORKLOADS:
+            trace = load_stress(name)
+            trace.validate()
+            assert trace.num_draws > 0
+
+    def test_cached(self):
+        assert load_stress("micro-triangle") is load_stress("micro-triangle")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TraceError):
+            load_stress("impossible")
+
+    def test_detail_scales_triangles(self):
+        base = micro_triangle(detail=1.0)
+        fine = micro_triangle(detail=4.0)
+        assert fine.num_triangles == pytest.approx(4 * base.num_triangles,
+                                                   rel=0.01)
+        assert fine.width == base.width  # resolution pinned
+
+    def test_detail_below_one_rejected(self):
+        with pytest.raises(TraceError):
+            micro_triangle(detail=0.5)
+
+    def test_transparency_heavy_fraction(self):
+        trace = load_stress("transparency-heavy")
+        transparent = sum(1 for d in trace.frame.draws if d.transparent)
+        assert transparent / trace.num_draws > 0.25
+
+    def test_many_groups_has_many_groups(self):
+        from repro.core import split_into_groups
+        dense = split_into_groups(load_stress("many-groups").frame)
+        sparse = split_into_groups(load_stress("fragment-bound").frame)
+        assert len(dense) > 2 * len(sparse)
+
+
+class TestSchemesOnStress:
+    @pytest.mark.parametrize("name", sorted(STRESS_WORKLOADS))
+    def test_image_correct_under_stress(self, name):
+        setup = make_setup("tiny", num_gpus=8)
+        trace = load_stress(name)
+        dup = run("duplication", trace, setup)
+        chopin = run("chopin+sched", trace, setup)
+        assert np.abs(dup.image.color - chopin.image.color).max() < 3e-3
+
+    def test_micro_triangle_favours_sort_last(self):
+        setup = make_setup("tiny", num_gpus=8)
+        trace = load_stress("micro-triangle")
+        dup = run("duplication", trace, setup)
+        chopin = run("chopin+sched", trace, setup)
+        assert dup.frame_cycles / chopin.frame_cycles > 1.2

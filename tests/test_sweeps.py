@@ -1,0 +1,67 @@
+"""The generic parameter-sweep utility."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import experiments as E
+from repro.harness.sweeps import crossover, sweep
+
+BENCH = ("wolf",)
+
+
+class TestSweep:
+    def test_matches_dedicated_driver(self):
+        """A gpu-count sweep via the generic utility equals Fig 19's."""
+        generic = sweep("num_gpus", [2, 8], schemes=("chopin+sched",),
+                        benchmarks=BENCH)
+        dedicated = E.fig19_gpu_scaling(benchmarks=BENCH,
+                                        gpu_counts=(2, 8),
+                                        schemes=("chopin+sched",))
+        for n in (2, 8):
+            assert generic[n]["chopin+sched"] == pytest.approx(
+                dedicated[n]["chopin+sched"], rel=1e-9)
+
+    def test_pinned_baseline_mode(self):
+        pinned = sweep("latency_cycles", [200, 400],
+                       schemes=("chopin+sched",), benchmarks=BENCH,
+                       baseline_follows_sweep=False)
+        # at the default value both modes agree
+        following = sweep("latency_cycles", [200],
+                          schemes=("chopin+sched",), benchmarks=BENCH)
+        assert pinned[200]["chopin+sched"] == pytest.approx(
+            following[200]["chopin+sched"], rel=1e-9)
+        # at 400 cycles the pinned-baseline speedup is lower (frame slower,
+        # baseline unchanged)
+        assert pinned[400]["chopin+sched"] < pinned[200]["chopin+sched"]
+
+    def test_fixed_parameters_forwarded(self):
+        table = sweep("msaa_samples", [1, 4], schemes=("chopin+sched",),
+                      benchmarks=BENCH, num_gpus=4)
+        assert set(table) == {1, 4}
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep("warp_size", [32])
+
+    def test_swept_and_fixed_conflict(self):
+        with pytest.raises(ConfigError):
+            sweep("num_gpus", [2, 4], num_gpus=8)
+
+
+class TestCrossover:
+    def test_chopin_overtakes_duplication_with_gpus(self):
+        """CHOPIN's win appears somewhere between 2 and 16 GPUs (Fig 19)."""
+        result = crossover("num_gpus", [2, 4, 8, 16],
+                           scheme_a="chopin+sched", scheme_b="duplication",
+                           benchmarks=BENCH)
+        assert result is not None
+        value, margin = result
+        assert value in (2, 4, 8, 16)
+        assert margin > 0
+
+    def test_none_when_never_crossing(self):
+        # chopin-rr never overtakes the composition-scheduled variant here
+        result = crossover("num_gpus", [8],
+                           scheme_a="chopin-rr", scheme_b="chopin+sched",
+                           benchmarks=BENCH)
+        assert result is None

@@ -1,0 +1,115 @@
+"""Screen tiling and tile-to-GPU ownership (the SFR split)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.raster.tiles import TileGrid
+
+
+class TestGridGeometry:
+    def test_tile_counts_round_up(self):
+        grid = TileGrid(100, 60, tile_size=32)
+        assert grid.tiles_x == 4
+        assert grid.tiles_y == 2
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigError):
+            TileGrid(0, 10, 8)
+
+    def test_tile_bounds_clamped_at_edges(self):
+        grid = TileGrid(100, 60, tile_size=32)
+        assert grid.tile_bounds(3, 1) == (96, 32, 100, 60)
+
+    def test_tile_of_pixel(self):
+        grid = TileGrid(128, 128, tile_size=32)
+        assert grid.tile_of_pixel(0, 0) == (0, 0)
+        assert grid.tile_of_pixel(33, 65) == (1, 2)
+
+
+class TestOwnership:
+    def test_owner_map_shape_and_range(self):
+        grid = TileGrid(96, 64, tile_size=16)
+        owners = grid.owner_map(4)
+        assert owners.shape == (64, 96)
+        assert set(np.unique(owners)) == {0, 1, 2, 3}
+
+    def test_interleaving_alternates_along_rows(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        owners = grid.owner_map(2)
+        assert owners[0, 0] != owners[0, 16]
+
+    def test_pixels_partition_exactly(self):
+        grid = TileGrid(100, 60, tile_size=32)
+        per_gpu = grid.pixels_per_gpu(3)
+        assert sum(per_gpu) == 100 * 60
+
+    def test_masks_are_disjoint_and_complete(self):
+        grid = TileGrid(80, 48, tile_size=16)
+        union = np.zeros((48, 80), dtype=int)
+        for gpu in range(4):
+            union += grid.gpu_pixel_mask(gpu, 4).astype(int)
+        assert (union == 1).all()
+
+    def test_single_gpu_owns_everything(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        assert grid.gpu_pixel_mask(0, 1).all()
+
+    def test_tiles_of_gpu_matches_owner_map(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        tiles = grid.tiles_of_gpu(1, 3)
+        for tx, ty in tiles:
+            assert grid.owner_of_tile(tx, ty, 3) == 1
+
+    def test_rejects_zero_gpus(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        with pytest.raises(ConfigError):
+            grid.owner_map(0)
+
+
+class TestTouchedTiles:
+    def test_single_pixel_touches_one_tile(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        touched = np.zeros((64, 64), dtype=bool)
+        touched[20, 40] = True
+        tiles = grid.touched_tiles(touched)
+        assert tiles.sum() == 1
+        assert tiles[1, 2]
+
+    def test_empty_mask_touches_nothing(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        assert grid.touched_tiles(np.zeros((64, 64), bool)).sum() == 0
+
+    def test_non_multiple_resolution_handled(self):
+        grid = TileGrid(70, 50, tile_size=32)
+        touched = np.ones((50, 70), dtype=bool)
+        assert grid.touched_tiles(touched).all()
+
+    def test_shape_mismatch_rejected(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        with pytest.raises(ConfigError):
+            grid.touched_tiles(np.zeros((10, 10), bool))
+
+
+class TestRegionSizes:
+    def test_full_screen_splits_by_ownership(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        touched = np.ones((64, 64), dtype=bool)
+        sizes = grid.region_sizes_to_gpus(touched, 4)
+        assert sum(sizes.values()) == 64 * 64
+        assert all(v == 1024 for v in sizes.values())
+
+    def test_untouched_tiles_excluded(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        touched = np.zeros((64, 64), dtype=bool)
+        touched[0:16, 0:16] = True  # exactly tile (0, 0), owned by GPU 0
+        sizes = grid.region_sizes_to_gpus(touched, 4)
+        assert sizes[0] == 256
+        assert sizes[1] == sizes[2] == sizes[3] == 0
+
+    def test_tile_granularity_rounds_up(self):
+        grid = TileGrid(64, 64, tile_size=16)
+        touched = np.zeros((64, 64), dtype=bool)
+        touched[3, 3] = True  # one pixel -> whole 16x16 tile counted
+        sizes = grid.region_sizes_to_gpus(touched, 4)
+        assert sizes[0] == 256

@@ -1,0 +1,112 @@
+"""Timeline recording and ASCII Gantt rendering."""
+
+import pytest
+
+from repro.harness import build_scheme, make_setup
+from repro.stats import STAGE_COMPOSITION, STAGE_FRAGMENT, STAGE_GEOMETRY
+from repro.timing.timeline import (Span, TimelineRecorder, current,
+                                   record_timeline)
+from repro.traces import load_benchmark
+
+
+class TestRecorder:
+    def test_inactive_by_default(self):
+        assert current() is None
+
+    def test_context_activates_and_restores(self):
+        with record_timeline() as recorder:
+            assert current() is recorder
+            with record_timeline() as inner:
+                assert current() is inner
+            assert current() is recorder
+        assert current() is None
+
+    def test_zero_length_spans_dropped(self):
+        recorder = TimelineRecorder()
+        recorder.record("gpu0", STAGE_GEOMETRY, 5.0, 5.0)
+        assert recorder.spans == []
+
+    def test_busy_time_merges_overlaps(self):
+        recorder = TimelineRecorder()
+        recorder.record("gpu0", STAGE_GEOMETRY, 0, 10)
+        recorder.record("gpu0", STAGE_FRAGMENT, 5, 15)
+        assert recorder.busy_time("gpu0") == 15.0
+
+    def test_utilization(self):
+        recorder = TimelineRecorder()
+        recorder.record("gpu0", STAGE_GEOMETRY, 0, 25)
+        recorder.record("gpu1", STAGE_GEOMETRY, 0, 100)
+        assert recorder.utilization("gpu0") == pytest.approx(0.25)
+        assert recorder.utilization("gpu1") == pytest.approx(1.0)
+
+    def test_lanes_sorted_numerically(self):
+        recorder = TimelineRecorder()
+        for lane in ("gpu10", "gpu2", "gpu1"):
+            recorder.record(lane, STAGE_GEOMETRY, 0, 1)
+        assert recorder.lanes() == ["gpu1", "gpu2", "gpu10"]
+
+
+class TestRendering:
+    def test_empty_timeline(self):
+        assert TimelineRecorder().render() == "(empty timeline)"
+
+    def test_glyphs_and_idle(self):
+        recorder = TimelineRecorder()
+        recorder.record("gpu0", STAGE_GEOMETRY, 0, 50)
+        recorder.record("gpu0", STAGE_COMPOSITION, 80, 100)
+        text = recorder.render(width=10, show_legend=False)
+        row = text.split("|")[1]
+        assert row == "GGGGG...CC"
+
+    def test_dominant_stage_wins_cell(self):
+        recorder = TimelineRecorder()
+        recorder.record("gpu0", STAGE_GEOMETRY, 0, 9)
+        recorder.record("gpu0", STAGE_FRAGMENT, 9, 10)
+        text = recorder.render(width=1, show_legend=False)
+        assert "|G|" in text
+
+    def test_legend_present(self):
+        recorder = TimelineRecorder()
+        recorder.record("gpu0", STAGE_GEOMETRY, 0, 10)
+        text = recorder.render(width=20)
+        assert "G=geometry" in text
+        assert "cycles" in text
+
+    def test_lane_filter(self):
+        recorder = TimelineRecorder()
+        recorder.record("gpu0", STAGE_GEOMETRY, 0, 10)
+        recorder.record("gpu1", STAGE_GEOMETRY, 0, 10)
+        text = recorder.render(width=10, lanes=["gpu1"],
+                               show_legend=False)
+        assert "gpu0" not in text and "gpu1" in text
+
+
+class TestSchemeIntegration:
+    def test_chopin_run_produces_spans(self):
+        setup = make_setup("tiny", num_gpus=4)
+        trace = load_benchmark("wolf", "tiny")
+        with record_timeline() as recorder:
+            result = build_scheme("chopin+sched", setup).run(trace)
+        stages = {span.stage for span in recorder.spans}
+        assert STAGE_GEOMETRY in stages
+        assert STAGE_FRAGMENT in stages
+        assert STAGE_COMPOSITION in stages
+        assert "transfer" in stages
+        assert recorder.end_time == pytest.approx(result.frame_cycles,
+                                                  rel=0.01)
+        # per-lane busy time agrees with the engine-stage stats
+        for gpu in range(4):
+            geometry = sum(s.duration for s in recorder.spans
+                           if s.lane == f"gpu{gpu}"
+                           and s.stage == STAGE_GEOMETRY)
+            assert geometry == pytest.approx(
+                result.stats.gpus[gpu].stage_cycles[STAGE_GEOMETRY],
+                rel=1e-6)
+
+    def test_recording_does_not_change_timing(self):
+        setup = make_setup("tiny", num_gpus=4)
+        trace = load_benchmark("wolf", "tiny")
+        plain = build_scheme("chopin+sched", setup).run(trace)
+        with record_timeline():
+            recorded = build_scheme("chopin+sched", setup).run(trace)
+        assert plain.frame_cycles == recorded.frame_cycles

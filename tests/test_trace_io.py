@@ -1,0 +1,85 @@
+"""Trace serialization round-trip and format robustness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import load_benchmark
+from repro.traces.io import FORMAT_VERSION, load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_micro_trace_exact(self, micro_trace, tmp_path):
+        path = tmp_path / "micro.npz"
+        save_trace(micro_trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == micro_trace.name
+        assert loaded.width == micro_trace.width
+        assert loaded.num_draws == micro_trace.num_draws
+        assert loaded.num_triangles == micro_trace.num_triangles
+        for original, copy in zip(micro_trace.frame.draws,
+                                  loaded.frame.draws):
+            assert np.array_equal(original.positions, copy.positions)
+            assert np.array_equal(original.colors, copy.colors)
+            assert original.state == copy.state
+            assert original.vertex_cost == copy.vertex_cost
+            assert original.texture_id == copy.texture_id
+
+    def test_benchmark_trace_round_trip(self, tmp_path):
+        trace = load_benchmark("wolf", "tiny")
+        path = tmp_path / "wolf.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.num_triangles == trace.num_triangles
+        ops = [(d.state.blend_op, d.state.depth_func)
+               for d in trace.frame.draws]
+        loaded_ops = [(d.state.blend_op, d.state.depth_func)
+                      for d in loaded.frame.draws]
+        assert ops == loaded_ops
+
+    def test_loaded_trace_renders_identically(self, micro_trace, tmp_path,
+                                              micro_setup):
+        from repro.sfr import render_reference_image
+        path = tmp_path / "micro.npz"
+        save_trace(micro_trace, path)
+        loaded = load_trace(path)
+        original = render_reference_image(micro_trace, micro_setup.config)
+        reloaded = render_reference_image(loaded, micro_setup.config)
+        assert np.array_equal(original.color, reloaded.color)
+
+    def test_scalar_metadata_preserved(self, micro_trace, tmp_path):
+        micro_trace.metadata["note"] = "hello"
+        micro_trace.metadata["unpicklable"] = object()  # silently dropped
+        path = tmp_path / "m.npz"
+        save_trace(micro_trace, path)
+        loaded = load_trace(path)
+        assert loaded.metadata["note"] == "hello"
+        assert "unpicklable" not in loaded.metadata
+
+
+class TestRobustness:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_npz_without_header(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, micro_trace, tmp_path,
+                                    monkeypatch):
+        import repro.traces.io as io_module
+        path = tmp_path / "m.npz"
+        monkeypatch.setattr(io_module, "FORMAT_VERSION", FORMAT_VERSION + 1)
+        save_trace(micro_trace, path)
+        monkeypatch.undo()
+        with pytest.raises(TraceError):
+            load_trace(path)

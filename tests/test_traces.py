@@ -1,0 +1,231 @@
+"""Trace containers, the synthetic generator, and the benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.geometry import BlendOp, DrawCommand, RenderState
+from repro.traces import (BENCHMARK_NAMES, SCALES, TABLE3, Trace, TraceSpec,
+                          load_benchmark, load_suite, scale_for, synthesize,
+                          transparent_runs, triangle_histogram)
+from repro.traces.trace import Frame
+
+
+def small_spec(**overrides):
+    base = dict(name="t", width=64, height=64, num_draws=30,
+                num_triangles=900, seed=11)
+    base.update(overrides)
+    return TraceSpec(**base)
+
+
+class TestTraceContainer:
+    def test_counts(self, micro_trace):
+        assert micro_trace.num_draws == 24
+        assert micro_trace.num_triangles == 600
+
+    def test_single_frame_property(self, micro_trace):
+        assert micro_trace.frame is micro_trace.frames[0]
+
+    def test_multi_frame_frame_property_raises(self, micro_trace):
+        multi = Trace(name="m", width=8, height=8,
+                      frames=[Frame(), Frame()])
+        with pytest.raises(TraceError):
+            _ = multi.frame
+
+    def test_validate_rejects_duplicate_ids(self):
+        positions = np.zeros((1, 3, 3), np.float32)
+        colors = np.zeros((1, 3, 4), np.float32)
+        draws = [DrawCommand(draw_id=1, positions=positions, colors=colors)
+                 for _ in range(2)]
+        trace = Trace(name="bad", width=8, height=8,
+                      frames=[Frame(draws=draws)])
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    def test_validate_rejects_transparent_depth_write(self):
+        positions = np.zeros((1, 3, 3), np.float32)
+        colors = np.zeros((1, 3, 4), np.float32)
+        bad = DrawCommand(draw_id=1, positions=positions, colors=colors,
+                          state=RenderState(blend_op=BlendOp.OVER,
+                                            depth_write=True))
+        trace = Trace(name="bad", width=8, height=8,
+                      frames=[Frame(draws=[bad])])
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    def test_histogram_buckets_cover_all_draws(self, micro_trace):
+        hist = triangle_histogram(micro_trace, [4, 16, 64])
+        assert sum(hist.values()) == micro_trace.num_draws
+
+    def test_transparent_runs_grouped_by_operator(self, micro_trace):
+        runs = transparent_runs(micro_trace.frame)
+        for run in runs:
+            ops = {d.state.blend_op for d in run}
+            assert len(ops) == 1
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_in_seed(self):
+        a, b = synthesize(small_spec()), synthesize(small_spec())
+        assert a.frame.draws[5].positions.tolist() == \
+            b.frame.draws[5].positions.tolist()
+
+    def test_different_seeds_differ(self):
+        a = synthesize(small_spec())
+        b = synthesize(small_spec(seed=12))
+        assert not np.array_equal(a.frame.draws[5].positions,
+                                  b.frame.draws[5].positions)
+
+    def test_exact_draw_and_triangle_counts(self):
+        trace = synthesize(small_spec(num_draws=40, num_triangles=1500))
+        assert trace.num_draws == 40
+        assert trace.num_triangles == 1500
+
+    def test_transparent_draws_at_end(self):
+        trace = synthesize(small_spec())
+        draws = trace.frame.draws
+        flags = [d.transparent for d in draws]
+        first_transparent = flags.index(True)
+        assert all(flags[first_transparent:])
+
+    def test_transparent_back_to_front(self):
+        trace = synthesize(small_spec(num_draws=60, num_triangles=3000,
+                                      transparent_fraction=0.15,
+                                      additive_fraction=0.0))
+        transparent = [d for d in trace.frame.draws if d.transparent]
+        depths = [float(d.positions[..., 2].mean()) for d in transparent]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_opaque_objects_roughly_front_to_back(self):
+        trace = synthesize(small_spec(num_draws=80, num_triangles=4000,
+                                      tiny_draw_fraction=0.05,
+                                      big_triangle_fraction=0.0))
+        object_draws = [d for d in trace.frame.draws[1:]
+                        if not d.transparent and d.num_triangles > 8]
+        depths = np.array([float(d.positions[..., 2].mean())
+                           for d in object_draws])
+        # strongly increasing on average (front-to-back submission)
+        assert np.corrcoef(np.arange(len(depths)), depths)[0, 1] > 0.8
+
+    def test_geometry_stays_in_ndc(self):
+        trace = synthesize(small_spec())
+        for draw in trace.frame.draws:
+            assert (draw.positions[..., 2] >= 0).all()
+            assert (draw.positions[..., 2] <= 1).all()
+
+    def test_state_events_present(self):
+        trace = synthesize(small_spec(num_draws=60, num_triangles=3000))
+        draws = trace.frame.draws
+        assert any(d.state.render_target != 0 for d in draws)
+        assert any(not d.state.depth_write and not d.transparent
+                   for d in draws)
+
+    def test_additive_run_exists(self):
+        trace = synthesize(small_spec(num_draws=80, num_triangles=4000,
+                                      transparent_fraction=0.2,
+                                      additive_fraction=0.5))
+        ops = [d.state.blend_op for d in trace.frame.draws if d.transparent]
+        assert BlendOp.ADDITIVE in ops and BlendOp.OVER in ops
+
+    def test_rejects_too_few_draws(self):
+        with pytest.raises(TraceError):
+            synthesize(small_spec(num_draws=4))
+
+    def test_rejects_too_few_triangles(self):
+        with pytest.raises(TraceError):
+            synthesize(small_spec(num_triangles=30))
+
+    def test_big_triangles_are_early_and_far(self):
+        trace = synthesize(small_spec(num_draws=60, num_triangles=6000,
+                                      big_triangle_fraction=0.2,
+                                      tiny_draw_fraction=0.05))
+        object_draws = [d for d in trace.frame.draws[1:]
+                        if not d.transparent and d.num_triangles > 8]
+        # earliest object draws should sit at far depth (sky/road geometry)
+        early_depth = float(object_draws[0].positions[..., 2].mean())
+        assert early_depth > 0.8
+
+
+class TestScales:
+    def test_paper_scale_is_identity(self):
+        scale = SCALES["paper"]
+        assert scale.cost_multiplier == 1.0
+        assert scale.tile_size() == 64
+        assert scale.composition_threshold() == 4096
+
+    def test_tiny_scale_ratios(self):
+        scale = SCALES["tiny"]
+        assert scale.cost_multiplier == 4.0
+        assert scale.tile_size() == 16
+        assert scale.composition_threshold() == 64
+        assert scale.primitive_id_bytes() == 16
+
+    def test_apply_shrinks_spec(self):
+        spec = SCALES["tiny"].apply(TABLE3["cod2"])
+        assert spec.width == 160 and spec.height == 120
+        assert spec.num_triangles == TABLE3["cod2"].num_triangles // 64
+
+
+class TestBenchmarks:
+    def test_all_eight_present(self):
+        assert len(BENCHMARK_NAMES) == 8
+        assert set(BENCHMARK_NAMES) == {
+            "cod2", "cry", "grid", "mirror", "nfs", "stal", "ut3", "wolf"}
+
+    def test_table3_paper_numbers(self):
+        assert TABLE3["cry"].num_triangles == 800_948
+        assert TABLE3["grid"].num_draws == 2623
+        assert TABLE3["wolf"].width == 640
+
+    def test_load_caches(self):
+        assert load_benchmark("cod2", "tiny") is load_benchmark(
+            "cod2", "tiny")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TraceError):
+            load_benchmark("doom")
+        with pytest.raises(TraceError):
+            load_benchmark("cod2", scale="huge")
+        with pytest.raises(TraceError):
+            scale_for("huge")
+
+    def test_load_suite_subset(self):
+        suite = load_suite("tiny", names=("cod2", "wolf"))
+        assert [t.name for t in suite] == ["cod2", "wolf"]
+
+
+class TestPartitionProperties:
+    """Property tests on the generator's triangle partitioning."""
+
+    def test_partition_exact_and_positive(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        import numpy as np
+        from repro.traces.synthetic import TraceSpec, _FrameBuilder
+
+        @given(total=st.integers(50, 5000), parts=st.integers(1, 40),
+               seed=st.integers(0, 999))
+        @settings(max_examples=80, deadline=None)
+        def check(total, parts, seed):
+            if total < parts:
+                return
+            spec = TraceSpec(name="p", width=64, height=64, num_draws=20,
+                             num_triangles=1000, seed=seed)
+            builder = _FrameBuilder(spec, np.random.default_rng(seed))
+            counts = builder._partition_triangles(total, parts)
+            assert int(counts.sum()) == total
+            assert counts.min() >= 1
+            assert len(counts) == parts
+
+        check()
+
+    def test_partition_is_skewed(self):
+        """The lognormal weights must produce heavy-tailed draw sizes (the
+        bimodality that makes the composition threshold work)."""
+        import numpy as np
+        from repro.traces.synthetic import TraceSpec, _FrameBuilder
+        spec = TraceSpec(name="p", width=64, height=64, num_draws=20,
+                         num_triangles=1000, seed=3)
+        builder = _FrameBuilder(spec, np.random.default_rng(3))
+        counts = builder._partition_triangles(10_000, 100)
+        assert counts.max() > 5 * np.median(counts)

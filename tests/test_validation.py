@@ -1,0 +1,83 @@
+"""Image-validation utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.framebuffer import Framebuffer
+from repro.harness import make_setup
+from repro.traces import load_benchmark
+from repro.validation import (image_checksum, psnr, validate_schemes)
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self):
+        fb = Framebuffer(8, 8)
+        fb.color[:] = 0.5
+        assert math.isinf(psnr(fb, fb.copy()))
+
+    def test_known_value(self):
+        a, b = Framebuffer(8, 8), Framebuffer(8, 8)
+        b.color[:] = 0.1  # mse = 0.01 -> psnr = 20 dB
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_more_noise_less_psnr(self):
+        a = Framebuffer(8, 8)
+        slightly = Framebuffer(8, 8)
+        slightly.color[:] = 0.01
+        very = Framebuffer(8, 8)
+        very.color[:] = 0.2
+        assert psnr(a, slightly) > psnr(a, very)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(Framebuffer(8, 8), Framebuffer(4, 4))
+
+
+class TestChecksum:
+    def test_stable(self):
+        fb = Framebuffer(8, 8)
+        fb.color[:] = 0.3
+        assert image_checksum(fb) == image_checksum(fb.copy())
+
+    def test_sensitive_to_content(self):
+        a, b = Framebuffer(8, 8), Framebuffer(8, 8)
+        b.color[0, 0, 0] = 1.0
+        assert image_checksum(a) != image_checksum(b)
+
+    def test_sub_quantum_noise_invisible(self):
+        a, b = Framebuffer(8, 8), Framebuffer(8, 8)
+        a.color[:] = 0.5
+        b.color[:] = 0.5 + 1e-5
+        assert image_checksum(a) == image_checksum(b)
+
+
+class TestValidateSchemes:
+    def test_all_schemes_identical_on_benchmark(self):
+        setup = make_setup("tiny", num_gpus=8)
+        trace = load_benchmark("wolf", "tiny")
+        report = validate_schemes(trace, setup)
+        assert report.all_identical, report.summary()
+        checksums = {v.checksum for v in report.schemes}
+        assert checksums == {report.reference_checksum}
+
+    def test_summary_readable(self):
+        setup = make_setup("tiny", num_gpus=8)
+        trace = load_benchmark("wolf", "tiny")
+        report = validate_schemes(trace, setup, schemes=("duplication",))
+        text = report.summary()
+        assert "wolf" in text and "OK" in text and "psnr" in text
+
+    def test_golden_checksum_regression(self):
+        """The wolf/tiny reference image fingerprint — if this changes, the
+        functional pipeline's output changed and every EXPERIMENTS.md
+        number needs re-auditing."""
+        setup = make_setup("tiny", num_gpus=8)
+        trace = load_benchmark("wolf", "tiny")
+        report = validate_schemes(trace, setup, schemes=("duplication",))
+        assert report.reference_checksum \
+            == report.by_scheme()["duplication"].checksum
+        # fingerprint is deterministic across runs in one environment
+        again = validate_schemes(trace, setup, schemes=("duplication",))
+        assert again.reference_checksum == report.reference_checksum

@@ -1,0 +1,108 @@
+"""The composition-group workflow (Fig 7) and hardware-cost models."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import (CompositionGroup, GroupMode, plan_frame, plan_group,
+                        split_into_groups, summarize_plan,
+                        composition_scheduler_size_bytes,
+                        composition_scheduler_traffic_bytes,
+                        draw_scheduler_size_bytes,
+                        draw_scheduler_traffic_bytes)
+from repro.errors import ConfigError
+from repro.geometry import BlendOp, DepthFunc, DrawCommand, RenderState
+
+
+def draw(draw_id, tris=100, **state_kwargs):
+    positions = np.zeros((tris, 3, 3), dtype=np.float32)
+    colors = np.zeros((tris, 3, 4), dtype=np.float32)
+    return DrawCommand(draw_id=draw_id, positions=positions, colors=colors,
+                       state=RenderState(**state_kwargs))
+
+
+def group(draws, index=0):
+    return CompositionGroup(index=index, draws=draws)
+
+
+@pytest.fixture()
+def config():
+    return SystemConfig(num_gpus=4, composition_threshold=64)
+
+
+class TestPlanGroup:
+    def test_small_group_reverts_to_duplication(self, config):
+        plan = plan_group(group([draw(0, tris=10)]), config)
+        assert plan.mode is GroupMode.DUPLICATE
+        assert not plan.accelerated
+
+    def test_large_opaque_group_parallel(self, config):
+        plan = plan_group(group([draw(0, tris=100)]), config)
+        assert plan.mode is GroupMode.OPAQUE_PARALLEL
+        assert plan.accelerated
+
+    def test_transparent_group_split_evenly(self, config):
+        draws = [draw(i, tris=50, blend_op=BlendOp.OVER, depth_write=False)
+                 for i in range(2)]
+        plan = plan_group(group(draws), config)
+        assert plan.mode is GroupMode.TRANSPARENT_PARALLEL
+        assert plan.needs_extra_target
+        counts = [sum(d.num_triangles for d in c) for c in plan.chunks]
+        assert sum(counts) == 100
+        assert max(counts) - min(counts) <= 1
+
+    def test_depth_write_off_forces_duplication(self, config):
+        plan = plan_group(group([draw(0, tris=100, depth_write=False)]),
+                          config)
+        assert plan.mode is GroupMode.DUPLICATE
+
+    def test_order_dependent_depth_func_forces_duplication(self, config):
+        plan = plan_group(
+            group([draw(0, tris=100, depth_func=DepthFunc.EQUAL)]), config)
+        assert plan.mode is GroupMode.DUPLICATE
+
+    def test_explicit_threshold_overrides_config(self, config):
+        plan = plan_group(group([draw(0, tris=100)]), config, threshold=200)
+        assert plan.mode is GroupMode.DUPLICATE
+
+
+class TestPlanFrame:
+    def test_summary_counts(self, config, micro_trace):
+        plans = plan_frame(split_into_groups(micro_trace.frame), config)
+        summary = summarize_plan(plans)
+        assert summary.total_groups == len(plans)
+        assert summary.accelerated_groups + summary.duplicated_groups \
+            == summary.total_groups
+        assert 0.0 < summary.triangle_coverage <= 1.0
+
+    def test_coverage_shrinks_with_threshold(self, config, micro_trace):
+        groups = split_into_groups(micro_trace.frame)
+        low = summarize_plan(plan_frame(groups, config, threshold=8))
+        high = summarize_plan(plan_frame(groups, config, threshold=400))
+        assert high.triangle_coverage <= low.triangle_coverage
+
+
+class TestHardwareCosts:
+    def test_paper_numbers_at_8_gpus(self):
+        assert draw_scheduler_size_bytes(8) == 128
+        assert composition_scheduler_size_bytes(8) == 27
+        assert composition_scheduler_traffic_bytes(8) == 512
+
+    def test_draw_scheduler_traffic(self):
+        # 4 KB per million triangles at interval 1024 (paper §VI-D)
+        assert draw_scheduler_traffic_bytes(1_000_000, 1024) \
+            == pytest.approx(4000, rel=0.05)
+        assert draw_scheduler_traffic_bytes(10, 1) == 40
+
+    def test_scaling_with_gpu_count(self):
+        assert draw_scheduler_size_bytes(16) == 256
+        assert composition_scheduler_size_bytes(16) \
+            > composition_scheduler_size_bytes(8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            draw_scheduler_size_bytes(0)
+        with pytest.raises(ConfigError):
+            draw_scheduler_traffic_bytes(100, 0)
+        with pytest.raises(ConfigError):
+            composition_scheduler_traffic_bytes(-1)
