@@ -52,8 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("tiny", "small", "paper"))
         p.add_argument("--gpus", type=int, default=8)
 
+    def fault_opt(p):
+        p.add_argument(
+            "--fault-plan", metavar="SPEC", default=None,
+            help="inject deterministic faults, e.g. "
+                 "'seed=7,drop=0.01,fail=2@50000,slow=0:20000:0.5' "
+                 "(keys: seed, drop, corrupt, retries, backoff, detect, "
+                 "fail=GPU@CYCLE, slow=START:END:FACTOR)")
+
     render = sub.add_parser("render", help="run one scheme on a benchmark")
     common(render)
+    fault_opt(render)
     render.add_argument("benchmark", choices=BENCHMARK_NAMES)
     render.add_argument("--scheme", default="chopin+sched",
                         choices=sorted(SCHEMES))
@@ -63,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare",
                              help="speedups of several schemes")
     common(compare)
+    fault_opt(compare)
     compare.add_argument("benchmark", choices=BENCHMARK_NAMES)
     compare.add_argument("--schemes", nargs="+", default=list(MAIN_SCHEMES),
                          choices=sorted(SCHEMES))
@@ -86,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     timeline = sub.add_parser(
         "timeline", help="render an ASCII execution Gantt for one scheme")
     common(timeline)
+    fault_opt(timeline)
     timeline.add_argument("benchmark", choices=BENCHMARK_NAMES)
     timeline.add_argument("--scheme", default="chopin+sched",
                           choices=sorted(SCHEMES))
@@ -96,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     results = sub.add_parser(
         "export-results", help="run schemes and write a CSV/JSON of results")
     common(results)
+    fault_opt(results)
     results.add_argument("output", help="output .csv or .json path")
     results.add_argument("--benchmarks", nargs="+",
                          default=list(BENCHMARK_NAMES),
@@ -106,8 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_faults(args):
+    """FaultPlan from --fault-plan (None when absent or not supported)."""
+    spec = getattr(args, "fault_plan", None)
+    if not spec:
+        return None
+    from .faults import parse_fault_plan
+    return parse_fault_plan(spec)
+
+
 def cmd_render(args) -> int:
-    setup = make_setup(args.scale, num_gpus=args.gpus)
+    setup = make_setup(args.scale, num_gpus=args.gpus,
+                       faults=_parse_faults(args))
     trace = load_benchmark(args.benchmark, args.scale)
     result = run(args.scheme, trace, setup)
     print(f"{args.scheme} on {args.benchmark} ({args.gpus} GPUs, "
@@ -120,6 +142,8 @@ def cmd_render(args) -> int:
             print(f"  {stage:<13}: {totals[stage]:14,.0f} cycles "
                   f"({100 * totals[stage] / busy:5.1f}%)")
     print(f"  traffic    : {result.stats.traffic_total() / 1e6:.2f} MB")
+    if setup.config.faults is not None:
+        print(report_module.render_fault_summary(result.stats))
     if args.ppm:
         result.image.write_ppm(args.ppm)
         print(f"  frame written to {args.ppm}")
@@ -127,7 +151,8 @@ def cmd_render(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    setup = make_setup(args.scale, num_gpus=args.gpus)
+    setup = make_setup(args.scale, num_gpus=args.gpus,
+                       faults=_parse_faults(args))
     trace = load_benchmark(args.benchmark, args.scale)
     baseline = run("duplication", trace, setup)
     print(f"{args.benchmark} ({args.gpus} GPUs): speedup vs duplication")
@@ -196,7 +221,8 @@ def cmd_export(args) -> int:
 def cmd_timeline(args) -> int:
     from .harness import build_scheme
     from .timing import record_timeline
-    setup = make_setup(args.scale, num_gpus=args.gpus)
+    setup = make_setup(args.scale, num_gpus=args.gpus,
+                       faults=_parse_faults(args))
     trace = load_benchmark(args.benchmark, args.scale)
     with record_timeline() as timeline:
         result = build_scheme(args.scheme, setup).run(trace)
@@ -211,7 +237,8 @@ def cmd_timeline(args) -> int:
 
 def cmd_export_results(args) -> int:
     from .harness.export import collect_rows, write_csv, write_json
-    setup = make_setup(args.scale, num_gpus=args.gpus)
+    setup = make_setup(args.scale, num_gpus=args.gpus,
+                       faults=_parse_faults(args))
     rows = collect_rows(args.benchmarks, args.schemes, setup)
     if args.output.endswith(".json"):
         write_json(rows, args.output)

@@ -24,8 +24,10 @@ Bandwidth is converted to bytes/cycle at the GPU clock: 64 GB/s at 1 GHz is
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .errors import ConfigError
+from .faults.plan import FaultPlan
 
 GIGA = 1_000_000_000
 
@@ -129,6 +131,11 @@ class SystemConfig:
     primitive_id_bytes: int = 4
     #: fraction of depth-culled fragments artificially retained (Fig 16)
     retained_cull_fraction: float = 0.0
+    #: deterministic fault-injection plan (None = perfect hardware); see
+    #: :mod:`repro.faults`. Link errors/degraded windows apply to every
+    #: scheme's transfers; fail-stop recovery is modeled by the CHOPIN
+    #: schemes.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
@@ -143,6 +150,8 @@ class SystemConfig:
             raise ConfigError("retained_cull_fraction must lie in [0, 1]")
         if self.msaa_samples not in (1, 2, 4, 8):
             raise ConfigError("msaa_samples must be 1, 2, 4, or 8")
+        if self.faults is not None:
+            self.faults.validate_for(self.num_gpus)
 
     @property
     def effective_pixel_bytes(self) -> int:
@@ -167,6 +176,10 @@ class SystemConfig:
             ideal=link.ideal if ideal is None else ideal,
         )
         return replace(self, link=new)
+
+    def with_faults(self, faults: Optional[FaultPlan]) -> "SystemConfig":
+        """Copy of this config with a different fault plan (None = none)."""
+        return replace(self, faults=faults)
 
     def idealized(self) -> "SystemConfig":
         """Upper-bound variant: free links and unlimited buffering (Fig 5)."""

@@ -131,6 +131,24 @@ class ImageCompositionScheduler:
         r.received_gpus.add(sender)
         self._notify()
 
+    def exclude_gpu(self, gpu: int) -> None:
+        """Drop a fail-stopped GPU from every partner set (degraded mode).
+
+        The dead GPU's row keeps whatever state it had, but no survivor will
+        be paired with it any more and its own partner set empties, so
+        :meth:`gpu_done` holds for it trivially.
+        """
+        if not 0 <= gpu < self.num_gpus:
+            raise SchedulingError(f"cannot exclude unknown GPU{gpu}")
+        if self._allowed is None:
+            self._allowed = [
+                {p for p in range(self.num_gpus) if p != g}
+                for g in range(self.num_gpus)]
+        for partners in self._allowed:
+            partners.discard(gpu)
+        self._allowed[gpu] = set()
+        self._notify()
+
     def extend_partners(self, gpu: int, partners: Set[int]) -> None:
         """Widen a GPU's allowed partner set (tree reductions grow reach)."""
         if self._allowed is None:

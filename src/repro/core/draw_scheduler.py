@@ -15,7 +15,7 @@ chunks (§IV-C step 4), implemented by :func:`even_split_by_triangles`.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Set
 
 from ..errors import SchedulingError
 from ..geometry.primitives import DrawCommand
@@ -30,6 +30,24 @@ class DrawScheduler:
         if num_gpus <= 0:
             raise SchedulingError("need at least one GPU")
         self.num_gpus = num_gpus
+        #: fail-stopped GPUs; ``pick`` never selects these (degraded mode)
+        self.disabled: Set[int] = set()
+
+    def disable_gpu(self, gpu: int) -> None:
+        """Remove a fail-stopped GPU from scheduling consideration.
+
+        Disabling survives :meth:`reset` — a dead GPU stays dead across
+        composition groups.
+        """
+        if not 0 <= gpu < self.num_gpus:
+            raise SchedulingError(f"cannot disable unknown GPU{gpu}")
+        self.disabled.add(gpu)
+        if len(self.disabled) == self.num_gpus:
+            raise SchedulingError("every GPU is disabled; nothing can "
+                                  "execute draws")
+
+    def eligible_gpus(self) -> List[int]:
+        return [g for g in range(self.num_gpus) if g not in self.disabled]
 
     def pick(self, triangles: int) -> int:
         raise NotImplementedError
@@ -52,7 +70,9 @@ class RoundRobinScheduler(DrawScheduler):
 
     def pick(self, triangles: int) -> int:
         gpu = self._next
-        self._next = (self._next + 1) % self.num_gpus
+        while gpu in self.disabled:
+            gpu = (gpu + 1) % self.num_gpus
+        self._next = (gpu + 1) % self.num_gpus
         return gpu
 
     def reset(self) -> None:
@@ -79,7 +99,7 @@ class LeastRemainingTrianglesScheduler(DrawScheduler):
         return self.scheduled[gpu] - self.processed[gpu]
 
     def pick(self, triangles: int) -> int:
-        gpu = min(range(self.num_gpus), key=self.remaining)
+        gpu = min(self.eligible_gpus(), key=self.remaining)
         self.scheduled[gpu] += triangles
         return gpu
 
@@ -121,7 +141,7 @@ class SampledRateScheduler(DrawScheduler):
             raise SchedulingError("sampled scheduler ran out of estimates")
         estimate = self._estimates[self._cursor]
         self._cursor += 1
-        gpu = min(range(self.num_gpus), key=self.load.__getitem__)
+        gpu = min(self.eligible_gpus(), key=self.load.__getitem__)
         self.load[gpu] += estimate
         return gpu
 
@@ -149,7 +169,7 @@ class OracleLPTScheduler(DrawScheduler):
             raise SchedulingError("oracle scheduler ran out of cost entries")
         cost = self._costs[self._cursor]
         self._cursor += 1
-        gpu = min(range(self.num_gpus), key=self.load.__getitem__)
+        gpu = min(self.eligible_gpus(), key=self.load.__getitem__)
         self.load[gpu] += cost
         return gpu
 

@@ -17,6 +17,11 @@ class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 
 
+class FaultError(ReproError):
+    """An injected fault could not be recovered from (e.g., a transfer
+    exhausted its retry budget, or a fail-stop left no survivors)."""
+
+
 class PipelineError(ReproError):
     """The graphics pipeline was driven with invalid inputs."""
 

@@ -1,0 +1,22 @@
+"""Fault injection and graceful degradation for the multi-GPU simulation.
+
+:mod:`repro.faults.plan` defines the deterministic, seedable
+:class:`FaultPlan` (fail-stop GPUs, transient link errors, degraded-
+bandwidth windows) plus the per-run :class:`FaultInjector`;
+:mod:`repro.faults.degraded` holds the recovery planning algorithms the
+CHOPIN schemes use to finish a frame after a GPU dies.
+"""
+
+from .plan import (OUTCOME_CORRUPT, OUTCOME_DROP, OUTCOME_OK, DegradedWindow,
+                   FaultInjector, FaultPlan, GPUFailure, parse_fault_plan)
+
+__all__ = [
+    "DegradedWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "GPUFailure",
+    "OUTCOME_CORRUPT",
+    "OUTCOME_DROP",
+    "OUTCOME_OK",
+    "parse_fault_plan",
+]

@@ -1,0 +1,201 @@
+"""Degraded-mode planning: who takes over when a GPU fail-stops.
+
+These are the scheme-agnostic pieces of graceful degradation; the CHOPIN
+timing pass assembles them into a per-group recovery plan:
+
+- :func:`first_unfinished_group` maps a fail-stop cycle onto the first
+  composition group the dead GPU cannot complete (derived from a fault-free
+  baseline timeline);
+- :func:`nearest_survivor` picks the deterministic inheritor of a dead
+  GPU's screen tiles (and, for transparent groups, its layer chunk — the
+  nearest neighbour keeps the chunk order contiguous, which blending-order
+  correctness requires);
+- :func:`redistribute_draw_works` reassigns lost draw commands to survivors
+  through the paper's own least-remaining-triangles scheduler, seeded with
+  the survivors' existing loads;
+- :func:`rebuild_reduction` re-derives the adjacent-pair reduction tree over
+  an arbitrary survivor set from per-layer touched-tile bitmaps, and
+  :func:`scatter_sizes` re-derives the final scatter with dead GPUs' tiles
+  reassigned to their inheritors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.draw_scheduler import LeastRemainingTrianglesScheduler
+from ..errors import FaultError
+
+
+def first_unfinished_group(involvement_ends: Sequence[float],
+                           cycle: float) -> int:
+    """First group a GPU dying at ``cycle`` cannot complete.
+
+    ``involvement_ends[gi]`` is the baseline cycle at which the GPU finished
+    all its work (rendering *and* composition) for group ``gi``. Returns
+    ``len(involvement_ends)`` if the GPU finished the whole frame first —
+    such a failure needs no recovery.
+    """
+    for gi, end in enumerate(involvement_ends):
+        if end > cycle:
+            return gi
+    return len(involvement_ends)
+
+
+def nearest_survivor(gpu: int, survivors: Sequence[int]) -> int:
+    """Deterministic inheritor: closest survivor by index, ties to the left."""
+    alive = sorted(survivors)
+    if not alive:
+        raise FaultError("no surviving GPU to inherit from GPU%d" % gpu)
+    return min(alive, key=lambda s: (abs(s - gpu), s))
+
+
+def redistribute_draw_works(lost_works: Sequence, alive: Sequence[int],
+                            base_triangles: Mapping[int, int],
+                            num_gpus: int) -> List[int]:
+    """Assign each lost draw (anything with ``.triangles``) to a survivor.
+
+    Reuses the least-remaining-triangles draw scheduler with the dead GPUs
+    disabled and the survivors' current triangle loads pre-seeded, so
+    recovery work lands on the least-loaded survivors exactly the way the
+    original assignment pass would have placed it.
+    """
+    alive_set = set(alive)
+    if not alive_set:
+        raise FaultError("cannot redistribute draws: no survivors")
+    scheduler = LeastRemainingTrianglesScheduler(num_gpus)
+    for gpu in range(num_gpus):
+        if gpu not in alive_set:
+            scheduler.disable_gpu(gpu)
+    for gpu in alive_set:
+        scheduler.scheduled[gpu] = int(base_triangles.get(gpu, 0))
+    return [scheduler.pick(work.triangles) for work in lost_works]
+
+
+def repair_region_matrix(region_pixels: np.ndarray, dead: Sequence[int],
+                         inherit: Mapping[int, int]) -> np.ndarray:
+    """Fold dead GPUs' composition messages onto their inheritors.
+
+    Row ``f`` (the sub-image pixels the dead GPU would have sent — now
+    produced by its re-rendering inheritor) and column ``f`` (messages bound
+    for its owned tiles, which the inheritor now owns) merge into
+    ``inherit[f]``; the diagonal stays zero (local composition is free).
+    """
+    matrix = np.array(region_pixels, dtype=np.int64, copy=True)
+    for f in sorted(dead):
+        a = inherit[f]
+        if a == f:
+            raise FaultError(f"GPU{f} cannot inherit from itself")
+        for dst in range(matrix.shape[1]):
+            if dst != a:
+                matrix[a, dst] += matrix[f, dst]
+        for src in range(matrix.shape[0]):
+            if src != a:
+                matrix[src, a] += matrix[src, f]
+        matrix[f, :] = 0
+        matrix[:, f] = 0
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Tile-granularity geometry for transparent-group repair
+
+
+def tile_pixel_counts(grid) -> np.ndarray:
+    """(tiles_y, tiles_x) pixel area of every tile (edge tiles clamped)."""
+    counts = np.zeros((grid.tiles_y, grid.tiles_x), dtype=np.int64)
+    for ty in range(grid.tiles_y):
+        for tx in range(grid.tiles_x):
+            x0, y0, x1, y1 = grid.tile_bounds(tx, ty)
+            counts[ty, tx] = (x1 - x0) * (y1 - y0)
+    return counts
+
+
+def tile_owner_matrix(grid, num_gpus: int) -> np.ndarray:
+    """(tiles_y, tiles_x) owning GPU of every tile (raster interleave)."""
+    return (np.arange(grid.num_tiles, dtype=np.int64)
+            .reshape(grid.tiles_y, grid.tiles_x) % num_gpus)
+
+
+def merge_chunks(members: Sequence[int], dead: Sequence[int],
+                 inherit_chunk: Mapping[int, int]) -> Dict[int, List[int]]:
+    """Which original layer chunks each survivor renders, in layer order.
+
+    ``inherit_chunk`` must map every dead member to an *adjacent* survivor
+    (:func:`nearest_survivor` guarantees this), so each survivor's merged
+    chunk list is contiguous in submission order — the invariant that keeps
+    non-commutative blending correct.
+    """
+    owner: Dict[int, int] = {}
+    for m in members:
+        target = m
+        seen = set()
+        while target in dead:
+            if target in seen:
+                raise FaultError("cyclic chunk inheritance among dead GPUs")
+            seen.add(target)
+            target = inherit_chunk[target]
+        owner[m] = target
+    merged: Dict[int, List[int]] = {}
+    for m in sorted(members):
+        merged.setdefault(owner[m], []).append(m)
+    for chunks in merged.values():
+        if chunks != list(range(chunks[0], chunks[0] + len(chunks))):
+            raise FaultError(
+                f"chunk inheritance broke contiguity: {chunks} — transparent "
+                f"blending order would be violated")
+    return merged
+
+
+def rebuild_reduction(members: Sequence[int],
+                      bitmaps: Mapping[int, np.ndarray],
+                      tile_pixels: np.ndarray,
+                      ) -> Tuple[List[List[Tuple[int, int, int]]], int,
+                                 np.ndarray]:
+    """Adjacent-pair reduction tree over an arbitrary survivor set.
+
+    ``members`` are the surviving layer holders in submission order;
+    ``bitmaps[m]`` is the touched-tile bitmap of m's (merged) layer. Returns
+    ``(levels, root, root_bitmap)`` where ``levels`` holds
+    ``(sender, receiver, pixels)`` triples exactly like the fault-free prep.
+    """
+    if not members:
+        raise FaultError("reduction tree needs at least one member")
+    current = {m: np.array(bitmaps[m], dtype=bool, copy=True)
+               for m in members}
+    survivors = sorted(members)
+    levels: List[List[Tuple[int, int, int]]] = []
+    while len(survivors) > 1:
+        level: List[Tuple[int, int, int]] = []
+        nxt: List[int] = []
+        for i in range(0, len(survivors) - 1, 2):
+            receiver, sender = survivors[i], survivors[i + 1]
+            pixels = int(tile_pixels[current[sender]].sum())
+            current[receiver] = current[receiver] | current[sender]
+            level.append((sender, receiver, pixels))
+            nxt.append(receiver)
+        if len(survivors) % 2 == 1:
+            nxt.append(survivors[-1])
+        survivors = nxt
+        levels.append(level)
+    root = survivors[0]
+    return levels, root, current[root]
+
+
+def scatter_sizes(root_bitmap: np.ndarray, tile_pixels: np.ndarray,
+                  tile_owner: np.ndarray, dead: Sequence[int],
+                  inherit: Mapping[int, int]) -> Dict[int, int]:
+    """Final-scatter pixel counts with dead GPUs' tiles reassigned."""
+    dead_set = set(dead)
+    sizes: Dict[int, int] = {}
+    for ty in range(root_bitmap.shape[0]):
+        for tx in range(root_bitmap.shape[1]):
+            if not root_bitmap[ty, tx]:
+                continue
+            owner = int(tile_owner[ty, tx])
+            while owner in dead_set:
+                owner = inherit[owner]
+            sizes[owner] = sizes.get(owner, 0) + int(tile_pixels[ty, tx])
+    return sizes

@@ -21,11 +21,17 @@ from .runner import Setup, run_benchmark
 
 PathLike = Union[str, pathlib.Path]
 
+#: fault-injection counters appended to every row (zero when fault-free)
+FAULT_COLUMNS = ("link_retries", "dropped_transfers", "corrupted_transfers",
+                 "retransmitted_bytes", "backoff_cycles", "failed_gpus",
+                 "redistributed_draws", "recovery_cycles",
+                 "recovery_overhead_cycles")
+
 #: the flat columns a result row carries
 COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "frame_cycles",
            "speedup_vs_duplication", "triangles", "fragments_shaded",
            "fragments_passed", "traffic_bytes") + tuple(
-               f"cycles_{stage}" for stage in ALL_STAGES)
+               f"cycles_{stage}" for stage in ALL_STAGES) + FAULT_COLUMNS
 
 
 def result_row(result: SchemeResult, setup: Setup,
@@ -46,6 +52,7 @@ def result_row(result: SchemeResult, setup: Setup,
     }
     for stage in ALL_STAGES:
         row[f"cycles_{stage}"] = totals.get(stage, 0.0)
+    row.update(result.stats.fault_summary())
     return row
 
 

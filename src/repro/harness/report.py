@@ -133,6 +133,38 @@ def render_sweep(table: Mapping, axis_label: str, title: str) -> str:
     return render_keyed_matrix(table, axis_label, title)
 
 
+def render_fault_summary(stats, title: str = "fault injection") -> str:
+    """Human-readable recovery report for one run's RunStats.
+
+    Shows link-retry counters whenever transient errors fired, and the
+    fail-stop recovery block (survivor re-rendering, overhead vs. the
+    fault-free baseline) whenever a GPU died mid-frame.
+    """
+    lines = [title + ":"] if title else []
+    if stats.link_retries:
+        lines.append(
+            f"  link retries      : {stats.link_retries} "
+            f"({stats.dropped_transfers} dropped, "
+            f"{stats.corrupted_transfers} corrupted)")
+        lines.append(
+            f"  retransmitted     : {stats.retransmitted_bytes / 1e6:.2f} MB")
+        lines.append(
+            f"  detect+backoff    : {stats.backoff_cycles:,.0f} cycles")
+    if stats.failed_gpus:
+        gpus = ", ".join(f"GPU{g}" for g in stats.failed_gpus)
+        lines.append(f"  fail-stopped      : {gpus}")
+        lines.append(
+            f"  redistributed     : {stats.redistributed_draws} draws "
+            f"({stats.recovery_cycles:,.0f} engine cycles re-rendered)")
+        lines.append(
+            f"  recovery overhead : {stats.recovery_overhead_cycles:,.0f} "
+            f"cycles vs fault-free baseline "
+            f"({stats.baseline_frame_cycles:,.0f})")
+    if len(lines) <= 1:
+        return f"{title}: none" if title else "no faults"
+    return "\n".join(lines)
+
+
 def render_dict(data: Mapping, title: str = "") -> str:
     body = [[key, value] for key, value in data.items()]
     return render_table(["key", "value"], body, title)

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, Optional, Type
 
 from ..config import SystemConfig
 from ..errors import ConfigError
+from ..faults.plan import FaultPlan
 from ..sfr import (Chopin, ChopinOracle, ChopinRoundRobin, ChopinSampled,
                    ChopinWithScheduler, GPUpd,
                    IdealChopin, IdealGPUpd, PrimitiveDuplication, SchemeResult,
@@ -74,7 +75,8 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
                topology: Optional[str] = None,
                msaa_samples: int = 1,
                model_memory: bool = False,
-               dram_gb_per_s: Optional[float] = None) -> Setup:
+               dram_gb_per_s: Optional[float] = None,
+               faults: Optional["FaultPlan"] = None) -> Setup:
     """Build a Table II setup re-scaled for ``scale``.
 
     ``composition_threshold`` and ``scheduler_update_interval`` are given in
@@ -102,6 +104,7 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
         primitive_id_bytes=trace_scale.primitive_id_bytes(),
         retained_cull_fraction=retained_cull_fraction,
         msaa_samples=msaa_samples,
+        faults=faults,
     )
     if bandwidth_gb_per_s is not None or latency_cycles is not None:
         config = config.with_link(bandwidth_gb_per_s=bandwidth_gb_per_s,
@@ -123,6 +126,15 @@ def build_scheme(name: str, setup: Setup) -> SFRScheme:
     except KeyError:
         raise ConfigError(
             f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}")
+    faults = setup.config.faults
+    if (faults is not None and faults.gpu_failures
+            and not cls.supports_fail_stop):
+        supported = sorted(s for s, c in SCHEMES.items()
+                           if c.supports_fail_stop)
+        raise ConfigError(
+            f"scheme {name!r} cannot recover from GPU fail-stop failures; "
+            f"drop the fail= entries from the fault plan or use one of "
+            f"{supported}")
     if name.startswith("gpupd"):
         return cls(setup.config, setup.costs,
                    batch_primitives=setup.gpupd_batch)
@@ -147,7 +159,7 @@ def _cache_key(scheme: str, trace: Trace, setup: Setup) -> tuple:
             cfg.retained_cull_fraction, cfg.link.bandwidth_gb_per_s,
             cfg.link.latency_cycles, cfg.link.ideal, cfg.link.topology,
             cfg.msaa_samples, setup.costs.model_memory,
-            cfg.gpu.dram_bandwidth_bytes_per_s)
+            cfg.gpu.dram_bandwidth_bytes_per_s, cfg.faults)
 
 
 def run(scheme: str, trace: Trace, setup: Setup,

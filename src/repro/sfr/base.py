@@ -146,6 +146,10 @@ class SFRScheme:
     """Base class: holds the system config and the derived cost model."""
 
     name = "base"
+    #: can this scheme finish a frame after a GPU fail-stops? Schemes that
+    #: cannot must be rejected when the fault plan contains ``gpu_failures``
+    #: (the harness enforces this).
+    supports_fail_stop = False
 
     def __init__(self, config: SystemConfig,
                  costs: Optional[CostModel] = None) -> None:

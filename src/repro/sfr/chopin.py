@@ -53,7 +53,13 @@ from ..core.draw_scheduler import (DrawScheduler,
                                    SampledRateScheduler)
 from ..core.grouping import split_into_groups
 from ..core.workflow import GroupMode, GroupPlan, plan_frame, summarize_plan
-from ..errors import SchedulingError
+from ..errors import FaultError, SchedulingError
+from ..faults.degraded import (first_unfinished_group, merge_chunks,
+                               nearest_survivor, rebuild_reduction,
+                               redistribute_draw_works, repair_region_matrix,
+                               scatter_sizes, tile_owner_matrix,
+                               tile_pixel_counts)
+from ..faults.plan import FaultPlan
 from ..framebuffer.depth import DEPTH_CLEAR
 from ..framebuffer.framebuffer import Framebuffer, SurfacePool
 from ..raster.pipeline import GraphicsPipeline
@@ -97,6 +103,9 @@ class _GroupPrep:
     tree_levels: List[List[Tuple[int, int, int]]] = field(default_factory=list)
     #: final scatter pixels root -> gpu (transparent only; index 0 = root)
     scatter_pixels: Optional[List[int]] = None
+    #: [gpu] -> touched-tile bitmap of its layer (transparent only); lets
+    #: degraded mode rebuild the reduction tree over any survivor set
+    layer_tiles: List[np.ndarray] = field(default_factory=list)
 
 
 @dataclass
@@ -108,6 +117,44 @@ class _ChopinPrep:
     tallies: List[_FragTally]
     total_groups: int
     accelerated_groups: int
+    #: (tiles_y, tiles_x) pixel area / owning GPU of every tile, for
+    #: degraded-mode tree rebuild and tile inheritance
+    tile_pixels: Optional[np.ndarray] = None
+    tile_owner: Optional[np.ndarray] = None
+
+
+@dataclass
+class _GroupRepair:
+    """Recovery actions for one composition group after fail-stop(s)."""
+
+    #: GPUs still running when this group executes / GPUs dead by then
+    alive: List[int]
+    dead: List[int]
+    #: survivor -> [(work, issue_offset, not_before_cycle)] — draws adopted
+    #: from dead GPUs; ``not_before`` is the failure (detection) cycle
+    adopted: Dict[int, List[Tuple[DrawWork, float, float]]] = field(
+        default_factory=dict)
+    #: repaired src->dst composition matrix (opaque groups)
+    region_pixels: Optional[np.ndarray] = None
+    #: rebuilt reduction tree + scatter over survivors (transparent groups)
+    tree_levels: Optional[List[List[Tuple[int, int, int]]]] = None
+    scatter_sizes: Optional[Dict[int, int]] = None
+    root: int = 0
+
+
+@dataclass
+class _DegradedPlan:
+    """Frame-level recovery plan derived from the fault-free baseline.
+
+    ``failure_group[gpu]`` is the first group the dead GPU cannot complete
+    (groups before it ran normally); ``repairs[gi]`` exists for every group
+    at which at least one GPU is dead.
+    """
+
+    failure_group: Dict[int, int]
+    repairs: Dict[int, _GroupRepair]
+    redistributed_draws: int = 0
+    recovery_cycles: float = 0.0
 
 
 _PREP_CACHE: Dict[tuple, _ChopinPrep] = {}
@@ -122,6 +169,8 @@ class Chopin(SFRScheme):
 
     name = "chopin"
     use_composition_scheduler = False
+    #: CHOPIN can finish a frame after a GPU fail-stops (degraded mode)
+    supports_fail_stop = True
 
     def __init__(self, config: SystemConfig, costs=None,
                  draw_scheduler: str = "least-remaining") -> None:
@@ -136,7 +185,113 @@ class Chopin(SFRScheme):
 
     def run(self, trace: Trace) -> SchemeResult:
         prep = self._functional_pass(trace)
-        return self._timing_pass(trace, prep)
+        plan = self.config.faults
+        if plan is None or not plan.gpu_failures:
+            result, _ = self._timing_pass(trace, prep)
+            return result
+
+        # Fail-stop recovery (static-partition degraded mode): run the
+        # fault-free baseline to learn each GPU's per-group involvement
+        # timeline, map every failure cycle onto the first group that GPU
+        # cannot complete, then re-run timing with survivors adopting the
+        # dead GPUs' work from that group on. The composed image is
+        # assignment-independent — every draw is still rendered by some
+        # survivor — so the functional image stays exact; the cost of
+        # recovery shows up as extra frame cycles vs. the baseline.
+        baseline, ends = self._timing_pass(trace, prep, link_faults=False)
+        degraded = self._plan_degradation(prep, plan, ends)
+        if degraded is None:
+            # Every failure lands after the frame already completed.
+            result, _ = self._timing_pass(trace, prep)
+            return result
+        result, _ = self._timing_pass(trace, prep, degraded=degraded)
+        stats = result.stats
+        stats.failed_gpus = sorted(degraded.failure_group)
+        stats.redistributed_draws = degraded.redistributed_draws
+        stats.recovery_cycles = degraded.recovery_cycles
+        stats.baseline_frame_cycles = baseline.stats.frame_cycles
+        return result
+
+    def _plan_degradation(self, prep: _ChopinPrep, plan: FaultPlan,
+                          ends: List[List[float]],
+                          ) -> Optional[_DegradedPlan]:
+        """Build per-group repairs from baseline involvement timelines."""
+        n = self.config.num_gpus
+        num_groups = len(prep.groups)
+        failure_group: Dict[int, int] = {}
+        for failure in plan.gpu_failures:
+            fg = first_unfinished_group(ends[failure.gpu], failure.cycle)
+            if fg < num_groups:
+                failure_group[failure.gpu] = fg
+        if not failure_group:
+            return None
+        fail_cycle = {f: plan.failure_cycle(f) for f in failure_group}
+        dplan = _DegradedPlan(failure_group=failure_group, repairs={})
+
+        for gi, gp in enumerate(prep.groups):
+            dead = sorted(f for f, fg in failure_group.items() if fg <= gi)
+            if not dead:
+                continue
+            alive = [g for g in range(n) if g not in dead]
+            if not alive:
+                raise FaultError(
+                    f"no GPU survives to execute composition group {gi}")
+            inherit = {f: nearest_survivor(f, alive) for f in dead}
+            repair = _GroupRepair(alive=alive, dead=dead)
+
+            def adopt(survivor: int, work: DrawWork, offset: float,
+                      source: int) -> None:
+                repair.adopted.setdefault(survivor, []).append(
+                    (work, offset, fail_cycle[source]))
+                dplan.redistributed_draws += 1
+                dplan.recovery_cycles += (work.geometry_cycles
+                                          + work.fragment_cycles)
+
+            if gp.mode is GroupMode.DUPLICATE:
+                # SFR tiles: the inheritor re-renders the group to cover
+                # the dead GPU's owned tiles.
+                for f in dead:
+                    for work in gp.works[f]:
+                        adopt(inherit[f], work, 0.0, f)
+            elif gp.mode is GroupMode.OPAQUE_PARALLEL:
+                # Re-issue the dead GPUs' draws across all survivors via
+                # the paper's own least-remaining-triangles scheduler,
+                # seeded with the survivors' existing loads.
+                lost = []
+                for f in dead:
+                    lost.extend(
+                        (work, when, f)
+                        for work, when in zip(gp.works[f],
+                                              gp.issue_times[f]))
+                lost.sort(key=lambda item: item[1])
+                base = {g: sum(w.triangles for w in gp.works[g])
+                        for g in alive}
+                targets = redistribute_draw_works(
+                    [work for work, _, _ in lost], alive, base, n)
+                for (work, when, f), survivor in zip(lost, targets):
+                    adopt(survivor, work, when, f)
+                repair.region_pixels = repair_region_matrix(
+                    gp.region_pixels, dead, inherit)
+            else:  # transparent: merge chunks into adjacent survivors
+                merged = merge_chunks(list(range(n)), dead, inherit)
+                bitmaps: Dict[int, np.ndarray] = {}
+                for survivor, chunk_ids in sorted(merged.items()):
+                    bitmap = np.zeros_like(gp.layer_tiles[survivor])
+                    for chunk in chunk_ids:
+                        bitmap |= gp.layer_tiles[chunk]
+                        if chunk != survivor:
+                            for work in gp.works[chunk]:
+                                adopt(survivor, work, 0.0, chunk)
+                    bitmaps[survivor] = bitmap
+                levels, root, root_bitmap = rebuild_reduction(
+                    sorted(merged), bitmaps, prep.tile_pixels)
+                repair.tree_levels = levels
+                repair.root = root
+                repair.scatter_sizes = scatter_sizes(
+                    root_bitmap, prep.tile_pixels, prep.tile_owner,
+                    dead, inherit)
+            dplan.repairs[gi] = repair
+        return dplan
 
     # -------------------------------------------------------- assignment
 
@@ -284,7 +439,9 @@ class Chopin(SFRScheme):
                            image=global_pool.render_target(0).copy(),
                            tallies=tallies,
                            total_groups=summary.total_groups,
-                           accelerated_groups=summary.accelerated_groups)
+                           accelerated_groups=summary.accelerated_groups,
+                           tile_pixels=tile_pixel_counts(grid),
+                           tile_owner=tile_owner_matrix(grid, n))
         _PREP_CACHE[key] = prep
         return prep
 
@@ -403,6 +560,7 @@ class Chopin(SFRScheme):
 
         works: List[List[DrawWork]] = [[] for _ in range(n)]
         layers: List[SubImage] = []
+        layer_tiles: List[np.ndarray] = []
         clear_depth = np.full((grid.height, grid.width), DEPTH_CLEAR,
                               dtype=np.float32)
         for gpu, chunk in enumerate(plan.chunks):
@@ -430,6 +588,7 @@ class Chopin(SFRScheme):
             layers.append(SubImage(color=layer_fb.color,
                                    depth=clear_depth.copy(),
                                    touched=touched))
+            layer_tiles.append(grid.touched_tiles(touched))
 
         # Adjacent-pair reduction tree (receiver = lower/earlier side).
         tree_levels: List[List[Tuple[int, int, int]]] = []
@@ -451,19 +610,32 @@ class Chopin(SFRScheme):
             tree_levels.append(level)
 
         root_layer = current[0]
-        scatter_sizes = grid.region_sizes_to_gpus(root_layer.touched, n)
-        scatter_pixels = [scatter_sizes.get(g, 0) for g in range(n)]
+        scatter_map = grid.region_sizes_to_gpus(root_layer.touched, n)
+        scatter_pixels = [scatter_map.get(g, 0) for g in range(n)]
         resolve_to_background(global_pool.render_target(rt).color,
                               global_pool.depth_buffer(db), root_layer, op,
                               depth_write=False)
         self._refresh_own_regions(plan, global_pool, local_pools, own_masks)
         return _GroupPrep(plan=plan, mode=plan.mode, works=works,
                           tree_levels=tree_levels,
-                          scatter_pixels=scatter_pixels)
+                          scatter_pixels=scatter_pixels,
+                          layer_tiles=layer_tiles)
 
     # ------------------------------------------------------------ timing
 
-    def _timing_pass(self, trace: Trace, prep: _ChopinPrep) -> SchemeResult:
+    def _timing_pass(self, trace: Trace, prep: _ChopinPrep,
+                     degraded: Optional[_DegradedPlan] = None,
+                     link_faults: bool = True,
+                     ) -> Tuple[SchemeResult, List[List[float]]]:
+        """Run the DES; returns the result plus each GPU's per-group
+        involvement-end timeline (used to place fail-stops).
+
+        With ``degraded`` set, repaired groups run over the survivor set:
+        adopted draws execute on survivors (gated on the failure cycle),
+        composition excludes the dead GPUs, and transparent groups use the
+        rebuilt reduction trees and per-group barriers. ``link_faults=False``
+        forces perfect links (the fault-free baseline pass).
+        """
         cfg = self.config
         n = cfg.num_gpus
         stats = RunStats(num_gpus=n)
@@ -473,11 +645,23 @@ class Chopin(SFRScheme):
         engines = [GPUEngine(sim, g, self.costs, stats.gpus[g],
                              update_interval=1 << 30)
                    for g in range(n)]
-        interconnect = Interconnect(sim, cfg, stats)
+        interconnect = Interconnect(
+            sim, cfg, stats,
+            fault_plan=cfg.faults if link_faults else None)
         barrier = Barrier(sim, n)
         pixel_bytes = cfg.pixel_bytes
         samples = cfg.msaa_samples
-        own_pixels = trace.width * trace.height / n
+        num_groups = len(prep.groups)
+        ends = [[0.0] * num_groups for _ in range(n)]
+
+        def note_end(gpu: int, gi: int) -> None:
+            if sim.now > ends[gpu][gi]:
+                ends[gpu][gi] = sim.now
+
+        def repair_of(gi: int) -> Optional[_GroupRepair]:
+            if degraded is None:
+                return None
+            return degraded.repairs.get(gi)
 
         # Pre-build per-group synchronization objects (no intra-sim races).
         ready_events: List[List[Event]] = []
@@ -485,38 +669,58 @@ class Chopin(SFRScheme):
         schedulers: List[Optional[ImageCompositionScheduler]] = []
         chunk_events: List[List[Event]] = []
         scatter_events: List[List[Event]] = []
-        for gp in prep.groups:
+        region_matrices: List[Optional[np.ndarray]] = []
+        group_barriers: Dict[int, Barrier] = {}
+        for gi, gp in enumerate(prep.groups):
+            repair = repair_of(gi)
+            alive = repair.alive if repair is not None else list(range(n))
             ready_events.append([Event(sim) for _ in range(n)])
             if gp.mode is GroupMode.OPAQUE_PARALLEL:
+                matrix = gp.region_pixels
+                if repair is not None and repair.region_pixels is not None:
+                    matrix = repair.region_pixels
+                region_matrices.append(matrix)
                 latches = []
                 for dst in range(n):
-                    senders = int((gp.region_pixels[:, dst] > 0).sum())
+                    senders = int((matrix[:, dst] > 0).sum())
                     latches.append(Countdown(sim, senders))
                 receive_latches.append(latches)
                 sched = None
                 if self.use_composition_scheduler:
                     sched = ImageCompositionScheduler(n, sim)
-                    sched.start_group(gp.plan.group.index)
+                    if repair is not None:
+                        allowed = [set(alive) - {g} if g in alive else set()
+                                   for g in range(n)]
+                        sched.start_group(gp.plan.group.index,
+                                          allowed_partners=allowed)
+                    else:
+                        sched.start_group(gp.plan.group.index)
                 schedulers.append(sched)
             else:
+                region_matrices.append(None)
                 receive_latches.append([None] * n)
                 schedulers.append(None)
             chunk_events.append([Event(sim) for _ in range(n)])
             scatter_events.append([Event(sim) for _ in range(n)])
+            if (repair is not None
+                    and gp.mode is GroupMode.TRANSPARENT_PARALLEL):
+                group_barriers[gi] = Barrier(sim, len(alive))
 
         # Wire up transparent reduction trees + scatters.
         for gi, gp in enumerate(prep.groups):
             if gp.mode is not GroupMode.TRANSPARENT_PARALLEL:
                 continue
             self._wire_transparent(sim, interconnect, stats, gp,
-                                   chunk_events[gi], scatter_events[gi])
+                                   chunk_events[gi], scatter_events[gi],
+                                   repair=repair_of(gi))
 
-        def compose_naive(gpu: int, gi: int, gp: _GroupPrep):
+        def compose_naive(gpu: int, gi: int):
+            matrix = region_matrices[gi]
             ready_events[gi][gpu].succeed()
             sends = []
             for offset in range(1, n):
                 dst = (gpu + offset) % n
-                pixels = int(gp.region_pixels[gpu, dst]) * samples
+                pixels = int(matrix[gpu, dst]) * samples
                 if pixels == 0:
                     continue
                 sends.append(sim.process(self._send_subimage(
@@ -527,7 +731,7 @@ class Chopin(SFRScheme):
                 yield sim.all_of(sends)
             yield receive_latches[gi][gpu].event
 
-        def opaque_comp_proc(gpu: int, gi: int, gp: _GroupPrep,
+        def opaque_comp_proc(gpu: int, gi: int,
                              prev_done: Event, done: Event):
             # One composition at a time per GPU, in group (CGID) order; the
             # GPU's engines meanwhile render the next group (Fig 3's
@@ -535,13 +739,15 @@ class Chopin(SFRScheme):
             if not prev_done.processed:
                 yield prev_done
             if self.use_composition_scheduler:
-                yield from compose_scheduled(gpu, gi, gp)
+                yield from compose_scheduled(gpu, gi)
             else:
-                yield from compose_naive(gpu, gi, gp)
+                yield from compose_naive(gpu, gi)
+            note_end(gpu, gi)
             done.succeed()
 
-        def compose_scheduled(gpu: int, gi: int, gp: _GroupPrep):
+        def compose_scheduled(gpu: int, gi: int):
             sched = schedulers[gi]
+            matrix = region_matrices[gi]
             sched.mark_ready(gpu)
             in_flight = []
             while not sched.gpu_done(gpu):
@@ -550,7 +756,7 @@ class Chopin(SFRScheme):
                     yield sched.wait_change()
                     continue
                 sched.begin(sender, gpu)
-                pixels = int(gp.region_pixels[sender, gpu]) * samples
+                pixels = int(matrix[sender, gpu]) * samples
                 if pixels:
                     # Pull the sub-image; free the pair for new matches as
                     # soon as the ports drain (the message tail — latency +
@@ -567,6 +773,16 @@ class Chopin(SFRScheme):
             if in_flight:
                 yield sim.all_of(in_flight)
 
+        def run_adopted(gpu: int, repair: _GroupRepair, group_start: float):
+            # Draws adopted from dead GPUs: the driver re-issues them after
+            # the failure is detected, so none starts before the failure
+            # cycle (and opaque re-issues keep their original issue pacing).
+            for work, offset, not_before in repair.adopted.get(gpu, ()):
+                resume = max(group_start + offset, not_before)
+                if resume > sim.now:
+                    yield sim.timeout(resume - sim.now)
+                yield from engines[gpu].geometry(work)
+
         def gpu_process(gpu: int):
             # `comp_tail` is this GPU's composition-chain tail: groups
             # compose in CGID order while rendering runs ahead (no global
@@ -574,10 +790,17 @@ class Chopin(SFRScheme):
             comp_tail = Event(sim)
             comp_tail.succeed()
             for gi, gp in enumerate(prep.groups):
+                repair = repair_of(gi)
+                if repair is not None and gpu in repair.dead:
+                    break  # fail-stop: this GPU leaves the frame here
                 group_start = sim.now
+                alive_count = len(repair.alive) if repair is not None else n
                 if gp.mode is GroupMode.DUPLICATE:
                     yield from engines[gpu].run_draws(gp.works[gpu])
+                    if repair is not None:
+                        yield from run_adopted(gpu, repair, group_start)
                     yield engines[gpu].drain()
+                    note_end(gpu, gi)
                 elif gp.mode is GroupMode.OPAQUE_PARALLEL:
                     for work, when in zip(gp.works[gpu],
                                           gp.issue_times[gpu]):
@@ -585,26 +808,37 @@ class Chopin(SFRScheme):
                         if wait > 0:
                             yield sim.timeout(wait)
                         yield from engines[gpu].geometry(work)
+                    if repair is not None:
+                        yield from run_adopted(gpu, repair, group_start)
                     yield engines[gpu].drain()
-                    if n > 1:
+                    note_end(gpu, gi)
+                    if alive_count > 1:
                         done = Event(sim)
                         sim.process(
-                            opaque_comp_proc(gpu, gi, gp, comp_tail, done),
+                            opaque_comp_proc(gpu, gi, comp_tail, done),
                             name=f"{self.name}-comp-g{gi}-gpu{gpu}")
                         comp_tail = done
                 else:  # transparent: needs globally composed depth -> sync
                     if not comp_tail.processed:
                         yield comp_tail
-                    yield barrier.wait()
-                    if n > 1:
+                    group_barrier = group_barriers.get(gi, barrier)
+                    yield group_barrier.wait()
+                    if alive_count > 1:
+                        own_pixels = (trace.width * trace.height
+                                      / alive_count)
                         yield from interconnect.broadcast(
-                            gpu, own_pixels * DEPTH_BYTES, TRAFFIC_SYNC)
-                        yield barrier.wait()
+                            gpu, own_pixels * DEPTH_BYTES, TRAFFIC_SYNC,
+                            targets=(repair.alive if repair is not None
+                                     else None))
+                        yield group_barrier.wait()
                     yield from engines[gpu].run_draws(gp.works[gpu])
+                    if repair is not None:
+                        yield from run_adopted(gpu, repair, group_start)
                     yield engines[gpu].drain()
                     chunk_events[gi][gpu].succeed()
                     yield scatter_events[gi][gpu]
-                    yield barrier.wait()
+                    yield group_barrier.wait()
+                    note_end(gpu, gi)
             if not comp_tail.processed:
                 yield comp_tail
 
@@ -620,9 +854,10 @@ class Chopin(SFRScheme):
             gstats.fragments_early_z_tested = tally.early_tested
             gstats.fragments_passed_early_z = tally.early_passed
             gstats.fragments_passed_late = tally.late_passed
-        return SchemeResult(scheme=self.name, trace_name=trace.name,
-                            num_gpus=n, stats=stats,
-                            image=prep.image.copy())
+        result = SchemeResult(scheme=self.name, trace_name=trace.name,
+                              num_gpus=n, stats=stats,
+                              image=prep.image.copy())
+        return result, ends
 
     def _send_subimage(self, interconnect, stats, src, dst, pixels,
                        pixel_bytes, gate, latch):
@@ -634,12 +869,32 @@ class Chopin(SFRScheme):
         latch.arrive()
 
     def _wire_transparent(self, sim, interconnect, stats, gp,
-                          chunk_done, scatter_done) -> None:
-        """Spawn the pair-reduction and scatter processes for one group."""
+                          chunk_done, scatter_done,
+                          repair: Optional[_GroupRepair] = None) -> None:
+        """Spawn the pair-reduction and scatter processes for one group.
+
+        With ``repair`` set, the rebuilt tree (over survivors, merged-chunk
+        bitmaps) replaces the fault-free one and the final scatter covers
+        only surviving GPUs (dead GPUs' tiles went to their inheritors).
+        """
         n = self.config.num_gpus
         pixel_bytes = self.config.pixel_bytes
         samples = self.config.msaa_samples
-        ready: Dict[int, Event] = dict(enumerate(chunk_done))
+        if repair is not None and repair.tree_levels is not None:
+            tree_levels = repair.tree_levels
+            root = repair.root
+            scatter_plan = [(dst, repair.scatter_sizes.get(dst, 0))
+                            for dst in repair.alive]
+            ready: Dict[int, Event] = {m: chunk_done[m]
+                                       for m in repair.alive}
+        else:
+            tree_levels = gp.tree_levels
+            root = 0
+            scatter_plan = [(dst,
+                             gp.scatter_pixels[dst] if gp.scatter_pixels
+                             else 0)
+                            for dst in range(n)]
+            ready = dict(enumerate(chunk_done))
 
         def pair_proc(sender, receiver, pixels, ready_s, ready_r, out):
             # Adjacent pairs start only when both sides are available.
@@ -656,7 +911,7 @@ class Chopin(SFRScheme):
                 stats.add_cycles(receiver, STAGE_COMPOSITION, compose_cycles)
             out.succeed()
 
-        for level in gp.tree_levels:
+        for level in tree_levels:
             for sender, receiver, pixels in level:
                 pixels *= samples
                 out = Event(sim)
@@ -665,28 +920,27 @@ class Chopin(SFRScheme):
                               ready[sender], ready[receiver], out),
                     name=f"pair-{sender}->{receiver}")
                 ready[receiver] = out
-        root_ready = ready[0]
+        root_ready = ready[root]
 
         def scatter_proc(dst, pixels):
             yield root_ready
-            if dst == 0:
+            if dst == root:
                 # The root blends its own region with the background locally.
                 compose_cycles = self.costs.compose_cycles(pixels)
                 if compose_cycles:
                     yield sim.timeout(compose_cycles)
-                stats.add_cycles(0, STAGE_COMPOSITION, compose_cycles)
+                stats.add_cycles(root, STAGE_COMPOSITION, compose_cycles)
             elif pixels:
                 compose_cycles = self.costs.compose_cycles(pixels)
                 yield from interconnect.transfer(
-                    0, dst, pixels * pixel_bytes, TRAFFIC_COMPOSITION,
+                    root, dst, pixels * pixel_bytes, TRAFFIC_COMPOSITION,
                     receive_cycles=compose_cycles)
                 stats.add_cycles(dst, STAGE_COMPOSITION, compose_cycles)
             scatter_done[dst].succeed()
 
-        for dst in range(n):
-            pixels = (gp.scatter_pixels[dst] if gp.scatter_pixels else 0) \
-                * samples
-            sim.process(scatter_proc(dst, pixels), name=f"scatter-{dst}")
+        for dst, pixels in scatter_plan:
+            sim.process(scatter_proc(dst, pixels * samples),
+                        name=f"scatter-{dst}")
 
 
 def _tile_covered_pixels(touched: np.ndarray, grid: TileGrid) -> int:

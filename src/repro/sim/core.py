@@ -124,36 +124,77 @@ class AnyOf(Event):
             self.succeed(event)
 
 
+def _describe_wait(event: Optional[Event]) -> str:
+    """Human-readable description of what a process is suspended on."""
+    if event is None:
+        return "nothing (not yet started or already resuming)"
+    resource = getattr(event, "resource", None)
+    if resource is not None:
+        label = resource.name or type(resource).__name__
+        return f"a {type(event).__name__} on resource {label!r}"
+    if isinstance(event, Process):
+        return f"process {event.name!r}"
+    if isinstance(event, Timeout):
+        return f"a timeout of {event.delay}"
+    return f"a pending {type(event).__name__}"
+
+
+def _attach_process_name(exc: BaseException, name: str) -> None:
+    """Prefix an in-process exception with the owning process's name, so a
+    failure surfaces as e.g. ``[process 'chopin-gpu3'] ...`` instead of a
+    bare callback traceback."""
+    prefix = f"[process {name!r}]"
+    if exc.args and isinstance(exc.args[0], str):
+        if not exc.args[0].startswith("[process "):
+            exc.args = (f"{prefix} {exc.args[0]}",) + exc.args[1:]
+    else:
+        exc.args = (prefix,) + exc.args
+
+
 class Process(Event):
     """Wraps a generator; the process is itself an event that fires on return.
 
     The generator yields :class:`Event` instances; each time a yielded event
     is processed, the generator resumes with that event's value.
+
+    ``daemon`` processes are service loops that legitimately outlive the
+    event queue (e.g., a GPU engine's fragment loop); the deadlock watchdog
+    in :meth:`Simulator.run` ignores them and only flags stuck non-daemon
+    processes.
     """
 
-    __slots__ = ("generator", "name")
+    __slots__ = ("generator", "name", "daemon", "killed", "_waiting_on")
 
     def __init__(self, sim: "Simulator",
                  generator: Generator[Event, Any, Any],
-                 name: str = "") -> None:
+                 name: str = "", daemon: bool = False) -> None:
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        self.daemon = daemon
+        self.killed = False
+        self._waiting_on: Optional[Event] = None
+        sim._register_process(self)
         # Bootstrap: resume once the simulator starts (or immediately if
         # already running).
         Timeout(sim, 0.0).callbacks.append(self._resume)
 
     def _resume(self, event: Optional[Event]) -> None:
         value = event.value if event is not None else None
+        self._waiting_on = None
         try:
             target = self.generator.send(value)
         except StopIteration as stop:
             if not self.triggered:
                 self.succeed(stop.value)
             return
+        except BaseException as exc:
+            _attach_process_name(exc, self.name)
+            raise
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event")
+        self._waiting_on = target
         if target.processed:
             # Already happened; resume on the next tick at the same time.
             tick = Timeout(self.sim, 0.0)
@@ -161,6 +202,24 @@ class Process(Event):
             tick.callbacks.append(self._resume)
         else:
             target.callbacks.append(self._resume)
+
+    def kill(self, value: Any = None) -> None:
+        """Terminate the process (e.g., an injected fail-stop).
+
+        Closes the generator, which raises ``GeneratorExit`` at its current
+        suspension point so ``finally`` blocks run — this is what lets a
+        dying transfer release its interconnect ports. The process event
+        then succeeds with ``value`` so waiters are not stranded.
+        """
+        if self.triggered:
+            return
+        self.killed = True
+        self.generator.close()
+        self._waiting_on = None
+        self.succeed(value)
+
+    def describe_wait(self) -> str:
+        return _describe_wait(self._waiting_on)
 
 
 class Simulator:
@@ -171,6 +230,7 @@ class Simulator:
         self._queue: List[tuple] = []
         self._sequence = 0
         self._running = False
+        self._processes: List[Process] = []
 
     # -- event construction ------------------------------------------------
 
@@ -181,8 +241,8 @@ class Simulator:
         return Timeout(self, delay)
 
     def process(self, generator: Generator[Event, Any, Any],
-                name: str = "") -> Process:
-        return Process(self, generator, name=name)
+                name: str = "", daemon: bool = False) -> Process:
+        return Process(self, generator, name=name, daemon=daemon)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -196,6 +256,9 @@ class Simulator:
         heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
         self._sequence += 1
 
+    def _register_process(self, process: Process) -> None:
+        self._processes.append(process)
+
     def step(self) -> None:
         """Process the single next event."""
         if not self._queue:
@@ -206,8 +269,17 @@ class Simulator:
         self.now = time
         event._run_callbacks()
 
-    def run(self, until: Optional[float] = None) -> float:
-        """Run until the queue drains (or until the given time); returns now."""
+    def run(self, until: Optional[float] = None,
+            watchdog: bool = True) -> float:
+        """Run until the queue drains (or until the given time); returns now.
+
+        When the queue drains *naturally* (not via ``until``) while
+        non-daemon processes are still unfinished, the protocol has wedged:
+        silently returning would report a too-small, wrong cycle count. The
+        watchdog instead raises :class:`SimulationError` naming every stuck
+        process and what it is waiting on. Pass ``watchdog=False`` to get
+        the old drain-and-return behaviour.
+        """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
@@ -219,4 +291,21 @@ class Simulator:
                 self.step()
         finally:
             self._running = False
+        if watchdog and not self._queue:
+            self._check_deadlock()
         return self.now
+
+    def stuck_processes(self) -> List[Process]:
+        """Non-daemon processes that have neither finished nor been killed."""
+        return [p for p in self._processes
+                if not p.triggered and not p.daemon]
+
+    def _check_deadlock(self) -> None:
+        stuck = self.stuck_processes()
+        if not stuck:
+            return
+        details = "; ".join(
+            f"{p.name!r} waiting on {p.describe_wait()}" for p in stuck)
+        raise SimulationError(
+            f"deadlock at cycle {self.now}: event queue drained with "
+            f"{len(stuck)} unfinished process(es): {details}")

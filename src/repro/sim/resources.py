@@ -75,6 +75,18 @@ class Resource:
         except ValueError:
             pass
 
+    def withdraw(self, request: Request) -> None:
+        """Release the request if granted, cancel it if still queued.
+
+        Safe to call from ``finally`` blocks regardless of how far the
+        owning process got — this is what keeps a port from being pinned
+        forever when the process holding (or awaiting) it dies mid-transfer.
+        """
+        if request in self._users:
+            self.release(request)
+        else:
+            self.cancel(request)
+
 
 class PriorityRequest(Request):
     """A claim with a priority (lower value = more urgent)."""

@@ -83,6 +83,24 @@ class RunStats:
     #: recorded when tracing is on (Fig 9)
     draw_samples: List[tuple] = field(default_factory=list)
 
+    # -- fault injection / degraded mode (see repro.faults) ----------------
+    #: link-level retransmissions caused by injected drop/corrupt errors
+    link_retries: int = 0
+    #: payload bytes streamed again due to retries (not counted as traffic)
+    retransmitted_bytes: float = 0.0
+    #: cycles links spent in error detection + exponential backoff
+    backoff_cycles: float = 0.0
+    dropped_transfers: int = 0
+    corrupted_transfers: int = 0
+    #: GPUs that fail-stopped during this run
+    failed_gpus: List[int] = field(default_factory=list)
+    #: draw commands re-rendered on survivors after a fail-stop
+    redistributed_draws: int = 0
+    #: engine cycles of re-rendered (recovery) work across survivors
+    recovery_cycles: float = 0.0
+    #: fault-free frame time, recorded when a degraded run was compared
+    baseline_frame_cycles: float = 0.0
+
     def __post_init__(self) -> None:
         if not self.gpus:
             self.gpus = [GPUStats() for _ in range(self.num_gpus)]
@@ -122,6 +140,32 @@ class RunStats:
             else:
                 total += gpu.traffic_bytes.get(category, 0.0)
         return total
+
+    @property
+    def recovery_overhead_cycles(self) -> float:
+        """Extra frame cycles paid for fail-stop recovery (vs. fault-free)."""
+        if self.baseline_frame_cycles <= 0:
+            return 0.0
+        return self.frame_cycles - self.baseline_frame_cycles
+
+    @property
+    def had_faults(self) -> bool:
+        return bool(self.link_retries or self.failed_gpus
+                    or self.redistributed_draws)
+
+    def fault_summary(self) -> Dict[str, float]:
+        """Flat counters for reports/exports (empty-ish when fault-free)."""
+        return {
+            "link_retries": self.link_retries,
+            "dropped_transfers": self.dropped_transfers,
+            "corrupted_transfers": self.corrupted_transfers,
+            "retransmitted_bytes": self.retransmitted_bytes,
+            "backoff_cycles": self.backoff_cycles,
+            "failed_gpus": len(self.failed_gpus),
+            "redistributed_draws": self.redistributed_draws,
+            "recovery_cycles": self.recovery_cycles,
+            "recovery_overhead_cycles": self.recovery_overhead_cycles,
+        }
 
     @property
     def total_fragments_passed(self) -> int:

@@ -51,7 +51,8 @@ class GPUEngine:
         self._queue: Store = Store(sim, name=f"gpu{gpu_id}-frag")
         self._in_flight = 0
         self._drain_waiters: List[Event] = []
-        sim.process(self._fragment_loop(), name=f"gpu{gpu_id}-fragment")
+        sim.process(self._fragment_loop(), name=f"gpu{gpu_id}-fragment",
+                    daemon=True)
 
     # -- geometry front-end (runs inside the caller's process) --------------
 

@@ -16,24 +16,39 @@ exactly the congestion the image composition scheduler avoids.
 
 With ``LinkConfig.ideal`` transfers are free (but traffic is still counted),
 for the upper-bound variants of Fig 5.
+
+Fault injection (``SystemConfig.faults``): each streamed message may be
+dropped (detected by acknowledgement timeout) or corrupted (detected by CRC
+at the receiver); the link retransmits with exponential backoff up to the
+plan's retry budget, holding its ports while it does — link-level
+retransmission occupies the channel, which is why transient errors hurt
+more than their raw probability suggests. Degraded-bandwidth windows scale
+the streaming rate of any transfer that starts inside them. All retry
+counters land in :class:`~repro.stats.RunStats`.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, Iterable, Optional
 
 from ..config import SystemConfig
-from ..errors import SimulationError
+from ..errors import FaultError, SimulationError
+from ..faults.plan import (OUTCOME_CORRUPT, OUTCOME_DROP, OUTCOME_OK,
+                           FaultInjector, FaultPlan)
 from ..sim import Event, Resource, Simulator
 from ..stats import RunStats
 from . import timeline
+
+#: sentinel: take the fault plan from ``config.faults``
+_FROM_CONFIG = object()
 
 
 class Interconnect:
     """DES model of the all-to-all inter-GPU fabric."""
 
     def __init__(self, sim: Simulator, config: SystemConfig,
-                 stats: RunStats) -> None:
+                 stats: RunStats,
+                 fault_plan: Optional[FaultPlan] = _FROM_CONFIG) -> None:
         self.sim = sim
         self.config = config
         self.stats = stats
@@ -42,6 +57,12 @@ class Interconnect:
         self.ingress = [Resource(sim, name=f"ingress{g}") for g in range(n)]
         self._bytes_per_cycle = config.link.bandwidth_bytes_per_cycle(
             config.gpu.frequency_hz)
+        if fault_plan is _FROM_CONFIG:
+            fault_plan = config.faults
+        self.fault_plan: Optional[FaultPlan] = fault_plan
+        self._injector: Optional[FaultInjector] = None
+        if fault_plan is not None and fault_plan.affects_links:
+            self._injector = FaultInjector(fault_plan)
         # Shared-bus ablation: all transfers serialize through one medium
         # of bus_bandwidth_x links' worth of aggregate bandwidth.
         from ..config import TOPOLOGY_SHARED_BUS
@@ -51,10 +72,16 @@ class Interconnect:
             self._bus = Resource(sim, name="bus")
             self._bytes_per_cycle *= config.link.bus_bandwidth_x
 
-    def occupancy_cycles(self, num_bytes: float) -> float:
+    def occupancy_cycles(self, num_bytes: float,
+                         at: Optional[float] = None) -> float:
+        """Cycles to stream ``num_bytes``; ``at`` applies any degraded-
+        bandwidth window in effect at that start cycle."""
         if self.config.link.ideal:
             return 0.0
-        return num_bytes / self._bytes_per_cycle
+        rate = self._bytes_per_cycle
+        if at is not None and self._injector is not None:
+            rate *= self.fault_plan.bandwidth_factor_at(at)
+        return num_bytes / rate
 
     def transfer(self, src: int, dst: int, num_bytes: float, category: str,
                  gate: Optional[Event] = None,
@@ -75,6 +102,12 @@ class Interconnect:
         ``ports_released`` (if given) fires the moment both ports free up,
         letting a scheduler start the next pairing while this message's tail
         is still in flight.
+
+        Injected link errors retransmit here with exponential backoff; the
+        ports (and shared bus, if any) stay claimed across retries. All
+        port claims are released — or withdrawn, if still queued — even
+        when the owning process dies mid-transfer (``Process.kill``), so a
+        failed transfer can never pin a port forever.
         """
         if src == dst:
             raise SimulationError("transfer to self")
@@ -87,8 +120,10 @@ class Interconnect:
             return
 
         egress_req = self.egress[src].request()
-        yield egress_req
+        ingress_req = None
+        bus_req = None
         try:
+            yield egress_req
             if gate is not None and not gate.processed:
                 # Receiver not ready: the message parks in the network,
                 # pinning the sender's egress — everything queued behind it
@@ -98,23 +133,16 @@ class Interconnect:
                 yield gate
             ingress_req = self.ingress[dst].request()
             yield ingress_req
-            bus_req = None
-            try:
-                if self._bus is not None:
-                    bus_req = self._bus.request()
-                    yield bus_req
-                span_start = self.sim.now
-                yield self.sim.timeout(self.occupancy_cycles(num_bytes))
-                recorder = timeline.current()
-                if recorder is not None:
-                    recorder.record(f"link{src}->{dst}", "transfer",
-                                    span_start, self.sim.now)
-            finally:
-                if bus_req is not None:
-                    self._bus.release(bus_req)
-                self.ingress[dst].release(ingress_req)
+            if self._bus is not None:
+                bus_req = self._bus.request()
+                yield bus_req
+            yield from self._stream_with_retries(src, dst, num_bytes)
         finally:
-            self.egress[src].release(egress_req)
+            if bus_req is not None:
+                self._bus.withdraw(bus_req)
+            if ingress_req is not None:
+                self.ingress[dst].withdraw(ingress_req)
+            self.egress[src].withdraw(egress_req)
             if ports_released is not None and not ports_released.triggered:
                 ports_released.succeed()
         yield self.sim.timeout(self.config.link.latency_cycles)
@@ -126,15 +154,55 @@ class Interconnect:
                 recorder.record(f"gpu{dst}", "composition",
                                 receive_start, self.sim.now)
 
-    def broadcast(self, src: int, num_bytes_each: float,
-                  category: str) -> Generator:
+    def _stream_with_retries(self, src: int, dst: int,
+                             num_bytes: float) -> Generator:
+        """Stream the payload, retransmitting on injected link errors."""
+        attempt = 0
+        while True:
+            span_start = self.sim.now
+            yield self.sim.timeout(self.occupancy_cycles(num_bytes,
+                                                         at=span_start))
+            recorder = timeline.current()
+            if recorder is not None:
+                recorder.record(f"link{src}->{dst}", "transfer",
+                                span_start, self.sim.now)
+            if self._injector is None:
+                return
+            outcome = self._injector.transfer_outcome(src, dst)
+            if outcome == OUTCOME_OK:
+                return
+            attempt += 1
+            plan = self.fault_plan
+            self.stats.link_retries += 1
+            self.stats.retransmitted_bytes += num_bytes
+            if outcome == OUTCOME_DROP:
+                self.stats.dropped_transfers += 1
+            else:
+                self.stats.corrupted_transfers += 1
+            if attempt > plan.retry_budget:
+                raise FaultError(
+                    f"link {src}->{dst} exhausted its retry budget of "
+                    f"{plan.retry_budget} at cycle {self.sim.now} "
+                    f"({self.stats.link_retries} total retries this run)")
+            detect = (plan.drop_detection_cycles
+                      if outcome == OUTCOME_DROP else 0.0)
+            backoff = self._injector.backoff_cycles(attempt)
+            self.stats.backoff_cycles += detect + backoff
+            yield self.sim.timeout(detect + backoff)
+
+    def broadcast(self, src: int, num_bytes_each: float, category: str,
+                  targets: Optional[Iterable[int]] = None) -> Generator:
         """Process: send ``num_bytes_each`` from ``src`` to every other GPU.
 
         Messages go out back-to-back through the single egress port (their
         latencies overlap); completes when the last is delivered.
+        ``targets`` restricts the recipients (degraded mode broadcasts only
+        to surviving GPUs).
         """
+        if targets is None:
+            targets = range(self.config.num_gpus)
         done = []
-        for dst in range(self.config.num_gpus):
+        for dst in targets:
             if dst == src:
                 continue
             done.append(self.sim.process(

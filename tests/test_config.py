@@ -4,6 +4,7 @@ import pytest
 
 from repro.config import GIGA, GPUConfig, LinkConfig, SystemConfig, TABLE2
 from repro.errors import ConfigError
+from repro.faults import DegradedWindow, FaultPlan, GPUFailure
 
 
 class TestGPUConfig:
@@ -80,3 +81,57 @@ class TestSystemConfig:
     def test_rejects_zero_update_interval(self):
         with pytest.raises(ConfigError):
             SystemConfig(scheduler_update_interval=0)
+
+
+class TestFaultPlanValidation:
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(drop_probability=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(corrupt_probability=1.5)
+
+    def test_rejects_probability_sum_above_one(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(drop_probability=0.6, corrupt_probability=0.6)
+        FaultPlan(drop_probability=0.5, corrupt_probability=0.5)  # boundary ok
+
+    def test_rejects_negative_retry_budget(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(retry_budget=-1)
+
+    def test_rejects_negative_backoff_and_detect(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(backoff_base_cycles=-1.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(drop_detection_cycles=-1.0)
+
+    def test_rejects_bad_failure_entries(self):
+        with pytest.raises(ConfigError):
+            GPUFailure(gpu=-1, cycle=100.0)
+        with pytest.raises(ConfigError):
+            GPUFailure(gpu=2, cycle=-1.0)
+        with pytest.raises(ConfigError, match="fail-stops twice"):
+            FaultPlan(gpu_failures=(GPUFailure(gpu=2, cycle=10.0),
+                                    GPUFailure(gpu=2, cycle=20.0)))
+
+    def test_rejects_bad_degraded_window(self):
+        with pytest.raises(ConfigError):
+            DegradedWindow(start=100, end=100, bandwidth_factor=0.5)
+        with pytest.raises(ConfigError):
+            DegradedWindow(start=0, end=100, bandwidth_factor=0.0)
+        with pytest.raises(ConfigError):
+            DegradedWindow(start=0, end=100, bandwidth_factor=1.5)
+        with pytest.raises(ConfigError):
+            DegradedWindow(start=-1, end=100, bandwidth_factor=0.5)
+
+    def test_system_config_checks_plan_against_gpu_count(self):
+        plan = FaultPlan(gpu_failures=(GPUFailure(gpu=7, cycle=100.0),))
+        SystemConfig(num_gpus=8, faults=plan)
+        with pytest.raises(ConfigError, match="only has 4 GPUs"):
+            SystemConfig(num_gpus=4, faults=plan)
+
+    def test_system_config_rejects_killing_all_gpus(self):
+        plan = FaultPlan(gpu_failures=tuple(
+            GPUFailure(gpu=g, cycle=100.0) for g in range(2)))
+        with pytest.raises(ConfigError, match="no survivors"):
+            SystemConfig(num_gpus=2, faults=plan)

@@ -64,3 +64,24 @@ class TestSchemeDeterminism:
         second = build_scheme("gpupd", setup).run(trace)
         assert first.stats.traffic_total() == second.stats.traffic_total()
         assert first.frame_cycles == second.frame_cycles
+
+
+class TestFaultDeterminism:
+    def test_faulty_run_exactly_repeats_with_cold_caches(self):
+        from repro.faults import FaultPlan, GPUFailure
+        plan = FaultPlan(seed=21, drop_probability=0.01,
+                         corrupt_probability=0.005, retry_budget=64,
+                         gpu_failures=(GPUFailure(gpu=3, cycle=60000.0),))
+        setup = make_setup("tiny", num_gpus=8, faults=plan)
+        trace = load_benchmark("wolf", "tiny")
+        first = build_scheme("chopin+sched", setup).run(trace)
+        clear_chopin_cache()
+        clear_reference_cache()
+        second = build_scheme("chopin+sched", setup).run(trace)
+        assert first.frame_cycles == second.frame_cycles
+        assert first.stats.link_retries == second.stats.link_retries
+        assert first.stats.backoff_cycles == second.stats.backoff_cycles
+        assert first.stats.redistributed_draws \
+            == second.stats.redistributed_draws
+        assert first.stats.recovery_cycles == second.stats.recovery_cycles
+        assert np.array_equal(first.image.color, second.image.color)

@@ -188,3 +188,135 @@ class TestRunControl:
 
         sim.process(proc())
         assert sim.run() == 17.0
+
+
+class TestDeadlockWatchdog:
+    def test_mutual_wait_names_both_processes(self, sim):
+        gate_a, gate_b = sim.event(), sim.event()
+
+        def alice():
+            yield gate_b
+            gate_a.succeed()
+
+        def bob():
+            yield gate_a
+            gate_b.succeed()
+
+        sim.process(alice(), name="alice")
+        sim.process(bob(), name="bob")
+        with pytest.raises(SimulationError) as info:
+            sim.run()
+        message = str(info.value)
+        assert "deadlock" in message
+        assert "'alice'" in message and "'bob'" in message
+        assert "2 unfinished process(es)" in message
+
+    def test_wait_description_mentions_resource(self, sim):
+        from repro.sim import Resource
+        port = Resource(sim, name="egress0")
+        port.request()  # hold the only unit forever
+
+        def stuck():
+            yield port.request()
+
+        sim.process(stuck(), name="sender")
+        with pytest.raises(SimulationError, match="resource 'egress0'"):
+            sim.run()
+
+    def test_watchdog_can_be_disabled(self, sim):
+        def stuck():
+            yield sim.event()
+
+        sim.process(stuck(), name="stuck")
+        assert sim.run(watchdog=False) == 0.0
+
+    def test_daemon_processes_are_exempt(self, sim):
+        def service():
+            while True:
+                yield sim.event()  # waits forever by design
+
+        def worker():
+            yield sim.timeout(5)
+
+        sim.process(service(), name="service", daemon=True)
+        sim.process(worker(), name="worker")
+        assert sim.run() == 5.0
+
+    def test_run_until_does_not_trip_the_watchdog(self, sim):
+        def proc():
+            yield sim.timeout(100)
+
+        sim.process(proc())
+        assert sim.run(until=30) == 30
+
+    def test_clean_completion_passes(self, sim):
+        def proc():
+            yield sim.timeout(3)
+
+        sim.process(proc())
+        assert sim.run() == 3.0
+        assert sim.stuck_processes() == []
+
+
+class TestProcessFailureModes:
+    def test_exception_is_prefixed_with_process_name(self, sim):
+        def exploder():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        sim.process(exploder(), name="gpu3-render")
+        with pytest.raises(ValueError, match=r"\[process 'gpu3-render'\] boom"):
+            sim.run()
+
+    def test_kill_runs_finally_blocks(self, sim):
+        cleaned = []
+
+        def holder():
+            try:
+                yield sim.event()
+            finally:
+                cleaned.append(sim.now)
+
+        victim = sim.process(holder(), name="victim")
+
+        def killer():
+            yield sim.timeout(7)
+            victim.kill("killed")
+
+        sim.process(killer(), name="killer")
+        sim.run()
+        assert cleaned == [7.0]
+        assert victim.killed
+        assert victim.value == "killed"
+
+    def test_killed_process_unblocks_waiters(self, sim):
+        resumed = []
+
+        def sleeper():
+            yield sim.event()
+
+        victim = sim.process(sleeper(), name="victim")
+
+        def waiter():
+            value = yield victim
+            resumed.append((sim.now, value))
+
+        def killer():
+            yield sim.timeout(4)
+            victim.kill("gone")
+
+        sim.process(waiter(), name="waiter")
+        sim.process(killer(), name="killer")
+        sim.run()
+        assert resumed == [(4.0, "gone")]
+
+    def test_kill_after_completion_is_a_no_op(self, sim):
+        def quick():
+            yield sim.timeout(1)
+            return "fine"
+
+        p = sim.process(quick(), name="quick")
+        sim.run()
+        p.kill()
+        assert not p.killed
+        assert p.value == "fine"
