@@ -7,27 +7,55 @@ Commands
                     dump the frame as a PPM
 ``compare``         run several schemes on one benchmark, print speedups
 ``figures``         regenerate one or more of the paper's figures
+``sweep``           sweep one setup parameter through the experiment engine
 ``inspect``         print a trace's structure (groups, histogram, coverage)
 ``timeline``        render an ASCII execution Gantt for one scheme
 ``export``          synthesize a benchmark trace and save it to a .npz file
 ``export-results``  run schemes and write a CSV/JSON of flattened results
 
 Every command accepts ``--scale {tiny,small,paper}`` and ``--gpus N``.
+``sweep``, ``figures`` and ``export-results`` additionally take the
+experiment-engine flags ``--jobs``, ``--timeout``, ``--retries``,
+``--journal`` and ``--resume`` (see :mod:`repro.harness.engine`).
+
+Exit codes
+==========
+
+0 success · 1 library error · 2 bad configuration/usage · 3 completed with
+FAILED cells (partial results salvaged) · 4 job timeout · 5 worker crash ·
+6 retry budget exhausted
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
 from .core import plan_frame, split_into_groups, summarize_plan
+from .errors import (ConfigError, JobTimeout, ReproError,
+                     RetryBudgetExhausted, WorkerCrashed)
 from .harness import MAIN_SCHEMES, SCHEMES, make_setup, run
 from .harness import experiments as experiments_module
 from .harness import report as report_module
+from .harness.engine import Engine
 from .stats import ALL_STAGES
 from .traces import BENCHMARK_NAMES, load_benchmark, triangle_histogram
 from .traces.io import load_trace, save_trace
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_CONFIG = 2
+EXIT_PARTIAL = 3
+EXIT_TIMEOUT = 4
+EXIT_CRASH = 5
+EXIT_BUDGET = 6
+
+#: typed failure -> distinct exit code (most specific first)
+EXIT_CODES = ((RetryBudgetExhausted, EXIT_BUDGET), (JobTimeout, EXIT_TIMEOUT),
+              (WorkerCrashed, EXIT_CRASH), (ConfigError, EXIT_CONFIG),
+              (ReproError, EXIT_ERROR))
 
 #: figure name -> (experiment callable name, renderer callable name)
 FIGURES = {
@@ -60,6 +88,23 @@ def build_parser() -> argparse.ArgumentParser:
                  "(keys: seed, drop, corrupt, retries, backoff, detect, "
                  "fail=GPU@CYCLE, slow=START:END:FACTOR)")
 
+    def engine_opts(p):
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker parallelism (>1 uses supervised "
+                            "subprocesses; default serial in-process)")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock budget in seconds "
+                            "(implies subprocess isolation)")
+        p.add_argument("--retries", type=int, default=2,
+                       help="extra attempts after a transient failure "
+                            "(timeout / worker death); default 2")
+        p.add_argument("--journal", metavar="PATH", default=None,
+                       help="append every job completion to this JSONL "
+                            "run journal")
+        p.add_argument("--resume", metavar="PATH", default=None,
+                       help="skip jobs already completed in this journal "
+                            "(fingerprint-matched)")
+
     render = sub.add_parser("render", help="run one scheme on a benchmark")
     common(render)
     fault_opt(render)
@@ -79,10 +124,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     common(figures)
+    engine_opts(figures)
     figures.add_argument("names", nargs="+", choices=sorted(FIGURES))
     figures.add_argument("--benchmarks", nargs="+",
                          default=list(BENCHMARK_NAMES),
                          choices=BENCHMARK_NAMES)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="sweep one make_setup parameter over a value range")
+    common(sweep_cmd)
+    engine_opts(sweep_cmd)
+    sweep_cmd.add_argument("parameter",
+                           help="make_setup keyword to sweep (e.g. "
+                                "num_gpus, bandwidth_gb_per_s)")
+    sweep_cmd.add_argument("values", nargs="+",
+                           help="swept values (parsed as int/float/string)")
+    sweep_cmd.add_argument("--schemes", nargs="+",
+                           default=["chopin+sched"], choices=sorted(SCHEMES))
+    sweep_cmd.add_argument("--benchmarks", nargs="+", default=["cod2"],
+                           choices=BENCHMARK_NAMES)
+    sweep_cmd.add_argument("--baseline", default="duplication",
+                           choices=sorted(SCHEMES))
+    sweep_cmd.add_argument("--pinned-baseline", action="store_true",
+                           help="pin the baseline to the default config "
+                                "instead of re-running it at each value")
 
     inspect = sub.add_parser("inspect", help="show a trace's structure")
     common(inspect)
@@ -108,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         "export-results", help="run schemes and write a CSV/JSON of results")
     common(results)
     fault_opt(results)
+    engine_opts(results)
     results.add_argument("output", help="output .csv or .json path")
     results.add_argument("--benchmarks", nargs="+",
                          default=list(BENCHMARK_NAMES),
@@ -125,6 +191,29 @@ def _parse_faults(args):
         return None
     from .faults import parse_fault_plan
     return parse_fault_plan(spec)
+
+
+def _make_engine(args, always: bool = False) -> Optional[Engine]:
+    """Experiment engine from the ``--jobs/--timeout/...`` flags.
+
+    Returns None when no engine flag was used (and ``always`` is unset),
+    so commands keep their plain, unsupervised fast path.
+    """
+    wanted = (always or args.jobs != 1 or args.timeout is not None
+              or args.retries != 2 or args.journal or args.resume)
+    if not wanted:
+        return None
+    return Engine(jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+                  journal=args.journal, resume=args.resume)
+
+
+def _parse_sweep_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
 
 
 def cmd_render(args) -> int:
@@ -167,24 +256,58 @@ def cmd_compare(args) -> int:
 
 
 def cmd_figures(args) -> int:
-    for name in args.names:
-        experiment_name, renderer_name = FIGURES[name]
-        experiment = getattr(experiments_module, experiment_name)
-        if name in ("table2",):
-            data = experiment()
-        elif name == "table3":
-            data = experiment(scale=args.scale)
-        else:
-            data = experiment(scale=args.scale,
-                              benchmarks=tuple(args.benchmarks))
-        if renderer_name is None:
-            print(report_module.render_speedups(
-                data, f"{name}: speedup vs duplication"))
-        else:
-            renderer = getattr(report_module, renderer_name)
-            print(renderer(data))
-        print()
-    return 0
+    engine = _make_engine(args)
+    with contextlib.ExitStack() as stack:
+        if engine is not None:
+            stack.enter_context(engine.activated())
+        for name in args.names:
+            experiment_name, renderer_name = FIGURES[name]
+            experiment = getattr(experiments_module, experiment_name)
+            if name in ("table2",):
+                data = experiment()
+            elif name == "table3":
+                data = experiment(scale=args.scale)
+            else:
+                data = experiment(scale=args.scale,
+                                  benchmarks=tuple(args.benchmarks))
+            if renderer_name is None:
+                print(report_module.render_speedups(
+                    data, f"{name}: speedup vs duplication"))
+            else:
+                renderer = getattr(report_module, renderer_name)
+                print(renderer(data))
+            print()
+    if engine is not None:
+        print(report_module.render_engine_summary(
+            engine.counters, engine.failures()), file=sys.stderr)
+        if engine.counters.failed:
+            return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def cmd_sweep(args) -> int:
+    from .harness.sweeps import FAILED, sweep
+    engine = _make_engine(args, always=True)
+    fixed = {}
+    if args.parameter != "num_gpus":
+        fixed["num_gpus"] = args.gpus
+    values = [_parse_sweep_value(v) for v in args.values]
+    with engine.activated():
+        table = sweep(args.parameter, values,
+                      schemes=tuple(args.schemes),
+                      benchmarks=tuple(args.benchmarks), scale=args.scale,
+                      baseline=args.baseline,
+                      baseline_follows_sweep=not args.pinned_baseline,
+                      engine=engine, **fixed)
+    print(report_module.render_sweep(
+        table, args.parameter,
+        f"sweep {args.parameter}: speedup vs {args.baseline} "
+        f"({', '.join(args.benchmarks)})"))
+    print(report_module.render_engine_summary(
+        engine.counters, engine.failures()), file=sys.stderr)
+    salvaged = any(cell == FAILED for cells in table.values()
+                   for cell in cells.values())
+    return EXIT_PARTIAL if salvaged else EXIT_OK
 
 
 def cmd_inspect(args) -> int:
@@ -239,13 +362,22 @@ def cmd_export_results(args) -> int:
     from .harness.export import collect_rows, write_csv, write_json
     setup = make_setup(args.scale, num_gpus=args.gpus,
                        faults=_parse_faults(args))
-    rows = collect_rows(args.benchmarks, args.schemes, setup)
+    engine = _make_engine(args)
+    with contextlib.ExitStack() as stack:
+        if engine is not None:
+            stack.enter_context(engine.activated())
+        rows = collect_rows(args.benchmarks, args.schemes, setup)
     if args.output.endswith(".json"):
         write_json(rows, args.output)
     else:
         write_csv(rows, args.output)
     print(f"wrote {len(rows)} rows to {args.output}")
-    return 0
+    if engine is not None:
+        print(report_module.render_engine_summary(
+            engine.counters, engine.failures()), file=sys.stderr)
+        if any(row["status"] == "failed" for row in rows):
+            return EXIT_PARTIAL
+    return EXIT_OK
 
 
 COMMANDS = {
@@ -254,6 +386,7 @@ COMMANDS = {
     "timeline": cmd_timeline,
     "compare": cmd_compare,
     "figures": cmd_figures,
+    "sweep": cmd_sweep,
     "inspect": cmd_inspect,
     "export": cmd_export,
 }
@@ -261,7 +394,15 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as exc:
+        for exc_type, code in EXIT_CODES:
+            if isinstance(exc, exc_type):
+                print(f"error [{type(exc).__name__}]: {exc}",
+                      file=sys.stderr)
+                return code
+        raise  # unreachable: ReproError is the last mapping entry
 
 
 if __name__ == "__main__":

@@ -36,3 +36,39 @@ class SchedulingError(ReproError):
 
 class TraceError(ReproError):
     """A workload trace is malformed or inconsistent."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness (job engine, journal, CLI glue) failed."""
+
+
+class JobTimeout(HarnessError):
+    """A supervised job exceeded its wall-clock budget and was killed.
+
+    Transient: the engine retries these (slow machine, scheduler hiccup)
+    until the retry budget is exhausted.
+    """
+
+
+class WorkerCrashed(HarnessError):
+    """A worker subprocess died without reporting a result (signal,
+    ``os._exit``, OOM kill).
+
+    Transient: the engine retries these until the retry budget is
+    exhausted.
+    """
+
+
+class RetryBudgetExhausted(HarnessError):
+    """A job failed on every allowed attempt.
+
+    Terminal: carries the spec fingerprint and the classified cause of the
+    last attempt so reports can say *why* a cell is FAILED.
+    """
+
+    def __init__(self, message: str, fingerprint: str = "",
+                 last_error: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.last_error = last_error
+        self.attempts = attempts

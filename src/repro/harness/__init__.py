@@ -1,20 +1,30 @@
-"""Experiment harness: runner, experiments, reports, animation, export."""
+"""Experiment harness: engine, runner, experiments, reports, export."""
 
 from .runner import (MAIN_SCHEMES, SCHEMES, Setup, build_scheme,
                      clear_result_cache, compare, make_setup, run,
                      run_benchmark)
 from .animation import AnimationResult, compare_afr_sfr, run_animation
-from . import experiments, export, report, sweeps
+from .engine import (Engine, EngineCounters, JobOutcome, JobSpec, Journal,
+                     active_engine, benchmark_job, set_active_engine)
+from . import engine, experiments, export, report, sweeps
 
 __all__ = [
     "AnimationResult",
+    "Engine",
+    "EngineCounters",
+    "JobOutcome",
+    "JobSpec",
+    "Journal",
     "MAIN_SCHEMES",
     "SCHEMES",
     "Setup",
+    "active_engine",
+    "benchmark_job",
     "build_scheme",
     "clear_result_cache",
     "compare",
     "compare_afr_sfr",
+    "engine",
     "experiments",
     "export",
     "make_setup",
@@ -22,5 +32,6 @@ __all__ = [
     "run",
     "run_animation",
     "run_benchmark",
+    "set_active_engine",
     "sweeps",
 ]

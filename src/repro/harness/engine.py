@@ -1,0 +1,655 @@
+"""Resilient job-graph execution engine for the experiment harness.
+
+The paper's evaluation is a large grid of (scheme x benchmark x config)
+simulations. The sweep and figure drivers used to be serial, all-or-nothing
+loops: one hung or crashing simulation lost the whole run. This module makes
+the *harness* fault-tolerant the way PR 1 made the *simulated system*
+fault-tolerant:
+
+- every unit of work is a :class:`JobSpec` — a pure-data description of one
+  simulation (scheme, benchmark, setup keywords, seed, code version) with a
+  stable content :meth:`~JobSpec.fingerprint`;
+- an :class:`Engine` runs specs either serially in-process (the default —
+  deterministic, cheap, shares the runner's result cache) or in supervised
+  worker subprocesses (``jobs`` > 1 or a ``timeout``), with wall-clock
+  timeouts, bounded retries with exponential backoff, and crash
+  classification: :class:`~repro.errors.JobTimeout` and
+  :class:`~repro.errors.WorkerCrashed` are transient and retried; a
+  :class:`~repro.errors.SimulationError` / :class:`~repro.errors.ConfigError`
+  raised by the job itself is deterministic and fails immediately;
+- every completion is appended to an on-disk :class:`Journal` (JSONL, one
+  fingerprint-keyed entry per line, flushed per entry so a SIGKILL loses at
+  most the in-flight job); ``resume`` pre-loads a journal so an interrupted
+  two-hour sweep restarts in seconds, skipping fingerprint-matched jobs;
+- a job that fails beyond its retry budget degrades gracefully: the engine
+  records a failed outcome (it never raises mid-batch), drivers render the
+  cell as ``FAILED``, and the CLI exits nonzero-but-informative.
+
+Typical use::
+
+    engine = Engine(jobs=4, timeout=120.0, journal="run.jsonl")
+    outcomes = engine.run_jobs([benchmark_job("chopin+sched", "wolf")])
+
+or transparently underneath the existing drivers::
+
+    with engine.activated():
+        table = experiments.fig13_performance()
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import multiprocessing
+import os
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+from ..errors import (ConfigError, HarnessError, JobTimeout, ReproError,
+                      RetryBudgetExhausted, WorkerCrashed)
+from ..stats import RunStats
+
+#: bump when the journal entry layout changes incompatibly
+JOURNAL_VERSION = 1
+
+#: outcome states
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+#: exception class names the engine retries (everything else is permanent)
+TRANSIENT_ERRORS = ("JobTimeout", "WorkerCrashed")
+
+
+def _code_version() -> str:
+    from .. import __version__
+    return __version__
+
+
+# --------------------------------------------------------------------- specs
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A deterministic, serializable description of one unit of work.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs — for benchmark
+    jobs these are :func:`~repro.harness.runner.make_setup` keywords
+    (including ``scale``). Two specs with equal fields have equal
+    fingerprints in any process on any machine.
+    """
+
+    kind: str = "benchmark"
+    scheme: str = ""
+    benchmark: str = ""
+    params: Tuple[Tuple[str, object], ...] = ()
+    seed: int = 0
+    code_version: str = field(default_factory=_code_version)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this job across processes."""
+        canon = json.dumps({
+            "kind": self.kind, "scheme": self.scheme,
+            "benchmark": self.benchmark,
+            "params": [[k, v] for k, v in self.params],
+            "seed": self.seed, "code_version": self.code_version,
+        }, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode()).hexdigest()[:32]
+
+    @property
+    def label(self) -> str:
+        if self.kind == "benchmark":
+            return f"{self.scheme}/{self.benchmark}"
+        return self.kind
+
+    def param_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "scheme": self.scheme,
+                "benchmark": self.benchmark,
+                "params": [[k, v] for k, v in self.params],
+                "seed": self.seed, "code_version": self.code_version}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobSpec":
+        return cls(kind=data["kind"], scheme=data["scheme"],
+                   benchmark=data["benchmark"],
+                   params=tuple((k, v) for k, v in data["params"]),
+                   seed=int(data.get("seed", 0)),
+                   code_version=data.get("code_version", ""))
+
+
+def benchmark_job(scheme: str, benchmark: str, scale: str = "tiny",
+                  seed: int = 0, **setup_kwargs) -> JobSpec:
+    """Spec for one (scheme, benchmark, make_setup-kwargs) simulation.
+
+    Delegates parameter canonicalization to ``make_setup`` (via the Setup's
+    ``origin``) so a spec built here fingerprints identically to one built
+    from a driver's live Setup.
+    """
+    from .runner import make_setup
+    setup = make_setup(scale, **setup_kwargs)
+    spec = spec_for_setup(scheme, benchmark, setup)
+    if spec is None:
+        raise ConfigError(
+            f"cannot build a portable job for {scheme}/{benchmark}: "
+            f"the setup is not replayable (fault plans cannot be journaled)")
+    if seed:
+        spec = JobSpec(kind=spec.kind, scheme=spec.scheme,
+                       benchmark=spec.benchmark, params=spec.params,
+                       seed=seed, code_version=spec.code_version)
+    return spec
+
+
+def spec_for_setup(scheme: str, benchmark: str, setup) -> Optional[JobSpec]:
+    """Spec from an existing Setup, or None when it is not portable.
+
+    A Setup records the ``make_setup`` keywords it was built from in
+    ``setup.origin``; hand-built or post-hoc-modified setups (``origin``
+    empty) and fault-injected setups (a FaultPlan is not journal
+    serializable) cannot be replayed in another process, so they run
+    unsupervised in-process and are never journaled.
+    """
+    origin = getattr(setup, "origin", ())
+    if not origin:
+        return None
+    if any(k == "faults" for k, _ in origin):
+        return None
+    return JobSpec(kind="benchmark", scheme=scheme, benchmark=benchmark,
+                   params=tuple(origin))
+
+
+# ----------------------------------------------------------------- execution
+
+def _payload_from_result(result) -> Dict[str, object]:
+    return {"scheme": result.scheme, "trace_name": result.trace_name,
+            "num_gpus": result.num_gpus, "stats": result.stats.to_dict()}
+
+
+def result_from_payload(payload: Mapping):
+    """Rebuild a SchemeResult from a journaled payload.
+
+    The framebuffer and per-draw metrics are not journaled, so ``image`` is
+    ``None`` — every figure/sweep driver consumes only timing statistics.
+    """
+    from ..sfr.base import SchemeResult
+    return SchemeResult(scheme=payload["scheme"],
+                        trace_name=payload["trace_name"],
+                        num_gpus=int(payload["num_gpus"]),
+                        stats=RunStats.from_dict(payload["stats"]),
+                        image=None)
+
+
+def _execute_benchmark(spec: JobSpec):
+    from .runner import make_setup, run_benchmark_direct
+    kwargs = spec.param_dict()
+    scale = kwargs.pop("scale", "tiny")
+    setup = make_setup(scale, **kwargs)
+    return run_benchmark_direct(spec.scheme, spec.benchmark, setup)
+
+
+def _execute_diagnostic(spec: JobSpec, in_process: bool) -> Dict[str, object]:
+    """Built-in self-test kinds used by the test suite and CI.
+
+    - ``sleep``: sleep ``seconds`` (exercises the timeout path);
+    - ``crash``: die without reporting (worker death classification);
+    - ``fail``: raise a deterministic SimulationError (never retried);
+    - ``flaky``: crash until ``counter`` (a scratch file) reaches
+      ``fail_times``, then succeed (retry-then-recover path).
+    """
+    params = spec.param_dict()
+    if spec.kind == "sleep":
+        time.sleep(float(params.get("seconds", 0.0)))
+        return {"slept": float(params.get("seconds", 0.0))}
+    if spec.kind == "crash":
+        if in_process:
+            raise WorkerCrashed(f"job {spec.label} crashed (in-process)")
+        os._exit(13)
+    if spec.kind == "fail":
+        from ..errors import SimulationError
+        raise SimulationError(params.get("message", "deterministic failure"))
+    if spec.kind == "flaky":
+        counter = pathlib.Path(str(params["counter"]))
+        seen = int(counter.read_text()) if counter.exists() else 0
+        if seen < int(params.get("fail_times", 1)):
+            counter.write_text(str(seen + 1))
+            if in_process:
+                raise WorkerCrashed(f"flaky job attempt {seen + 1}")
+            os._exit(13)
+        return {"attempts_survived": seen}
+    raise ConfigError(f"unknown job kind {spec.kind!r}")
+
+
+def execute_spec(spec: JobSpec, in_process: bool = True):
+    """Run a spec's work in the current process and return its payload."""
+    if spec.kind == "benchmark":
+        return _payload_from_result(_execute_benchmark(spec))
+    return _execute_diagnostic(spec, in_process)
+
+
+def _worker_entry(conn, spec_json: str) -> None:
+    """Subprocess entry: run the spec, send (status, ...) over the pipe."""
+    try:
+        payload = execute_spec(JobSpec.from_dict(json.loads(spec_json)),
+                               in_process=False)
+        conn.send((STATUS_OK, payload))
+    except BaseException as exc:  # report, never propagate out of a worker
+        conn.send(("error", type(exc).__name__, str(exc)))
+    finally:
+        conn.close()
+
+
+# ------------------------------------------------------------------- journal
+
+class Journal:
+    """Append-only JSONL record of job completions.
+
+    Line 1 is a header; every other line is one outcome keyed by the job
+    fingerprint. Entries are flushed (and fsynced) per write, so killing the
+    process loses at most the job that was in flight. A truncated final line
+    (mid-write SIGKILL) is tolerated on load.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]):
+        self.path = pathlib.Path(path)
+        self._handle = None
+
+    def _open(self):
+        if self._handle is None:
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = open(self.path, "a")
+            if fresh:
+                self._write_line({"journal": "repro-engine",
+                                  "version": JOURNAL_VERSION,
+                                  "code_version": _code_version()})
+        return self._handle
+
+    def _write_line(self, entry: Mapping) -> None:
+        handle = self._handle
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def record(self, outcome: "JobOutcome") -> None:
+        self._open()
+        self._write_line({
+            "fingerprint": outcome.spec.fingerprint,
+            "spec": outcome.spec.to_dict(),
+            "status": outcome.status,
+            "payload": outcome.payload,
+            "error": outcome.error,
+            "message": outcome.message,
+            "attempts": outcome.attempts,
+            "retries": outcome.retries,
+            "timeouts": outcome.timeouts,
+        })
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def load(path: Union[str, pathlib.Path]) -> Dict[str, Mapping]:
+        """fingerprint -> entry for every parseable line (latest wins)."""
+        entries: Dict[str, Mapping] = {}
+        journal_path = pathlib.Path(path)
+        if not journal_path.exists():
+            raise HarnessError(f"journal {journal_path} does not exist")
+        with open(journal_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a mid-line kill
+                if "fingerprint" in entry:
+                    entries[entry["fingerprint"]] = entry
+        return entries
+
+
+# ------------------------------------------------------------------ outcomes
+
+@dataclass
+class JobOutcome:
+    """What happened to one job: result payload or classified failure."""
+
+    spec: JobSpec
+    status: str
+    payload: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    message: Optional[str] = None
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    elapsed_s: float = 0.0
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def result(self):
+        """The job's SchemeResult (rebuilt from the payload)."""
+        if not self.ok:
+            raise RetryBudgetExhausted(
+                f"job {self.spec.label} failed after {self.attempts} "
+                f"attempt(s): {self.error}: {self.message}",
+                fingerprint=self.spec.fingerprint,
+                last_error=self.error or "", attempts=self.attempts)
+        result = result_from_payload(self.payload)
+        self._stamp(result.stats)
+        return result
+
+    def _stamp(self, stats: RunStats) -> None:
+        stats.job_attempts = self.attempts
+        stats.job_retries = self.retries
+        stats.job_timeouts = self.timeouts
+        stats.job_resumed = self.resumed
+
+
+@dataclass
+class EngineCounters:
+    """Aggregate supervision counters for one engine's lifetime."""
+
+    jobs: int = 0          # unique jobs asked for (after dedup)
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    resumed: int = 0       # skipped because the resume journal had them
+    memo_hits: int = 0     # deduplicated within this engine's lifetime
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"jobs": self.jobs, "completed": self.completed,
+                "failed": self.failed, "retries": self.retries,
+                "timeouts": self.timeouts, "crashes": self.crashes,
+                "resumed": self.resumed, "memo_hits": self.memo_hits}
+
+
+# -------------------------------------------------------------------- engine
+
+class Engine:
+    """Supervised executor for :class:`JobSpec` batches.
+
+    Parameters
+    ----------
+    jobs:
+        Worker parallelism. 1 (default) runs serially; with ``isolate``
+        unset, parallel runs use one subprocess per job.
+    timeout:
+        Per-attempt wall-clock budget in seconds (None = unlimited).
+        Enforcing it requires subprocess isolation, which it implies.
+    retries:
+        Extra attempts allowed after a *transient* failure (timeout or
+        worker death). Deterministic job errors never retry.
+    backoff / backoff_cap:
+        Exponential retry delay: ``backoff * 2**(attempt-1)`` seconds,
+        capped at ``backoff_cap``.
+    journal:
+        Path to append completions to (created if missing).
+    resume:
+        Path of a previous journal; fingerprint-matched successful entries
+        are replayed instead of re-simulated.
+    isolate:
+        Force (True) or forbid (False) subprocess workers. Default: isolate
+        exactly when ``jobs > 1`` or a timeout is set.
+    """
+
+    def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
+                 retries: int = 2, backoff: float = 0.25,
+                 backoff_cap: float = 4.0,
+                 journal: Optional[Union[str, pathlib.Path]] = None,
+                 resume: Optional[Union[str, pathlib.Path]] = None,
+                 isolate: Optional[bool] = None,
+                 mp_context: str = "fork"):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.isolate = (jobs > 1 or timeout is not None) \
+            if isolate is None else isolate
+        try:
+            self._mp = multiprocessing.get_context(mp_context)
+        except ValueError:
+            self._mp = multiprocessing.get_context()
+        self.counters = EngineCounters()
+        self.journal = Journal(journal) if journal else None
+        self._memo: Dict[str, JobOutcome] = {}
+        self._resumed_seen: set = set()
+        self._lock = threading.Lock()
+        self._sleep: Callable[[float], None] = time.sleep
+        if resume:
+            self._load_resume(resume)
+
+    # -- resume ------------------------------------------------------------
+
+    def _load_resume(self, path: Union[str, pathlib.Path]) -> None:
+        for fingerprint, entry in Journal.load(path).items():
+            if entry.get("status") != STATUS_OK:
+                continue  # failed entries get a fresh chance
+            self._memo[fingerprint] = JobOutcome(
+                spec=JobSpec.from_dict(entry["spec"]), status=STATUS_OK,
+                payload=entry["payload"], attempts=entry.get("attempts", 1),
+                retries=entry.get("retries", 0),
+                timeouts=entry.get("timeouts", 0), resumed=True)
+
+    # -- single job --------------------------------------------------------
+
+    def run_job(self, spec: JobSpec) -> JobOutcome:
+        """Run (or replay) one spec through supervision + memo + journal."""
+        fingerprint = spec.fingerprint
+        with self._lock:
+            cached = self._memo.get(fingerprint)
+            if cached is not None:
+                if cached.resumed and fingerprint not in self._resumed_seen:
+                    self._resumed_seen.add(fingerprint)
+                    self.counters.resumed += 1
+                else:
+                    self.counters.memo_hits += 1
+                return cached
+        outcome = self._run_attempts(spec)
+        with self._lock:
+            self.counters.jobs += 1
+            if outcome.ok:
+                self.counters.completed += 1
+            else:
+                self.counters.failed += 1
+            self._memo[fingerprint] = outcome
+            if self.journal is not None:
+                self.journal.record(outcome)
+        return outcome
+
+    def _run_attempts(self, spec: JobSpec) -> JobOutcome:
+        attempts = retries = timeouts = 0
+        error = message = None
+        started = time.monotonic()
+        while attempts <= self.retries:
+            attempts += 1
+            try:
+                payload = self._run_supervised(spec)
+                return JobOutcome(spec=spec, status=STATUS_OK,
+                                  payload=payload, attempts=attempts,
+                                  retries=retries, timeouts=timeouts,
+                                  elapsed_s=time.monotonic() - started)
+            except HarnessError as exc:
+                error, message = type(exc).__name__, str(exc)
+                if isinstance(exc, JobTimeout):
+                    timeouts += 1
+                    self.counters.timeouts += 1
+                elif isinstance(exc, WorkerCrashed):
+                    self.counters.crashes += 1
+                if error not in TRANSIENT_ERRORS or attempts > self.retries:
+                    break
+                retries += 1
+                self.counters.retries += 1
+                self._sleep(min(self.backoff * 2 ** (attempts - 1),
+                                self.backoff_cap))
+            except Exception as exc:  # deterministic job error: no retry
+                error, message = type(exc).__name__, str(exc)
+                break
+        return JobOutcome(spec=spec, status=STATUS_FAILED, error=error,
+                          message=message, attempts=attempts,
+                          retries=retries, timeouts=timeouts,
+                          elapsed_s=time.monotonic() - started)
+
+    def _run_supervised(self, spec: JobSpec) -> Dict[str, object]:
+        if not self.isolate:
+            return execute_spec(spec, in_process=True)
+        parent, child = self._mp.Pipe(duplex=False)
+        proc = self._mp.Process(target=_worker_entry,
+                                args=(child, json.dumps(spec.to_dict())))
+        proc.start()
+        child.close()
+        try:
+            if not parent.poll(self.timeout):
+                raise JobTimeout(
+                    f"job {spec.label} exceeded {self.timeout:g}s "
+                    f"wall-clock budget")
+            try:
+                msg = parent.recv()
+            except EOFError:
+                msg = None
+        finally:
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
+            parent.close()
+        if msg is None:
+            raise WorkerCrashed(
+                f"worker for {spec.label} died without a result "
+                f"(exit code {proc.exitcode})")
+        if msg[0] == STATUS_OK:
+            return msg[1]
+        _, error_name, error_message = msg
+        if error_name in TRANSIENT_ERRORS:
+            raise WorkerCrashed(f"{spec.label}: {error_message}")
+        # Re-raise under the child's exception class name so crash
+        # classification and reports see the real cause, not a proxy.
+        import repro.errors as errors_module
+        exc_cls = getattr(errors_module, error_name, None)
+        if not (isinstance(exc_cls, type) and issubclass(exc_cls, Exception)):
+            exc_cls = type(error_name, (ReproError,), {})
+        raise exc_cls(error_message)
+
+    # -- batches -----------------------------------------------------------
+
+    def run_jobs(self, specs: Iterable[JobSpec]) -> Dict[str, JobOutcome]:
+        """Run a batch; returns fingerprint -> outcome.
+
+        Specs are deduplicated by fingerprint (so e.g. a sweep's shared
+        baseline simulates once). With ``jobs > 1`` distinct jobs run in
+        parallel worker subprocesses; outcomes are keyed, so assembly order
+        — and therefore every derived table — is independent of completion
+        order.
+        """
+        unique: Dict[str, JobSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.fingerprint, spec)
+        if self.jobs <= 1 or len(unique) <= 1:
+            return {fp: self.run_job(spec) for fp, spec in unique.items()}
+        from concurrent.futures import ThreadPoolExecutor
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {fp: pool.submit(self.run_job, spec)
+                       for fp, spec in unique.items()}
+            return {fp: future.result() for fp, future in futures.items()}
+
+    # -- benchmark convenience --------------------------------------------
+
+    def run_benchmark(self, scheme: str, benchmark: str, setup):
+        """Engine-supervised drop-in for ``runner.run_benchmark``.
+
+        Portable setups go through the full spec/journal path; hand-built
+        or fault-injected setups fall back to direct in-process execution
+        (still classified, never journaled). Raises
+        :class:`~repro.errors.RetryBudgetExhausted` when the job failed
+        beyond budget — callers that salvage partial tables catch it.
+        """
+        spec = spec_for_setup(scheme, benchmark, setup)
+        if spec is None:
+            from .runner import run_benchmark_direct
+            return run_benchmark_direct(scheme, benchmark, setup)
+        outcome = self.run_job(spec)
+        if not self.isolate and outcome.ok and not outcome.resumed:
+            # In-process fast path: the simulation just ran here, so the
+            # runner's result cache holds the real SchemeResult (image
+            # included) — hand that back instead of a payload round trip.
+            from .runner import run_benchmark_direct
+            result = run_benchmark_direct(scheme, benchmark, setup)
+            outcome._stamp(result.stats)
+            return result
+        return outcome.result()
+
+    def prefetch(self, schemes: Sequence[str], benchmarks: Sequence[str],
+                 setup) -> None:
+        """Warm the memo/journal for a (scheme x benchmark) grid.
+
+        Used by drivers to expose their whole grid to the engine up front,
+        so ``jobs > 1`` parallelism applies even though the driver itself
+        assembles its table serially. Hand-built setups are skipped.
+        """
+        specs = []
+        for scheme in schemes:
+            for bench in benchmarks:
+                spec = spec_for_setup(scheme, bench, setup)
+                if spec is not None:
+                    specs.append(spec)
+        if specs:
+            self.run_jobs(specs)
+
+    def failures(self) -> List[JobOutcome]:
+        """Failed outcomes seen so far, in first-seen order."""
+        with self._lock:
+            return [o for o in self._memo.values() if not o.ok]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    @contextlib.contextmanager
+    def activated(self):
+        """Route ``runner.run_benchmark`` through this engine within the
+        block (see :func:`set_active_engine`)."""
+        token = set_active_engine(self)
+        try:
+            yield self
+        finally:
+            restore_active_engine(token)
+            self.close()
+
+
+# ------------------------------------------------------- active-engine hook
+
+_ACTIVE_ENGINE: List[Optional[Engine]] = [None]
+
+
+def set_active_engine(engine: Optional[Engine]) -> Optional[Engine]:
+    """Install ``engine`` as the routing target; returns the previous one."""
+    previous = _ACTIVE_ENGINE[0]
+    _ACTIVE_ENGINE[0] = engine
+    return previous
+
+
+def restore_active_engine(previous: Optional[Engine]) -> None:
+    _ACTIVE_ENGINE[0] = previous
+
+
+def active_engine() -> Optional[Engine]:
+    return _ACTIVE_ENGINE[0]

@@ -157,6 +157,10 @@ def fig9_correlation(scale: str = "tiny", benchmark: str = "cod2") -> float:
 
 # ------------------------------------------------------------- main results
 
+#: cell marker for jobs that failed beyond their retry budget
+FAILED = "FAILED"
+
+
 def _speedup_table(scale: str, benchmarks: Benchmarks,
                    schemes: Sequence[str], num_gpus: int = 8,
                    table2_baseline: bool = False,
@@ -166,21 +170,42 @@ def _speedup_table(scale: str, benchmarks: Benchmarks,
     With ``table2_baseline`` the baseline runs on the *default* Table II
     link configuration regardless of ``setup_kwargs`` — the normalization
     the paper uses for its link-parameter sweeps (Fig 20/21).
+
+    When an experiment engine is active, the whole grid is prefetched
+    through it (so ``--jobs N`` parallelism applies) and cells whose job
+    failed beyond the retry budget degrade to the string ``"FAILED"``
+    instead of aborting the figure; the GMean column then aggregates the
+    surviving benchmarks only.
     """
+    from ..errors import HarnessError
+    from .engine import active_engine
     setup = make_setup(scale, num_gpus=num_gpus, **setup_kwargs)
     baseline_setup = make_setup(scale, num_gpus=num_gpus) \
         if table2_baseline else setup
+    engine = active_engine()
+    if engine is not None:
+        engine.prefetch(("duplication",), benchmarks, baseline_setup)
+        engine.prefetch(schemes, benchmarks, setup)
     table: Dict[str, Dict[str, float]] = {}
     for bench in benchmarks:
-        base = run_benchmark("duplication", bench, baseline_setup)
         table[bench] = {}
+        try:
+            base = run_benchmark("duplication", bench, baseline_setup)
+        except HarnessError:
+            table[bench] = {scheme: FAILED for scheme in schemes}
+            continue
         for scheme in schemes:
-            result = run_benchmark(scheme, bench, setup)
+            try:
+                result = run_benchmark(scheme, bench, setup)
+            except HarnessError:
+                table[bench][scheme] = FAILED
+                continue
             table[bench][scheme] = base.frame_cycles / result.frame_cycles
-    table["GMean"] = {
-        scheme: gmean(table[b][scheme] for b in benchmarks)
-        for scheme in schemes
-    }
+    table["GMean"] = {}
+    for scheme in schemes:
+        cells = [table[b][scheme] for b in benchmarks
+                 if isinstance(table[b][scheme], float)]
+        table["GMean"][scheme] = gmean(cells) if cells else FAILED
     return table
 
 

@@ -27,11 +27,18 @@ FAULT_COLUMNS = ("link_retries", "dropped_transfers", "corrupted_transfers",
                  "redistributed_draws", "recovery_cycles",
                  "recovery_overhead_cycles")
 
+#: engine supervision counters (see repro.harness.engine; zero/False when
+#: the run was unsupervised)
+ENGINE_COLUMNS = ("job_attempts", "job_retries", "job_timeouts",
+                  "job_resumed")
+
 #: the flat columns a result row carries
-COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "frame_cycles",
+COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "status",
+           "frame_cycles",
            "speedup_vs_duplication", "triangles", "fragments_shaded",
            "fragments_passed", "traffic_bytes") + tuple(
-               f"cycles_{stage}" for stage in ALL_STAGES) + FAULT_COLUMNS
+               f"cycles_{stage}" for stage in ALL_STAGES) \
+    + FAULT_COLUMNS + ENGINE_COLUMNS
 
 
 def result_row(result: SchemeResult, setup: Setup,
@@ -43,6 +50,7 @@ def result_row(result: SchemeResult, setup: Setup,
         "scheme": result.scheme,
         "num_gpus": result.num_gpus,
         "scale": setup.scale,
+        "status": "ok",
         "frame_cycles": result.frame_cycles,
         "speedup_vs_duplication": baseline_cycles / result.frame_cycles,
         "triangles": result.stats.total_triangles,
@@ -53,20 +61,63 @@ def result_row(result: SchemeResult, setup: Setup,
     for stage in ALL_STAGES:
         row[f"cycles_{stage}"] = totals.get(stage, 0.0)
     row.update(result.stats.fault_summary())
+    row.update(result.stats.engine_summary())
+    return row
+
+
+def failed_row(benchmark: str, scheme: str, setup: Setup,
+               error: Exception) -> Dict[str, object]:
+    """Placeholder row for a job that failed beyond its retry budget.
+
+    Keeps the export schema intact so a salvaged sweep still writes a
+    well-formed CSV: measurement columns are empty, ``status`` is
+    ``failed``, and the supervision counters record the spent attempts.
+    """
+    row: Dict[str, object] = {column: "" for column in COLUMNS}
+    row.update({
+        "benchmark": benchmark, "scheme": scheme,
+        "num_gpus": setup.config.num_gpus, "scale": setup.scale,
+        "status": "failed",
+        "job_attempts": getattr(error, "attempts", 0),
+        "job_retries": 0, "job_timeouts": 0, "job_resumed": False,
+    })
     return row
 
 
 def collect_rows(benchmarks: Iterable[str], schemes: Iterable[str],
                  setup: Setup) -> List[Dict[str, object]]:
-    """Run (benchmark x scheme) and flatten everything into rows."""
+    """Run (benchmark x scheme) and flatten everything into rows.
+
+    Under an active experiment engine a job that fails beyond its retry
+    budget contributes a ``status=failed`` placeholder row (and, when the
+    baseline itself failed, so do all its dependents) instead of aborting
+    the export.
+    """
+    from ..errors import HarnessError
+    from .engine import active_engine
+    engine = active_engine()
+    if engine is not None:
+        wanted = ["duplication"] + [s for s in schemes
+                                    if s != "duplication"]
+        engine.prefetch(wanted, list(benchmarks), setup)
     rows: List[Dict[str, object]] = []
     for bench in benchmarks:
-        baseline = run_benchmark("duplication", bench, setup)
+        try:
+            baseline = run_benchmark("duplication", bench, setup)
+        except HarnessError as exc:
+            rows.append(failed_row(bench, "duplication", setup, exc))
+            rows.extend(failed_row(bench, scheme, setup, exc)
+                        for scheme in schemes if scheme != "duplication")
+            continue
         rows.append(result_row(baseline, setup, baseline.frame_cycles))
         for scheme in schemes:
             if scheme == "duplication":
                 continue
-            result = run_benchmark(scheme, bench, setup)
+            try:
+                result = run_benchmark(scheme, bench, setup)
+            except HarnessError as exc:
+                rows.append(failed_row(bench, scheme, setup, exc))
+                continue
             rows.append(result_row(result, setup, baseline.frame_cycles))
     return rows
 

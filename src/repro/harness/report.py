@@ -165,6 +165,29 @@ def render_fault_summary(stats, title: str = "fault injection") -> str:
     return "\n".join(lines)
 
 
+def render_engine_summary(counters, failures: Sequence = (),
+                          title: str = "engine") -> str:
+    """Supervision report for one engine run (see repro.harness.engine).
+
+    ``counters`` is an :class:`~repro.harness.engine.EngineCounters`;
+    ``failures`` the failed :class:`~repro.harness.engine.JobOutcome`\\ s,
+    each rendered with its classified cause so a ``FAILED`` cell in the
+    table above is explained rather than mysterious.
+    """
+    c = counters
+    lines = [f"{title}: {c.jobs} jobs "
+             f"({c.completed} completed, {c.failed} failed, "
+             f"{c.resumed} resumed from journal, {c.memo_hits} deduplicated)"]
+    if c.retries or c.timeouts or c.crashes:
+        lines.append(f"  retries  : {c.retries} "
+                     f"({c.timeouts} timeouts, {c.crashes} worker crashes)")
+    for outcome in failures:
+        lines.append(f"  FAILED   : {outcome.spec.label} "
+                     f"after {outcome.attempts} attempt(s) — "
+                     f"{outcome.error}: {outcome.message}")
+    return "\n".join(lines)
+
+
 def render_dict(data: Mapping, title: str = "") -> str:
     body = [[key, value] for key, value in data.items()]
     return render_table(["key", "value"], body, title)

@@ -50,13 +50,21 @@ GPUPD_BATCH_PRIMITIVES = 2048
 
 @dataclass(frozen=True)
 class Setup:
-    """A fully resolved experiment environment."""
+    """A fully resolved experiment environment.
+
+    ``origin`` records the exact :func:`make_setup` keywords this setup was
+    built from (sorted ``(key, value)`` pairs) — the experiment engine uses
+    it to fingerprint and replay jobs in other processes. Hand-built or
+    post-hoc-modified setups leave it empty and simply run unsupervised.
+    """
 
     scale: str
     config: SystemConfig
     costs: CostModel
+    origin: tuple = ()
 
     def replace_config(self, **kwargs) -> "Setup":
+        # the modification invalidates origin: no longer replayable
         return Setup(scale=self.scale, config=replace(self.config, **kwargs),
                      costs=self.costs)
 
@@ -83,6 +91,21 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
     *paper-scale primitives* and divided by the scale's triangle divisor, so
     sweeps like Fig 18/22 use the paper's axis values directly.
     """
+    origin_kwargs = {
+        "scale": scale, "num_gpus": num_gpus,
+        "bandwidth_gb_per_s": bandwidth_gb_per_s,
+        "latency_cycles": latency_cycles,
+        "composition_threshold": composition_threshold,
+        "scheduler_update_interval": scheduler_update_interval,
+        "retained_cull_fraction": retained_cull_fraction,
+        "topology": topology, "msaa_samples": msaa_samples,
+        "model_memory": model_memory, "dram_gb_per_s": dram_gb_per_s,
+        # marker only: a FaultPlan is not journal-serializable, so the
+        # engine treats fault-injected setups as non-portable
+        "faults": repr(faults) if faults is not None else None,
+    }
+    origin = tuple(sorted((k, v) for k, v in origin_kwargs.items()
+                          if v is not None))
     trace_scale = scale_for(scale)
     divisor = trace_scale.triangle_divisor
     gpu_kwargs = {}
@@ -116,7 +139,7 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
     costs = CostModel(gpu=config.gpu,
                       draw_issue_cost=trace_scale.draw_issue_cost(),
                       model_memory=model_memory)
-    return Setup(scale=scale, config=config, costs=costs)
+    return Setup(scale=scale, config=config, costs=costs, origin=origin)
 
 
 def build_scheme(name: str, setup: Setup) -> SFRScheme:
@@ -174,9 +197,30 @@ def run(scheme: str, trace: Trace, setup: Setup,
     return result
 
 
-def run_benchmark(scheme: str, benchmark: str, setup: Setup) -> SchemeResult:
-    """Run one scheme on a named Table III benchmark."""
+def run_benchmark_direct(scheme: str, benchmark: str,
+                         setup: Setup) -> SchemeResult:
+    """Run one scheme on a named benchmark, bypassing engine supervision.
+
+    This is the raw execution path the engine's workers call; everything
+    else should go through :func:`run_benchmark`.
+    """
     return run(scheme, load_benchmark(benchmark, setup.scale), setup)
+
+
+def run_benchmark(scheme: str, benchmark: str, setup: Setup) -> SchemeResult:
+    """Run one scheme on a named Table III benchmark.
+
+    When an experiment engine is active (``Engine.activated()`` or the
+    CLI's ``--jobs/--timeout/--journal/--resume`` flags), the run is
+    supervised: journaled, resumable, retried on transient failures, and
+    raising :class:`~repro.errors.RetryBudgetExhausted` once the retry
+    budget is gone. Without an engine this is plain cached execution.
+    """
+    from .engine import active_engine
+    engine = active_engine()
+    if engine is not None:
+        return engine.run_benchmark(scheme, benchmark, setup)
+    return run_benchmark_direct(scheme, benchmark, setup)
 
 
 def compare(benchmark: str, setup: Setup,

@@ -13,21 +13,67 @@ Any keyword accepted by :func:`repro.harness.make_setup` can be the swept
 ``parameter`` (``num_gpus``, ``latency_cycles``, ``composition_threshold``,
 ``scheduler_update_interval``, ``msaa_samples``, ``topology``,
 ``retained_cull_fraction``, ``dram_gb_per_s``, ...).
+
+Sweeps execute through the :mod:`repro.harness.engine`: the whole
+(value x scheme x benchmark) grid is expanded into deterministic job specs
+up front, deduplicated by fingerprint (so a shared baseline simulates once,
+not once per scheme), run with the engine's supervision (parallel workers,
+timeouts, retries, journal), and salvaged into a partial table with
+explicit ``"FAILED"`` cells when a job fails beyond its retry budget.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 from ..stats import gmean
-from .runner import make_setup, run_benchmark
+from .engine import Engine, JobSpec, active_engine, benchmark_job
 
 #: parameters the sweep accepts (make_setup keywords)
 SWEEPABLE = ("num_gpus", "bandwidth_gb_per_s", "latency_cycles",
              "composition_threshold", "scheduler_update_interval",
              "retained_cull_fraction", "topology", "msaa_samples",
              "model_memory", "dram_gb_per_s")
+
+#: cell marker for jobs that failed beyond their retry budget
+FAILED = "FAILED"
+
+
+def expand_sweep(parameter: str, values: Iterable,
+                 schemes: Sequence[str] = ("chopin+sched",),
+                 benchmarks: Sequence[str] = ("cod2",),
+                 scale: str = "tiny",
+                 baseline: str = "duplication",
+                 baseline_follows_sweep: bool = True,
+                 **fixed) -> Tuple[List, List[JobSpec]]:
+    """Expand a sweep into its deterministic job specs.
+
+    Returns ``(values, specs)``; specs may contain duplicate fingerprints
+    (e.g. the pinned baseline repeated per value) — the engine deduplicates,
+    which is what makes baseline hoisting free.
+    """
+    if parameter not in SWEEPABLE:
+        raise ConfigError(
+            f"cannot sweep {parameter!r}; choose from {SWEEPABLE}")
+    if parameter in fixed:
+        raise ConfigError(f"{parameter!r} is both swept and fixed")
+    values = list(values)
+    specs: List[JobSpec] = []
+    for value in values:
+        swept = {parameter: value, **fixed}
+        base_kwargs = swept if baseline_follows_sweep else dict(fixed)
+        for bench in benchmarks:
+            specs.append(benchmark_job(baseline, bench, scale, **base_kwargs))
+            for scheme in schemes:
+                specs.append(benchmark_job(scheme, bench, scale, **swept))
+    return values, specs
+
+
+def _frame_cycles(outcome) -> Optional[float]:
+    if outcome is None or not outcome.ok:
+        return None
+    return float(outcome.payload["stats"]["frame_cycles"])
 
 
 def sweep(parameter: str, values: Iterable,
@@ -36,50 +82,76 @@ def sweep(parameter: str, values: Iterable,
           scale: str = "tiny",
           baseline: str = "duplication",
           baseline_follows_sweep: bool = True,
+          engine: Optional[Engine] = None,
           **fixed) -> Dict:
     """Speedup of ``schemes`` over ``baseline`` at each parameter value.
 
     Returns ``{value: {scheme: gmean_speedup}}``. With
     ``baseline_follows_sweep`` the baseline re-runs at each swept value
     (Fig 19-style normalization); otherwise it is pinned to the default
-    configuration (Fig 20/21-style).
-    """
-    if parameter not in SWEEPABLE:
-        raise ConfigError(
-            f"cannot sweep {parameter!r}; choose from {SWEEPABLE}")
-    if parameter in fixed:
-        raise ConfigError(f"{parameter!r} is both swept and fixed")
+    configuration (Fig 20/21-style) and simulates exactly once per
+    benchmark, however many values and schemes the sweep covers.
 
-    pinned_setup = make_setup(scale, **fixed)
+    Runs on the given ``engine`` (or the session's active one, or a fresh
+    serial in-process engine). A cell whose contributing job failed beyond
+    the retry budget holds the string ``"FAILED"`` instead of a float; the
+    remaining cells are still exact.
+    """
+    eng = engine or active_engine() or Engine()
+    values, specs = expand_sweep(
+        parameter, values, schemes=schemes, benchmarks=benchmarks,
+        scale=scale, baseline=baseline,
+        baseline_follows_sweep=baseline_follows_sweep, **fixed)
+    outcomes = eng.run_jobs(specs)
+
+    def cycles(scheme: str, bench: str, value) -> Optional[float]:
+        swept = {parameter: value, **fixed}
+        if scheme == baseline and not baseline_follows_sweep:
+            swept = dict(fixed)
+        spec = benchmark_job(scheme, bench, scale, **swept)
+        return _frame_cycles(outcomes.get(spec.fingerprint))
+
     table: Dict = {}
     for value in values:
-        setup = make_setup(scale, **{parameter: value}, **fixed)
-        baseline_setup = setup if baseline_follows_sweep else pinned_setup
-        per_scheme: Dict[str, float] = {}
+        per_scheme: Dict[str, object] = {}
         for scheme in schemes:
             speedups = []
             for bench in benchmarks:
-                base = run_benchmark(baseline, bench, baseline_setup)
-                result = run_benchmark(scheme, bench, setup)
-                speedups.append(base.frame_cycles / result.frame_cycles)
-            per_scheme[scheme] = gmean(speedups)
+                base = cycles(baseline, bench, value)
+                result = cycles(scheme, bench, value)
+                if base is None or result is None:
+                    speedups = None
+                    break
+                speedups.append(base / result)
+            per_scheme[scheme] = FAILED if speedups is None \
+                else gmean(speedups)
         table[value] = per_scheme
     return table
 
 
 def crossover(parameter: str, values: Sequence, scheme_a: str,
               scheme_b: str, benchmarks: Sequence[str] = ("cod2",),
-              scale: str = "tiny", **fixed):
-    """First swept value at which ``scheme_a`` overtakes ``scheme_b``.
+              scale: str = "tiny", engine: Optional[Engine] = None,
+              **fixed):
+    """First swept value at which ``scheme_a`` *overtakes* ``scheme_b``.
 
-    Returns ``(value, margin)`` or ``None`` if no crossover occurs in the
-    given range — the "where does the verdict flip" question most of the
-    paper's sensitivity studies are implicitly asking.
+    A crossover requires a sign change: ``scheme_a`` must trail (margin
+    <= 0) at the preceding value and lead (margin > 0) at the returned
+    one — leading from ``values[0]`` onward is dominance, not a crossover,
+    and returns ``None``. Returns ``(value, margin_before, margin_after)``
+    with the margins on both sides of the flip, or ``None`` when the
+    verdict never flips in the given range. Values whose cells are
+    ``FAILED`` are skipped (they can hide a flip, never invent one).
     """
     table = sweep(parameter, values, schemes=(scheme_a, scheme_b),
-                  benchmarks=benchmarks, scale=scale, **fixed)
+                  benchmarks=benchmarks, scale=scale, engine=engine, **fixed)
+    prev_margin = None
     for value in values:
-        margin = table[value][scheme_a] - table[value][scheme_b]
-        if margin > 0:
-            return value, margin
+        cells = table[value]
+        if FAILED in (cells[scheme_a], cells[scheme_b]):
+            continue
+        margin = cells[scheme_a] - cells[scheme_b]
+        if prev_margin is not None and prev_margin <= 0 and margin > 0:
+            return value, prev_margin, margin
+        prev_margin = margin
     return None

@@ -101,6 +101,16 @@ class RunStats:
     #: fault-free frame time, recorded when a degraded run was compared
     baseline_frame_cycles: float = 0.0
 
+    # -- harness supervision (see repro.harness.engine) --------------------
+    #: attempts the job that produced this run consumed (1 = first try)
+    job_attempts: int = 0
+    #: attempts that were retried after a transient failure
+    job_retries: int = 0
+    #: attempts killed for exceeding the wall-clock budget
+    job_timeouts: int = 0
+    #: True when this result was replayed from a run journal, not simulated
+    job_resumed: bool = False
+
     def __post_init__(self) -> None:
         if not self.gpus:
             self.gpus = [GPUStats() for _ in range(self.num_gpus)]
@@ -166,6 +176,86 @@ class RunStats:
             "recovery_cycles": self.recovery_cycles,
             "recovery_overhead_cycles": self.recovery_overhead_cycles,
         }
+
+    def engine_summary(self) -> Dict[str, object]:
+        """Supervision counters for reports/exports (zero when unsupervised)."""
+        return {
+            "job_attempts": self.job_attempts,
+            "job_retries": self.job_retries,
+            "job_timeouts": self.job_timeouts,
+            "job_resumed": self.job_resumed,
+        }
+
+    # -- serialization (run journal, see repro.harness.engine) -------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (everything except draw samples).
+
+        Floats survive a ``json`` round trip bit-exactly, so a journaled
+        run replays with identical cycle counts.
+        """
+        return {
+            "num_gpus": self.num_gpus,
+            "frame_cycles": self.frame_cycles,
+            "composition_groups": self.composition_groups,
+            "accelerated_groups": self.accelerated_groups,
+            "link_retries": self.link_retries,
+            "retransmitted_bytes": self.retransmitted_bytes,
+            "backoff_cycles": self.backoff_cycles,
+            "dropped_transfers": self.dropped_transfers,
+            "corrupted_transfers": self.corrupted_transfers,
+            "failed_gpus": list(self.failed_gpus),
+            "redistributed_draws": self.redistributed_draws,
+            "recovery_cycles": self.recovery_cycles,
+            "baseline_frame_cycles": self.baseline_frame_cycles,
+            "gpus": [{
+                "stage_cycles": dict(g.stage_cycles),
+                "traffic_bytes": dict(g.traffic_bytes),
+                "triangles_processed": g.triangles_processed,
+                "fragments_generated": g.fragments_generated,
+                "fragments_early_z_tested": g.fragments_early_z_tested,
+                "fragments_passed_early_z": g.fragments_passed_early_z,
+                "fragments_passed_late": g.fragments_passed_late,
+                "fragments_shaded": g.fragments_shaded,
+                "draws_executed": g.draws_executed,
+                "busy_until": g.busy_until,
+            } for g in self.gpus],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunStats":
+        """Rebuild a :meth:`to_dict` snapshot (draw samples are not kept)."""
+        stats = cls(num_gpus=int(data["num_gpus"]),
+                    frame_cycles=float(data["frame_cycles"]),
+                    composition_groups=int(data["composition_groups"]),
+                    accelerated_groups=int(data["accelerated_groups"]),
+                    link_retries=int(data["link_retries"]),
+                    retransmitted_bytes=float(data["retransmitted_bytes"]),
+                    backoff_cycles=float(data["backoff_cycles"]),
+                    dropped_transfers=int(data["dropped_transfers"]),
+                    corrupted_transfers=int(data["corrupted_transfers"]),
+                    failed_gpus=[int(g) for g in data["failed_gpus"]],
+                    redistributed_draws=int(data["redistributed_draws"]),
+                    recovery_cycles=float(data["recovery_cycles"]),
+                    baseline_frame_cycles=float(
+                        data["baseline_frame_cycles"]))
+        stats.gpus = []
+        for entry in data["gpus"]:
+            gpu = GPUStats(
+                triangles_processed=int(entry["triangles_processed"]),
+                fragments_generated=int(entry["fragments_generated"]),
+                fragments_early_z_tested=int(
+                    entry["fragments_early_z_tested"]),
+                fragments_passed_early_z=int(
+                    entry["fragments_passed_early_z"]),
+                fragments_passed_late=int(entry["fragments_passed_late"]),
+                fragments_shaded=int(entry["fragments_shaded"]),
+                draws_executed=int(entry["draws_executed"]),
+                busy_until=float(entry["busy_until"]))
+            gpu.stage_cycles.update(entry["stage_cycles"])
+            gpu.traffic_bytes.update(entry["traffic_bytes"])
+            stats.gpus.append(gpu)
+        return stats
 
     @property
     def total_fragments_passed(self) -> int:

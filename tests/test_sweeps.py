@@ -2,9 +2,11 @@
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.harness import experiments as E
-from repro.harness.sweeps import crossover, sweep
+from repro.harness import runner
+from repro.harness.engine import Engine
+from repro.harness.sweeps import FAILED, crossover, expand_sweep, sweep
 
 BENCH = ("wolf",)
 
@@ -50,14 +52,16 @@ class TestSweep:
 
 class TestCrossover:
     def test_chopin_overtakes_duplication_with_gpus(self):
-        """CHOPIN's win appears somewhere between 2 and 16 GPUs (Fig 19)."""
+        """CHOPIN trails at 2 GPUs and overtakes later (Fig 19): a real
+        sign change, with the margins on both sides of the flip."""
         result = crossover("num_gpus", [2, 4, 8, 16],
                            scheme_a="chopin+sched", scheme_b="duplication",
                            benchmarks=BENCH)
         assert result is not None
-        value, margin = result
-        assert value in (2, 4, 8, 16)
-        assert margin > 0
+        value, margin_before, margin_after = result
+        assert value in (4, 8, 16)  # never values[0]: that can't be a flip
+        assert margin_before <= 0
+        assert margin_after > 0
 
     def test_none_when_never_crossing(self):
         # chopin-rr never overtakes the composition-scheduled variant here
@@ -65,3 +69,80 @@ class TestCrossover:
                            scheme_a="chopin-rr", scheme_b="chopin+sched",
                            benchmarks=BENCH)
         assert result is None
+
+    def test_leading_everywhere_is_not_a_crossover(self, monkeypatch):
+        """scheme_a ahead at values[0] and ever after: dominance, None."""
+        fake = {v: {"a": 2.0, "b": 1.0} for v in (2, 4, 8)}
+        monkeypatch.setattr("repro.harness.sweeps.sweep",
+                            lambda *args, **kwargs: fake)
+        assert crossover("num_gpus", [2, 4, 8],
+                         scheme_a="a", scheme_b="b") is None
+
+    def test_failed_cells_skipped_not_invented(self, monkeypatch):
+        """A FAILED value is skipped; the flip is detected across it."""
+        fake = {2: {"a": 0.5, "b": 1.0},
+                4: {"a": FAILED, "b": FAILED},
+                8: {"a": 2.0, "b": 1.0}}
+        monkeypatch.setattr("repro.harness.sweeps.sweep",
+                            lambda *args, **kwargs: fake)
+        value, before, after = crossover("num_gpus", [2, 4, 8],
+                                         scheme_a="a", scheme_b="b")
+        assert value == 8
+        assert before == pytest.approx(-0.5)
+        assert after == pytest.approx(1.0)
+
+
+class TestEngineBackedSweep:
+    def test_pinned_baseline_simulates_once(self):
+        """Satellite fix: the pinned baseline is one job per benchmark,
+        not one per (value, scheme)."""
+        eng = Engine()
+        sweep("latency_cycles", [200, 400],
+              schemes=("chopin+sched", "chopin"), benchmarks=BENCH,
+              baseline_follows_sweep=False, engine=eng)
+        # 2 values x 2 schemes + 1 deduplicated baseline = 5 unique jobs
+        assert eng.counters.jobs == 5
+
+    def test_expand_dedup_is_engine_level(self):
+        values, specs = expand_sweep("latency_cycles", [200, 400],
+                                     schemes=("chopin+sched",),
+                                     benchmarks=BENCH,
+                                     baseline_follows_sweep=False)
+        # the pinned baseline appears once per value in the expansion...
+        fingerprints = [s.fingerprint for s in specs]
+        assert len(fingerprints) == 4
+        # ...but collapses to one unique fingerprint
+        assert len(set(fingerprints)) == 3
+
+    def test_failed_job_degrades_to_failed_cell(self, monkeypatch):
+        direct = runner.run_benchmark_direct
+
+        def failing(scheme, bench, setup):
+            if scheme == "gpupd":
+                raise SimulationError("injected permanent failure")
+            return direct(scheme, bench, setup)
+
+        monkeypatch.setattr(runner, "run_benchmark_direct", failing)
+        eng = Engine(retries=1, backoff=0.0)
+        table = sweep("num_gpus", [2, 4],
+                      schemes=("chopin+sched", "gpupd"), benchmarks=BENCH,
+                      engine=eng)
+        for value in (2, 4):
+            assert table[value]["gpupd"] == FAILED
+            assert isinstance(table[value]["chopin+sched"], float)
+        # deterministic errors fail fast: one attempt each, no retries
+        assert eng.counters.failed == 2
+        assert eng.counters.retries == 0
+
+    def test_failed_baseline_fails_the_whole_column(self, monkeypatch):
+        direct = runner.run_benchmark_direct
+
+        def failing(scheme, bench, setup):
+            if scheme == "duplication":
+                raise SimulationError("baseline down")
+            return direct(scheme, bench, setup)
+
+        monkeypatch.setattr(runner, "run_benchmark_direct", failing)
+        table = sweep("num_gpus", [2], schemes=("chopin+sched",),
+                      benchmarks=BENCH, engine=Engine(retries=0))
+        assert table[2]["chopin+sched"] == FAILED
