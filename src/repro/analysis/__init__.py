@@ -1,0 +1,46 @@
+"""Static and dynamic determinism analysis for the simulator.
+
+Two halves, both guarding the same invariant — that a simulation run is a
+pure function of its inputs and seeds (which is what makes sweep resume,
+fail-stop recovery, and every speedup figure trustworthy):
+
+- **simlint** (:mod:`repro.analysis.simlint`, :mod:`repro.analysis.rules`) —
+  an AST-based lint over Python sources with simulator-specific rules:
+  unseeded global RNG use, wall-clock reads, iteration over unordered sets,
+  mutable default arguments, sim processes yielding non-Event values, and
+  broad exception handlers that can swallow the kernel's process-kill
+  exception. ``python -m repro lint`` drives it; ``# simlint:
+  disable=<rule>`` suppresses a finding on its line.
+
+- **race sanitizer** (:mod:`repro.analysis.sanitizer`) — opt-in runtime
+  instrumentation of the DES kernel (``Simulator(sanitize=True)``, CLI
+  ``--sanitize``) that records per-cycle read/write sets on shared
+  resources and flags same-cycle write-write and read-write conflicts
+  between distinct processes.
+"""
+
+from .rules import RULES, Rule, default_rules, register
+from .sanitizer import (ACCESS_ARBITRATED, ACCESS_READ, ACCESS_WRITE,
+                        CONFLICT_RW, CONFLICT_WW, Conflict, RaceSanitizer)
+from .simlint import Finding, lint_file, lint_paths, lint_source
+from .reporters import render_json, render_text
+
+__all__ = [
+    "ACCESS_ARBITRATED",
+    "ACCESS_READ",
+    "ACCESS_WRITE",
+    "CONFLICT_RW",
+    "CONFLICT_WW",
+    "Conflict",
+    "Finding",
+    "RULES",
+    "RaceSanitizer",
+    "Rule",
+    "default_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

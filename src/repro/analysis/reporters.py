@@ -1,0 +1,31 @@
+"""Render lint findings as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .simlint import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Compiler-style ``path:line:col: rule: message`` lines + a summary."""
+    lines: List[str] = [
+        f"{f.location}: {f.rule}: {f.message}" for f in findings]
+    count = len(findings)
+    if count == 0:
+        lines.append("simlint: clean (0 findings)")
+    else:
+        plural = "" if count == 1 else "s"
+        lines.append(f"simlint: {count} finding{plural}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document (sorted findings, version-tagged)."""
+    payload = {
+        "version": 1,
+        "count": len(findings),
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,381 @@
+"""The simlint rule registry and the simulator-specific rules.
+
+Every rule is a class with a unique ``name`` (the id used in reports and
+``# simlint: disable=<name>`` markers), a one-line ``description``, and a
+``check(module)`` generator yielding :class:`~repro.analysis.simlint.Finding`
+objects. Third-party rules plug in with :func:`register`::
+
+    @register
+    class NoPrint(Rule):
+        name = "no-print"
+        description = "print() in library code"
+        def check(self, module):
+            for node in ast.walk(module.tree):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id == "print"):
+                    yield module.finding(node, self.name, "print() call")
+
+The built-in rules target the determinism hazards of a discrete-event
+simulator: anything that makes two runs of the same seed diverge (global
+RNG, wall clock, unordered iteration) and anything that silently corrupts
+the kernel's control flow (non-Event yields, handlers that swallow the
+``GeneratorExit`` raised by ``Process.kill``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Type
+
+from .simlint import Finding, LintModule
+
+RULES: Dict[str, Type["Rule"]] = {}
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    """Add a rule class to the registry (keyed by ``cls.name``)."""
+    if not cls.name:
+        raise ValueError("a lint rule needs a non-empty name")
+    RULES[cls.name] = cls
+    return cls
+
+
+def default_rules() -> List["Rule"]:
+    """Fresh instances of every registered rule, in name order."""
+    return [RULES[name]() for name in sorted(RULES)]
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    name = ""
+    description = ""
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _dotted(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]`` (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+class _AliasMap:
+    """Resolves local names back to the canonical modules they import."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: Dict[str, str] = {}   # local name -> module path
+        self.members: Dict[str, str] = {}   # local name -> module.member
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] \
+                        = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.members[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, chain: List[str]) -> Optional[str]:
+        """Canonical dotted path for an attribute chain, if importable."""
+        head = chain[0]
+        if head in self.modules:
+            return ".".join([self.modules[head]] + chain[1:])
+        if head in self.members:
+            return ".".join([self.members[head]] + chain[1:])
+        return None
+
+
+#: ``random`` module functions that mutate the hidden process-global state
+RANDOM_GLOBAL_FNS = frozenset({
+    "betavariate", "binomialvariate", "choice", "choices", "expovariate",
+    "gammavariate", "gauss", "getrandbits", "getstate", "lognormvariate",
+    "normalvariate", "paretovariate", "randbytes", "randint", "random",
+    "randrange", "sample", "seed", "setstate", "shuffle", "triangular",
+    "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+#: ``numpy.random`` module functions backed by the hidden global RandomState
+NUMPY_GLOBAL_FNS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "get_state", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial", "normal",
+    "pareto", "permutation", "poisson", "power", "rand", "randint",
+    "randn", "random", "random_integers", "random_sample", "ranf",
+    "rayleigh", "sample", "seed", "set_state", "shuffle",
+    "standard_cauchy", "standard_exponential", "standard_gamma",
+    "standard_normal", "standard_t", "triangular", "uniform", "vonmises",
+    "wald", "weibull", "zipf",
+})
+
+
+@register
+class UnseededRNG(Rule):
+    """Global-state RNG calls make runs depend on import and call order
+    (and on every other caller of the shared stream). The deterministic
+    idiom is an explicit seeded instance: ``random.Random(seed)`` or
+    ``numpy.random.default_rng(seed)``."""
+
+    name = "unseeded-rng"
+    description = ("call to the process-global RNG; use a seeded "
+                   "random.Random / np.random.default_rng instance")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = _AliasMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted(node.func)
+            if chain is None:
+                continue
+            canon = aliases.canonical(chain)
+            if canon is None:
+                continue
+            parts = canon.split(".")
+            hit = (
+                (len(parts) == 2 and parts[0] == "random"
+                 and parts[1] in RANDOM_GLOBAL_FNS)
+                or (len(parts) == 3 and parts[0] == "numpy"
+                    and parts[1] == "random"
+                    and parts[2] in NUMPY_GLOBAL_FNS)
+            )
+            if hit:
+                yield module.finding(
+                    node, self.name,
+                    f"`{canon}()` draws from the process-global RNG; "
+                    f"thread an explicit seeded generator instead")
+
+
+#: wall-clock reads; monotonic/perf_counter (elapsed time) stay legal
+TIME_WALL_FNS = frozenset({"asctime", "ctime", "gmtime", "localtime",
+                           "time", "time_ns"})
+DATETIME_WALL_FNS = frozenset({"now", "today", "utcnow"})
+
+
+@register
+class WallClock(Rule):
+    """Wall-clock reads leak host time into simulated behaviour; cycle
+    counts must come from ``sim.now``. ``time.monotonic`` and
+    ``time.perf_counter`` remain allowed for harness elapsed-time
+    measurement (they never feed simulated state)."""
+
+    name = "wall-clock"
+    description = ("wall-clock read (time.time / datetime.now); sim state "
+                   "must derive from sim.now")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = _AliasMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted(node.func)
+            if chain is None:
+                continue
+            canon = aliases.canonical(chain)
+            if canon is None:
+                continue
+            parts = canon.split(".")
+            hit = (
+                (len(parts) == 2 and parts[0] == "time"
+                 and parts[1] in TIME_WALL_FNS)
+                or (parts[0] == "datetime" and len(parts) >= 2
+                    and parts[-1] in DATETIME_WALL_FNS
+                    and parts[-2] in ("datetime", "date"))
+            )
+            if hit:
+                yield module.finding(
+                    node, self.name,
+                    f"`{canon}()` reads the wall clock; simulated time "
+                    f"comes from sim.now")
+
+
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({"difference", "intersection",
+                          "symmetric_difference", "union"})
+#: sinks that materialize iteration order (sorted() is the fix, not a sink)
+_ORDER_SINKS = frozenset({"enumerate", "iter", "list", "reversed", "tuple"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in _SET_BUILTINS:
+            return True
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _SET_METHODS:
+            return _is_set_expr(node.func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class UnorderedIter(Rule):
+    """Set iteration order depends on hash seeding and insertion history;
+    feeding it into scheduling or event-queue decisions makes the run
+    depend on both. (Dict views are insertion-ordered since Python 3.7
+    and are exempt.) Wrap the set in ``sorted(...)``."""
+
+    name = "unordered-iter"
+    description = ("iteration over an unordered set; wrap in sorted() for "
+                   "a deterministic order")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Name)
+                  and node.func.id in _ORDER_SINKS and node.args):
+                iters.append(node.args[0])
+            for candidate in iters:
+                if _is_set_expr(candidate):
+                    yield module.finding(
+                        candidate, self.name,
+                        "iterating over an unordered set; order feeds "
+                        "downstream decisions — use sorted(...)")
+
+
+_MUTABLE_CALLS = frozenset({"Counter", "bytearray", "defaultdict", "deque",
+                            "dict", "list", "set"})
+
+
+@register
+class MutableDefault(Rule):
+    """A mutable default is evaluated once and shared across calls —
+    state leaks between runs that should be independent."""
+
+    name = "mutable-default"
+    description = "mutable default argument (shared across calls)"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                mutable = isinstance(default, (
+                    ast.Dict, ast.DictComp, ast.List, ast.ListComp,
+                    ast.Set, ast.SetComp))
+                if (not mutable and isinstance(default, ast.Call)
+                        and isinstance(default.func, ast.Name)
+                        and default.func.id in _MUTABLE_CALLS):
+                    mutable = True
+                if mutable:
+                    yield module.finding(
+                        default, self.name,
+                        "mutable default argument is shared across calls; "
+                        "default to None and build inside the function")
+
+
+_LITERAL_YIELDS = (ast.Constant, ast.Dict, ast.JoinedStr, ast.List,
+                   ast.Set, ast.Tuple)
+
+
+def _own_yields(func: ast.AST) -> List[ast.Yield]:
+    """Yield nodes belonging to ``func`` itself (not nested functions)."""
+    yields: List[ast.Yield] = []
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Yield):
+            yields.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return yields
+
+
+def _is_sim_call(node: Optional[ast.AST]) -> bool:
+    """``sim.timeout(...)`` / ``self.sim.all_of(...)``-shaped expression."""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _dotted(node.func)
+    return chain is not None and "sim" in chain[:-1]
+
+
+@register
+class YieldNonEvent(Rule):
+    """A sim-process generator must yield Event objects; yielding a bare
+    number (``yield 10`` instead of ``yield sim.timeout(10)``) either
+    crashes the kernel at runtime or — worse — silently skips the wait.
+    A generator counts as a sim process when at least one of its yields
+    is a call through a ``sim`` object."""
+
+    name = "yield-non-event"
+    description = ("sim process yields a non-Event literal; yield "
+                   "sim.timeout(...) / an Event")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            yields = _own_yields(node)
+            if not any(_is_sim_call(y.value) for y in yields):
+                continue  # not a sim process
+            for y in yields:
+                if y.value is None:
+                    yield module.finding(
+                        y, self.name,
+                        "bare `yield` in a sim process sends None to the "
+                        "kernel, which expects an Event")
+                elif isinstance(y.value, _LITERAL_YIELDS):
+                    yield module.finding(
+                        y, self.name,
+                        "sim process yields a literal; the kernel expects "
+                        "an Event (e.g. sim.timeout(...))")
+
+
+@register
+class BroadExcept(Rule):
+    """``except:`` and ``except BaseException:`` catch the
+    ``GeneratorExit`` raised by ``Process.kill`` (and KeyboardInterrupt),
+    so a killed process can refuse to die and keep its ports pinned.
+    Catch ``Exception``, or re-raise with a bare ``raise``."""
+
+    name = "broad-except"
+    description = ("bare/BaseException handler can swallow Process.kill; "
+                   "catch Exception or re-raise")
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                label = "bare `except:`"
+            else:
+                chain = _dotted(node.type)
+                if chain is None or chain[-1] != "BaseException":
+                    continue
+                label = "`except BaseException:`"
+            reraises = any(
+                isinstance(sub, ast.Raise) and sub.exc is None
+                for stmt in node.body for sub in ast.walk(stmt))
+            if not reraises:
+                yield module.finding(
+                    node, self.name,
+                    f"{label} swallows GeneratorExit from Process.kill "
+                    f"and KeyboardInterrupt; catch Exception or add a "
+                    f"bare `raise`")

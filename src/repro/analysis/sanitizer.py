@@ -1,0 +1,140 @@
+"""Runtime race sanitizer: same-cycle conflict detection on shared state.
+
+The DES kernel is cooperatively scheduled, so two processes can never
+*preempt* each other — but they can still race in simulated time: when two
+processes touch the same shared resource at the same timestamp, the outcome
+depends on event-queue insertion order, which is exactly the kind of
+accidental ordering dependency that breaks bit-identical resume and
+recovery. The sanitizer makes those dependencies visible.
+
+Instrumented sites call :meth:`RaceSanitizer.record` with a resource label,
+an access kind, the acting process name, and the current cycle. Three kinds
+exist:
+
+- ``ACCESS_WRITE`` / ``ACCESS_READ`` — raw accesses to unarbitrated state
+  (e.g. framebuffer regions). Two *distinct* processes hitting the same
+  resource at the same cycle with at least one write is a conflict.
+- ``ACCESS_ARBITRATED`` — accesses that go through a FIFO-arbitrated
+  primitive (``Resource``, ``Store``, ``Barrier``, the composition
+  scheduler's ready table). These are recorded for the report's access
+  census but are **exempt from conflict detection**: the arbiter serializes
+  them deterministically by construction, so same-cycle contention there is
+  the normal, intended case.
+
+Detection is online and memory-bounded: only the *current* cycle's access
+sets are kept per resource; when the cycle advances the sets reset.
+Conflicts aggregate by ``(resource, cycle, kind)`` so a pile-up of N
+writers is one conflict naming all N processes, not N·(N-1)/2 pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..errors import RaceConditionError
+
+ACCESS_READ = "read"
+ACCESS_WRITE = "write"
+ACCESS_ARBITRATED = "arbitrated"
+
+CONFLICT_WW = "write-write"
+CONFLICT_RW = "read-write"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """Same-cycle access conflict between distinct processes."""
+
+    resource: str
+    cycle: float  # exact sim timestamp (sim time is float cycles)
+    kind: str  # CONFLICT_WW or CONFLICT_RW
+    processes: Tuple[str, ...]  # sorted, deduped
+
+    def describe(self) -> str:
+        names = ", ".join(self.processes)
+        return (f"{self.kind} conflict on {self.resource!r} at cycle "
+                f"{self.cycle:g} between: {names}")
+
+
+@dataclass
+class _CycleState:
+    """Access sets for one resource within the current cycle."""
+
+    cycle: float
+    readers: Set[str] = field(default_factory=set)
+    writers: Set[str] = field(default_factory=set)
+
+
+class RaceSanitizer:
+    """Collects per-cycle access sets and aggregates conflicts."""
+
+    def __init__(self) -> None:
+        self._state: Dict[str, _CycleState] = {}
+        # (resource, cycle, kind) -> set of process names involved
+        self._conflicts: Dict[Tuple[str, float, str], Set[str]] = {}
+        self.accesses_recorded = 0
+
+    def record(self, resource: str, kind: str, process: str,
+               cycle: float) -> None:
+        """Note one access; flags a conflict when it closes a racy pair."""
+        self.accesses_recorded += 1
+        if kind == ACCESS_ARBITRATED:
+            return
+        state = self._state.get(resource)
+        if state is None or state.cycle != cycle:
+            state = _CycleState(cycle=cycle)
+            self._state[resource] = state
+        if kind == ACCESS_WRITE:
+            others_w = state.writers - {process}
+            if others_w:
+                self._flag(resource, cycle, CONFLICT_WW,
+                           others_w | {process})
+            others_r = state.readers - {process}
+            if others_r:
+                self._flag(resource, cycle, CONFLICT_RW,
+                           others_r | {process})
+            state.writers.add(process)
+        elif kind == ACCESS_READ:
+            others_w = state.writers - {process}
+            if others_w:
+                self._flag(resource, cycle, CONFLICT_RW,
+                           others_w | {process})
+            state.readers.add(process)
+        else:
+            raise ValueError(f"unknown access kind: {kind!r}")
+
+    def _flag(self, resource: str, cycle: float, kind: str,
+              processes: Set[str]) -> None:
+        key = (resource, cycle, kind)
+        self._conflicts.setdefault(key, set()).update(processes)
+
+    @property
+    def conflicts(self) -> List[Conflict]:
+        """Aggregated conflicts, ordered by (cycle, resource, kind)."""
+        return [
+            Conflict(resource=resource, cycle=cycle, kind=kind,
+                     processes=tuple(sorted(names)))
+            for (resource, cycle, kind), names in sorted(
+                self._conflicts.items(),
+                key=lambda item: (item[0][1], item[0][0], item[0][2]))
+        ]
+
+    @property
+    def has_conflicts(self) -> bool:
+        return bool(self._conflicts)
+
+    def render_report(self) -> str:
+        conflicts = self.conflicts
+        if not conflicts:
+            return (f"race sanitizer: clean "
+                    f"({self.accesses_recorded} accesses recorded)")
+        lines = [f"race sanitizer: {len(conflicts)} conflict"
+                 f"{'' if len(conflicts) == 1 else 's'} "
+                 f"({self.accesses_recorded} accesses recorded)"]
+        lines.extend(f"  {c.describe()}" for c in conflicts)
+        return "\n".join(lines)
+
+    def raise_if_conflicts(self) -> None:
+        if self.has_conflicts:
+            raise RaceConditionError(self.render_report())

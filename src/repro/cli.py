@@ -12,8 +12,11 @@ Commands
 ``timeline``        render an ASCII execution Gantt for one scheme
 ``export``          synthesize a benchmark trace and save it to a .npz file
 ``export-results``  run schemes and write a CSV/JSON of flattened results
+``lint``            run simlint (determinism static analysis) over sources
 
-Every command accepts ``--scale {tiny,small,paper}`` and ``--gpus N``.
+Every simulation command accepts ``--scale {tiny,small,paper}`` and
+``--gpus N``. ``render``, ``compare`` and ``timeline`` accept
+``--sanitize`` to run the DES with the race sanitizer attached.
 ``sweep``, ``figures`` and ``export-results`` additionally take the
 experiment-engine flags ``--jobs``, ``--timeout``, ``--retries``,
 ``--journal`` and ``--resume`` (see :mod:`repro.harness.engine`).
@@ -88,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "(keys: seed, drop, corrupt, retries, backoff, detect, "
                  "fail=GPU@CYCLE, slow=START:END:FACTOR)")
 
+    def sanitize_opt(p):
+        p.add_argument(
+            "--sanitize", action="store_true",
+            help="attach the race sanitizer: fail the run on same-cycle "
+                 "conflicting accesses to shared state (see repro.analysis)")
+
     def engine_opts(p):
         p.add_argument("--jobs", type=int, default=1,
                        help="worker parallelism (>1 uses supervised "
@@ -108,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     render = sub.add_parser("render", help="run one scheme on a benchmark")
     common(render)
     fault_opt(render)
+    sanitize_opt(render)
     render.add_argument("benchmark", choices=BENCHMARK_NAMES)
     render.add_argument("--scheme", default="chopin+sched",
                         choices=sorted(SCHEMES))
@@ -118,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="speedups of several schemes")
     common(compare)
     fault_opt(compare)
+    sanitize_opt(compare)
     compare.add_argument("benchmark", choices=BENCHMARK_NAMES)
     compare.add_argument("--schemes", nargs="+", default=list(MAIN_SCHEMES),
                          choices=sorted(SCHEMES))
@@ -162,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         "timeline", help="render an ASCII execution Gantt for one scheme")
     common(timeline)
     fault_opt(timeline)
+    sanitize_opt(timeline)
     timeline.add_argument("benchmark", choices=BENCHMARK_NAMES)
     timeline.add_argument("--scheme", default="chopin+sched",
                           choices=sorted(SCHEMES))
@@ -180,6 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=BENCHMARK_NAMES)
     results.add_argument("--schemes", nargs="+", default=list(MAIN_SCHEMES),
                          choices=sorted(SCHEMES))
+
+    lint = sub.add_parser(
+        "lint", help="run simlint (determinism static analysis)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--format", dest="fmt", default="text",
+                      choices=("text", "json"))
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
 
     return parser
 
@@ -218,7 +240,8 @@ def _parse_sweep_value(text: str):
 
 def cmd_render(args) -> int:
     setup = make_setup(args.scale, num_gpus=args.gpus,
-                       faults=_parse_faults(args))
+                       faults=_parse_faults(args),
+                       sanitize=getattr(args, "sanitize", False))
     trace = load_benchmark(args.benchmark, args.scale)
     result = run(args.scheme, trace, setup)
     print(f"{args.scheme} on {args.benchmark} ({args.gpus} GPUs, "
@@ -241,7 +264,8 @@ def cmd_render(args) -> int:
 
 def cmd_compare(args) -> int:
     setup = make_setup(args.scale, num_gpus=args.gpus,
-                       faults=_parse_faults(args))
+                       faults=_parse_faults(args),
+                       sanitize=getattr(args, "sanitize", False))
     trace = load_benchmark(args.benchmark, args.scale)
     baseline = run("duplication", trace, setup)
     print(f"{args.benchmark} ({args.gpus} GPUs): speedup vs duplication")
@@ -345,7 +369,8 @@ def cmd_timeline(args) -> int:
     from .harness import build_scheme
     from .timing import record_timeline
     setup = make_setup(args.scale, num_gpus=args.gpus,
-                       faults=_parse_faults(args))
+                       faults=_parse_faults(args),
+                       sanitize=getattr(args, "sanitize", False))
     trace = load_benchmark(args.benchmark, args.scale)
     with record_timeline() as timeline:
         result = build_scheme(args.scheme, setup).run(trace)
@@ -380,8 +405,28 @@ def cmd_export_results(args) -> int:
     return EXIT_OK
 
 
+def cmd_lint(args) -> int:
+    import pathlib
+
+    from .analysis import (default_rules, lint_paths, render_json,
+                           render_text)
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.name:<16} {rule.description}")
+        return EXIT_OK
+    paths = args.paths
+    if not paths:
+        import repro
+        paths = [pathlib.Path(repro.__file__).parent]
+    findings = lint_paths(paths)
+    renderer = render_json if args.fmt == "json" else render_text
+    print(renderer(findings))
+    return EXIT_ERROR if findings else EXIT_OK
+
+
 COMMANDS = {
     "render": cmd_render,
+    "lint": cmd_lint,
     "export-results": cmd_export_results,
     "timeline": cmd_timeline,
     "compare": cmd_compare,

@@ -136,6 +136,11 @@ class SystemConfig:
     #: scheme's transfers; fail-stop recovery is modeled by the CHOPIN
     #: schemes.
     faults: Optional[FaultPlan] = None
+    #: run the DES with the race sanitizer attached (``--sanitize``): every
+    #: instrumented shared-state access is recorded per cycle and same-cycle
+    #: conflicts between distinct processes fail the run. Purely a checking
+    #: feature — it never changes simulated timing.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
+from ..analysis.sanitizer import ACCESS_ARBITRATED
 from ..errors import SchedulingError
 from ..sim import Event, Simulator
 
@@ -71,6 +72,17 @@ class ImageCompositionScheduler:
         self._allowed: Optional[List[Set[int]]] = None
         self._waiters: List[Event] = []
 
+    def _record_table_access(self) -> None:
+        """Report a scheduler-table mutation to the race sanitizer.
+
+        Recorded as arbitrated: the table is a centralized arbiter whose
+        pairing decisions are deterministic (sorted partner scan, FIFO
+        notify), so same-cycle updates from several GPUs are the intended
+        operating mode, not a race.
+        """
+        if self.sim is not None:
+            self.sim.record_access("scheduler:table", ACCESS_ARBITRATED)
+
     # -- table driving -------------------------------------------------------
 
     def start_group(self, cgid: int,
@@ -89,6 +101,7 @@ class ImageCompositionScheduler:
         row = self.table[gpu]
         if row.ready:
             raise SchedulingError(f"GPU{gpu} marked ready twice")
+        self._record_table_access()
         row.ready = True
         self._notify()
 
@@ -117,6 +130,7 @@ class ImageCompositionScheduler:
             raise SchedulingError("pair members already busy")
         if sender in r.received_gpus:
             raise SchedulingError("pair already composed")
+        self._record_table_access()
         s.sending = True
         r.receiving = True
 
@@ -125,6 +139,7 @@ class ImageCompositionScheduler:
         s, r = self.table[sender], self.table[receiver]
         if not s.sending or not r.receiving:
             raise SchedulingError("completing a pair that never began")
+        self._record_table_access()
         s.sending = False
         r.receiving = False
         s.sent_gpus.add(receiver)
@@ -140,6 +155,7 @@ class ImageCompositionScheduler:
         """
         if not 0 <= gpu < self.num_gpus:
             raise SchedulingError(f"cannot exclude unknown GPU{gpu}")
+        self._record_table_access()
         if self._allowed is None:
             self._allowed = [
                 {p for p in range(self.num_gpus) if p != g}

@@ -17,6 +17,14 @@ class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 
 
+class RaceConditionError(SimulationError):
+    """The race sanitizer observed same-cycle conflicting accesses to a
+    shared resource by distinct processes (see ``repro.analysis.sanitizer``).
+
+    Subclasses :class:`SimulationError` so existing handlers and exit-code
+    mapping treat a flagged race like any other simulation failure."""
+
+
 class FaultError(ReproError):
     """An injected fault could not be recovered from (e.g., a transfer
     exhausted its retry budget, or a fail-stop left no survivors)."""

@@ -22,8 +22,8 @@ such a plan are indistinguishable from fault-free runs.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, replace
+from random import Random
 from typing import Dict, List, Tuple
 
 from ..errors import ConfigError
@@ -178,7 +178,9 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
-        self._rng = random.Random(plan.seed ^ 0x5FA017)
+        # A dedicated seeded instance — never the module-global stream
+        # (simlint's unseeded-rng rule enforces this repo-wide).
+        self._rng = Random(plan.seed ^ 0x5FA017)
         self.transfers_seen = 0
 
     def transfer_outcome(self, src: int, dst: int) -> str:

@@ -238,7 +238,14 @@ def _worker_entry(conn, spec_json: str) -> None:
         payload = execute_spec(JobSpec.from_dict(json.loads(spec_json)),
                                in_process=False)
         conn.send((STATUS_OK, payload))
-    except BaseException as exc:  # report, never propagate out of a worker
+    except (KeyboardInterrupt, SystemExit, GeneratorExit):
+        # Kill-style exceptions must take the worker down, not masquerade
+        # as a job result: the parent then sees a dead worker and
+        # classifies it as a (transient, retryable) WorkerCrashed.
+        raise
+    # Process boundary: report over the pipe instead of propagating (the
+    # kill-style exceptions already re-raised above).
+    except BaseException as exc:  # simlint: disable=broad-except
         conn.send(("error", type(exc).__name__, str(exc)))
     finally:
         conn.close()
@@ -500,7 +507,11 @@ class Engine:
                 self.counters.retries += 1
                 self._sleep(min(self.backoff * 2 ** (attempts - 1),
                                 self.backoff_cap))
-            except Exception as exc:  # deterministic job error: no retry
+            except ReproError as exc:  # deterministic job error: no retry
+                # Only library errors are classified as a FAILED cell.
+                # Anything else (KeyboardInterrupt, a programming error in
+                # the sim) propagates: it is not a property of the job and
+                # must not be recorded in the journal as one.
                 error, message = type(exc).__name__, str(exc)
                 break
         return JobOutcome(spec=spec, status=STATUS_FAILED, error=error,

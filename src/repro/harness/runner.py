@@ -84,7 +84,8 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
                msaa_samples: int = 1,
                model_memory: bool = False,
                dram_gb_per_s: Optional[float] = None,
-               faults: Optional["FaultPlan"] = None) -> Setup:
+               faults: Optional["FaultPlan"] = None,
+               sanitize: bool = False) -> Setup:
     """Build a Table II setup re-scaled for ``scale``.
 
     ``composition_threshold`` and ``scheduler_update_interval`` are given in
@@ -103,6 +104,8 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
         # marker only: a FaultPlan is not journal-serializable, so the
         # engine treats fault-injected setups as non-portable
         "faults": repr(faults) if faults is not None else None,
+        # None when off so pre-existing journal fingerprints stay valid
+        "sanitize": True if sanitize else None,
     }
     origin = tuple(sorted((k, v) for k, v in origin_kwargs.items()
                           if v is not None))
@@ -128,6 +131,7 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
         retained_cull_fraction=retained_cull_fraction,
         msaa_samples=msaa_samples,
         faults=faults,
+        sanitize=sanitize,
     )
     if bandwidth_gb_per_s is not None or latency_cycles is not None:
         config = config.with_link(bandwidth_gb_per_s=bandwidth_gb_per_s,
@@ -182,7 +186,7 @@ def _cache_key(scheme: str, trace: Trace, setup: Setup) -> tuple:
             cfg.retained_cull_fraction, cfg.link.bandwidth_gb_per_s,
             cfg.link.latency_cycles, cfg.link.ideal, cfg.link.topology,
             cfg.msaa_samples, setup.costs.model_memory,
-            cfg.gpu.dram_bandwidth_bytes_per_s, cfg.faults)
+            cfg.gpu.dram_bandwidth_bytes_per_s, cfg.faults, cfg.sanitize)
 
 
 def run(scheme: str, trace: Trace, setup: Setup,

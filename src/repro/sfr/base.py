@@ -159,6 +159,11 @@ class SFRScheme:
     def run(self, trace: Trace) -> SchemeResult:
         raise NotImplementedError
 
+    def _make_sim(self):
+        """Simulator for one frame, honoring ``config.sanitize``."""
+        from ..sim import Simulator
+        return Simulator(sanitize=self.config.sanitize)
+
     @staticmethod
     def _run_sim_checked(sim, processes) -> float:
         """Run the event loop and fail loudly on deadlock.
@@ -166,6 +171,8 @@ class SFRScheme:
         A drained event queue with unfinished GPU processes means the
         protocol wedged (e.g., a circular port/gate dependency); silently
         returning a too-small frame time would corrupt every speedup figure.
+        Under ``--sanitize``, same-cycle access conflicts observed during
+        the run fail it here too, after the frame completes.
         """
         frame_cycles = sim.run()
         stuck = [p.name for p in processes if not p.triggered]
@@ -173,6 +180,8 @@ class SFRScheme:
             from ..errors import SimulationError
             raise SimulationError(
                 f"simulation deadlocked with pending processes: {stuck}")
+        if sim.sanitizer is not None:
+            sim.sanitizer.raise_if_conflicts()
         return frame_cycles
 
     # -- shared helpers -----------------------------------------------------

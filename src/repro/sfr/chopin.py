@@ -641,7 +641,7 @@ class Chopin(SFRScheme):
         stats = RunStats(num_gpus=n)
         stats.composition_groups = prep.total_groups
         stats.accelerated_groups = prep.accelerated_groups
-        sim = Simulator()
+        sim = self._make_sim()
         engines = [GPUEngine(sim, g, self.costs, stats.gpus[g],
                              update_interval=1 << 30)
                    for g in range(n)]

@@ -51,7 +51,7 @@ class PrimitiveDuplication(SFRScheme):
         prep = reference_pass(trace, self.config)
         num_gpus = self.config.num_gpus
         stats = RunStats(num_gpus=num_gpus)
-        sim = Simulator()
+        sim = self._make_sim()
         engines = [GPUEngine(sim, g, self.costs, stats.gpus[g])
                    for g in range(num_gpus)]
         interconnect = Interconnect(sim, self.config, stats)

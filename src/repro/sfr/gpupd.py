@@ -152,7 +152,7 @@ class GPUpd(SFRScheme):
         projections = projection_analysis(trace, self.config)
         num_gpus = self.config.num_gpus
         stats = RunStats(num_gpus=num_gpus)
-        sim = Simulator()
+        sim = self._make_sim()
         engines = [GPUEngine(sim, g, self.costs, stats.gpus[g])
                    for g in range(num_gpus)]
         interconnect = Interconnect(sim, self.config, stats)

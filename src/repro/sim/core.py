@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..analysis.sanitizer import ACCESS_WRITE, RaceSanitizer
 from ..errors import SimulationError
 
 
@@ -182,6 +183,10 @@ class Process(Event):
     def _resume(self, event: Optional[Event]) -> None:
         value = event.value if event is not None else None
         self._waiting_on = None
+        # Attribute any sanitizer-visible accesses made while the generator
+        # body runs to this process.
+        previous = self.sim._active_process
+        self.sim._active_process = self
         try:
             target = self.generator.send(value)
         except StopIteration as stop:
@@ -191,6 +196,8 @@ class Process(Event):
         except BaseException as exc:
             _attach_process_name(exc, self.name)
             raise
+        finally:
+            self.sim._active_process = previous
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event")
@@ -223,14 +230,40 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: schedules events in (time, insertion-order) order."""
+    """The event loop: schedules events in (time, insertion-order) order.
 
-    def __init__(self) -> None:
+    With ``sanitize=True`` the kernel carries a
+    :class:`~repro.analysis.sanitizer.RaceSanitizer`; instrumented shared
+    state (framebuffer regions, resources, scheduler tables) reports its
+    accesses through :meth:`record_access`, attributed to whichever process
+    is currently executing.
+    """
+
+    def __init__(self, sanitize: bool = False) -> None:
         self.now: float = 0.0
         self._queue: List[tuple] = []
         self._sequence = 0
         self._running = False
         self._processes: List[Process] = []
+        self._active_process: Optional[Process] = None
+        self.sanitizer: Optional[RaceSanitizer] = (
+            RaceSanitizer() if sanitize else None)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process whose generator body is currently executing."""
+        return self._active_process
+
+    def record_access(self, resource: str, kind: str = ACCESS_WRITE,
+                      process: Optional[str] = None) -> None:
+        """Report an access on shared state to the sanitizer (no-op when
+        the sanitizer is off, so call sites need no guards)."""
+        if self.sanitizer is None:
+            return
+        if process is None:
+            active = self._active_process
+            process = active.name if active is not None else "<main>"
+        self.sanitizer.record(resource, kind, process, self.now)
 
     # -- event construction ------------------------------------------------
 

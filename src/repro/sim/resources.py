@@ -12,8 +12,21 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List
 
+from ..analysis.sanitizer import ACCESS_ARBITRATED
 from ..errors import SimulationError
 from .core import Event, Simulator
+
+
+def _arbitrated(obj: Any) -> None:
+    """Report an access through a FIFO-arbitrated primitive.
+
+    Arbitrated accesses are recorded for the sanitizer's census but exempt
+    from conflict detection: grant order here is deterministic by
+    construction (FIFO / priority + insertion order), so same-cycle
+    contention is the intended case, not a race.
+    """
+    label = f"{type(obj).__name__.lower()}:{obj.name or '<anon>'}"
+    obj.sim.record_access(label, ACCESS_ARBITRATED)
 
 
 class Request(Event):
@@ -49,6 +62,7 @@ class Resource:
 
     def request(self) -> Request:
         """Claim one unit; the returned event triggers once granted."""
+        _arbitrated(self)
         req = Request(self)
         if len(self._users) < self.capacity:
             self._users.append(req)
@@ -59,6 +73,7 @@ class Resource:
 
     def release(self, request: Request) -> None:
         """Return a previously granted unit."""
+        _arbitrated(self)
         try:
             self._users.remove(request)
         except ValueError:
@@ -114,6 +129,7 @@ class PriorityResource(Resource):
         self._sequence = 0
 
     def request(self, priority: int = 0) -> PriorityRequest:
+        _arbitrated(self)
         req = PriorityRequest(self, priority, self._sequence)
         self._sequence += 1
         if len(self._users) < self.capacity:
@@ -124,6 +140,7 @@ class PriorityResource(Resource):
         return req
 
     def release(self, request: Request) -> None:
+        _arbitrated(self)
         try:
             self._users.remove(request)
         except ValueError:
@@ -152,6 +169,7 @@ class Barrier:
         self._waiting: List[Event] = []
 
     def wait(self) -> Event:
+        _arbitrated(self)
         event = Event(self.sim)
         self._waiting.append(event)
         if len(self._waiting) == self.parties:
@@ -177,6 +195,7 @@ class Countdown:
             self.event.succeed()
 
     def arrive(self) -> None:
+        _arbitrated(self)
         if self._remaining <= 0:
             raise SimulationError("countdown already completed")
         self._remaining -= 1
@@ -198,6 +217,7 @@ class Store:
 
     def put(self, item: Any) -> None:
         """Deposit an item, waking one waiting getter if any."""
+        _arbitrated(self)
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
@@ -205,6 +225,7 @@ class Store:
 
     def get(self) -> Event:
         """Event that triggers with the next item (immediately if available)."""
+        _arbitrated(self)
         event = Event(self.sim)
         if self._items:
             event.succeed(self._items.popleft())

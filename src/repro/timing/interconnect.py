@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Generator, Iterable, Optional
 
+from ..analysis.sanitizer import ACCESS_WRITE
 from ..config import SystemConfig
 from ..errors import FaultError, SimulationError
 from ..faults.plan import (OUTCOME_CORRUPT, OUTCOME_DROP, OUTCOME_OK,
@@ -137,6 +138,14 @@ class Interconnect:
                 bus_req = self._bus.request()
                 yield bus_req
             yield from self._stream_with_retries(src, dst, num_bytes)
+            if num_bytes > 0:
+                # The payload has landed in the receiver's framebuffer
+                # region. With real links, the ingress FIFO plus a nonzero
+                # streaming occupancy serializes deliveries to one GPU, so
+                # this only flags genuinely overlapping writes (the ideal-
+                # link fast path above records nothing: every transfer
+                # lands at the same instant by design).
+                self.sim.record_access(f"fb:gpu{dst}", ACCESS_WRITE)
         finally:
             if bus_req is not None:
                 self._bus.withdraw(bus_req)
