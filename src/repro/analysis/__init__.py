@@ -17,13 +17,28 @@ fail-stop recovery, and every speedup figure trustworthy):
   ``--sanitize``) that records per-cycle read/write sets on shared
   resources and flags same-cycle write-write and read-write conflicts
   between distinct processes.
+
+The **deep** layer (``python -m repro lint --deep``) adds project-wide
+passes on a shared symbol table / call graph
+(:mod:`repro.analysis.flow`): a units/dimension checker for the timing
+model (:mod:`repro.analysis.units`) and a nondeterminism taint pass
+(:mod:`repro.analysis.taint`), with a JSON baseline workflow
+(:mod:`repro.analysis.baseline`) for incremental adoption.
 """
 
-from .rules import RULES, Rule, default_rules, register
+from .baseline import (filter_baselined, finding_key, load_baseline,
+                       save_baseline)
+from .flow import ClassInfo, FunctionInfo, Project
+from .rules import (PROJECT_RULES, RULES, ProjectRule, Rule,
+                    all_rule_descriptions, default_project_rules,
+                    default_rules, register, register_project)
 from .sanitizer import (ACCESS_ARBITRATED, ACCESS_READ, ACCESS_WRITE,
                         CONFLICT_RW, CONFLICT_WW, Conflict, RaceSanitizer)
-from .simlint import Finding, lint_file, lint_paths, lint_source
+from .simlint import (SEVERITIES, Finding, lint_file, lint_paths,
+                      lint_project, lint_source)
 from .reporters import render_json, render_text
+from .taint import TaintChecker
+from .units import UnitChecker, format_unit, parse_unit
 
 __all__ = [
     "ACCESS_ARBITRATED",
@@ -31,16 +46,34 @@ __all__ = [
     "ACCESS_WRITE",
     "CONFLICT_RW",
     "CONFLICT_WW",
+    "ClassInfo",
     "Conflict",
     "Finding",
+    "FunctionInfo",
+    "PROJECT_RULES",
+    "Project",
+    "ProjectRule",
     "RULES",
     "RaceSanitizer",
     "Rule",
+    "SEVERITIES",
+    "TaintChecker",
+    "UnitChecker",
+    "all_rule_descriptions",
+    "default_project_rules",
     "default_rules",
+    "filter_baselined",
+    "finding_key",
+    "format_unit",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "load_baseline",
+    "parse_unit",
     "register",
+    "register_project",
     "render_json",
     "render_text",
+    "save_baseline",
 ]

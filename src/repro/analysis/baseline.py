@@ -1,0 +1,81 @@
+"""JSON finding baseline: incremental adoption for the deep passes.
+
+A baseline freezes the currently-known findings so CI can fail on *new*
+ones only. Keys are ``(path, rule, message)`` — deliberately excluding
+line/column, so unrelated edits that shift a finding a few lines do not
+break the build; changing the message (e.g. the units involved) does.
+
+Workflow::
+
+    python -m repro lint --deep --update-baseline analysis-baseline.json
+    # commit analysis-baseline.json; later runs:
+    python -m repro lint --deep --baseline analysis-baseline.json
+
+Paths are stored as given on the command line (POSIX separators), so the
+baseline must be generated from the same directory CI runs in (the repo
+root).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, List, Sequence, Set, Tuple, Union
+
+from ..errors import ConfigError
+from .simlint import Finding
+
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    """Stable identity of a finding across line drift."""
+    return (pathlib.PurePath(finding.path).as_posix(), finding.rule,
+            finding.message)
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> Set[BaselineKey]:
+    """Read a baseline file; raises ConfigError on a malformed one."""
+    file_path = pathlib.Path(path)
+    try:
+        doc = json.loads(file_path.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read baseline {file_path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {file_path} is not valid JSON: {exc}")
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"baseline {file_path} has unsupported format "
+            f"(want version {BASELINE_VERSION})")
+    keys: Set[BaselineKey] = set()
+    for entry in doc.get("findings", []):
+        try:
+            keys.add((str(entry["path"]), str(entry["rule"]),
+                      str(entry["message"])))
+        except (KeyError, TypeError):
+            raise ConfigError(
+                f"baseline {file_path} has a malformed finding entry")
+    return keys
+
+
+def save_baseline(path: Union[str, pathlib.Path],
+                  findings: Iterable[Finding]) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    entries = sorted({finding_key(f) for f in findings})
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": p, "rule": r, "message": m} for p, r, m in entries],
+    }
+    pathlib.Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return len(entries)
+
+
+def filter_baselined(findings: Sequence[Finding],
+                     baseline: Set[BaselineKey]
+                     ) -> Tuple[List[Finding], int]:
+    """Split findings into (new, count suppressed by the baseline)."""
+    new = [f for f in findings if finding_key(f) not in baseline]
+    return new, len(findings) - len(new)

@@ -1,0 +1,491 @@
+"""Project-wide analysis substrate: symbol table, imports, and call graph.
+
+The per-statement rules in :mod:`repro.analysis.rules` see one AST node at
+a time; the deep passes (the units checker in
+:mod:`repro.analysis.units` and the nondeterminism taint pass in
+:mod:`repro.analysis.taint`) need to follow a value from
+``GPUConfig.frequency_hz`` through ``CostModel.dram_bytes_per_cycle`` into
+``Interconnect.occupancy_cycles`` — across functions, classes, and
+modules. This module builds the shared infrastructure those passes walk:
+
+- a :class:`Project` holding every parsed module, keyed by its dotted
+  module name (derived from ``__init__.py`` package structure, so linting
+  ``src/repro`` yields the same ``repro.timing.costs`` qualnames as the
+  installed package);
+- per-module import tables that resolve local aliases back to canonical
+  symbols, including relative imports and one level of package
+  re-exports (``from ..sim import Simulator`` chases through
+  ``repro/sim/__init__.py`` to ``repro.sim.core.Simulator``);
+- :class:`ClassInfo` / :class:`FunctionInfo` records with enough type
+  structure to resolve ``self.gpu.frequency_hz`` (dataclass field
+  annotations, annotated ``__init__`` parameters, and
+  ``self.x = KnownClass(...)`` constructor assignments);
+- best-effort call resolution and a project :meth:`~Project.call_graph`.
+
+Everything here is *best effort and silent*: an unresolvable name returns
+``None`` and the passes degrade to "unknown" rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .simlint import LintModule
+
+#: resolution depth bound for re-export chases (cycles in __init__ webs)
+_MAX_CHASE = 8
+
+
+def module_name_for(path: pathlib.Path) -> Tuple[str, bool]:
+    """Dotted module name for a source file, plus "is a package" flag.
+
+    Walks up while ``__init__.py`` siblings exist, so
+    ``src/repro/timing/costs.py`` names itself ``repro.timing.costs``
+    regardless of where the tree sits. A loose file (test fixture in a
+    temp dir) is just its stem.
+    """
+    path = path.resolve()
+    parts: List[str] = []
+    is_package = path.name == "__init__.py"
+    if not is_package:
+        parts.append(path.stem)
+    directory = path.parent
+    while (directory / "__init__.py").exists():
+        parts.append(directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(reversed(parts)), is_package
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str            # e.g. repro.timing.costs.CostModel.compose_cycles
+    name: str
+    module_name: str
+    module: LintModule
+    node: ast.AST            # FunctionDef / AsyncFunctionDef
+    class_qualname: Optional[str] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qualname is not None
+
+    @property
+    def is_property(self) -> bool:
+        for dec in self.node.decorator_list:
+            if isinstance(dec, ast.Name) and dec.id == "property":
+                return True
+            if isinstance(dec, ast.Attribute) and dec.attr in (
+                    "getter", "setter", "property", "cached_property"):
+                return True
+        return False
+
+    def param_names(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args
+                 + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def param_annotation(self, name: str) -> Optional[ast.expr]:
+        args = self.node.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            if a.arg == name:
+                return a.annotation
+        return None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, annotated attributes, bases."""
+
+    qualname: str
+    name: str
+    module_name: str
+    module: LintModule
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class-level ``name: Annotation [= default]`` fields (dataclasses)
+    attr_annotations: Dict[str, ast.expr] = field(default_factory=dict)
+    #: source line of each class-level attribute statement (unit comments)
+    attr_lines: Dict[str, int] = field(default_factory=dict)
+    base_exprs: List[ast.expr] = field(default_factory=list)
+
+
+class _ModuleImports:
+    """Local name -> canonical dotted path for one module."""
+
+    def __init__(self, module_name: str, is_package: bool,
+                 tree: ast.AST) -> None:
+        self.modules: Dict[str, str] = {}
+        self.members: Dict[str, str] = {}
+        if is_package:
+            package_parts = module_name.split(".") if module_name else []
+        else:
+            package_parts = module_name.split(".")[:-1]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.modules[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    base = node.module or ""
+                else:
+                    if node.level - 1 > len(package_parts):
+                        continue  # escapes the project root
+                    kept = package_parts[:len(package_parts)
+                                         - (node.level - 1)]
+                    base = ".".join(kept)
+                    if node.module:
+                        base = f"{base}.{node.module}" if base \
+                            else node.module
+                if not base:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.members[local] = f"{base}.{alias.name}"
+
+
+class Project:
+    """Every parsed module of one source tree, cross-indexed."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, LintModule] = {}
+        self.module_packages: Dict[str, bool] = {}
+        self.imports: Dict[str, _ModuleImports] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module-level ``NAME = <literal>`` constants
+        self.constants: Dict[str, ast.expr] = {}
+        self._attr_type_cache: Dict[Tuple[str, str], Optional[str]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_modules(cls, named_modules: Iterable[
+            Tuple[str, bool, LintModule]]) -> "Project":
+        """Build from ``(module_name, is_package, parsed module)`` triples."""
+        project = cls()
+        for name, is_package, module in named_modules:
+            project._add_module(name, is_package, module)
+        return project
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[pathlib.Path]) -> "Project":
+        """Parse and index ``*.py`` files (directories recurse). Files that
+        fail to parse are skipped — the lint driver reports them."""
+        named = []
+        for path in sorted({p.resolve() for p in _expand(paths)}):
+            try:
+                module = LintModule(str(path), path.read_text())
+            except (SyntaxError, OSError):
+                continue
+            name, is_package = module_name_for(path)
+            named.append((name, is_package, module))
+        return cls.from_modules(named)
+
+    def _add_module(self, name: str, is_package: bool,
+                    module: LintModule) -> None:
+        self.modules[name] = module
+        self.module_packages[name] = is_package
+        self.imports[name] = _ModuleImports(name, is_package, module.tree)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{name}.{node.name}", name=node.name,
+                    module_name=name, module=module, node=node)
+                self.functions[info.qualname] = info
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(name, module, node)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                self.constants[f"{name}.{node.targets[0].id}"] = node.value
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name) \
+                    and node.value is not None:
+                self.constants[f"{name}.{node.target.id}"] = node.value
+
+    def _add_class(self, module_name: str, module: LintModule,
+                   node: ast.ClassDef) -> None:
+        qualname = f"{module_name}.{node.name}"
+        info = ClassInfo(qualname=qualname, name=node.name,
+                         module_name=module_name, module=module, node=node,
+                         base_exprs=list(node.bases))
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = FunctionInfo(
+                    qualname=f"{qualname}.{stmt.name}", name=stmt.name,
+                    module_name=module_name, module=module, node=stmt,
+                    class_qualname=qualname)
+                info.methods[stmt.name] = method
+                self.functions[method.qualname] = method
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                info.attr_annotations[stmt.target.id] = stmt.annotation
+                info.attr_lines[stmt.target.id] = stmt.lineno
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        info.attr_lines[target.id] = stmt.lineno
+        self.classes[qualname] = info
+
+    # -- symbol resolution ---------------------------------------------------
+
+    def resolve_name(self, module_name: str, name: str) -> Optional[str]:
+        """Canonical dotted symbol for a bare name used in ``module_name``."""
+        local = f"{module_name}.{name}"
+        if local in self.functions or local in self.classes \
+                or local in self.constants:
+            return local
+        table = self.imports.get(module_name)
+        if table is None:
+            return None
+        if name in table.members:
+            return table.members[name]
+        if name in table.modules:
+            return table.modules[name]
+        return None
+
+    def resolve_chain(self, module_name: str,
+                      chain: Sequence[str]) -> Optional[str]:
+        """Canonical dotted symbol for an ``a.b.c`` chain."""
+        head = self.resolve_name(module_name, chain[0])
+        if head is None:
+            return None
+        return ".".join([head] + list(chain[1:]))
+
+    def _chase(self, qualname: str, depth: int = 0) -> Optional[str]:
+        """Follow package re-exports until the qualname lands on a real
+        definition (class/function/constant) or gives out."""
+        if depth > _MAX_CHASE or qualname is None:
+            return None
+        if qualname in self.classes or qualname in self.functions \
+                or qualname in self.constants:
+            return qualname
+        # longest module prefix owning the tail
+        parts = qualname.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                tail = parts[cut:]
+                resolved = self.resolve_name(prefix, tail[0])
+                if resolved is None:
+                    return None
+                new = ".".join([resolved] + tail[1:])
+                if new == qualname:
+                    return None
+                return self._chase(new, depth + 1)
+        return None
+
+    def lookup_class(self, qualname: Optional[str]) -> Optional[ClassInfo]:
+        if qualname is None:
+            return None
+        resolved = self._chase(qualname)
+        return self.classes.get(resolved) if resolved else None
+
+    def lookup_function(self, qualname: Optional[str]
+                        ) -> Optional[FunctionInfo]:
+        if qualname is None:
+            return None
+        resolved = self._chase(qualname)
+        return self.functions.get(resolved) if resolved else None
+
+    # -- type structure ------------------------------------------------------
+
+    def class_of_annotation(self, module_name: str,
+                            annotation: Optional[ast.expr]
+                            ) -> Optional[ClassInfo]:
+        """ClassInfo named by a type annotation (``X``, ``"X"``,
+        ``Optional[X]``); None for anything fancier."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) \
+                and isinstance(annotation.value, str):
+            return self.lookup_class(
+                self.resolve_name(module_name, annotation.value.strip('"')))
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            if isinstance(base, ast.Name) and base.id == "Optional":
+                return self.class_of_annotation(module_name,
+                                                annotation.slice)
+            return None
+        chain = dotted_chain(annotation)
+        if chain is None:
+            return None
+        return self.lookup_class(self.resolve_chain(module_name, chain))
+
+    def method_of(self, cls: ClassInfo, name: str,
+                  depth: int = 0) -> Optional[FunctionInfo]:
+        """Method lookup through single-inheritance base chains."""
+        if name in cls.methods:
+            return cls.methods[name]
+        if depth > _MAX_CHASE:
+            return None
+        for base_expr in cls.base_exprs:
+            chain = dotted_chain(base_expr)
+            if chain is None:
+                continue
+            base = self.lookup_class(
+                self.resolve_chain(cls.module_name, chain))
+            if base is not None and base.qualname != cls.qualname:
+                found = self.method_of(base, name, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def attr_class(self, cls: ClassInfo, attr: str) -> Optional[ClassInfo]:
+        """Type of an instance attribute, as a ClassInfo when known.
+
+        Sources, in order: the class-level ``attr: Type`` annotation, then
+        ``self.attr = <annotated param>`` / ``self.attr = KnownClass(...)``
+        assignments anywhere in the class's methods. ``self.attr = None``
+        never shadows a real type (the optional-then-filled idiom).
+        """
+        key = (cls.qualname, attr)
+        if key in self._attr_type_cache:
+            return self.lookup_class(self._attr_type_cache[key])
+        self._attr_type_cache[key] = None  # recursion guard
+        result: Optional[str] = None
+        annotation = cls.attr_annotations.get(attr)
+        if annotation is not None:
+            found = self.class_of_annotation(cls.module_name, annotation)
+            if found is not None:
+                result = found.qualname
+        if result is None:
+            result = self._attr_class_from_assignments(cls, attr)
+        self._attr_type_cache[key] = result
+        return self.lookup_class(result)
+
+    def _attr_class_from_assignments(self, cls: ClassInfo,
+                                     attr: str) -> Optional[str]:
+        for method in cls.methods.values():
+            for node in ast.walk(method.node):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                    # an annotated self-assignment carries its own type
+                    if _is_self_attr(target, attr):
+                        found = self.class_of_annotation(
+                            cls.module_name, node.annotation)
+                        if found is not None:
+                            return found.qualname
+                if target is None or not _is_self_attr(target, attr):
+                    continue
+                inferred = self._class_of_value(cls, method, value)
+                if inferred is not None:
+                    return inferred
+        return None
+
+    def _class_of_value(self, cls: ClassInfo, method: FunctionInfo,
+                        value: Optional[ast.expr]) -> Optional[str]:
+        if isinstance(value, ast.Name):
+            annotation = method.param_annotation(value.id)
+            found = self.class_of_annotation(cls.module_name, annotation)
+            return found.qualname if found else None
+        if isinstance(value, ast.Call):
+            chain = dotted_chain(value.func)
+            if chain is not None:
+                callee = self.lookup_class(
+                    self.resolve_chain(cls.module_name, chain))
+                if callee is not None:
+                    return callee.qualname
+        return None
+
+    # -- call resolution -----------------------------------------------------
+
+    def resolve_call(self, caller: FunctionInfo,
+                     call: ast.Call) -> Optional[FunctionInfo]:
+        """Best-effort callee of a Call made inside ``caller``.
+
+        Handles ``func()``, ``module.func()``, ``self.method()``,
+        ``self.attr.method()`` (through known attribute types), and
+        ``Class(...)`` (resolving to ``__init__`` when defined).
+        """
+        chain = dotted_chain(call.func)
+        if chain is None:
+            return None
+        if chain[0] == "self" and caller.class_qualname is not None:
+            cls = self.classes.get(caller.class_qualname)
+            if cls is None:
+                return None
+            for attr in chain[1:-1]:
+                cls = self.attr_class(cls, attr)
+                if cls is None:
+                    return None
+            return self.method_of(cls, chain[-1])
+        symbol = self.resolve_chain(caller.module_name, chain)
+        fn = self.lookup_function(symbol)
+        if fn is not None:
+            return fn
+        cls = self.lookup_class(symbol)
+        if cls is not None:
+            return self.method_of(cls, "__init__")
+        return None
+
+    def call_graph(self) -> Dict[str, Set[str]]:
+        """qualname -> set of resolved callee qualnames, whole project."""
+        graph: Dict[str, Set[str]] = {}
+        for qualname, info in self.functions.items():
+            callees: Set[str] = set()
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    callee = self.resolve_call(info, node)
+                    if callee is not None:
+                        callees.add(callee.qualname)
+            graph[qualname] = callees
+        return graph
+
+    # -- source annotations --------------------------------------------------
+
+    def line_comment(self, module: LintModule, lineno: int) -> str:
+        if 0 < lineno <= len(module.lines):
+            return module.lines[lineno - 1]
+        return ""
+
+
+def dotted_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]`` (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _is_self_attr(node: ast.expr, attr: str) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")
+
+
+def _expand(paths: Iterable[pathlib.Path]) -> List[pathlib.Path]:
+    files: List[pathlib.Path] = []
+    for path in paths:
+        p = pathlib.Path(path)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files

@@ -9,15 +9,20 @@ from .simlint import Finding
 
 
 def render_text(findings: Sequence[Finding]) -> str:
-    """Compiler-style ``path:line:col: rule: message`` lines + a summary."""
+    """Compiler-style ``path:line:col: severity: rule: message`` lines
+    plus a summary with the per-severity breakdown."""
     lines: List[str] = [
-        f"{f.location}: {f.rule}: {f.message}" for f in findings]
+        f"{f.location}: {f.severity}: {f.rule}: {f.message}"
+        for f in findings]
     count = len(findings)
     if count == 0:
         lines.append("simlint: clean (0 findings)")
     else:
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = count - errors
         plural = "" if count == 1 else "s"
-        lines.append(f"simlint: {count} finding{plural}")
+        lines.append(f"simlint: {count} finding{plural} "
+                     f"({errors} error, {warnings} warning)")
     return "\n".join(lines)
 
 

@@ -31,6 +31,7 @@ from typing import Dict, Iterator, List, Optional, Type
 from .simlint import Finding, LintModule
 
 RULES: Dict[str, Type["Rule"]] = {}
+PROJECT_RULES: Dict[str, Type["ProjectRule"]] = {}
 
 
 def register(cls: Type["Rule"]) -> Type["Rule"]:
@@ -41,18 +42,79 @@ def register(cls: Type["Rule"]) -> Type["Rule"]:
     return cls
 
 
+def register_project(cls: Type["ProjectRule"]) -> Type["ProjectRule"]:
+    """Add a project-wide (deep) pass to the registry."""
+    if not cls.name:
+        raise ValueError("a lint rule needs a non-empty name")
+    PROJECT_RULES[cls.name] = cls
+    return cls
+
+
 def default_rules() -> List["Rule"]:
     """Fresh instances of every registered rule, in name order."""
     return [RULES[name]() for name in sorted(RULES)]
 
 
+def default_project_rules() -> List["ProjectRule"]:
+    """Fresh instances of every registered deep pass, in name order."""
+    # importing the pass modules is what registers them
+    from . import taint, units  # noqa: F401
+    return [PROJECT_RULES[name]() for name in sorted(PROJECT_RULES)]
+
+
+def all_rule_descriptions() -> Dict[str, "RuleMeta"]:
+    """id -> (description, severity, deep?) for every finding id that can
+    appear in a report, including the extra ids of multi-rule passes."""
+    out: Dict[str, RuleMeta] = {}
+    for name in sorted(RULES):
+        cls = RULES[name]
+        out[name] = RuleMeta(cls.description, cls.severity, False)
+    from . import taint, units  # noqa: F401 - registration side effect
+    for name in sorted(PROJECT_RULES):
+        cls = PROJECT_RULES[name]
+        out[name] = RuleMeta(cls.description, cls.severity, True)
+        for extra, description in sorted(cls.extra_rules.items()):
+            out[extra] = RuleMeta(description, cls.severity, True)
+    return out
+
+
+class RuleMeta:
+    """Display record for ``--list-rules``."""
+
+    def __init__(self, description: str, severity: str, deep: bool) -> None:
+        self.description = description
+        self.severity = severity
+        self.deep = deep
+
+
 class Rule:
-    """Base class for lint rules."""
+    """Base class for per-statement lint rules."""
 
     name = ""
     description = ""
+    severity = "error"
 
     def check(self, module: LintModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule:
+    """Base class for project-wide (deep) passes.
+
+    A deep pass sees the whole :class:`~repro.analysis.flow.Project` at
+    once instead of one module, so it can follow values across calls. A
+    single pass may emit findings under several ids (``name`` plus the
+    keys of ``extra_rules``); all share the pass severity and work with
+    ``# simlint: disable=<id>`` markers as usual.
+    """
+
+    name = ""
+    description = ""
+    severity = "error"
+    #: additional finding ids this pass emits: id -> description
+    extra_rules: Dict[str, str] = {}
+
+    def check_project(self, project) -> Iterator[Finding]:
         raise NotImplementedError
 
 
@@ -223,18 +285,71 @@ def _is_set_expr(node: ast.AST) -> bool:
     return False
 
 
+def _scope_nodes(tree: ast.AST) -> Iterator[ast.AST]:
+    """The module plus every (possibly nested) function definition."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            yield node
+
+
+def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes belonging to ``scope`` itself, not to nested functions."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _sorted_list_calls(scope: ast.AST) -> "set":
+    """``list(...)`` Call nodes whose result is assigned to a name that is
+    later ``.sort()``-ed in the same scope — an ordered materialization,
+    equivalent to ``sorted(...)``."""
+    sorted_names = set()
+    for node in _own_nodes(scope):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sort"
+                and isinstance(node.func.value, ast.Name)):
+            sorted_names.add(node.func.value.id)
+    safe = set()
+    if not sorted_names:
+        return safe
+    for node in _own_nodes(scope):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        value = node.value
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "list"
+                and any(isinstance(t, ast.Name) and t.id in sorted_names
+                        for t in targets)):
+            safe.add(id(value))
+    return safe
+
+
 @register
 class UnorderedIter(Rule):
     """Set iteration order depends on hash seeding and insertion history;
     feeding it into scheduling or event-queue decisions makes the run
     depend on both. (Dict views are insertion-ordered since Python 3.7
-    and are exempt.) Wrap the set in ``sorted(...)``."""
+    and are exempt.) Wrap the set in ``sorted(...)``; ``list(s)`` followed
+    by ``.sort()`` in the same scope also counts as ordered."""
 
     name = "unordered-iter"
     description = ("iteration over an unordered set; wrap in sorted() for "
                    "a deterministic order")
 
     def check(self, module: LintModule) -> Iterator[Finding]:
+        safe_calls = set()
+        for scope in _scope_nodes(module.tree):
+            safe_calls |= _sorted_list_calls(scope)
         for node in ast.walk(module.tree):
             iters: List[ast.AST] = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
@@ -244,7 +359,8 @@ class UnorderedIter(Rule):
                 iters.extend(gen.iter for gen in node.generators)
             elif (isinstance(node, ast.Call)
                   and isinstance(node.func, ast.Name)
-                  and node.func.id in _ORDER_SINKS and node.args):
+                  and node.func.id in _ORDER_SINKS and node.args
+                  and id(node) not in safe_calls):
                 iters.append(node.args[0])
             for candidate in iters:
                 if _is_set_expr(candidate):
@@ -265,6 +381,7 @@ class MutableDefault(Rule):
 
     name = "mutable-default"
     description = "mutable default argument (shared across calls)"
+    severity = "warning"
 
     def check(self, module: LintModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -358,6 +475,7 @@ class BroadExcept(Rule):
     name = "broad-except"
     description = ("bare/BaseException handler can swallow Process.kill; "
                    "catch Exception or re-raise")
+    severity = "warning"
 
     def check(self, module: LintModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -20,11 +20,14 @@ from __future__ import annotations
 import ast
 import pathlib
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 #: pseudo-rule reported for unparseable files
 SYNTAX_RULE = "syntax-error"
+
+#: finding severities, most severe first (exit-code and --fail-on order)
+SEVERITIES = ("error", "warning")
 
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable(?:\s*=\s*([\w\-,\s]+))?")
 
@@ -38,6 +41,7 @@ class Finding:
     col: int
     rule: str
     message: str
+    severity: str = field(default="error", compare=False)
 
     @property
     def location(self) -> str:
@@ -45,7 +49,8 @@ class Finding:
 
     def to_dict(self) -> Dict[str, object]:
         return {"path": self.path, "line": self.line, "col": self.col,
-                "rule": self.rule, "message": self.message}
+                "rule": self.rule, "message": self.message,
+                "severity": self.severity}
 
 
 class LintModule:
@@ -99,7 +104,10 @@ def lint_source(source: str, path: str = "<memory>",
                         message=f"file does not parse: {exc.msg}")]
     findings: List[Finding] = []
     for rule in (default_rules() if rules is None else rules):
-        findings.extend(rule.check(module))
+        severity = getattr(rule, "severity", "error")
+        findings.extend(
+            f if f.severity == severity else replace(f, severity=severity)
+            for f in rule.check(module))
     return sorted(f for f in findings
                   if not _is_suppressed(f, module.lines))
 
@@ -112,8 +120,15 @@ def lint_file(path: Union[str, pathlib.Path],
 
 
 def lint_paths(paths: Iterable[Union[str, pathlib.Path]],
-               rules: Optional[Iterable] = None) -> List[Finding]:
-    """Lint files and/or directory trees (``*.py``, recursively)."""
+               rules: Optional[Iterable] = None,
+               deep: bool = False) -> List[Finding]:
+    """Lint files and/or directory trees (``*.py``, recursively).
+
+    With ``deep=True``, additionally builds a
+    :class:`~repro.analysis.flow.Project` over all the paths at once and
+    runs the registered project-wide passes (units checker,
+    nondeterminism taint) on top of the per-statement rules.
+    """
     files: List[pathlib.Path] = []
     for path in paths:
         p = pathlib.Path(path)
@@ -123,10 +138,39 @@ def lint_paths(paths: Iterable[Union[str, pathlib.Path]],
             files.append(p)
     seen: Set[pathlib.Path] = set()
     findings: List[Finding] = []
+    unique_files: List[pathlib.Path] = []
     for file_path in files:
         resolved = file_path.resolve()
         if resolved in seen:
             continue
         seen.add(resolved)
+        unique_files.append(file_path)
         findings.extend(lint_file(file_path, rules=rules))
+    if deep:
+        findings.extend(lint_project(unique_files))
     return sorted(findings)
+
+
+def lint_project(files: Sequence[Union[str, pathlib.Path]],
+                 project_rules: Optional[Iterable] = None) -> List[Finding]:
+    """Run the project-wide (deep) passes over one set of files.
+
+    The whole file set becomes a single :class:`~repro.analysis.flow.Project`
+    so units and taint propagate across module boundaries. Suppression
+    markers apply exactly as for per-statement findings.
+    """
+    from .flow import Project
+    from .rules import default_project_rules
+    project = Project.from_paths([pathlib.Path(p) for p in files])
+    findings: List[Finding] = []
+    for rule in (default_project_rules() if project_rules is None
+                 else project_rules):
+        severity = getattr(rule, "severity", "error")
+        findings.extend(
+            f if f.severity == severity else replace(f, severity=severity)
+            for f in rule.check_project(project))
+    lines_by_path = {module.path: module.lines
+                     for module in project.modules.values()}
+    return sorted(
+        f for f in findings
+        if not _is_suppressed(f, lines_by_path.get(f.path, ())))

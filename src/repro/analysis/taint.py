@@ -1,0 +1,487 @@
+"""Nondeterminism taint pass (deep).
+
+The per-statement ``unordered-iter`` rule only sees a set literal feeding
+a loop on the same line. This pass tracks *values* whose content or
+ordering depends on process-level accidents — and follows them across
+function calls — into the places where they change simulated behaviour:
+
+**Sources** (each produces a taint tag naming it):
+
+- iterating a set (literal, ``set(...)`` call, set-typed variable,
+  parameter, or attribute annotated ``Set[...]``): the element *order*
+  depends on hash seeding and insertion history;
+- ``id(x)``: the interpreter's heap layout;
+- ``hash(x)``: randomized per process for strings (PYTHONHASHSEED);
+- filesystem listing order: ``os.listdir`` / ``os.scandir`` /
+  ``Path.iterdir`` / ``glob`` / ``rglob`` (the OS returns directory
+  entries in arbitrary order).
+
+**Sanitizers**: ``sorted()``, ``min()``, ``max()``, ``sum()``, ``len()``
+strip taint (they make the result order-independent).
+
+**Sinks**:
+
+- simulator event scheduling (``sim.timeout`` / ``sim.process`` /
+  ``sim.all_of`` / ``sim.any_of`` / ``Event.succeed`` / ``_schedule`` /
+  ``heapq.heappush``): a tainted delay or event order diverges runs;
+- RNG seeding (``random.Random(x)``, ``default_rng(x)``, ``.seed(x)``):
+  a tainted seed makes "seeded" streams irreproducible;
+- job fingerprints (``JobSpec(...)`` fields, anything named
+  ``*fingerprint*``): a tainted fingerprint breaks ``--resume``
+  matching between runs.
+
+Interprocedural model: every function gets a memoized summary —
+(a) taint tags its return value carries from sources *inside* it,
+(b) which parameters flow through to its return value, and (c) which
+parameters flow into a sink inside it. Call sites substitute argument
+taints into (b)/(c), so a set iterated in one function and scheduled in
+another is still caught. Findings use rule id ``nondet-taint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .flow import FunctionInfo, Project, dotted_chain
+from .rules import ProjectRule, register_project
+from .simlint import Finding
+
+Taint = FrozenSet[str]
+NO_TAINT: Taint = frozenset()
+
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({"difference", "intersection",
+                          "symmetric_difference", "union"})
+_SET_ANNOTATIONS = frozenset({"Set", "FrozenSet", "AbstractSet",
+                              "MutableSet", "set", "frozenset"})
+
+_SANITIZERS = frozenset({"sorted", "min", "max", "sum", "len"})
+#: builtins/idioms that preserve their argument's taint
+_PASSTHROUGH = frozenset({"list", "tuple", "iter", "reversed", "enumerate",
+                          "next", "str", "repr", "abs", "int", "float",
+                          "zip"})
+
+_FS_LISTING_CALLS = frozenset({"listdir", "scandir", "iterdir", "glob",
+                               "rglob", "walk"})
+
+#: event-scheduling method names; ``sim`` must appear in the call chain
+#: except for the unambiguous ones
+_SIM_SINK_METHODS = frozenset({"timeout", "process", "all_of", "any_of",
+                               "schedule", "_schedule"})
+_SIM_SINK_ANYWHERE = frozenset({"_schedule", "heappush", "succeed"})
+_RNG_SINK_CALLS = frozenset({"Random", "default_rng", "seed"})
+
+RULE = "nondet-taint"
+
+
+def _param_tag(name: str) -> str:
+    return f"<param:{name}>"
+
+
+def _is_param_tag(tag: str) -> bool:
+    return tag.startswith("<param:")
+
+
+@dataclass
+class TaintSummary:
+    """What one function does with taint, seen from a call site."""
+
+    #: real source tags the return value carries
+    return_sources: Taint = NO_TAINT
+    #: parameter names that flow to the return value
+    return_params: FrozenSet[str] = NO_TAINT
+    #: (param, sink description) pairs: the param reaches a sink inside
+    param_sinks: Tuple[Tuple[str, str], ...] = ()
+
+
+class TaintChecker:
+    """Runs the nondeterminism taint pass over a project."""
+
+    severity = "warning"
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.findings: List[Finding] = []
+        self._summaries: Dict[str, TaintSummary] = {}
+
+    def run(self) -> List[Finding]:
+        for qualname in sorted(self.project.functions):
+            self.summary(self.project.functions[qualname])
+        return self.findings
+
+    def summary(self, fn: FunctionInfo) -> TaintSummary:
+        if fn.qualname in self._summaries:
+            return self._summaries[fn.qualname]
+        self._summaries[fn.qualname] = TaintSummary()  # recursion guard
+        evaluator = _TaintEval(self, fn)
+        summary = evaluator.run()
+        self._summaries[fn.qualname] = summary
+        return summary
+
+    def report(self, fn: FunctionInfo, node: ast.AST, message: str) -> None:
+        finding = Finding(
+            path=fn.module.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), rule=RULE, message=message,
+            severity=self.severity)
+        if finding not in self.findings:
+            self.findings.append(finding)
+
+
+class _TaintEval:
+    """Taint propagation over one function body."""
+
+    def __init__(self, checker: TaintChecker, fn: FunctionInfo) -> None:
+        self.checker = checker
+        self.project = checker.project
+        self.fn = fn
+        self.env: Dict[str, Taint] = {
+            name: frozenset({_param_tag(name)})
+            for name in fn.param_names()}
+        #: names currently known to hold a set
+        self.set_names: Set[str] = {
+            name for name in fn.param_names()
+            if self._is_set_annotation(fn.param_annotation(name))}
+        self.return_taint: Taint = NO_TAINT
+        self.param_sinks: List[Tuple[str, str]] = []
+
+    def run(self) -> TaintSummary:
+        self.exec_block(self.fn.node.body)
+        return TaintSummary(
+            return_sources=frozenset(
+                t for t in self.return_taint if not _is_param_tag(t)),
+            return_params=frozenset(
+                t[len("<param:"):-1] for t in self.return_taint
+                if _is_param_tag(t)),
+            param_sinks=tuple(dict.fromkeys(self.param_sinks)))
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_block(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                existing = self.env.get(stmt.target.id, NO_TAINT)
+                self.env[stmt.target.id] = existing | taint
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_taint = self.return_taint \
+                    | self.eval(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self.eval(stmt.iter)
+            taint |= self._iteration_source(stmt.iter)
+            self._bind(stmt.target, taint, stmt.iter)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint,
+                               item.context_expr)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _bind(self, target: ast.expr, taint: Taint,
+              value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+            if self._is_set_expr(value):
+                self.set_names.add(target.id)
+            else:
+                self.set_names.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint, value)
+        # attribute/subscript stores: taint is not tracked through the heap
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, expr: ast.expr) -> Taint:
+        if isinstance(expr, ast.Constant):
+            return NO_TAINT
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id, NO_TAINT)
+        if isinstance(expr, ast.Attribute):
+            self.eval(expr.value)
+            return NO_TAINT
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.BinOp):
+            return self.eval(expr.left) | self.eval(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            taint = NO_TAINT
+            for value in expr.values:
+                taint |= self.eval(value)
+            return taint
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test)
+            return self.eval(expr.body) | self.eval(expr.orelse)
+        if isinstance(expr, ast.Compare):
+            self.eval(expr.left)
+            for comparator in expr.comparators:
+                self.eval(comparator)
+            return NO_TAINT
+        if isinstance(expr, ast.Subscript):
+            # x[tainted_key] retrieves a value whose own order/content is
+            # not what the key's taint describes — only the container's
+            # taint carries over
+            self.eval(expr.slice)
+            return self.eval(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            taint = NO_TAINT
+            for element in expr.elts:
+                taint |= self.eval(element)
+            return taint
+        if isinstance(expr, ast.Set):
+            for element in expr.elts:
+                self.eval(element)
+            return NO_TAINT  # taint arises when it is *iterated*
+        if isinstance(expr, ast.Dict):
+            taint = NO_TAINT
+            for value in expr.values:
+                if value is not None:
+                    taint |= self.eval(value)
+            return taint
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            return self._eval_comprehension(expr)
+        if isinstance(expr, (ast.Yield, ast.YieldFrom, ast.Await)):
+            if getattr(expr, "value", None) is not None:
+                self.eval(expr.value)
+            return NO_TAINT
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value)
+        if isinstance(expr, ast.JoinedStr):
+            taint = NO_TAINT
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    taint |= self.eval(value.value)
+            return taint
+        return NO_TAINT
+
+    def _eval_comprehension(self, expr: ast.expr) -> Taint:
+        taint = NO_TAINT
+        for gen in expr.generators:
+            taint |= self.eval(gen.iter)
+            taint |= self._iteration_source(gen.iter)
+            self._bind(gen.target, taint, gen.iter)
+            for cond in gen.ifs:
+                self.eval(cond)
+        for attr in ("elt", "key", "value"):
+            element = getattr(expr, attr, None)
+            if element is not None:
+                taint |= self.eval(element)
+        return taint
+
+    # -- calls: sources, sanitizers, sinks, summaries ------------------------
+
+    def _eval_call(self, expr: ast.Call) -> Taint:
+        chain = dotted_chain(expr.func)
+        tail = chain[-1] if chain else None
+
+        if tail == "id" and len(chain) == 1:
+            self._eval_args(expr)
+            return frozenset({"id() (heap layout)"})
+        if tail == "hash" and len(chain) == 1:
+            self._eval_args(expr)
+            return frozenset({"hash() (per-process hash seed)"})
+        if tail in _FS_LISTING_CALLS:
+            self._eval_args(expr)
+            return frozenset({f"{tail}() (filesystem listing order)"})
+
+        if tail in _SANITIZERS and len(chain) == 1:
+            self._eval_args(expr)
+            return NO_TAINT
+        if tail in _PASSTHROUGH and len(chain) == 1:
+            taint = self._eval_args(expr)
+            if expr.args and self._is_set_expr(expr.args[0]):
+                taint |= self._iteration_source(expr.args[0])
+            return taint
+
+        arg_taints = [self.eval(a) for a in expr.args]
+        kw_taints = {k.arg: self.eval(k.value) for k in expr.keywords}
+        all_taint = NO_TAINT
+        for taint in arg_taints:
+            all_taint |= taint
+        for taint in kw_taints.values():
+            all_taint |= taint
+
+        sink = self._sink_description(chain)
+        if sink is not None and all_taint:
+            self._sink_hit(expr, sink, all_taint)
+            return NO_TAINT
+
+        callee = self.project.resolve_call(self.fn, expr)
+        if callee is None:
+            # unknown call: assume arguments may flow through
+            return frozenset(t for t in all_taint)
+        return self._apply_summary(expr, callee, arg_taints, kw_taints)
+
+    def _eval_args(self, expr: ast.Call) -> Taint:
+        taint = NO_TAINT
+        for arg in expr.args:
+            taint |= self.eval(arg)
+        for keyword in expr.keywords:
+            taint |= self.eval(keyword.value)
+        return taint
+
+    def _apply_summary(self, call: ast.Call, callee: FunctionInfo,
+                       arg_taints: List[Taint],
+                       kw_taints: Dict[Optional[str], Taint]) -> Taint:
+        summary = self.checker.summary(callee)
+        params = callee.param_names()
+        if params and params[0] in ("self", "cls") and callee.is_method:
+            params = params[1:]
+        by_param: Dict[str, Taint] = {}
+        for position, taint in enumerate(arg_taints):
+            if position < len(params):
+                by_param[params[position]] = taint
+        for name, taint in kw_taints.items():
+            if name is not None:
+                by_param[name] = taint
+        # a tainted argument reaching a sink inside the callee
+        for param, sink in summary.param_sinks:
+            taint = by_param.get(param, NO_TAINT)
+            real = frozenset(t for t in taint if not _is_param_tag(t))
+            if real:
+                self._sink_hit(call, f"{sink} (inside `{callee.name}`)",
+                               real)
+            for tag in taint - real:
+                self.param_sinks.append(
+                    (tag[len("<param:"):-1],
+                     f"{sink} (via `{callee.name}`)"))
+        result = summary.return_sources
+        for param in summary.return_params:
+            result |= by_param.get(param, NO_TAINT)
+        return result
+
+    def _sink_hit(self, node: ast.AST, sink: str, taint: Taint) -> None:
+        real = sorted(t for t in taint if not _is_param_tag(t))
+        if real:
+            self.checker.report(
+                self.fn, node,
+                f"nondeterministic value ({', '.join(real)}) reaches "
+                f"{sink}")
+        for tag in taint:
+            if _is_param_tag(tag):
+                self.param_sinks.append((tag[len("<param:"):-1], sink))
+
+    def _sink_description(self, chain: Optional[List[str]]
+                          ) -> Optional[str]:
+        if not chain:
+            return None
+        tail = chain[-1]
+        dotted = ".".join(chain)
+        if tail in _SIM_SINK_METHODS and (
+                any("sim" in part for part in chain[:-1])
+                or tail in _SIM_SINK_ANYWHERE):
+            return f"event scheduling (`{dotted}`)"
+        if tail in _SIM_SINK_ANYWHERE and len(chain) >= 1 \
+                and tail in ("heappush", "succeed", "_schedule"):
+            return f"event scheduling (`{dotted}`)"
+        if tail in _RNG_SINK_CALLS:
+            return f"RNG seeding (`{dotted}`)"
+        if "fingerprint" in tail.lower() or tail == "JobSpec":
+            return f"a job fingerprint (`{dotted}`)"
+        return None
+
+    # -- set detection -------------------------------------------------------
+
+    def _iteration_source(self, iter_expr: ast.expr) -> Taint:
+        """Taint produced by iterating this expression, if it is a set."""
+        if self._is_set_expr(iter_expr):
+            return frozenset({"set iteration order"})
+        return NO_TAINT
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) \
+                    and node.func.id in _SET_BUILTINS:
+                return True
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _SET_METHODS:
+                return self._is_set_expr(node.func.value)
+            return False
+        if isinstance(node, ast.Attribute):
+            owner_class = self._class_of(node.value)
+            if owner_class is not None:
+                annotation = owner_class.attr_annotations.get(node.attr)
+                return self._is_set_annotation(annotation)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr, ast.BitXor)):
+            return self._is_set_expr(node.left) \
+                or self._is_set_expr(node.right)
+        return False
+
+    def _class_of(self, expr: ast.expr):
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.fn.class_qualname:
+                return self.project.classes.get(self.fn.class_qualname)
+            annotation = self.fn.param_annotation(expr.id)
+            return self.project.class_of_annotation(
+                self.fn.module_name, annotation)
+        return None
+
+    def _is_set_annotation(self, annotation: Optional[ast.expr]) -> bool:
+        if annotation is None:
+            return False
+        if isinstance(annotation, ast.Name):
+            return annotation.id in _SET_ANNOTATIONS
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            return isinstance(base, ast.Name) \
+                and base.id in _SET_ANNOTATIONS
+        return False
+
+
+@register_project
+class TaintPass(ProjectRule):
+    """Deep pass wrapper exposing the taint checker to the registry."""
+
+    name = RULE
+    description = ("nondeterministic value (set order, id(), hash(), "
+                   "directory listing) reaches event scheduling, RNG "
+                   "seeding, or a job fingerprint")
+    severity = "warning"
+    extra_rules: Dict[str, str] = {}
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(TaintChecker(project).run())

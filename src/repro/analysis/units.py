@@ -1,0 +1,888 @@
+"""Units/dimension checker for the timing model (deep pass).
+
+Every speedup figure in the paper reduces to arithmetic over a handful of
+physical dimensions — cycles, bytes, pixels, triangles, fragments, seconds
+— and a single bytes-vs-cycles mix-up in ``timing/costs.py`` or
+``timing/interconnect.py`` silently skews all of them. This pass assigns
+each expression a *unit* (a signed multiset of base dimensions, so
+``bytes/cycle`` is ``{byte: +1, cycle: -1}``) and propagates it:
+
+- **seeded** by a declarative map (:data:`SEED_UNITS`), trailing
+  ``# unit: <spec>`` comments on attribute/def lines, and naming
+  conventions (``*_cycles`` is cycles, ``frequency_hz`` is hertz =
+  cycles/second, ``num_bytes`` is bytes, ...);
+- **flow-sensitively** through assignments and arithmetic — multiply and
+  divide combine units, add/subtract/compare/max/min require matching
+  units;
+- **interprocedurally** through the call graph — a call site takes the
+  callee's declared or inferred return unit, and concrete argument units
+  are checked against the callee's declared parameter units.
+
+Three finding kinds come out, all ``error`` severity:
+
+- ``unit-mismatch`` — adding/comparing incompatible units (the classic
+  ``cycles + bytes``), including via ``max``/``min``/``sum``;
+- ``unit-return`` — a function whose inferred return unit contradicts its
+  declared one (which is how an inverted division surfaces:
+  ``bandwidth * frequency`` instead of ``/`` stops being bytes/cycle);
+- ``unit-arg`` — passing a concretely-typed value where the callee
+  declares a different unit.
+
+Unknown units poison silently: the checker only ever reports when *both*
+sides of a judgement are concretely known, so untyped code stays quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .flow import ClassInfo, FunctionInfo, Project, dotted_chain
+from .simlint import Finding, LintModule
+
+#: a concrete unit: sorted ((dimension, exponent), ...); () is dimensionless
+Unit = Tuple[Tuple[str, int], ...]
+
+DIMENSIONLESS: Unit = ()
+
+
+class _Any:
+    """Unconstrained scalar (numeric literals, counts): unifies with
+    anything, acts as dimensionless in products."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<any>"
+
+
+#: unconstrained (literals); compatible with every unit
+ANY = _Any()
+#: no information; poisons every combination (represented as None)
+UNKNOWN = None
+
+_UNIT_COMMENT_RE = re.compile(r"#\s*unit:\s*([^#]+?)\s*(?:#|$)")
+
+#: spelling -> base dimension (or composite expansion)
+_DIM_ALIASES = {
+    "byte": "byte", "bytes": "byte",
+    "cycle": "cycle", "cycles": "cycle",
+    "pixel": "pixel", "pixels": "pixel", "px": "pixel",
+    "triangle": "triangle", "triangles": "triangle", "tri": "triangle",
+    "fragment": "fragment", "fragments": "fragment", "frag": "fragment",
+    "draw": "draw", "draws": "draw",
+    "vertex": "vertex", "vertices": "vertex",
+    "second": "second", "seconds": "second", "sec": "second", "s": "second",
+}
+
+#: composite words that expand to a full unit
+_COMPOSITES = {
+    "hertz": (("cycle", 1), ("second", -1)),
+    "hz": (("cycle", 1), ("second", -1)),
+}
+
+
+def _combine(unit: Dict[str, int], dim: str, exp: int) -> None:
+    new = unit.get(dim, 0) + exp
+    if new == 0:
+        unit.pop(dim, None)
+    else:
+        unit[dim] = new
+
+
+def parse_unit(spec: str) -> Unit:
+    """Parse ``"bytes/cycle"``, ``"cycles*bytes/s"``, ``"hertz"``, ``"1"``.
+
+    Grammar: ``numerator[/denominator]`` where each side multiplies words
+    with ``*`` or ``·``; ``1`` is dimensionless. Raises ValueError on an
+    unknown dimension word.
+    """
+    spec = spec.strip()
+    acc: Dict[str, int] = {}
+    for side_index, side in enumerate(spec.split("/")):
+        sign = 1 if side_index == 0 else -1
+        for word in re.split(r"[*·]", side):
+            word = word.strip().lower()
+            if word in ("", "1"):
+                continue
+            if word in _COMPOSITES:
+                for dim, exp in _COMPOSITES[word]:
+                    _combine(acc, dim, sign * exp)
+            elif word in _DIM_ALIASES:
+                _combine(acc, _DIM_ALIASES[word], sign)
+            else:
+                raise ValueError(f"unknown unit dimension {word!r} "
+                                 f"in {spec!r}")
+    return tuple(sorted(acc.items()))
+
+
+def format_unit(unit) -> str:
+    """Human form of a unit: ``bytes/cycle``, ``1`` for dimensionless."""
+    if unit is ANY or unit is UNKNOWN:
+        return "?"
+    if not unit:
+        return "1"
+    num = [f"{d}" if e == 1 else f"{d}**{e}"
+           for d, e in unit if e > 0]
+    den = [f"{d}" if e == -1 else f"{d}**{-e}"
+           for d, e in unit if e < 0]
+    text = "*".join(num) if num else "1"
+    if den:
+        text += "/" + "*".join(den)
+    return text
+
+
+# -- unit algebra -------------------------------------------------------------
+
+
+def mul_units(a, b, invert_b: bool = False):
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN
+    if b is ANY:
+        return a                 # x * <scalar> keeps x's unit
+    if a is ANY:
+        if not invert_b:
+            return b             # <scalar> * x keeps x's unit
+        a = DIMENSIONLESS        # <scalar> / x inverts x's unit
+    acc = dict(a)
+    for dim, exp in b:
+        _combine(acc, dim, -exp if invert_b else exp)
+    return tuple(sorted(acc.items()))
+
+
+def pow_unit(a, exponent: int):
+    if a is UNKNOWN:
+        return UNKNOWN
+    if a is ANY:
+        return ANY
+    return tuple(sorted((d, e * exponent) for d, e in a))
+
+
+def additive_join(a, b):
+    """Result of ``a + b`` / ``max(a, b)``; (unit, mismatch?) pair."""
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN, False
+    if a is ANY:
+        return b, False
+    if b is ANY:
+        return a, False
+    if a == b:
+        return a, False
+    return UNKNOWN, True
+
+
+def join_units(a, b):
+    """Merge units along control-flow joins (no mismatch implied)."""
+    if a is ANY:
+        return b
+    if b is ANY:
+        return a
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN
+    return a if a == b else UNKNOWN
+
+
+# -- declared units: seed map, comments, naming conventions -------------------
+
+#: qualname -> unit spec. Function qualnames declare return units;
+#: ``qualname.<param>`` declares a parameter; class attribute qualnames
+#: declare fields. Prefer in-source ``# unit:`` comments for anything that
+#: lives in this repo; the seed map covers per-call-context quantities
+#: (e.g. a draw's per-triangle shader cost) that a field comment cannot.
+SEED_UNITS: Dict[str, str] = {
+    # GPUConfig / LinkConfig / SystemConfig core quantities
+    "repro.config.GPUConfig.frequency_hz": "hertz",
+    "repro.config.GPUConfig.dram_bandwidth_bytes_per_s": "bytes/s",
+    "repro.config.LinkConfig.bandwidth_gb_per_s": "bytes/s",
+    "repro.config.LinkConfig.latency_cycles": "cycles",
+    # cost-model per-draw shader costs (call-site parameters)
+    "repro.timing.costs.CostModel.geometry_cycles.vertex_cost":
+        "cycles/triangle",
+    "repro.timing.costs.CostModel.projection_cycles.vertex_cost":
+        "cycles/triangle",
+    "repro.timing.costs.CostModel.fragment_cycles.pixel_cost":
+        "cycles/fragment",
+    # framebuffer extents are pixel counts
+    "repro.framebuffer.framebuffer.Framebuffer.num_pixels": "pixels",
+}
+
+#: name suffix -> unit spec, longest match wins
+_SUFFIX_UNITS: List[Tuple[str, str]] = [
+    ("_bytes_per_s", "bytes/s"),
+    ("_bytes_per_sec", "bytes/s"),
+    ("_gb_per_s", "bytes/s"),
+    ("_bytes_per_cycle", "bytes/cycle"),
+    ("_bytes_per_pixel", "bytes/pixel"),
+    ("_bytes", "bytes"),
+    ("_cycles", "cycles"),
+    ("_pixels", "pixels"),
+    ("_triangles", "triangles"),
+    ("_fragments", "fragments"),
+    ("_seconds", "s"),
+    ("_hz", "hertz"),
+]
+
+#: exact-name conventions (beat suffixes; used for params and locals too)
+_EXACT_UNITS: Dict[str, str] = {
+    "cycles": "cycles",
+    "num_bytes": "bytes",
+    "num_cycles": "cycles",
+    "num_pixels": "pixels",
+    "num_triangles": "triangles",
+    "num_fragments": "fragments",
+    "num_draws": "draws",
+    "pixels": "pixels",
+    "triangles": "triangles",
+    "fragments": "fragments",
+    "fragments_shaded": "fragments",
+    "fragments_generated": "fragments",
+    "frequency_hz": "hertz",
+    # wire bytes per *screen* pixel (not a plain byte count)
+    "pixel_bytes": "bytes/pixel",
+    "effective_pixel_bytes": "bytes/pixel",
+}
+
+#: names that look unit-suffixed but are not quantities of that unit
+_CONVENTION_EXEMPT = frozenset({
+    "to_bytes", "from_bytes",
+})
+
+
+def unit_from_name(name: str):
+    """Unit implied by a naming convention, or UNKNOWN."""
+    if name in _CONVENTION_EXEMPT:
+        return UNKNOWN
+    if name in _EXACT_UNITS:
+        return parse_unit(_EXACT_UNITS[name])
+    for suffix, spec in _SUFFIX_UNITS:
+        if name.endswith(suffix):
+            return parse_unit(spec)
+    return UNKNOWN
+
+
+def unit_from_comment(line_text: str):
+    """Unit declared by a trailing ``# unit: <spec>`` comment, or UNKNOWN."""
+    match = _UNIT_COMMENT_RE.search(line_text)
+    if match is None:
+        return UNKNOWN
+    try:
+        return parse_unit(match.group(1))
+    except ValueError:
+        return UNKNOWN
+
+
+# -- the checker --------------------------------------------------------------
+
+#: builtins transparent to units: unit of their (first) argument
+_PASSTHROUGH_BUILTINS = frozenset({"abs", "float", "int", "round"})
+#: builtins requiring matching argument units (additive semantics)
+_ADDITIVE_BUILTINS = frozenset({"max", "min", "sum", "sorted"})
+#: builtins returning unconstrained scalars
+_SCALAR_BUILTINS = frozenset({"len", "bool", "id", "hash", "ord", "range"})
+
+
+class UnitChecker:
+    """Runs the units pass over a :class:`~repro.analysis.flow.Project`."""
+
+    RULE_MISMATCH = "unit-mismatch"
+    RULE_RETURN = "unit-return"
+    RULE_ARG = "unit-arg"
+    severity = "error"
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.findings: List[Finding] = []
+        self._return_units: Dict[str, object] = {}
+        self._attr_units: Dict[Tuple[str, str], object] = {}
+
+    def run(self) -> List[Finding]:
+        for qualname in sorted(self.project.functions):
+            fn = self.project.functions[qualname]
+            _FunctionEval(self, fn, report=True).run()
+        return self.findings
+
+    # -- declared units ------------------------------------------------------
+
+    def declared_return_unit(self, fn: FunctionInfo):
+        comment = self.project.line_comment(fn.module, fn.node.lineno)
+        unit = unit_from_comment(comment)
+        if unit is not UNKNOWN:
+            return unit
+        if fn.qualname in SEED_UNITS:
+            return parse_unit(SEED_UNITS[fn.qualname])
+        return unit_from_name(fn.name)
+
+    def declared_param_unit(self, fn: FunctionInfo, param: str):
+        key = f"{fn.qualname}.{param}"
+        if key in SEED_UNITS:
+            return parse_unit(SEED_UNITS[key])
+        return unit_from_name(param)
+
+    def attr_unit(self, cls: ClassInfo, attr: str):
+        """Unit of a class attribute: ``# unit:`` comment on the field
+        line, the seed map, naming conventions, then inference over
+        ``self.attr = ...`` assignments (joined across sites)."""
+        key = (cls.qualname, attr)
+        if key in self._attr_units:
+            return self._attr_units[key]
+        self._attr_units[key] = UNKNOWN  # recursion guard
+        unit = UNKNOWN
+        line = cls.attr_lines.get(attr)
+        if line is not None:
+            unit = unit_from_comment(
+                self.project.line_comment(cls.module, line))
+        if unit is UNKNOWN:
+            seed = SEED_UNITS.get(f"{cls.qualname}.{attr}")
+            if seed is not None:
+                unit = parse_unit(seed)
+        if unit is UNKNOWN:
+            unit = unit_from_name(attr)
+        if unit is UNKNOWN:
+            prop = self.project.method_of(cls, attr)
+            if prop is not None and prop.is_property:
+                unit = self.return_unit(prop)
+        if unit is UNKNOWN:
+            unit = self._infer_attr_unit(cls, attr)
+        self._attr_units[key] = unit
+        return unit
+
+    def _infer_attr_unit(self, cls: ClassInfo, attr: str):
+        """Join of the units assigned by every ``self.attr = expr`` site."""
+        unit = ANY
+        seen = False
+        for method in cls.methods.values():
+            evaluator = _FunctionEval(self, method, report=False)
+            for node in ast.walk(method.node):
+                value = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign) \
+                        and node.value is not None:
+                    target, value = node.target, node.value
+                else:
+                    continue
+                if not (isinstance(target, ast.Attribute)
+                        and target.attr == attr
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                if isinstance(value, ast.Constant) and value.value is None:
+                    continue  # None placeholder never defines the unit
+                seen = True
+                unit = join_units(unit, evaluator.eval(value))
+        return unit if seen else UNKNOWN
+
+    # -- inferred return units ----------------------------------------------
+
+    def return_unit(self, fn: FunctionInfo):
+        """Declared return unit if any, else memoized inferred unit."""
+        declared = self.declared_return_unit(fn)
+        if declared is not UNKNOWN:
+            return declared
+        if fn.qualname in self._return_units:
+            return self._return_units[fn.qualname]
+        self._return_units[fn.qualname] = UNKNOWN  # recursion guard
+        inferred = _FunctionEval(self, fn, report=False).run()
+        self._return_units[fn.qualname] = inferred
+        return inferred
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self, module: LintModule, node: ast.AST, rule: str,
+               message: str) -> None:
+        self.findings.append(Finding(
+            path=module.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), rule=rule, message=message,
+            severity=self.severity))
+
+
+class _FunctionEval:
+    """Single-pass, flow-sensitive unit evaluator for one function body."""
+
+    def __init__(self, checker: UnitChecker, fn: FunctionInfo,
+                 report: bool) -> None:
+        self.checker = checker
+        self.project = checker.project
+        self.fn = fn
+        self.reporting = report
+        self.env: Dict[str, object] = {}
+        self.types: Dict[str, Optional[ClassInfo]] = {}
+        self.return_units: List[object] = []
+        self.own_class = (self.project.classes.get(fn.class_qualname)
+                          if fn.class_qualname else None)
+        for param in fn.param_names():
+            self.env[param] = checker.declared_param_unit(fn, param)
+            annotation = fn.param_annotation(param)
+            self.types[param] = self.project.class_of_annotation(
+                fn.module_name, annotation)
+        self._is_generator = any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in ast.walk(fn.node))
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self):
+        self.exec_block(self.fn.node.body)
+        if not self.return_units:
+            return ANY
+        result = self.return_units[0]
+        for unit in self.return_units[1:]:
+            result = join_units(result, unit)
+        return result
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_block(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            unit = self.eval(stmt.value)
+            cast = self._stmt_cast(stmt)
+            for target in stmt.targets:
+                self._bind(target, unit, stmt.value, cast=cast)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval(stmt.value), stmt.value,
+                           cast=self._stmt_cast(stmt))
+        elif isinstance(stmt, ast.AugAssign):
+            self._exec_augassign(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                unit = self.eval(stmt.value)
+                self.return_units.append(unit)
+                self._check_return(stmt, unit)
+            else:
+                self.return_units.append(ANY)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval(stmt.iter)
+            self._bind(stmt.target, UNKNOWN, stmt.iter)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, UNKNOWN,
+                               item.context_expr)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            branches = [stmt.body]
+            branches.extend(h.body for h in stmt.handlers)
+            if stmt.orelse:
+                branches.append(stmt.orelse)
+            self._exec_branches(branches)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self.eval(value)
+        # nested defs/classes, pass, break, continue, del: no unit flow
+
+    def _exec_branches(self, branches: List[List[ast.stmt]]) -> None:
+        """Execute alternative branches on copies and join the envs."""
+        base_env, base_types = dict(self.env), dict(self.types)
+        joined: Optional[Dict[str, object]] = None
+        joined_types: Optional[Dict[str, Optional[ClassInfo]]] = None
+        for body in branches:
+            self.env, self.types = dict(base_env), dict(base_types)
+            self.exec_block(body)
+            if joined is None:
+                joined, joined_types = self.env, self.types
+            else:
+                keys = set(joined) | set(self.env)
+                joined = {
+                    k: join_units(joined.get(k, UNKNOWN),
+                                  self.env.get(k, UNKNOWN))
+                    for k in keys}
+                type_keys = set(joined_types) | set(self.types)
+                joined_types = {
+                    k: (joined_types.get(k)
+                        if joined_types.get(k) is self.types.get(k)
+                        else None)
+                    for k in sorted(type_keys)}
+        # a branch may not execute at all: join with the entry env
+        keys = set(base_env) | set(joined or {})
+        self.env = {k: join_units(base_env.get(k, UNKNOWN),
+                                  (joined or {}).get(k, UNKNOWN))
+                    for k in keys}
+        type_keys = set(base_types) | set(joined_types or {})
+        self.types = {k: (base_types.get(k)
+                          if base_types.get(k) is (joined_types or {}).get(k)
+                          else None)
+                      for k in sorted(type_keys)}
+
+    def _stmt_cast(self, stmt: ast.stmt):
+        """Unit asserted by a trailing ``# unit:`` comment on an
+        assignment — a cast: it overrides inference and skips the
+        mismatch check for that statement."""
+        return unit_from_comment(
+            self.project.line_comment(self.fn.module, stmt.lineno))
+
+    def _bind(self, target: ast.expr, unit, value: ast.expr,
+              cast=UNKNOWN) -> None:
+        if isinstance(target, ast.Name):
+            if cast is not UNKNOWN:
+                self.env[target.id] = cast
+                self.types[target.id] = self.type_of(value)
+                return
+            declared = unit_from_name(target.id)
+            self._check_assign(target, declared, unit)
+            # conventions beat inference so downstream reads stay typed
+            self.env[target.id] = declared if declared is not UNKNOWN \
+                else unit
+            self.types[target.id] = self.type_of(value)
+        elif isinstance(target, ast.Attribute):
+            if cast is not UNKNOWN:
+                return
+            declared = self._attr_target_unit(target)
+            self._check_assign(target, declared, unit)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, UNKNOWN, value)
+        elif isinstance(target, ast.Subscript):
+            if cast is not UNKNOWN:
+                return
+            declared = self.eval_no_report(target.value)
+            self._check_assign(target, declared, unit)
+
+    def _exec_augassign(self, stmt: ast.AugAssign) -> None:
+        target_unit = self.eval_no_report(stmt.target)
+        value_unit = self.eval(stmt.value)
+        if isinstance(stmt.op, (ast.Add, ast.Sub)):
+            unit, mismatch = additive_join(target_unit, value_unit)
+            if mismatch:
+                self._report_mismatch(stmt, "augmented assignment",
+                                      target_unit, value_unit)
+        elif isinstance(stmt.op, ast.Mult):
+            unit = mul_units(target_unit, value_unit)
+        elif isinstance(stmt.op, (ast.Div, ast.FloorDiv)):
+            unit = mul_units(target_unit, value_unit, invert_b=True)
+        else:
+            unit = UNKNOWN
+        if isinstance(stmt.target, ast.Name):
+            self.env[stmt.target.id] = unit
+
+    def _attr_target_unit(self, target: ast.Attribute):
+        owner = self.type_of(target.value)
+        if owner is None:
+            return UNKNOWN
+        return self.checker.attr_unit(owner, target.attr)
+
+    def _check_assign(self, target: ast.expr, declared, value_unit) -> None:
+        if declared is UNKNOWN or declared is ANY:
+            return
+        if value_unit is UNKNOWN or value_unit is ANY:
+            return
+        if declared != value_unit:
+            self._report_mismatch(target, "assignment", declared,
+                                  value_unit)
+
+    def _check_return(self, stmt: ast.Return, unit) -> None:
+        if self._is_generator:
+            return
+        declared = self.checker.declared_return_unit(self.fn)
+        if declared is UNKNOWN or unit is UNKNOWN or unit is ANY:
+            return
+        if declared != unit:
+            self._report(
+                stmt, UnitChecker.RULE_RETURN,
+                f"`{self.fn.name}` declares unit "
+                f"`{format_unit(declared)}` but this return evaluates to "
+                f"`{format_unit(unit)}`")
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval_no_report(self, expr: ast.expr):
+        """Evaluate without emitting findings (re-reads of checked exprs)."""
+        reporting, self.reporting = self.reporting, False
+        try:
+            return self.eval(expr)
+        finally:
+            self.reporting = reporting
+
+    def eval(self, expr: ast.expr):
+        if isinstance(expr, ast.Constant):
+            return ANY
+        if isinstance(expr, ast.Name):
+            if expr.id in self.env:
+                return self.env[expr.id]
+            symbol = self.project.resolve_name(self.fn.module_name, expr.id)
+            if symbol in self.project.constants:
+                return ANY
+            return UNKNOWN
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand)
+        if isinstance(expr, ast.Compare):
+            self._eval_compare(expr)
+            return ANY
+        if isinstance(expr, ast.BoolOp):
+            result = ANY
+            for value in expr.values:
+                result = join_units(result, self.eval(value))
+            return result
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test)
+            return join_units(self.eval(expr.body), self.eval(expr.orelse))
+        if isinstance(expr, ast.Subscript):
+            self.eval(expr.slice)
+            return self.eval(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                self.eval(element)
+            return UNKNOWN
+        if isinstance(expr, ast.Dict):
+            for value in expr.values:
+                if value is not None:
+                    self.eval(value)
+            return UNKNOWN
+        if isinstance(expr, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                             ast.DictComp)):
+            return UNKNOWN
+        if isinstance(expr, (ast.Yield, ast.YieldFrom, ast.Await)):
+            if getattr(expr, "value", None) is not None:
+                self.eval(expr.value)
+            return UNKNOWN
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value)
+        return UNKNOWN
+
+    def _eval_attribute(self, expr: ast.Attribute):
+        owner = self.type_of(expr.value)
+        if owner is not None:
+            return self.checker.attr_unit(owner, expr.attr)
+        chain = dotted_chain(expr)
+        if chain is not None:
+            symbol = self.project.resolve_chain(self.fn.module_name, chain)
+            if symbol is not None:
+                resolved = self.project._chase(symbol)
+                if resolved in self.project.constants:
+                    return ANY
+        self.eval(expr.value)
+        return UNKNOWN
+
+    def _eval_binop(self, expr: ast.BinOp):
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            unit, mismatch = additive_join(left, right)
+            if mismatch:
+                op = "add" if isinstance(expr.op, ast.Add) else "subtract"
+                self._report_mismatch(expr, op, left, right)
+            return unit
+        if isinstance(expr.op, ast.Mult):
+            return mul_units(left, right)
+        if isinstance(expr.op, (ast.Div, ast.FloorDiv)):
+            return mul_units(left, right, invert_b=True)
+        if isinstance(expr.op, ast.Mod):
+            return left
+        if isinstance(expr.op, ast.Pow):
+            if left is ANY:
+                return ANY       # scalar ** anything stays scalar
+            if isinstance(expr.right, ast.Constant) \
+                    and isinstance(expr.right.value, int):
+                return pow_unit(left, expr.right.value)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _eval_compare(self, expr: ast.Compare) -> None:
+        units = [self.eval(expr.left)]
+        units.extend(self.eval(c) for c in expr.comparators)
+        for op, (a, b) in zip(expr.ops, zip(units, units[1:])):
+            if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                continue
+            _, mismatch = additive_join(a, b)
+            if mismatch:
+                self._report_mismatch(expr, "compare", a, b)
+
+    def _eval_call(self, expr: ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name):
+            builtin = self._eval_builtin(func.id, expr)
+            if builtin is not NotImplemented:
+                return builtin
+        callee = self._resolve_call(expr)
+        for keyword in expr.keywords:
+            self.eval(keyword.value)
+        if callee is None:
+            for arg in expr.args:
+                self.eval(arg)
+            return UNKNOWN
+        self._check_args(expr, callee)
+        return self.checker.return_unit(callee)
+
+    def _eval_builtin(self, name: str, expr: ast.Call):
+        if name in _SCALAR_BUILTINS:
+            for arg in expr.args:
+                self.eval(arg)
+            return ANY
+        if name in _PASSTHROUGH_BUILTINS:
+            return self.eval(expr.args[0]) if expr.args else ANY
+        if name in _ADDITIVE_BUILTINS:
+            result = ANY
+            for arg in expr.args:
+                unit = self.eval(arg)
+                result, mismatch = additive_join(result, unit)
+                if mismatch:
+                    self._report_mismatch(
+                        expr, name, *self._first_two_concrete(expr))
+                    return UNKNOWN
+            return result
+        return NotImplemented
+
+    def _first_two_concrete(self, expr: ast.Call):
+        concrete = []
+        for arg in expr.args:
+            unit = self.eval_no_report(arg)
+            if unit is not ANY and unit is not UNKNOWN:
+                concrete.append(unit)
+        while len(concrete) < 2:
+            concrete.append(UNKNOWN)
+        return concrete[0], concrete[1]
+
+    def _resolve_call(self, expr: ast.Call) -> Optional[FunctionInfo]:
+        chain = dotted_chain(expr.func)
+        if chain is not None and len(chain) >= 2:
+            # calls through locally-typed objects: plan.backoff_cycles(...)
+            owner = self.type_of(
+                expr.func.value if isinstance(expr.func, ast.Attribute)
+                else None)
+            if owner is not None:
+                return self.project.method_of(owner, chain[-1])
+        return self.project.resolve_call(self.fn, expr)
+
+    def _check_args(self, expr: ast.Call, callee: FunctionInfo) -> None:
+        params = callee.param_names()
+        if params and params[0] in ("self", "cls") \
+                and callee.is_method:
+            params = params[1:]
+        for position, arg in enumerate(expr.args):
+            if isinstance(arg, ast.Starred) or position >= len(params):
+                break
+            self._check_one_arg(expr, callee, params[position], arg)
+        for keyword in expr.keywords:
+            if keyword.arg is not None and keyword.arg in params:
+                self._check_one_arg(expr, callee, keyword.arg,
+                                    keyword.value)
+
+    def _check_one_arg(self, call: ast.Call, callee: FunctionInfo,
+                       param: str, arg: ast.expr) -> None:
+        declared = self.checker.declared_param_unit(callee, param)
+        if declared is UNKNOWN:
+            self.eval(arg)
+            return
+        unit = self.eval(arg)
+        if unit is UNKNOWN or unit is ANY:
+            return
+        if unit != declared:
+            self._report(
+                call, UnitChecker.RULE_ARG,
+                f"argument `{param}` of `{callee.name}` expects "
+                f"`{format_unit(declared)}` but receives "
+                f"`{format_unit(unit)}`")
+
+    # -- types ---------------------------------------------------------------
+
+    def type_of(self, expr: Optional[ast.expr]) -> Optional[ClassInfo]:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return self.own_class
+            if expr.id in self.types:
+                return self.types[expr.id]
+            return self.project.lookup_class(
+                self.project.resolve_name(self.fn.module_name, expr.id))
+        if isinstance(expr, ast.Attribute):
+            owner = self.type_of(expr.value)
+            if owner is None:
+                return None
+            return self.project.attr_class(owner, expr.attr)
+        if isinstance(expr, ast.Call):
+            chain = dotted_chain(expr.func)
+            if chain is not None:
+                symbol = self.project.resolve_chain(
+                    self.fn.module_name, chain)
+                cls = self.project.lookup_class(symbol)
+                if cls is not None:
+                    return cls
+            return None
+        if isinstance(expr, ast.Subscript):
+            container = expr.value
+            if isinstance(container, ast.Attribute):
+                owner = self.type_of(container.value)
+                if owner is not None:
+                    annotation = owner.attr_annotations.get(container.attr)
+                    return self._elem_class(annotation)
+            return None
+        return None
+
+    def _elem_class(self, annotation: Optional[ast.expr]
+                    ) -> Optional[ClassInfo]:
+        """Element class of List[X] / Dict[K, V] / Sequence[X]."""
+        if not isinstance(annotation, ast.Subscript):
+            return None
+        base = annotation.value
+        if not isinstance(base, ast.Name):
+            return None
+        inner = annotation.slice
+        if base.id in ("List", "Sequence", "Iterable", "Tuple", "list",
+                       "tuple", "Set", "FrozenSet"):
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return self.project.class_of_annotation(
+                self.fn.module_name, inner)
+        if base.id in ("Dict", "Mapping", "dict", "DefaultDict"):
+            if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+                return self.project.class_of_annotation(
+                    self.fn.module_name, inner.elts[1])
+        return None
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report_mismatch(self, node: ast.AST, operation: str,
+                         left, right) -> None:
+        self._report(
+            node, UnitChecker.RULE_MISMATCH,
+            f"{operation} mixes incompatible units "
+            f"`{format_unit(left)}` and `{format_unit(right)}`")
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        if self.reporting:
+            self.checker.report(self.fn.module, node, rule, message)
+
+
+from .rules import ProjectRule, register_project
+
+
+@register_project
+class UnitsPass(ProjectRule):
+    """Deep pass wrapper exposing the units checker to the registry."""
+
+    name = "unit-mismatch"
+    description = ("add/compare/sum mixes incompatible units "
+                   "(e.g. cycles + bytes)")
+    severity = "error"
+    extra_rules = {
+        "unit-return": ("function's inferred return unit contradicts its "
+                        "declared unit (name convention, seed map, or "
+                        "`# unit:` comment)"),
+        "unit-arg": ("argument unit contradicts the callee's declared "
+                     "parameter unit"),
+    }
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(UnitChecker(project).run())

@@ -194,7 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(SCHEMES))
 
     lint = sub.add_parser(
-        "lint", help="run simlint (determinism static analysis)")
+        "lint", help="run simlint (determinism static analysis)",
+        description="Run simlint over Python sources. Exit codes: 0 = "
+                    "clean (or all findings below the --fail-on bar), "
+                    "1 = failing findings, 2 = bad configuration "
+                    "(nonexistent path, malformed baseline).")
     lint.add_argument("paths", nargs="*",
                       help="files or directories to lint (default: the "
                            "installed repro package)")
@@ -202,6 +206,21 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=("text", "json"))
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the project-wide passes (units/"
+                           "dimension checker, nondeterminism taint) "
+                           "over all paths as one program")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="suppress findings recorded in this JSON "
+                           "baseline; only new findings count")
+    lint.add_argument("--update-baseline", metavar="FILE",
+                      help="write the current findings to FILE as the "
+                           "new baseline and exit 0")
+    lint.add_argument("--fail-on", default="any",
+                      choices=("any", "error", "never"),
+                      help="which findings exit nonzero: any finding "
+                           "(default), only severity=error findings, or "
+                           "never (report only)")
 
     return parser
 
@@ -408,19 +427,40 @@ def cmd_export_results(args) -> int:
 def cmd_lint(args) -> int:
     import pathlib
 
-    from .analysis import (default_rules, lint_paths, render_json,
-                           render_text)
+    from .analysis import (all_rule_descriptions, filter_baselined,
+                           lint_paths, load_baseline, render_json,
+                           render_text, save_baseline)
     if args.list_rules:
-        for rule in default_rules():
-            print(f"{rule.name:<16} {rule.description}")
+        for name, meta in all_rule_descriptions().items():
+            scope = "deep" if meta.deep else "stmt"
+            print(f"{name:<16} [{scope}/{meta.severity:<7}] "
+                  f"{meta.description}")
         return EXIT_OK
     paths = args.paths
     if not paths:
         import repro
         paths = [pathlib.Path(repro.__file__).parent]
-    findings = lint_paths(paths)
+    for path in paths:
+        if not pathlib.Path(path).exists():
+            raise ConfigError(f"lint path does not exist: {path}")
+    findings = lint_paths(paths, deep=args.deep)
+    if args.update_baseline:
+        count = save_baseline(args.update_baseline, findings)
+        print(f"simlint: baseline {args.update_baseline} written "
+              f"({count} entries)")
+        return EXIT_OK
+    suppressed = 0
+    if args.baseline:
+        findings, suppressed = filter_baselined(
+            findings, load_baseline(args.baseline))
     renderer = render_json if args.fmt == "json" else render_text
     print(renderer(findings))
+    if suppressed and args.fmt == "text":
+        print(f"simlint: {suppressed} baselined finding(s) suppressed")
+    if args.fail_on == "never":
+        return EXIT_OK
+    if args.fail_on == "error":
+        findings = [f for f in findings if f.severity == "error"]
     return EXIT_ERROR if findings else EXIT_OK
 
 

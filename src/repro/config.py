@@ -44,13 +44,13 @@ class GPUConfig:
     - its fragment stage costs ``fragments * pixel_cost / num_rops`` cycles.
     """
 
-    num_sms: int = 8
-    num_rops: int = 8
-    shader_cores_per_sm: int = 32
-    texture_units_per_sm: int = 4
-    frequency_hz: int = GIGA
+    num_sms: int = 8               # unit: 1
+    num_rops: int = 8              # unit: 1
+    shader_cores_per_sm: int = 32  # unit: 1
+    texture_units_per_sm: int = 4  # unit: 1
+    frequency_hz: int = GIGA       # unit: hertz
     l2_cache_bytes: int = 6 * 1024 * 1024 // 8  # share of the 6 MB total
-    dram_bandwidth_bytes_per_s: int = 2 * 1000 * GIGA // 8
+    dram_bandwidth_bytes_per_s: int = 2 * 1000 * GIGA // 8  # unit: bytes/s
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0 or self.num_rops <= 0:
@@ -79,11 +79,11 @@ class LinkConfig:
     ablation for pre-NVLink systems.
     """
 
-    bandwidth_gb_per_s: float = 64.0
-    latency_cycles: int = 200
+    bandwidth_gb_per_s: float = 64.0  # unit: bytes/s # GB scale, not dim.
+    latency_cycles: int = 200         # unit: cycles
     ideal: bool = False
     topology: str = TOPOLOGY_P2P
-    bus_bandwidth_x: float = 2.0
+    bus_bandwidth_x: float = 2.0      # unit: 1
 
     def __post_init__(self) -> None:
         if not self.ideal and self.bandwidth_gb_per_s <= 0:
@@ -113,22 +113,22 @@ class LinkConfig:
 class SystemConfig:
     """Full multi-GPU system configuration (paper Table II defaults)."""
 
-    num_gpus: int = 8
+    num_gpus: int = 8              # unit: 1
     gpu: GPUConfig = field(default_factory=GPUConfig)
     link: LinkConfig = field(default_factory=LinkConfig)
     tile_size: int = 64
-    composition_threshold: int = 4096
+    composition_threshold: int = 4096  # unit: triangles
     #: draw-command scheduler statistics update interval, in triangles (Fig 18)
-    scheduler_update_interval: int = 1
+    scheduler_update_interval: int = 1  # unit: triangles
     #: bytes per pixel on the wire (RGBA8 colour + 32-bit depth)
-    pixel_bytes: int = 8
+    pixel_bytes: int = 8               # unit: bytes/pixel
     #: multisample anti-aliasing factor. Sub-images carry per-sample colour
     #: and depth until the final resolve, so composition traffic and ROP
     #: composition work scale with the sample count — a real consideration
     #: for sort-last schemes (the ROPs of Fig 1(c) do the AA resolve).
-    msaa_samples: int = 1
+    msaa_samples: int = 1              # unit: 1
     #: bytes per primitive ID exchanged by GPUpd's distribution phase
-    primitive_id_bytes: int = 4
+    primitive_id_bytes: int = 4        # unit: bytes/triangle
     #: fraction of depth-culled fragments artificially retained (Fig 16)
     retained_cull_fraction: float = 0.0
     #: deterministic fault-injection plan (None = perfect hardware); see

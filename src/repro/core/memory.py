@@ -87,7 +87,7 @@ def gpupd_memory(trace: Trace, config: SystemConfig,
     footprint = MemoryFootprint(scheme="gpupd" if ordered
                                 else "gpupd-unordered")
     footprint.surfaces = _surface_count(trace) * _surface_bytes(trace)
-    id_bytes = config.primitive_id_bytes
+    id_bytes = config.primitive_id_bytes  # unit: bytes/triangle
     if ordered:
         # one in-flight batch per source GPU
         from ..harness.runner import GPUPD_BATCH_PRIMITIVES

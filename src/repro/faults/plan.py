@@ -141,7 +141,7 @@ class FaultPlan:
                 return failure.cycle
         raise ConfigError(f"GPU{gpu} does not fail under this plan")
 
-    def bandwidth_factor_at(self, cycle: float) -> float:
+    def bandwidth_factor_at(self, cycle: float) -> float:  # unit: 1
         """Link bandwidth multiplier in effect at ``cycle`` (1.0 = nominal).
 
         Overlapping windows compound to the most degraded one.

@@ -28,9 +28,10 @@ FAULT_COLUMNS = ("link_retries", "dropped_transfers", "corrupted_transfers",
                  "recovery_overhead_cycles")
 
 #: engine supervision counters (see repro.harness.engine; zero/False when
-#: the run was unsupervised)
+#: the run was unsupervised) plus race-sanitizer coverage (shared-state
+#: accesses recorded; zero when the run was not sanitized)
 ENGINE_COLUMNS = ("job_attempts", "job_retries", "job_timeouts",
-                  "job_resumed")
+                  "job_resumed", "sanitizer_accesses")
 
 #: the flat columns a result row carries
 COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "status",
@@ -80,6 +81,7 @@ def failed_row(benchmark: str, scheme: str, setup: Setup,
         "status": "failed",
         "job_attempts": getattr(error, "attempts", 0),
         "job_retries": 0, "job_timeouts": 0, "job_resumed": False,
+        "sanitizer_accesses": 0,
     })
     return row
 

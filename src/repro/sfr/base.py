@@ -165,14 +165,16 @@ class SFRScheme:
         return Simulator(sanitize=self.config.sanitize)
 
     @staticmethod
-    def _run_sim_checked(sim, processes) -> float:
+    def _run_sim_checked(sim, processes, stats=None) -> float:
         """Run the event loop and fail loudly on deadlock.
 
         A drained event queue with unfinished GPU processes means the
         protocol wedged (e.g., a circular port/gate dependency); silently
         returning a too-small frame time would corrupt every speedup figure.
         Under ``--sanitize``, same-cycle access conflicts observed during
-        the run fail it here too, after the frame completes.
+        the run fail it here too, after the frame completes, and the
+        sanitizer's coverage (shared-state accesses recorded) lands in
+        ``stats.sanitizer_accesses`` when ``stats`` is given.
         """
         frame_cycles = sim.run()
         stuck = [p.name for p in processes if not p.triggered]
@@ -181,6 +183,8 @@ class SFRScheme:
             raise SimulationError(
                 f"simulation deadlocked with pending processes: {stuck}")
         if sim.sanitizer is not None:
+            if stats is not None:
+                stats.sanitizer_accesses = sim.sanitizer.accesses_recorded
             sim.sanitizer.raise_if_conflicts()
         return frame_cycles
 

@@ -845,7 +845,8 @@ class Chopin(SFRScheme):
         processes = [sim.process(gpu_process(gpu),
                                  name=f"{self.name}-gpu{gpu}")
                      for gpu in range(n)]
-        stats.frame_cycles = self._run_sim_checked(sim, processes)
+        stats.frame_cycles = self._run_sim_checked(sim, processes,
+                                                   stats=stats)
 
         for gpu, tally in enumerate(prep.tallies):
             gstats = stats.gpus[gpu]

@@ -90,7 +90,8 @@ class PrimitiveDuplication(SFRScheme):
 
         processes = [sim.process(gpu_process(gpu), name=f"dup-gpu{gpu}")
                      for gpu in range(num_gpus)]
-        stats.frame_cycles = self._run_sim_checked(sim, processes)
+        stats.frame_cycles = self._run_sim_checked(sim, processes,
+                                                   stats=stats)
 
         fill_fragment_stats_by_owner(stats, prep)
         return SchemeResult(scheme=self.name, trace_name=trace.name,

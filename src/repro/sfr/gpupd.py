@@ -227,7 +227,8 @@ class GPUpd(SFRScheme):
         processes = [sim.process(gpu_process(gpu), name=f"gpupd-gpu{gpu}")
                      for gpu in range(num_gpus)]
         processes.append(sim.process(distributor(), name="gpupd-distributor"))
-        stats.frame_cycles = self._run_sim_checked(sim, processes)
+        stats.frame_cycles = self._run_sim_checked(sim, processes,
+                                                   stats=stats)
         fill_fragment_stats_by_owner(stats, prep)
         return SchemeResult(scheme=self.name, trace_name=trace.name,
                             num_gpus=num_gpus, stats=stats,

@@ -133,7 +133,8 @@ class SortMiddle(SFRScheme):
         processes = [sim.process(gpu_process(gpu), name=f"sm-gpu{gpu}")
                      for gpu in range(num_gpus)]
         processes.append(sim.process(exchanger(), name="sm-exchanger"))
-        stats.frame_cycles = self._run_sim_checked(sim, processes)
+        stats.frame_cycles = self._run_sim_checked(sim, processes,
+                                                   stats=stats)
 
         fill_fragment_stats_by_owner(stats, prep)
         return SchemeResult(scheme=self.name, trace_name=trace.name,

@@ -111,6 +111,11 @@ class RunStats:
     #: True when this result was replayed from a run journal, not simulated
     job_resumed: bool = False
 
+    # -- race-sanitizer coverage (see repro.analysis.sanitizer) ------------
+    #: shared-state accesses the race sanitizer recorded during this run
+    #: (0 when the run was not sanitized — coverage, not a conflict count)
+    sanitizer_accesses: int = 0
+
     def __post_init__(self) -> None:
         if not self.gpus:
             self.gpus = [GPUStats() for _ in range(self.num_gpus)]
@@ -184,6 +189,7 @@ class RunStats:
             "job_retries": self.job_retries,
             "job_timeouts": self.job_timeouts,
             "job_resumed": self.job_resumed,
+            "sanitizer_accesses": self.sanitizer_accesses,
         }
 
     # -- serialization (run journal, see repro.harness.engine) -------------
@@ -208,6 +214,7 @@ class RunStats:
             "redistributed_draws": self.redistributed_draws,
             "recovery_cycles": self.recovery_cycles,
             "baseline_frame_cycles": self.baseline_frame_cycles,
+            "sanitizer_accesses": self.sanitizer_accesses,
             "gpus": [{
                 "stage_cycles": dict(g.stage_cycles),
                 "traffic_bytes": dict(g.traffic_bytes),
@@ -238,7 +245,10 @@ class RunStats:
                     redistributed_draws=int(data["redistributed_draws"]),
                     recovery_cycles=float(data["recovery_cycles"]),
                     baseline_frame_cycles=float(
-                        data["baseline_frame_cycles"]))
+                        data["baseline_frame_cycles"]),
+                    # absent in journals written before this field existed
+                    sanitizer_accesses=int(
+                        data.get("sanitizer_accesses", 0)))
         stats.gpus = []
         for entry in data["gpus"]:
             gpu = GPUStats(

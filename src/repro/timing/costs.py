@@ -25,18 +25,18 @@ class CostModel:
     """Stage-cycle cost model for one GPU."""
 
     gpu: GPUConfig
-    raster_cost_per_triangle: float = 1.0
-    compose_cost_per_pixel: float = 2.0
+    raster_cost_per_triangle: float = 1.0      # unit: cycles/triangle
+    compose_cost_per_pixel: float = 2.0        # unit: cycles/pixel
     #: projection does position transform only (GPUpd phase 1)
-    projection_fraction: float = 0.3
+    projection_fraction: float = 0.3           # unit: 1
     #: driver cycles to issue one draw command to a GPU
-    draw_issue_cost: float = 50.0
+    draw_issue_cost: float = 50.0              # unit: cycles/draw
     #: off-chip bytes touched per shaded fragment (texture reads + colour/
     #: depth read-modify-write), after L2 filtering
-    fragment_memory_bytes: float = 24.0
+    fragment_memory_bytes: float = 24.0        # unit: bytes/fragment
     #: fraction of fragment memory traffic absorbed by the L2 (Table II's
     #: 6 MB cache); the remainder contends for DRAM bandwidth
-    l2_hit_rate: float = 0.7
+    l2_hit_rate: float = 0.7                   # unit: 1
     #: enable the DRAM roofline on the fragment stage
     model_memory: bool = False
 

@@ -144,7 +144,8 @@ def synthesize(spec: TraceSpec) -> Trace:
     """Generate a single-frame trace from ``spec`` (deterministic in seed)."""
     if spec.num_draws < 8:
         raise TraceError("need at least 8 draws for a plausible frame")
-    if spec.num_triangles < 2 * spec.num_draws:
+    min_triangles = 2 * spec.num_draws  # unit: triangles # 2 per draw
+    if spec.num_triangles < min_triangles:
         raise TraceError("need at least 2 triangles per draw on average")
     rng = np.random.default_rng(spec.seed)
     builder = _FrameBuilder(spec, rng)

@@ -130,6 +130,35 @@ class TestUnorderedIter:
                 schedule(gpu)
         """) == set()
 
+    def test_list_followed_by_sort_is_the_other_fix(self):
+        # materialize-then-sort establishes an order before anyone iterates
+        assert rules_hit("""\
+            items = list(set(pending))
+            items.sort()
+        """) == set()
+        assert rules_hit("""\
+            def drain(pending, extra):
+                order = list(set(pending) | extra)
+                order.sort(key=str)
+                return order
+        """) == set()
+
+    def test_sort_in_another_scope_does_not_exempt(self):
+        # the .sort() must happen in the same scope as the list(...) call
+        assert rules_hit("""\
+            def build(pending):
+                return list(set(pending))
+
+            def elsewhere(items):
+                items.sort()
+        """) == {"unordered-iter"}
+
+    def test_plain_list_of_set_still_flags(self):
+        assert rules_hit("""\
+            items = list(set(pending))
+            use(items)
+        """) == {"unordered-iter"}
+
 
 class TestMutableDefault:
     def test_flags_list_and_dict_defaults(self):
@@ -386,6 +415,46 @@ class TestSanitizedRuns:
         assert result.frame_cycles > 0
 
 
+class TestSanitizerCoverage:
+    """``RunStats.sanitizer_accesses`` records how much the sanitizer saw."""
+
+    def test_sanitized_run_records_accesses(self):
+        trace = load_benchmark("cod2", "tiny")
+        sane = run("chopin+sched", trace,
+                   make_setup("tiny", num_gpus=4, sanitize=True))
+        plain = run("chopin+sched", trace, make_setup("tiny", num_gpus=4))
+        assert sane.stats.sanitizer_accesses > 0
+        assert plain.stats.sanitizer_accesses == 0
+
+    def test_roundtrips_through_journal_snapshot(self):
+        from repro.stats import RunStats
+        stats = RunStats(num_gpus=2, frame_cycles=10.0)
+        stats.sanitizer_accesses = 123
+        restored = RunStats.from_dict(stats.to_dict())
+        assert restored.sanitizer_accesses == 123
+        # journals written before the field existed load as zero
+        old = stats.to_dict()
+        del old["sanitizer_accesses"]
+        assert RunStats.from_dict(old).sanitizer_accesses == 0
+
+    def test_exported_in_engine_summary_and_csv(self, tmp_path):
+        import csv
+
+        from repro.harness.export import (ENGINE_COLUMNS, result_row,
+                                          write_csv)
+        from repro.harness.runner import run_benchmark
+        assert "sanitizer_accesses" in ENGINE_COLUMNS
+        setup = make_setup("tiny", num_gpus=2, sanitize=True)
+        result = run_benchmark("chopin", "cod2", setup)
+        row = result_row(result, setup, result.frame_cycles)
+        assert row["sanitizer_accesses"] > 0
+        out = tmp_path / "rows.csv"
+        write_csv([row], out)
+        with open(out, newline="") as handle:
+            loaded = list(csv.DictReader(handle))
+        assert int(loaded[0]["sanitizer_accesses"]) > 0
+
+
 # ------------------------------------------------------------------- the CLI
 
 
@@ -421,6 +490,65 @@ class TestLintCLI:
         assert main(["render", "cod2", "--gpus", "2",
                      "--scheme", "duplication", "--sanitize"]) == 0
         assert "frame time" in capsys.readouterr().out
+
+    def test_nonexistent_path_is_a_config_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["lint", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+
+    def test_accepts_files_and_directories_mixed(self, tmp_path, capsys):
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "a.py").write_text("import random\nx = random.random()\n")
+        lone = tmp_path / "b.py"
+        lone.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(sub), str(lone)]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out and "wall-clock" in out
+
+    def test_default_path_is_the_installed_package(self, capsys):
+        # with no paths, lint covers src/repro itself — which must be clean
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules_includes_deep_rules_and_severity(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("unit-mismatch", "unit-return", "unit-arg",
+                     "nondet-taint"):
+            assert name in out
+        assert "[deep/" in out and "[stmt/" in out
+        assert "warning" in out and "error" in out
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "exit code" in out.lower()
+
+
+class TestSeverity:
+    def test_statement_rules_are_stamped(self):
+        findings = lint_source("def f(x=[]):\n    return x\n")
+        assert [f.severity for f in findings] == ["warning"]
+        findings = lint_source("import random\nx = random.random()\n")
+        assert [f.severity for f in findings] == ["error"]
+
+    def test_text_report_shows_severity_and_tally(self):
+        findings = lint_source(
+            "import random\n"
+            "def f(x=[]):\n"
+            "    return random.random()\n")
+        text = render_text(findings)
+        assert ": warning: mutable-default:" in text
+        assert ": error: unseeded-rng:" in text
+        assert "(1 error, 1 warning)" in text
+
+    def test_severity_survives_json(self):
+        findings = lint_source("def f(x=[]):\n    return x\n")
+        doc = json.loads(render_json(findings))
+        assert doc["findings"][0]["severity"] == "warning"
 
 
 # ------------------------------------------- engine exception classification
