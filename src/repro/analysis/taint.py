@@ -28,7 +28,10 @@ strip taint (they make the result order-independent).
   a tainted seed makes "seeded" streams irreproducible;
 - job fingerprints (``JobSpec(...)`` fields, anything named
   ``*fingerprint*``): a tainted fingerprint breaks ``--resume``
-  matching between runs.
+  matching between runs;
+- content addressing (``store_key(...)`` fields): a tainted key makes
+  the render artifact store hash the same artifact to different
+  addresses across runs, silently defeating cache sharing.
 
 Interprocedural model: every function gets a memoized summary —
 (a) taint tags its return value carries from sources *inside* it,
@@ -414,6 +417,8 @@ class _TaintEval:
             return f"event scheduling (`{dotted}`)"
         if tail in _RNG_SINK_CALLS:
             return f"RNG seeding (`{dotted}`)"
+        if tail == "store_key":
+            return f"a content-addressed store key (`{dotted}`)"
         if "fingerprint" in tail.lower() or tail == "JobSpec":
             return f"a job fingerprint (`{dotted}`)"
         return None
@@ -479,7 +484,7 @@ class TaintPass(ProjectRule):
     name = RULE
     description = ("nondeterministic value (set order, id(), hash(), "
                    "directory listing) reaches event scheduling, RNG "
-                   "seeding, or a job fingerprint")
+                   "seeding, a job fingerprint, or a store key")
     severity = "warning"
     extra_rules: Dict[str, str] = {}
 

@@ -12,10 +12,13 @@ Commands
 ``timeline``        render an ASCII execution Gantt for one scheme
 ``export``          synthesize a benchmark trace and save it to a .npz file
 ``export-results``  run schemes and write a CSV/JSON of flattened results
+``bench``           time a scheme x benchmark sweep cold vs warm against the
+                    artifact store, verify bit-identical output, write JSON
 ``lint``            run simlint (determinism static analysis) over sources
 
-Every simulation command accepts ``--scale {tiny,small,paper}`` and
-``--gpus N``. ``render``, ``compare`` and ``timeline`` accept
+Every simulation command accepts ``--scale {tiny,small,paper}``,
+``--gpus N`` and ``--artifact-dir DIR`` (spill the render artifact store
+to disk so warm state survives across invocations). ``render``, ``compare`` and ``timeline`` accept
 ``--sanitize`` to run the DES with the race sanitizer attached.
 ``sweep``, ``figures`` and ``export-results`` additionally take the
 experiment-engine flags ``--jobs``, ``--timeout``, ``--retries``,
@@ -82,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", default="tiny",
                        choices=("tiny", "small", "paper"))
         p.add_argument("--gpus", type=int, default=8)
+        p.add_argument("--artifact-dir", metavar="DIR", default=None,
+                       help="spill the render artifact store to this "
+                            "directory (shared across processes and "
+                            "invocations; see repro.render.store)")
 
     def fault_opt(p):
         p.add_argument(
@@ -192,6 +199,31 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=BENCHMARK_NAMES)
     results.add_argument("--schemes", nargs="+", default=list(MAIN_SCHEMES),
                          choices=sorted(SCHEMES))
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure the artifact store: cold vs warm sweep wall-time",
+        description="Run a (scheme x benchmark) sweep twice — once against "
+                    "a cleared artifact store, once warm — assert the two "
+                    "passes produce bit-identical images and identical "
+                    "statistics, and write the wall-times, speedup and "
+                    "store hit rates as JSON. With --artifact-dir the warm "
+                    "pass drops the memory tier first, so it also proves "
+                    "the disk-reload path. Exits 1 when the warm pass "
+                    "misses --min-speedup or diverges from the cold pass.")
+    common(bench)
+    bench.add_argument("--benchmarks", nargs="+", default=["cod2", "wolf"],
+                       choices=BENCHMARK_NAMES)
+    bench.add_argument("--schemes", nargs="+",
+                       default=["duplication", "gpupd", "chopin+sched"],
+                       choices=sorted(SCHEMES))
+    bench.add_argument("--output", default="BENCH_artifact_cache.json",
+                       help="JSON report path "
+                            "(default: BENCH_artifact_cache.json)")
+    bench.add_argument("--min-speedup", type=float, default=1.0,
+                       help="fail (exit 1) when warm wall-time is not at "
+                            "least this factor faster than cold "
+                            "(default 1.0: warm must beat cold)")
 
     lint = sub.add_parser(
         "lint", help="run simlint (determinism static analysis)",
@@ -424,6 +456,96 @@ def cmd_export_results(args) -> int:
     return EXIT_OK
 
 
+def cmd_bench(args) -> int:
+    import json
+    import time
+
+    import numpy as np
+
+    from .render import render_service
+    setup = make_setup(args.scale, num_gpus=args.gpus)
+    service = render_service()
+
+    def sweep_once():
+        # use_cache=False bypasses the result namespace: the warm pass
+        # must genuinely re-simulate, reusing only the phase artifacts —
+        # otherwise "warm" would just hand back the stored SchemeResult.
+        cells = {}
+        for bench in args.benchmarks:
+            trace = load_benchmark(bench, args.scale)
+            for scheme in args.schemes:
+                cells[(bench, scheme)] = run(scheme, trace, setup,
+                                             use_cache=False)
+        return cells
+
+    service.reset()
+    before = service.counters()
+    started = time.perf_counter()
+    cold = sweep_once()
+    cold_s = time.perf_counter() - started
+    cold_delta = service.counters().delta(before)
+
+    if service.store.disk_dir is not None:
+        # force the warm pass through the disk-reload path
+        service.store.drop_memory()
+    before = service.counters()
+    started = time.perf_counter()
+    warm = sweep_once()
+    warm_s = time.perf_counter() - started
+    warm_delta = service.counters().delta(before)
+
+    mismatches = []
+    for key, cold_result in cold.items():
+        warm_result = warm[key]
+        identical = (
+            np.array_equal(cold_result.image.color, warm_result.image.color)
+            and np.array_equal(cold_result.image.depth,
+                               warm_result.image.depth)
+            and cold_result.frame_cycles == warm_result.frame_cycles
+            and cold_result.stats.total_triangles
+            == warm_result.stats.total_triangles
+            and cold_result.stats.total_fragments_shaded
+            == warm_result.stats.total_fragments_shaded
+            and cold_result.stats.total_fragments_passed
+            == warm_result.stats.total_fragments_passed)
+        if not identical:
+            mismatches.append("/".join(key))
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    report = {
+        "benchmarks": list(args.benchmarks), "schemes": list(args.schemes),
+        "scale": args.scale, "num_gpus": args.gpus,
+        "jobs": len(args.benchmarks) * len(args.schemes),
+        "cold_s": round(cold_s, 4), "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": not mismatches, "mismatches": mismatches,
+        "disk_tier": service.store.disk_dir is not None,
+        "cold_store": cold_delta.to_dict(),
+        "warm_store": warm_delta.to_dict(),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"bench: {report['jobs']} jobs "
+          f"({len(args.benchmarks)} benchmarks x "
+          f"{len(args.schemes)} schemes, {args.scale} scale)")
+    print(f"  cold : {cold_s:8.2f}s  "
+          f"(hit rate {cold_delta.hit_rate:5.1%})")
+    print(f"  warm : {warm_s:8.2f}s  "
+          f"(hit rate {warm_delta.hit_rate:5.1%}"
+          f"{', via disk' if report['disk_tier'] else ''})")
+    print(f"  speedup: {speedup:.2f}x  -> {args.output}")
+    if mismatches:
+        print(f"error: warm pass diverged from cold pass on "
+              f"{', '.join(mismatches)}", file=sys.stderr)
+        return EXIT_ERROR
+    if speedup < args.min_speedup:
+        print(f"error: warm speedup {speedup:.2f}x below required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
+
+
 def cmd_lint(args) -> int:
     import pathlib
 
@@ -466,6 +588,7 @@ def cmd_lint(args) -> int:
 
 COMMANDS = {
     "render": cmd_render,
+    "bench": cmd_bench,
     "lint": cmd_lint,
     "export-results": cmd_export_results,
     "timeline": cmd_timeline,
@@ -480,6 +603,9 @@ COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if getattr(args, "artifact_dir", None):
+            from .render import configure_render_service
+            configure_render_service(artifact_dir=args.artifact_dir)
         return COMMANDS[args.command](args)
     except ReproError as exc:
         for exc_type, code in EXIT_CODES:

@@ -10,7 +10,7 @@ from .composition_scheduler import (CompositionStatus,
                                     ImageCompositionScheduler,
                                     adjacency_pairs)
 from .workflow import (GroupMode, GroupPlan, WorkflowSummary, plan_frame,
-                       plan_group, summarize_plan)
+                       plan_group, plan_trace_frame, summarize_plan)
 from .hardware import (composition_scheduler_size_bytes,
                        composition_scheduler_traffic_bytes,
                        draw_scheduler_size_bytes,
@@ -42,6 +42,7 @@ __all__ = [
     "even_split_by_triangles",
     "plan_frame",
     "plan_group",
+    "plan_trace_frame",
     "split_into_groups",
     "summarize_plan",
 ]

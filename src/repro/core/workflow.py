@@ -74,6 +74,26 @@ def plan_frame(groups: List[CompositionGroup], config: SystemConfig,
     return [plan_group(g, config, threshold) for g in groups]
 
 
+def plan_trace_frame(trace, config: SystemConfig,
+                     threshold: Optional[int] = None) -> List[GroupPlan]:
+    """Group and plan a trace's frame, via the render service's store.
+
+    The grouping + Fig 7 decisions depend only on the trace content, the
+    GPU count and the composition threshold, so the plan is a cacheable
+    artifact like any other: CHOPIN's functional prep, ``inspect`` and
+    the experiments all share one computation per configuration.
+    """
+    from ..render import render_service
+    from .grouping import split_into_groups
+
+    limit = config.composition_threshold if threshold is None else threshold
+    return render_service().cached(
+        "plan",
+        {"trace": trace.fingerprint, "num_gpus": config.num_gpus,
+         "threshold": limit},
+        lambda: plan_frame(split_into_groups(trace.frame), config, limit))
+
+
 @dataclass
 class WorkflowSummary:
     """Coverage statistics of a frame plan (§VI-E's accelerated-group data)."""

@@ -14,6 +14,7 @@ Triangle data is stored vectorized: ``positions`` has shape ``(T, 3, 3)``
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -109,6 +110,33 @@ class DrawCommand:
     @property
     def transparent(self) -> bool:
         return self.state.transparent
+
+    @property
+    def fingerprint(self) -> str:
+        """Content address of this draw: geometry, state and shader inputs.
+
+        Deliberately excludes ``draw_id`` — two draws with identical
+        content hash identically, which is what lets the artifact store
+        share geometry-phase output across schemes and traces. Computed
+        once and cached on the instance (draws are immutable by
+        convention after trace construction).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            state = self.state
+            header = "|".join((
+                str(self.texture_id), repr(float(self.vertex_cost)),
+                repr(float(self.pixel_cost)), str(state.render_target),
+                str(state.depth_buffer), str(int(state.depth_write)),
+                state.depth_func.value, state.blend_op.value,
+                str(int(state.early_z))))
+            digest = hashlib.sha256()
+            digest.update(header.encode())
+            digest.update(np.ascontiguousarray(self.positions).tobytes())
+            digest.update(np.ascontiguousarray(self.colors).tobytes())
+            cached = digest.hexdigest()
+            self.__dict__["_fingerprint"] = cached
+        return cached
 
     def split(self, num_parts: int) -> list["DrawCommand"]:
         """Divide into ``num_parts`` contiguous sub-draws (order-preserving).

@@ -374,12 +374,14 @@ class EngineCounters:
     crashes: int = 0
     resumed: int = 0       # skipped because the resume journal had them
     memo_hits: int = 0     # deduplicated within this engine's lifetime
+    prewarmed: int = 0     # artifacts rendered ahead of dispatch
 
     def as_dict(self) -> Dict[str, int]:
         return {"jobs": self.jobs, "completed": self.completed,
                 "failed": self.failed, "retries": self.retries,
                 "timeouts": self.timeouts, "crashes": self.crashes,
-                "resumed": self.resumed, "memo_hits": self.memo_hits}
+                "resumed": self.resumed, "memo_hits": self.memo_hits,
+                "prewarmed": self.prewarmed}
 
 
 # -------------------------------------------------------------------- engine
@@ -409,6 +411,12 @@ class Engine:
     isolate:
         Force (True) or forbid (False) subprocess workers. Default: isolate
         exactly when ``jobs > 1`` or a timeout is set.
+    prewarm:
+        Render each batch's geometry artifacts into the shared
+        :mod:`repro.render` store once before dispatch (default on).
+        Forked workers inherit the warm store copy-on-write, so a grid of
+        (scheme x benchmark) jobs pays for the functional pass once per
+        benchmark environment rather than once per job.
     """
 
     def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
@@ -417,7 +425,7 @@ class Engine:
                  journal: Optional[Union[str, pathlib.Path]] = None,
                  resume: Optional[Union[str, pathlib.Path]] = None,
                  isolate: Optional[bool] = None,
-                 mp_context: str = "fork"):
+                 mp_context: str = "fork", prewarm: bool = True):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if timeout is not None and timeout <= 0:
@@ -431,6 +439,7 @@ class Engine:
         self.backoff_cap = backoff_cap
         self.isolate = (jobs > 1 or timeout is not None) \
             if isolate is None else isolate
+        self.prewarm = prewarm
         try:
             self._mp = multiprocessing.get_context(mp_context)
         except ValueError:
@@ -560,11 +569,55 @@ class Engine:
 
     # -- batches -----------------------------------------------------------
 
+    def prewarm_store(self, specs: Iterable[JobSpec]) -> int:
+        """Warm the render artifact store for a batch of benchmark jobs.
+
+        Deduplicates the (benchmark, setup-params) environments behind the
+        specs and renders each one's assignment-independent artifacts
+        (geometry phase, single-frame reference pass) into the
+        process-wide :class:`~repro.render.ArtifactStore` exactly once,
+        before any job dispatches. Serial in-process jobs then hit the
+        warm store directly; ``fork``-context worker subprocesses inherit
+        it copy-on-write. With ``jobs > 1`` distinct environments warm in
+        parallel threads. Returns the number of artifacts rendered.
+        """
+        from ..render import render_service
+        from ..traces import load_benchmark
+        from .runner import make_setup
+        environments: Dict[Tuple, JobSpec] = {}
+        for spec in specs:
+            if spec.kind != "benchmark":
+                continue
+            environments.setdefault((spec.benchmark, spec.params), spec)
+        if not environments:
+            return 0
+        service = render_service()
+
+        def warm(spec: JobSpec) -> int:
+            kwargs = spec.param_dict()
+            scale = kwargs.pop("scale", "tiny")
+            setup = make_setup(scale, **kwargs)
+            trace = load_benchmark(spec.benchmark, scale)
+            return service.prewarm(trace, setup.config)
+
+        targets = list(environments.values())
+        if self.jobs > 1 and len(targets) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                warmed = sum(pool.map(warm, targets))
+        else:
+            warmed = sum(warm(spec) for spec in targets)
+        with self._lock:
+            self.counters.prewarmed += warmed
+        return warmed
+
     def run_jobs(self, specs: Iterable[JobSpec]) -> Dict[str, JobOutcome]:
         """Run a batch; returns fingerprint -> outcome.
 
         Specs are deduplicated by fingerprint (so e.g. a sweep's shared
-        baseline simulates once). With ``jobs > 1`` distinct jobs run in
+        baseline simulates once). Benchmark jobs not already memoized or
+        resumed pre-warm the shared artifact store before dispatch (see
+        :meth:`prewarm_store`). With ``jobs > 1`` distinct jobs run in
         parallel worker subprocesses; outcomes are keyed, so assembly order
         — and therefore every derived table — is independent of completion
         order.
@@ -572,6 +625,12 @@ class Engine:
         unique: Dict[str, JobSpec] = {}
         for spec in specs:
             unique.setdefault(spec.fingerprint, spec)
+        if self.prewarm:
+            with self._lock:
+                pending = [spec for fp, spec in unique.items()
+                           if fp not in self._memo]
+            if pending:
+                self.prewarm_store(pending)
         if self.jobs <= 1 or len(unique) <= 1:
             return {fp: self.run_job(spec) for fp, spec in unique.items()}
         from concurrent.futures import ThreadPoolExecutor

@@ -33,13 +33,18 @@ FAULT_COLUMNS = ("link_retries", "dropped_transfers", "corrupted_transfers",
 ENGINE_COLUMNS = ("job_attempts", "job_retries", "job_timeouts",
                   "job_resumed", "sanitizer_accesses")
 
+#: artifact-store counters (see repro.render.store): cached functional
+#: work this run reused vs recomputed; zero when the result was a hit
+ARTIFACT_COLUMNS = ("artifact_hits", "artifact_misses",
+                    "artifact_evictions", "artifact_disk_loads")
+
 #: the flat columns a result row carries
 COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "status",
            "frame_cycles",
            "speedup_vs_duplication", "triangles", "fragments_shaded",
            "fragments_passed", "traffic_bytes") + tuple(
                f"cycles_{stage}" for stage in ALL_STAGES) \
-    + FAULT_COLUMNS + ENGINE_COLUMNS
+    + FAULT_COLUMNS + ENGINE_COLUMNS + ARTIFACT_COLUMNS
 
 
 def result_row(result: SchemeResult, setup: Setup,
@@ -63,6 +68,7 @@ def result_row(result: SchemeResult, setup: Setup,
         row[f"cycles_{stage}"] = totals.get(stage, 0.0)
     row.update(result.stats.fault_summary())
     row.update(result.stats.engine_summary())
+    row.update(result.stats.artifact_summary())
     return row
 
 
@@ -82,6 +88,8 @@ def failed_row(benchmark: str, scheme: str, setup: Setup,
         "job_attempts": getattr(error, "attempts", 0),
         "job_retries": 0, "job_timeouts": 0, "job_resumed": False,
         "sanitizer_accesses": 0,
+        "artifact_hits": 0, "artifact_misses": 0,
+        "artifact_evictions": 0, "artifact_disk_loads": 0,
     })
     return row
 

@@ -181,6 +181,9 @@ def render_engine_summary(counters, failures: Sequence = (),
     if c.retries or c.timeouts or c.crashes:
         lines.append(f"  retries  : {c.retries} "
                      f"({c.timeouts} timeouts, {c.crashes} worker crashes)")
+    if getattr(c, "prewarmed", 0):
+        lines.append(f"  prewarm  : {c.prewarmed} artifact(s) rendered "
+                     f"into the store before dispatch")
     for outcome in failures:
         lines.append(f"  FAILED   : {outcome.spec.label} "
                      f"after {outcome.attempts} attempt(s) — "

@@ -7,8 +7,10 @@ Everything the benchmark harness and the examples need to launch a run:
   the composition scheduler, IdealCHOPIN, and the round-robin strawman);
 - :func:`make_setup` — a Table II :class:`~repro.config.SystemConfig` plus
   cost model, consistently re-scaled for a chosen trace scale;
-- :func:`run` — cached execution of (scheme, benchmark, setup), so the many
-  figures that share runs (Fig 13/14/15/17...) pay for each simulation once.
+- :func:`run` — execution of (scheme, benchmark, setup) cached in the
+  ``result`` namespace of the :mod:`repro.render` artifact store, so the
+  many figures that share runs (Fig 13/14/15/17...) pay for each
+  simulation once and exports can report per-run artifact reuse.
 """
 
 from __future__ import annotations
@@ -176,29 +178,60 @@ def build_scheme(name: str, setup: Setup) -> SFRScheme:
     return cls(setup.config, setup.costs)
 
 
-_RESULT_CACHE: Dict[tuple, SchemeResult] = {}
+def _result_fields(scheme: str, trace: Trace, setup: Setup) -> dict:
+    """Identifying fields of one run's result artifact.
 
-
-def _cache_key(scheme: str, trace: Trace, setup: Setup) -> tuple:
+    Mirrors what used to be the runner's private ``_cache_key`` tuple,
+    with the trace identified by content fingerprint instead of
+    ``id()`` so entries survive re-loading and disk spill. Fault plans
+    are keyed by their (deterministic) repr.
+    """
     cfg = setup.config
-    return (scheme, id(trace), setup.scale, cfg.num_gpus, cfg.tile_size,
-            cfg.composition_threshold, cfg.scheduler_update_interval,
-            cfg.retained_cull_fraction, cfg.link.bandwidth_gb_per_s,
-            cfg.link.latency_cycles, cfg.link.ideal, cfg.link.topology,
-            cfg.msaa_samples, setup.costs.model_memory,
-            cfg.gpu.dram_bandwidth_bytes_per_s, cfg.faults, cfg.sanitize)
+    return {
+        "scheme": scheme, "trace": trace.fingerprint,
+        "trace_name": trace.name, "scale": setup.scale,
+        "num_gpus": cfg.num_gpus, "tile_size": cfg.tile_size,
+        "composition_threshold": cfg.composition_threshold,
+        "scheduler_update_interval": cfg.scheduler_update_interval,
+        "retained_cull_fraction": cfg.retained_cull_fraction,
+        "bandwidth_gb_per_s": cfg.link.bandwidth_gb_per_s,
+        "latency_cycles": cfg.link.latency_cycles,
+        "link_ideal": cfg.link.ideal, "topology": cfg.link.topology,
+        "msaa_samples": cfg.msaa_samples,
+        "model_memory": setup.costs.model_memory,
+        "dram_bandwidth_bytes_per_s": cfg.gpu.dram_bandwidth_bytes_per_s,
+        "faults": repr(cfg.faults) if cfg.faults is not None else None,
+        "sanitize": cfg.sanitize,
+    }
 
 
 def run(scheme: str, trace: Trace, setup: Setup,
         use_cache: bool = True) -> SchemeResult:
-    """Run one scheme on one trace (cached)."""
-    key = _cache_key(scheme, trace, setup)
-    if use_cache and key in _RESULT_CACHE:
-        return _RESULT_CACHE[key]
-    result = build_scheme(scheme, setup).run(trace)
-    if use_cache:
-        _RESULT_CACHE[key] = result
-    return result
+    """Run one scheme on one trace (result cached in the artifact store).
+
+    On a miss, the store-counter growth the computation caused (geometry
+    artifact hits/misses, reference/prep lookups) is stamped onto the
+    result's :class:`~repro.stats.RunStats`, so exports can report how
+    much cached work each run reused. Hits return the stored result
+    unchanged — its counters describe the run that computed it.
+    """
+    from ..render import render_service
+    service = render_service()
+
+    def compute() -> SchemeResult:
+        before = service.counters()
+        result = build_scheme(scheme, setup).run(trace)
+        grew = service.counters().delta(before)
+        result.stats.artifact_hits = grew.hits
+        result.stats.artifact_misses = grew.misses
+        result.stats.artifact_evictions = grew.evictions
+        result.stats.artifact_disk_loads = grew.disk_loads
+        return result
+
+    if not use_cache:
+        return compute()
+    return service.cached("result", _result_fields(scheme, trace, setup),
+                          compute)
 
 
 def run_benchmark_direct(scheme: str, benchmark: str,
@@ -240,4 +273,10 @@ def compare(benchmark: str, setup: Setup,
 
 
 def clear_result_cache() -> None:
-    _RESULT_CACHE.clear()
+    """Drop cached scheme results from the artifact store.
+
+    Kept for callers that want a targeted invalidation;
+    ``render_service().reset()`` clears every namespace at once.
+    """
+    from ..render import render_service
+    render_service().reset("result")

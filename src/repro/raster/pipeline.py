@@ -1,11 +1,16 @@
 """The functional graphics pipeline: executes draw commands against surfaces.
 
 This is the single-GPU rendering engine every SFR scheme builds on (paper
-Fig 1(b)): geometry processing (transform, clip, cull), rasterization,
-early/late depth-stencil testing, pixel shading, and blending into the bound
-render target. It produces both pixels and the *counts* the timing model and
-the paper's figures are built from (triangles processed, fragments generated,
-fragments passing the depth test, fragments shaded).
+Fig 1(b)). Since the phase split it is a thin composition of the two
+phases in :mod:`repro.render.phases` — ``geometry_phase`` (transform,
+clip, cull, tile binning; assignment-independent and cacheable) and
+``fragment_phase`` (rasterization, depth test, shading, blending; live).
+Scheme code should render through :class:`repro.render.RenderService`,
+which adds the content-addressed artifact store on top; this class
+remains the store-free primitive for tests, tools and one-off renders.
+
+:class:`DrawMetrics` and :class:`GroupMetrics` moved to
+:mod:`repro.render.artifact` and are re-exported here unchanged.
 
 ``owner_mask`` restricts fragment processing to the pixels a GPU owns under
 the SFR screen split; ``retained_cull_fraction`` artificially re-injects
@@ -14,76 +19,17 @@ depth-culled fragments for the Fig 16 sensitivity study.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from ..errors import PipelineError
-from ..framebuffer.depth import depth_test
 from ..framebuffer.framebuffer import SurfacePool
-from ..geometry.clipping import clip_near_plane, frustum_cull_mask
-from ..geometry.primitives import BlendOp, DrawCommand
-from ..geometry.transform import (perspective_divide, to_screen,
-                                  transform_positions)
+from ..geometry.primitives import DrawCommand
+from ..render.artifact import DrawArtifact, DrawMetrics, GroupMetrics
 from ..shading.shaders import ShaderLibrary
-from ..composition.operators import blend
-from .rasterizer import rasterize_triangle
 
-
-@dataclass
-class DrawMetrics:
-    """Functional counts for one executed draw command."""
-
-    draw_id: int = -1
-    triangles_submitted: int = 0
-    triangles_culled: int = 0
-    triangles_rasterized: int = 0
-    fragments_generated: int = 0
-    early_z_tested: int = 0
-    early_z_passed: int = 0
-    late_tested: int = 0
-    late_passed: int = 0
-    fragments_shaded: int = 0
-    pixels_written: int = 0
-    #: optional per-owner-GPU attribution (filled when owner_map is given)
-    generated_by_owner: Optional[np.ndarray] = None
-    shaded_by_owner: Optional[np.ndarray] = None
-    passed_by_owner: Optional[np.ndarray] = None
-
-    @property
-    def fragments_passed(self) -> int:
-        """Fragments surviving any depth/stencil test (paper Fig 15)."""
-        return self.early_z_passed + self.late_passed
-
-    def merge(self, other: "DrawMetrics") -> None:
-        for name in ("triangles_submitted", "triangles_culled",
-                     "triangles_rasterized", "fragments_generated",
-                     "early_z_tested", "early_z_passed", "late_tested",
-                     "late_passed", "fragments_shaded", "pixels_written"):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
-        for name in ("generated_by_owner", "shaded_by_owner",
-                     "passed_by_owner"):
-            theirs = getattr(other, name)
-            if theirs is None:
-                continue
-            mine = getattr(self, name)
-            if mine is None:
-                setattr(self, name, theirs.copy())
-            else:
-                mine += theirs
-
-
-@dataclass
-class GroupMetrics:
-    """Accumulated :class:`DrawMetrics` over a composition group or frame."""
-
-    totals: DrawMetrics = field(default_factory=DrawMetrics)
-    draws: int = 0
-
-    def add(self, metrics: DrawMetrics) -> None:
-        self.totals.merge(metrics)
-        self.draws += 1
+__all__ = ["DrawMetrics", "GroupMetrics", "GraphicsPipeline"]
 
 
 class GraphicsPipeline:
@@ -104,130 +50,25 @@ class GraphicsPipeline:
                      num_owners: int = 1,
                      touched: Optional[np.ndarray] = None,
                      retained_cull_fraction: float = 0.0,
-                     rng: Optional[np.random.Generator] = None) -> DrawMetrics:
-        """Run one draw command through the full pipeline.
+                     rng: Optional[np.random.Generator] = None,
+                     artifact: Optional[DrawArtifact] = None) -> DrawMetrics:
+        """Run one draw command through both phases.
 
-        ``touched``, when given, is an (H, W) bool array updated in place
-        with every pixel the draw wrote (used to build composition
-        sub-images and traffic filters).
+        ``artifact``, when given, skips the geometry phase and consumes
+        the supplied (cached) output instead; the caller is responsible
+        for it matching ``draw``/``mvp`` and this viewport.
 
-        ``owner_map`` (an (H, W) int array of owning GPU ids) enables
-        per-owner fragment attribution: the returned metrics carry
-        ``*_by_owner`` arrays of length ``num_owners``. This lets sort-first
-        schemes (where every GPU sees the same depth history) run the
-        functional pipeline once and split the counts by screen region.
+        See :func:`repro.render.phases.fragment_phase` for the meaning
+        of ``touched``, ``owner_mask`` and ``owner_map``.
         """
-        metrics = DrawMetrics(draw_id=draw.draw_id,
-                              triangles_submitted=draw.num_triangles)
-        if owner_map is not None:
-            metrics.generated_by_owner = np.zeros(num_owners, dtype=np.int64)
-            metrics.shaded_by_owner = np.zeros(num_owners, dtype=np.int64)
-            metrics.passed_by_owner = np.zeros(num_owners, dtype=np.int64)
-        if draw.num_triangles == 0:
-            return metrics
-
-        # --- geometry stage -------------------------------------------------
-        clip = transform_positions(
-            draw.positions, mvp if mvp is not None else np.eye(4))
-        colors = draw.colors
-        if (clip[..., 2] < 0).any():
-            clip, colors = clip_near_plane(clip, colors)
-        if clip.shape[0] == 0:
-            metrics.triangles_culled = metrics.triangles_submitted
-            return metrics
-        culled = frustum_cull_mask(clip)
-        metrics.triangles_culled = int(culled.sum())
-        clip, colors = clip[~culled], colors[~culled]
-        if clip.shape[0] == 0:
-            return metrics
-
-        ndc = perspective_divide(clip)
-        xy, depth = to_screen(ndc, self.width, self.height)
-
-        # --- rasterization + fragment stage ----------------------------------
-        state = draw.state
-        target = surfaces.render_target(state.render_target)
-        depth_buf = surfaces.depth_buffer(state.depth_buffer)
-        shader = self.shaders.shader_for(draw.texture_id)
-        retain = retained_cull_fraction
-        if retain > 0.0 and rng is None:
-            rng = np.random.default_rng(0)
-
-        for tri in range(clip.shape[0]):
-            frags = rasterize_triangle(xy[tri], depth[tri], colors[tri],
-                                       self.width, self.height)
-            if frags.count == 0:
-                continue
-            metrics.triangles_rasterized += 1
-            if owner_mask is not None:
-                frags = frags.select(owner_mask[frags.ys, frags.xs])
-                if frags.count == 0:
-                    continue
-            metrics.fragments_generated += frags.count
-            owners = (owner_map[frags.ys, frags.xs]
-                      if owner_map is not None else None)
-            if owners is not None:
-                metrics.generated_by_owner += np.bincount(
-                    owners, minlength=num_owners)
-
-            current = depth_buf[frags.ys, frags.xs]
-            if state.early_z:
-                passed = depth_test(state.depth_func, frags.depths, current)
-                metrics.early_z_tested += frags.count
-                n_passed = int(passed.sum())
-                metrics.early_z_passed += n_passed
-                if owners is not None:
-                    passed_counts = np.bincount(owners[passed],
-                                                minlength=num_owners)
-                    metrics.passed_by_owner += passed_counts
-                    metrics.shaded_by_owner += passed_counts
-                shaded_mask = passed
-                if retain > 0.0:
-                    # Fig 16: a fraction of culled fragments still get shaded
-                    # (but never written), inflating fragment work.
-                    failed = ~passed
-                    keep = rng.random(frags.count) < retain
-                    extra = int((failed & keep).sum())
-                    metrics.fragments_shaded += extra
-                survivors = frags.select(shaded_mask)
-                if survivors.count == 0:
-                    continue
-                metrics.fragments_shaded += survivors.count
-                shaded = shader.shade(survivors.xs, survivors.ys,
-                                      survivors.colors)
-                self._write(target, depth_buf, survivors, shaded, state,
-                            metrics, touched)
-            else:
-                # Late Z: shade everything, then test.
-                metrics.fragments_shaded += frags.count
-                shaded = shader.shade(frags.xs, frags.ys, frags.colors)
-                passed = depth_test(state.depth_func, frags.depths, current)
-                metrics.late_tested += frags.count
-                n_passed = int(passed.sum())
-                metrics.late_passed += n_passed
-                if owners is not None:
-                    metrics.shaded_by_owner += np.bincount(
-                        owners, minlength=num_owners)
-                    metrics.passed_by_owner += np.bincount(
-                        owners[passed], minlength=num_owners)
-                survivors = frags.select(passed)
-                if survivors.count == 0:
-                    continue
-                self._write(target, depth_buf, survivors, shaded[passed],
-                            state, metrics, touched)
-        return metrics
-
-    def _write(self, target, depth_buf, frags, shaded_colors, state, metrics,
-               touched) -> None:
-        """Blend surviving fragments into the render target."""
-        ys, xs = frags.ys, frags.xs
-        if state.blend_op is BlendOp.REPLACE:
-            target.color[ys, xs] = shaded_colors
-        else:
-            target.color[ys, xs] = blend(
-                state.blend_op, target.color[ys, xs], shaded_colors)
-        if state.depth_write:
-            depth_buf[ys, xs] = frags.depths
-        if touched is not None:
-            touched[ys, xs] = True
-        metrics.pixels_written += frags.count
+        # Imported lazily: repro.render.phases consumes this package's
+        # rasterizer, so a module-level import would be circular when
+        # repro.render initializes first.
+        from ..render.phases import fragment_phase, geometry_phase
+        if artifact is None:
+            artifact = geometry_phase(draw, mvp, self.width, self.height)
+        return fragment_phase(
+            artifact, draw, surfaces, self.shaders, self.width, self.height,
+            owner_mask=owner_mask, owner_map=owner_map,
+            num_owners=num_owners, touched=touched,
+            retained_cull_fraction=retained_cull_fraction, rng=rng)

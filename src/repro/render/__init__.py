@@ -1,0 +1,26 @@
+"""repro.render: phase-split functional rendering behind a narrow facade.
+
+Public surface:
+
+- :class:`RenderService` / :func:`render_service` — the facade every
+  scheme and harness layer renders through;
+- :class:`ArtifactStore` — the content-addressed LRU (+ disk spill)
+  backing it;
+- :func:`geometry_phase` / :func:`fragment_phase` — the split pipeline;
+- :class:`DrawArtifact`, :class:`DrawMetrics`, :class:`GroupMetrics`,
+  :class:`ReferencePass` — the artifacts that flow between phases.
+"""
+
+from .artifact import DrawArtifact, DrawMetrics, GroupMetrics
+from .phases import fragment_phase, geometry_phase
+from .reference import ReferencePass, build_shader_library
+from .service import (RenderService, RenderSession, configure_render_service,
+                      render_service)
+from .store import ArtifactStore, StoreCounters, store_key
+
+__all__ = [
+    "ArtifactStore", "DrawArtifact", "DrawMetrics", "GroupMetrics",
+    "ReferencePass", "RenderService", "RenderSession", "StoreCounters",
+    "build_shader_library", "configure_render_service", "fragment_phase",
+    "geometry_phase", "render_service", "store_key",
+]

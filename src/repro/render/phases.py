@@ -1,0 +1,212 @@
+"""The two functional phases: geometry (cacheable) and fragment (live).
+
+``geometry_phase`` is the assignment-independent front half of the old
+``GraphicsPipeline.execute_draw``: transform, near clip, frustum cull,
+perspective divide, screen mapping, and tile binning, producing a
+:class:`~repro.render.artifact.DrawArtifact`.
+
+``fragment_phase`` is the back half: rasterization, early/late depth
+testing, shading and blending of one artifact against a surface pool.
+It is subset-dependent (the bound depth buffer encodes which draws this
+GPU has seen) so it always runs live; the artifact's per-triangle
+``live`` mask lets it skip triangles whose clamped screen bbox is empty
+without calling the rasterizer.
+
+Count semantics are bit-compatible with the monolithic pipeline:
+``triangles_rasterized`` increments before owner masking, fragment
+counts after, and the Fig 16 retained-cull RNG draws once per rasterized
+triangle in submission order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..composition.operators import blend
+from ..framebuffer.depth import depth_test
+from ..framebuffer.framebuffer import SurfacePool
+from ..geometry.clipping import clip_near_plane, frustum_cull_mask
+from ..geometry.primitives import BlendOp, DrawCommand
+from ..geometry.transform import (perspective_divide, to_screen,
+                                  transform_positions, triangle_screen_bounds)
+from ..shading.shaders import ShaderLibrary
+from ..raster.rasterizer import rasterize_triangle
+from .artifact import DrawArtifact, DrawMetrics, empty_artifact
+
+
+def geometry_phase(draw: DrawCommand, mvp: Optional[np.ndarray],
+                   width: int, height: int) -> DrawArtifact:
+    """Run the geometry stage of one draw command.
+
+    ``width``/``height`` fix the screen mapping, so an artifact is keyed
+    by (draw content, camera, resolution) and nothing else.
+    """
+    if draw.num_triangles == 0:
+        return empty_artifact(0)
+    clip = transform_positions(
+        draw.positions, mvp if mvp is not None else np.eye(4))
+    colors = draw.colors
+    if (clip[..., 2] < 0).any():
+        clip, colors = clip_near_plane(clip, colors)
+    if clip.shape[0] == 0:
+        return empty_artifact(draw.num_triangles,
+                              triangles_culled=draw.num_triangles)
+    culled = frustum_cull_mask(clip)
+    num_culled = int(culled.sum())
+    clip, colors = clip[~culled], colors[~culled]
+    if clip.shape[0] == 0:
+        return empty_artifact(draw.num_triangles, triangles_culled=num_culled)
+
+    ndc = perspective_divide(clip)
+    xy, depth = to_screen(ndc, width, height)
+    bounds = triangle_screen_bounds(xy)
+    return DrawArtifact(
+        triangles_submitted=draw.num_triangles,
+        triangles_culled=num_culled,
+        xy=xy, depth=depth, colors=colors, bounds=bounds,
+        live=_live_mask(xy, bounds, width, height),
+    )
+
+
+def _live_mask(xy: np.ndarray, bounds: np.ndarray,
+               width: int, height: int) -> np.ndarray:
+    """Triangles whose rasterization can produce fragments.
+
+    Mirrors the rasterizer's own early-outs exactly (zero signed area, or
+    an empty pixel bbox after clamping to the screen), so skipping a
+    non-live triangle is observationally identical to rasterizing it.
+    """
+    v0, v1, v2 = xy[:, 0], xy[:, 1], xy[:, 2]
+    area = ((v1[:, 0] - v0[:, 0]) * (v2[:, 1] - v0[:, 1])
+            - (v1[:, 1] - v0[:, 1]) * (v2[:, 0] - v0[:, 0]))
+    x_min = np.maximum(np.floor(bounds[:, 0]), 0.0)
+    x_max = np.minimum(np.ceil(bounds[:, 2]), float(width))
+    y_min = np.maximum(np.floor(bounds[:, 1]), 0.0)
+    y_max = np.minimum(np.ceil(bounds[:, 3]), float(height))
+    return (area != 0.0) & (x_min < x_max) & (y_min < y_max)
+
+
+def fragment_phase(artifact: DrawArtifact, draw: DrawCommand,
+                   surfaces: SurfacePool, shaders: ShaderLibrary,
+                   width: int, height: int,
+                   owner_mask: Optional[np.ndarray] = None,
+                   owner_map: Optional[np.ndarray] = None,
+                   num_owners: int = 1,
+                   touched: Optional[np.ndarray] = None,
+                   retained_cull_fraction: float = 0.0,
+                   rng: Optional[np.random.Generator] = None) -> DrawMetrics:
+    """Rasterize, depth-test, shade and blend one binned artifact.
+
+    ``touched``, when given, is an (H, W) bool array updated in place
+    with every pixel the draw wrote (used to build composition
+    sub-images and traffic filters).
+
+    ``owner_map`` (an (H, W) int array of owning GPU ids) enables
+    per-owner fragment attribution: the returned metrics carry
+    ``*_by_owner`` arrays of length ``num_owners``. This lets sort-first
+    schemes (where every GPU sees the same depth history) run the
+    functional pipeline once and split the counts by screen region.
+    """
+    metrics = DrawMetrics(draw_id=draw.draw_id,
+                          triangles_submitted=artifact.triangles_submitted,
+                          triangles_culled=artifact.triangles_culled)
+    if owner_map is not None:
+        metrics.generated_by_owner = np.zeros(num_owners, dtype=np.int64)
+        metrics.shaded_by_owner = np.zeros(num_owners, dtype=np.int64)
+        metrics.passed_by_owner = np.zeros(num_owners, dtype=np.int64)
+    if artifact.num_triangles == 0:
+        return metrics
+
+    xy, depth, colors = artifact.xy, artifact.depth, artifact.colors
+    live = artifact.live
+    state = draw.state
+    target = surfaces.render_target(state.render_target)
+    depth_buf = surfaces.depth_buffer(state.depth_buffer)
+    shader = shaders.shader_for(draw.texture_id)
+    retain = retained_cull_fraction
+    if retain > 0.0 and rng is None:
+        rng = np.random.default_rng(0)
+
+    for tri in range(artifact.num_triangles):
+        if not live[tri]:
+            continue
+        frags = rasterize_triangle(xy[tri], depth[tri], colors[tri],
+                                   width, height)
+        if frags.count == 0:
+            continue
+        metrics.triangles_rasterized += 1
+        if owner_mask is not None:
+            frags = frags.select(owner_mask[frags.ys, frags.xs])
+            if frags.count == 0:
+                continue
+        metrics.fragments_generated += frags.count
+        owners = (owner_map[frags.ys, frags.xs]
+                  if owner_map is not None else None)
+        if owners is not None:
+            metrics.generated_by_owner += np.bincount(
+                owners, minlength=num_owners)
+
+        current = depth_buf[frags.ys, frags.xs]
+        if state.early_z:
+            passed = depth_test(state.depth_func, frags.depths, current)
+            metrics.early_z_tested += frags.count
+            n_passed = int(passed.sum())
+            metrics.early_z_passed += n_passed
+            if owners is not None:
+                passed_counts = np.bincount(owners[passed],
+                                            minlength=num_owners)
+                metrics.passed_by_owner += passed_counts
+                metrics.shaded_by_owner += passed_counts
+            shaded_mask = passed
+            if retain > 0.0:
+                # Fig 16: a fraction of culled fragments still get shaded
+                # (but never written), inflating fragment work.
+                failed = ~passed
+                keep = rng.random(frags.count) < retain
+                extra = int((failed & keep).sum())
+                metrics.fragments_shaded += extra
+            survivors = frags.select(shaded_mask)
+            if survivors.count == 0:
+                continue
+            metrics.fragments_shaded += survivors.count
+            shaded = shader.shade(survivors.xs, survivors.ys,
+                                  survivors.colors)
+            _write(target, depth_buf, survivors, shaded, state,
+                   metrics, touched)
+        else:
+            # Late Z: shade everything, then test.
+            metrics.fragments_shaded += frags.count
+            shaded = shader.shade(frags.xs, frags.ys, frags.colors)
+            passed = depth_test(state.depth_func, frags.depths, current)
+            metrics.late_tested += frags.count
+            n_passed = int(passed.sum())
+            metrics.late_passed += n_passed
+            if owners is not None:
+                metrics.shaded_by_owner += np.bincount(
+                    owners, minlength=num_owners)
+                metrics.passed_by_owner += np.bincount(
+                    owners[passed], minlength=num_owners)
+            survivors = frags.select(passed)
+            if survivors.count == 0:
+                continue
+            _write(target, depth_buf, survivors, shaded[passed],
+                   state, metrics, touched)
+    return metrics
+
+
+def _write(target, depth_buf, frags, shaded_colors, state, metrics,
+           touched) -> None:
+    """Blend surviving fragments into the render target."""
+    ys, xs = frags.ys, frags.xs
+    if state.blend_op is BlendOp.REPLACE:
+        target.color[ys, xs] = shaded_colors
+    else:
+        target.color[ys, xs] = blend(
+            state.blend_op, target.color[ys, xs], shaded_colors)
+    if state.depth_write:
+        depth_buf[ys, xs] = frags.depths
+    if touched is not None:
+        touched[ys, xs] = True
+    metrics.pixels_written += frags.count

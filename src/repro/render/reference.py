@@ -1,0 +1,55 @@
+"""The single-GPU reference pass artifact and the trace's shader set.
+
+Moved here from ``repro.sfr.base`` (which re-exports both names) so the
+render layer owns every functional artifact the store holds. The
+reference pass renders the frame once on a virtual single GPU with
+per-owner fragment attribution; sort-first schemes consume it directly
+because all their GPUs observe the same depth history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..framebuffer.framebuffer import Framebuffer, SurfacePool
+from ..raster.tiles import TileGrid
+from ..shading.shaders import ShaderLibrary
+from ..shading.texture import checkerboard, value_noise
+from ..traces.trace import Trace
+from .artifact import DrawMetrics
+
+
+def build_shader_library(trace: Trace,
+                         num_textures: int = 4) -> ShaderLibrary:
+    """Deterministic texture set for a trace (ids 0..num_textures-1)."""
+    shaders = ShaderLibrary(trace.width, trace.height)
+    for texture_id in range(num_textures):
+        if texture_id % 2 == 0:
+            texture = checkerboard(size=16, squares=4 + texture_id)
+        else:
+            texture = value_noise(size=16, seed=texture_id)
+        shaders.register_texture(texture_id, texture)
+    return shaders
+
+
+@dataclass
+class ReferencePass:
+    """Single-GPU functional render with per-owner attribution."""
+
+    trace: Trace
+    num_gpus: int
+    grid: TileGrid
+    owner_map: np.ndarray
+    pool: SurfacePool
+    metrics: List[DrawMetrics]
+    #: indices i such that a render-target/depth-buffer sync precedes draw i
+    sync_points: List[int]
+    #: per-surface touched masks at frame end {render_target: (H, W) bool}
+    touched: Dict[int, np.ndarray]
+
+    @property
+    def image(self) -> Framebuffer:
+        return self.pool.render_target(0)

@@ -21,23 +21,29 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..framebuffer.framebuffer import SurfacePool
-from ..raster.pipeline import GraphicsPipeline
+from ..render import RenderSession, render_service
 from ..timing.costs import CostModel
 from ..traces.trace import Frame, Trace
-from .base import build_shader_library
 
 
 def frame_render_cycles(frame: Frame, width: int, height: int,
                         costs: CostModel,
-                        pipeline: GraphicsPipeline = None,
+                        session: RenderSession = None,
                         camera=None) -> float:
-    """Single-GPU cycles for one frame (two-stage pipeline recurrence)."""
-    pipe = pipeline or GraphicsPipeline(width, height)
+    """Single-GPU cycles for one frame (two-stage pipeline recurrence).
+
+    Without a ``session``, a throwaway single-frame trace wraps the frame
+    so the render service can fingerprint and cache its geometry.
+    """
+    if session is None:
+        session = render_service().session(
+            Trace(name="afr-frame", width=width, height=height,
+                  frames=[frame], camera=camera))
     pool = SurfacePool(width, height)
     geo_end = 0.0
     frag_end = 0.0
     for draw in frame.draws:
-        metrics = pipe.execute_draw(draw, pool, mvp=camera)
+        metrics = session.execute_draw(draw, pool)
         geo_end += costs.geometry_cycles(draw.num_triangles,
                                          draw.vertex_cost)
         frag_cycles = costs.fragment_cycles(
@@ -90,10 +96,9 @@ class AlternateFrameRendering:
         self.costs = costs or CostModel(gpu=config.gpu)
 
     def run(self, trace: Trace) -> AFRResult:
-        pipeline = GraphicsPipeline(trace.width, trace.height,
-                                    build_shader_library(trace))
+        session = render_service().session(trace)
         per_frame = [frame_render_cycles(frame, trace.width, trace.height,
-                                         self.costs, pipeline,
+                                         self.costs, session,
                                          camera=trace.camera)
                      for frame in trace.frames]
         n = self.config.num_gpus

@@ -19,22 +19,22 @@ functional pass (sort-last GPUs see partial depth).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import List, Optional, Tuple
 
 from ..config import SystemConfig
 from ..errors import PipelineError
-from ..framebuffer.framebuffer import Framebuffer, SurfacePool
-from ..geometry.primitives import DrawCommand
-from ..raster.pipeline import DrawMetrics, GraphicsPipeline
-from ..raster.tiles import TileGrid
-from ..shading.shaders import ShaderLibrary
-from ..shading.texture import checkerboard, value_noise
+from ..framebuffer.framebuffer import Framebuffer
+from ..render import (DrawMetrics, ReferencePass, build_shader_library,
+                      render_service)
 from ..stats import RunStats
 from ..timing.costs import CostModel
 from ..traces.trace import Trace
+
+__all__ = ["ReferencePass", "SFRScheme", "SchemeResult",
+           "build_shader_library", "clear_reference_cache",
+           "reference_pass", "render_reference_image"]
 
 
 @dataclass
@@ -54,85 +54,27 @@ class SchemeResult:
         return self.stats.frame_cycles
 
 
-def build_shader_library(trace: Trace,
-                         num_textures: int = 4) -> ShaderLibrary:
-    """Deterministic texture set for a trace (ids 0..num_textures-1)."""
-    shaders = ShaderLibrary(trace.width, trace.height)
-    for texture_id in range(num_textures):
-        if texture_id % 2 == 0:
-            texture = checkerboard(size=16, squares=4 + texture_id)
-        else:
-            texture = value_noise(size=16, seed=texture_id)
-        shaders.register_texture(texture_id, texture)
-    return shaders
-
-
-@dataclass
-class ReferencePass:
-    """Single-GPU functional render with per-owner attribution."""
-
-    trace: Trace
-    num_gpus: int
-    grid: TileGrid
-    owner_map: np.ndarray
-    pool: SurfacePool
-    metrics: List[DrawMetrics]
-    #: indices i such that a render-target/depth-buffer sync precedes draw i
-    sync_points: List[int]
-    #: per-surface touched masks at frame end {render_target: (H, W) bool}
-    touched: Dict[int, np.ndarray]
-
-    @property
-    def image(self) -> Framebuffer:
-        return self.pool.render_target(0)
-
-
-_REFERENCE_CACHE: Dict[Tuple[int, int, int], ReferencePass] = {}
-
-
 def reference_pass(trace: Trace, config: SystemConfig,
                    use_cache: bool = True) -> ReferencePass:
     """Render the frame once on a virtual single GPU, attributing fragments
-    to tile owners. Cached per (trace, num_gpus, tile_size)."""
-    key = (id(trace), config.num_gpus, config.tile_size)
-    if use_cache and key in _REFERENCE_CACHE:
-        return _REFERENCE_CACHE[key]
-
-    frame = trace.frame
-    grid = TileGrid(trace.width, trace.height, config.tile_size)
-    owner_map = grid.owner_map(config.num_gpus)
-    shaders = build_shader_library(trace)
-    pipeline = GraphicsPipeline(trace.width, trace.height, shaders)
-    pool = SurfacePool(trace.width, trace.height)
-    metrics: List[DrawMetrics] = []
-    sync_points: List[int] = []
-    touched: Dict[int, np.ndarray] = {}
-
-    previous: Optional[DrawCommand] = None
-    for index, draw in enumerate(frame.draws):
-        if previous is not None:
-            prev_state, state = previous.state, draw.state
-            if (prev_state.render_target != state.render_target
-                    or prev_state.depth_buffer != state.depth_buffer):
-                sync_points.append(index)
-        mask = touched.setdefault(
-            draw.state.render_target,
-            np.zeros((trace.height, trace.width), dtype=bool))
-        metrics.append(pipeline.execute_draw(
-            draw, pool, mvp=trace.camera, owner_map=owner_map,
-            num_owners=config.num_gpus, touched=mask))
-        previous = draw
-
-    result = ReferencePass(trace=trace, num_gpus=config.num_gpus, grid=grid,
-                           owner_map=owner_map, pool=pool, metrics=metrics,
-                           sync_points=sync_points, touched=touched)
-    if use_cache:
-        _REFERENCE_CACHE[key] = result
-    return result
+    to tile owners. Stored in the render service's artifact store, keyed
+    by (trace fingerprint, num_gpus, tile_size)."""
+    return render_service().reference_pass(trace, config,
+                                           use_cache=use_cache)
 
 
 def clear_reference_cache() -> None:
-    _REFERENCE_CACHE.clear()
+    """Deprecated: use ``render_service().reset()`` instead.
+
+    The reference pass now lives in the content-addressed artifact store
+    alongside every other functional artifact; this shim drops only the
+    ``reference`` namespace, matching the old module cache's scope.
+    """
+    warnings.warn(
+        "clear_reference_cache() is deprecated; use "
+        "repro.render.render_service().reset() for the unified store",
+        DeprecationWarning, stacklevel=2)
+    render_service().reset("reference")
 
 
 def render_reference_image(trace: Trace,

@@ -51,8 +51,8 @@ from ..core.draw_scheduler import (DrawScheduler,
                                    LeastRemainingTrianglesScheduler,
                                    OracleLPTScheduler, RoundRobinScheduler,
                                    SampledRateScheduler)
-from ..core.grouping import split_into_groups
-from ..core.workflow import GroupMode, GroupPlan, plan_frame, summarize_plan
+from ..core.workflow import (GroupMode, GroupPlan, plan_trace_frame,
+                             summarize_plan)
 from ..errors import FaultError, SchedulingError
 from ..faults.degraded import (first_unfinished_group, merge_chunks,
                                nearest_survivor, rebuild_reduction,
@@ -62,15 +62,15 @@ from ..faults.degraded import (first_unfinished_group, merge_chunks,
 from ..faults.plan import FaultPlan
 from ..framebuffer.depth import DEPTH_CLEAR
 from ..framebuffer.framebuffer import Framebuffer, SurfacePool
-from ..raster.pipeline import GraphicsPipeline
 from ..raster.tiles import TileGrid
+from ..render import render_service
 from ..sim import Barrier, Countdown, Event, Simulator
 from ..stats import (RunStats, STAGE_COMPOSITION, TRAFFIC_COMPOSITION,
                      TRAFFIC_SYNC)
 from ..timing.gpu import DrawWork, GPUEngine
 from ..timing.interconnect import Interconnect
 from ..traces.trace import Trace
-from .base import SchemeResult, SFRScheme, build_shader_library
+from .base import SchemeResult, SFRScheme
 
 #: bytes per depth-buffer pixel broadcast during transparent-group sync
 DEPTH_BYTES = 4
@@ -157,11 +157,13 @@ class _DegradedPlan:
     recovery_cycles: float = 0.0
 
 
-_PREP_CACHE: Dict[tuple, _ChopinPrep] = {}
-
-
 def clear_chopin_cache() -> None:
-    _PREP_CACHE.clear()
+    """Drop cached CHOPIN functional preps from the artifact store.
+
+    Kept for callers that want a targeted invalidation;
+    ``render_service().reset()`` clears every namespace at once.
+    """
+    render_service().reset("chopin-prep")
 
 
 class Chopin(SFRScheme):
@@ -390,60 +392,66 @@ class Chopin(SFRScheme):
 
     # -------------------------------------------------------- functional
 
-    def _prep_key(self, trace: Trace) -> tuple:
+    def _prep_fields(self, trace: Trace) -> dict:
+        """Identifying fields of this variant's functional prep artifact."""
         cfg = self.config
-        return (id(trace), cfg.num_gpus, cfg.tile_size,
-                cfg.composition_threshold, cfg.scheduler_update_interval,
-                cfg.retained_cull_fraction, self.draw_scheduler_kind,
-                self.costs.draw_issue_cost, self.costs.model_memory,
-                self.costs.fragment_memory_bytes, self.costs.l2_hit_rate,
-                self.costs.gpu.dram_bandwidth_bytes_per_s)
+        return {
+            "trace": trace.fingerprint, "num_gpus": cfg.num_gpus,
+            "tile_size": cfg.tile_size,
+            "composition_threshold": cfg.composition_threshold,
+            "scheduler_update_interval": cfg.scheduler_update_interval,
+            "retained_cull_fraction": cfg.retained_cull_fraction,
+            "draw_scheduler": self.draw_scheduler_kind,
+            "draw_issue_cost": self.costs.draw_issue_cost,
+            "model_memory": self.costs.model_memory,
+            "fragment_memory_bytes": self.costs.fragment_memory_bytes,
+            "l2_hit_rate": self.costs.l2_hit_rate,
+            "dram_bandwidth_bytes_per_s":
+                self.costs.gpu.dram_bandwidth_bytes_per_s,
+        }
 
     def _functional_pass(self, trace: Trace) -> _ChopinPrep:
-        key = self._prep_key(trace)
-        if key in _PREP_CACHE:
-            return _PREP_CACHE[key]
+        return render_service().cached(
+            "chopin-prep", self._prep_fields(trace),
+            lambda: self._compute_functional_pass(trace))
 
+    def _compute_functional_pass(self, trace: Trace) -> _ChopinPrep:
         cfg = self.config
         n = cfg.num_gpus
         width, height = trace.width, trace.height
-        self._camera = trace.camera
         grid = TileGrid(width, height, cfg.tile_size)
         own_masks = [grid.gpu_pixel_mask(g, n) for g in range(n)]
         owner_map = grid.owner_map(n)
-        pipeline = GraphicsPipeline(width, height,
-                                    build_shader_library(trace))
+        session = render_service().session(trace)
         global_pool = SurfacePool(width, height)
         local_pools = [SurfacePool(width, height) for _ in range(n)]
         rng = np.random.default_rng(0xC40F1)
         tallies = [_FragTally() for _ in range(n)]
 
-        plans = plan_frame(split_into_groups(trace.frame), cfg)
+        plans = plan_trace_frame(trace, cfg)
         group_preps: List[_GroupPrep] = []
         for plan in plans:
             if plan.mode is GroupMode.DUPLICATE:
                 group_preps.append(self._prep_duplicate(
-                    plan, pipeline, global_pool, local_pools, own_masks,
+                    plan, session, global_pool, local_pools, own_masks,
                     owner_map, tallies))
             elif plan.mode is GroupMode.OPAQUE_PARALLEL:
                 group_preps.append(self._prep_opaque(
-                    plan, pipeline, global_pool, local_pools, own_masks,
+                    plan, session, global_pool, local_pools, own_masks,
                     grid, tallies, rng))
             else:
                 group_preps.append(self._prep_transparent(
-                    plan, pipeline, global_pool, local_pools, own_masks,
+                    plan, session, global_pool, local_pools, own_masks,
                     grid, tallies))
 
         summary = summarize_plan(plans)
-        prep = _ChopinPrep(groups=group_preps,
+        return _ChopinPrep(groups=group_preps,
                            image=global_pool.render_target(0).copy(),
                            tallies=tallies,
                            total_groups=summary.total_groups,
                            accelerated_groups=summary.accelerated_groups,
                            tile_pixels=tile_pixel_counts(grid),
                            tile_owner=tile_owner_matrix(grid, n))
-        _PREP_CACHE[key] = prep
-        return prep
 
     def _tally(self, tallies, gpu: int, metrics, early_z: bool) -> None:
         tally = tallies[gpu]
@@ -465,15 +473,14 @@ class Chopin(SFRScheme):
             local_pools[gpu].render_target(rt).color[mask] = global_color[mask]
             local_pools[gpu].depth_buffer(db)[mask] = global_depth[mask]
 
-    def _prep_duplicate(self, plan, pipeline, global_pool, local_pools,
+    def _prep_duplicate(self, plan, session, global_pool, local_pools,
                         own_masks, owner_map, tallies) -> _GroupPrep:
         """Below-threshold group: conventional SFR, no composition."""
         n = self.config.num_gpus
         works: List[List[DrawWork]] = [[] for _ in range(n)]
         for draw in plan.group.draws:
-            metrics = pipeline.execute_draw(
-                draw, global_pool, mvp=self._camera, owner_map=owner_map,
-                num_owners=n)
+            metrics = session.execute_draw(
+                draw, global_pool, owner_map=owner_map, num_owners=n)
             for gpu in range(n):
                 generated = int(metrics.generated_by_owner[gpu])
                 shaded = int(metrics.shaded_by_owner[gpu])
@@ -498,7 +505,7 @@ class Chopin(SFRScheme):
         self._refresh_own_regions(plan, global_pool, local_pools, own_masks)
         return _GroupPrep(plan=plan, mode=plan.mode, works=works)
 
-    def _prep_opaque(self, plan, pipeline, global_pool, local_pools,
+    def _prep_opaque(self, plan, session, global_pool, local_pools,
                      own_masks, grid, tallies, rng) -> _GroupPrep:
         """Scheduled draws, full-screen local rendering, depth composition."""
         cfg = self.config
@@ -510,9 +517,8 @@ class Chopin(SFRScheme):
         works: List[List[DrawWork]] = [[] for _ in range(n)]
         issues: List[List[float]] = [[] for _ in range(n)]
         for draw, gpu, when in zip(draws, assignment, issue_times):
-            metrics = pipeline.execute_draw(
-                draw, local_pools[gpu], mvp=self._camera,
-                touched=touched[gpu],
+            metrics = session.execute_draw(
+                draw, local_pools[gpu], touched=touched[gpu],
                 retained_cull_fraction=cfg.retained_cull_fraction, rng=rng)
             self._tally(tallies, gpu, metrics, draw.state.early_z)
             works[gpu].append(DrawWork(
@@ -545,7 +551,7 @@ class Chopin(SFRScheme):
         return _GroupPrep(plan=plan, mode=plan.mode, works=works,
                           issue_times=issues, region_pixels=region_pixels)
 
-    def _prep_transparent(self, plan, pipeline, global_pool, local_pools,
+    def _prep_transparent(self, plan, session, global_pool, local_pools,
                           own_masks, grid, tallies) -> _GroupPrep:
         """Even contiguous split, adjacent-pair associative reduction."""
         cfg = self.config
@@ -572,9 +578,8 @@ class Chopin(SFRScheme):
                 db, local_pools[gpu].depth_buffer(db))
             touched = np.zeros((grid.height, grid.width), dtype=bool)
             for draw in chunk:
-                metrics = pipeline.execute_draw(draw, temp_pool,
-                                                mvp=self._camera,
-                                                touched=touched)
+                metrics = session.execute_draw(draw, temp_pool,
+                                               touched=touched)
                 self._tally(tallies, gpu, metrics, draw.state.early_z)
                 works[gpu].append(DrawWork(
                     draw_id=draw.draw_id,

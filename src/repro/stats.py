@@ -116,6 +116,15 @@ class RunStats:
     #: (0 when the run was not sanitized — coverage, not a conflict count)
     sanitizer_accesses: int = 0
 
+    # -- artifact store usage (see repro.render.store) ---------------------
+    #: store lookups this run served from cache (geometry artifacts,
+    #: reference passes, functional preps) / recomputed / evicted / read
+    #: back from the disk tier; all 0 when the result itself was a hit
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    artifact_evictions: int = 0
+    artifact_disk_loads: int = 0
+
     def __post_init__(self) -> None:
         if not self.gpus:
             self.gpus = [GPUStats() for _ in range(self.num_gpus)]
@@ -192,6 +201,15 @@ class RunStats:
             "sanitizer_accesses": self.sanitizer_accesses,
         }
 
+    def artifact_summary(self) -> Dict[str, int]:
+        """Artifact-store counters for reports/exports (zero on a hit)."""
+        return {
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
+            "artifact_evictions": self.artifact_evictions,
+            "artifact_disk_loads": self.artifact_disk_loads,
+        }
+
     # -- serialization (run journal, see repro.harness.engine) -------------
 
     def to_dict(self) -> Dict[str, object]:
@@ -215,6 +233,10 @@ class RunStats:
             "recovery_cycles": self.recovery_cycles,
             "baseline_frame_cycles": self.baseline_frame_cycles,
             "sanitizer_accesses": self.sanitizer_accesses,
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
+            "artifact_evictions": self.artifact_evictions,
+            "artifact_disk_loads": self.artifact_disk_loads,
             "gpus": [{
                 "stage_cycles": dict(g.stage_cycles),
                 "traffic_bytes": dict(g.traffic_bytes),
@@ -246,9 +268,15 @@ class RunStats:
                     recovery_cycles=float(data["recovery_cycles"]),
                     baseline_frame_cycles=float(
                         data["baseline_frame_cycles"]),
-                    # absent in journals written before this field existed
+                    # absent in journals written before these fields existed
                     sanitizer_accesses=int(
-                        data.get("sanitizer_accesses", 0)))
+                        data.get("sanitizer_accesses", 0)),
+                    artifact_hits=int(data.get("artifact_hits", 0)),
+                    artifact_misses=int(data.get("artifact_misses", 0)),
+                    artifact_evictions=int(
+                        data.get("artifact_evictions", 0)),
+                    artifact_disk_loads=int(
+                        data.get("artifact_disk_loads", 0)))
         stats.gpus = []
         for entry in data["gpus"]:
             gpu = GPUStats(

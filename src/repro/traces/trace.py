@@ -7,6 +7,7 @@ order, at a fixed resolution. Traces are the input to every SFR scheme.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -80,6 +81,32 @@ class Trace:
     @property
     def resolution(self) -> str:
         return f"{self.width} x {self.height}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Content address of the trace: resolution, camera, every draw.
+
+        The artifact store keys on this instead of ``id(trace)``, so
+        cached work survives re-loading the same benchmark in another
+        process (disk spill) while distinct traces can never collide.
+        ``name`` and ``metadata`` are excluded — they do not affect
+        rendering. Computed once and cached on the instance (traces are
+        immutable by convention after construction).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(f"{self.width}x{self.height}".encode())
+            if self.camera is not None:
+                digest.update(np.ascontiguousarray(self.camera).tobytes())
+            for frame in self.frames:
+                digest.update(b"|frame")
+                for draw in frame.draws:
+                    digest.update(
+                        f"{draw.draw_id}:{draw.fingerprint}".encode())
+            cached = digest.hexdigest()
+            self.__dict__["_fingerprint"] = cached
+        return cached
 
     def validate(self) -> None:
         """Consistency checks a well-formed trace must satisfy."""

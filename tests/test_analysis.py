@@ -130,6 +130,15 @@ class TestUnorderedIter:
                 schedule(gpu)
         """) == set()
 
+    def test_flags_set_comprehension_into_key_fields(self):
+        # hashing unordered fields would scramble store addresses
+        assert rules_hit("""\
+            fields = list({d.draw_id for d in draws})
+        """) == {"unordered-iter"}
+        assert rules_hit("""\
+            fields = sorted({d.draw_id for d in draws})
+        """) == set()
+
     def test_list_followed_by_sort_is_the_other_fix(self):
         # materialize-then-sort establishes an order before anyone iterates
         assert rules_hit("""\

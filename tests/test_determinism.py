@@ -9,7 +9,7 @@ the harness's cached results unrepresentative.
 import numpy as np
 
 from repro.harness import build_scheme, make_setup
-from repro.sfr import clear_chopin_cache, clear_reference_cache
+from repro.render import render_service
 from repro.traces import TraceSpec, load_benchmark, synthesize
 from repro.traces.benchmarks import clear_cache
 
@@ -48,8 +48,7 @@ class TestSchemeDeterminism:
         setup = make_setup("tiny", num_gpus=8)
         trace = load_benchmark("wolf", "tiny")
         first = build_scheme("chopin+sched", setup).run(trace)
-        clear_chopin_cache()
-        clear_reference_cache()
+        render_service().reset()  # fully cold: geometry, reference, prep
         second = build_scheme("chopin+sched", setup).run(trace)
         assert first.frame_cycles == second.frame_cycles
         assert np.array_equal(first.image.color, second.image.color)
@@ -75,8 +74,7 @@ class TestFaultDeterminism:
         setup = make_setup("tiny", num_gpus=8, faults=plan)
         trace = load_benchmark("wolf", "tiny")
         first = build_scheme("chopin+sched", setup).run(trace)
-        clear_chopin_cache()
-        clear_reference_cache()
+        render_service().reset()  # fully cold: geometry, reference, prep
         second = build_scheme("chopin+sched", setup).run(trace)
         assert first.frame_cycles == second.frame_cycles
         assert first.stats.link_retries == second.stats.link_retries

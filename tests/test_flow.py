@@ -255,6 +255,37 @@ class TestTaintChecker:
         """))
         assert [f.rule for f in findings] == ["nondet-taint"]
 
+    def test_set_order_into_store_key(self):
+        # the artifact store's content addresses must never depend on
+        # iteration order (see repro.render.store.store_key)
+        findings = taint_findings(("m", """\
+            def draw_tags(draws):
+                tags = set(draws)
+                return list(tags)
+
+            def address(draws):
+                return store_key("geometry", {"draws": draw_tags(draws)})
+        """))
+        assert [f.rule for f in findings] == ["nondet-taint"]
+        assert "store key" in findings[0].message
+        assert "set iteration order" in findings[0].message
+
+    def test_hash_into_store_key(self):
+        findings = taint_findings(("m", """\
+            def address(draw):
+                return store_key("geometry", {"draw": hash(draw)})
+        """))
+        assert [f.rule for f in findings] == ["nondet-taint"]
+        assert "store key" in findings[0].message
+
+    def test_sorted_fields_into_store_key_are_clean(self):
+        # the real store's idiom: deterministic fields, sorted iteration
+        assert taint_findings(("m", """\
+            def address(draws):
+                tags = sorted(set(draws))
+                return store_key("geometry", {"draws": tags})
+        """)) == []
+
     def test_id_as_cache_key_is_not_a_sink(self):
         # the id(trace) memo-key idiom used by the harness stays legal
         assert taint_findings(("m", """\
