@@ -14,14 +14,20 @@ Commands
 ``export-results``  run schemes and write a CSV/JSON of flattened results
 ``bench``           time a scheme x benchmark sweep cold vs warm against the
                     artifact store, verify bit-identical output, write JSON
+``gen-trace``       generate an MTTF-driven failure trace for the configured
+                    fabric (topology-fingerprinted JSON; see
+                    :mod:`repro.faults.traces`)
+``soak``            render N consecutive frames under a failure trace,
+                    checking per-frame bit-identity vs the fault-free oracle
 ``lint``            run simlint (determinism static analysis) over sources
 
 Every simulation command accepts ``--scale {tiny,small,paper}``,
-``--gpus N`` and ``--artifact-dir DIR`` (spill the render artifact store
-to disk so warm state survives across invocations). ``render``, ``compare`` and ``timeline`` accept
-``--sanitize`` to run the DES with the race sanitizer attached.
-``sweep``, ``figures`` and ``export-results`` additionally take the
-experiment-engine flags ``--jobs``, ``--timeout``, ``--retries``,
+``--gpus N``, ``--topology {p2p,bus,ring,switch}`` and
+``--artifact-dir DIR`` (spill the render artifact store to disk so warm
+state survives across invocations). ``render``, ``compare`` and
+``timeline`` accept ``--sanitize`` to run the DES with the race sanitizer
+attached. ``sweep``, ``figures`` and ``export-results`` additionally take
+the experiment-engine flags ``--jobs``, ``--timeout``, ``--retries``,
 ``--journal`` and ``--resume`` (see :mod:`repro.harness.engine`).
 
 Exit codes
@@ -29,7 +35,7 @@ Exit codes
 
 0 success · 1 library error · 2 bad configuration/usage · 3 completed with
 FAILED cells (partial results salvaged) · 4 job timeout · 5 worker crash ·
-6 retry budget exhausted
+6 retry budget exhausted · 7 failure-trace topology fingerprint mismatch
 """
 
 from __future__ import annotations
@@ -41,7 +47,8 @@ from typing import List, Optional
 
 from .core import plan_frame, split_into_groups, summarize_plan
 from .errors import (ConfigError, JobTimeout, ReproError,
-                     RetryBudgetExhausted, WorkerCrashed)
+                     RetryBudgetExhausted, TraceFingerprintError,
+                     WorkerCrashed)
 from .harness import MAIN_SCHEMES, SCHEMES, make_setup, run
 from .harness import experiments as experiments_module
 from .harness import report as report_module
@@ -57,11 +64,13 @@ EXIT_PARTIAL = 3
 EXIT_TIMEOUT = 4
 EXIT_CRASH = 5
 EXIT_BUDGET = 6
+EXIT_FINGERPRINT = 7
 
 #: typed failure -> distinct exit code (most specific first)
 EXIT_CODES = ((RetryBudgetExhausted, EXIT_BUDGET), (JobTimeout, EXIT_TIMEOUT),
-              (WorkerCrashed, EXIT_CRASH), (ConfigError, EXIT_CONFIG),
-              (ReproError, EXIT_ERROR))
+              (WorkerCrashed, EXIT_CRASH),
+              (TraceFingerprintError, EXIT_FINGERPRINT),
+              (ConfigError, EXIT_CONFIG), (ReproError, EXIT_ERROR))
 
 #: figure name -> (experiment callable name, renderer callable name)
 FIGURES = {
@@ -85,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", default="tiny",
                        choices=("tiny", "small", "paper"))
         p.add_argument("--gpus", type=int, default=8)
+        from .config import ALL_TOPOLOGIES
+        p.add_argument("--topology", default=None,
+                       choices=ALL_TOPOLOGIES,
+                       help="interconnect fabric (default: p2p, the "
+                            "paper's DGX-like full mesh)")
         p.add_argument("--artifact-dir", metavar="DIR", default=None,
                        help="spill the render artifact store to this "
                             "directory (shared across processes and "
@@ -96,7 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="inject deterministic faults, e.g. "
                  "'seed=7,drop=0.01,fail=2@50000,slow=0:20000:0.5' "
                  "(keys: seed, drop, corrupt, retries, backoff, detect, "
-                 "fail=GPU@CYCLE, slow=START:END:FACTOR)")
+                 "gpus, fail=GPU@CYCLE, slow=START:END:FACTOR — slow "
+                 "windows must be disjoint), or 'trace:PATH.json' to "
+                 "replay frame 0 of a generated failure trace (see "
+                 "gen-trace; the trace's topology fingerprint must match "
+                 "this system, exit 7 otherwise)")
 
     def sanitize_opt(p):
         p.add_argument(
@@ -225,6 +243,54 @@ def build_parser() -> argparse.ArgumentParser:
                             "least this factor faster than cold "
                             "(default 1.0: warm must beat cold)")
 
+    gen_trace = sub.add_parser(
+        "gen-trace",
+        help="generate an MTTF-driven failure trace (fingerprinted JSON)",
+        description="Draw per-link and per-GPU failure events from "
+                    "exponential MTTF/MTTR renewal processes (loss rates "
+                    "from an empirical CorrOpt-style distribution) and "
+                    "write them as a versioned JSON trace. The trace "
+                    "embeds a fingerprint of the fabric it was generated "
+                    "for (topology kind, GPU count, link parameters); "
+                    "replaying it against any other system exits 7.")
+    common(gen_trace)
+    gen_trace.add_argument("output", help="output trace .json path")
+    gen_trace.add_argument("--seed", type=int, default=0)
+    gen_trace.add_argument("--frames", type=int, default=None,
+                           help="trace horizon in frame windows (default 5)")
+    gen_trace.add_argument("--frame-cycles", type=float, default=None,
+                           metavar="CYCLES",
+                           help="length of one frame window in cycles")
+    for element in ("link", "degrade", "gpu"):
+        gen_trace.add_argument(f"--{element}-mttf", type=float, default=None,
+                               metavar="CYCLES",
+                               help=f"mean cycles between {element} "
+                                    f"failures (0 disables the process)")
+        gen_trace.add_argument(f"--{element}-mttr", type=float, default=None,
+                               metavar="CYCLES",
+                               help=f"mean {element} repair time in cycles")
+
+    soak = sub.add_parser(
+        "soak",
+        help="render N consecutive frames under a failure trace",
+        description="Replay a gen-trace failure trace across N consecutive "
+                    "frames: each frame runs under the trace window's fault "
+                    "plan (fail-stop state carries across frame boundaries) "
+                    "and its image is checked bit-for-bit against the "
+                    "fault-free oracle. Exits 1 when any frame diverges, 7 "
+                    "when the trace's topology fingerprint does not match "
+                    "the configured system.")
+    common(soak)
+    soak.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    soak.add_argument("--trace", required=True, metavar="PATH",
+                      help="failure trace written by gen-trace")
+    soak.add_argument("--scheme", default="chopin+sched",
+                      choices=sorted(SCHEMES))
+    soak.add_argument("--frames", type=int, default=None,
+                      help="frames to render (default: the whole trace)")
+    soak.add_argument("--csv", metavar="PATH", default=None,
+                      help="write one CSV row per frame")
+
     lint = sub.add_parser(
         "lint", help="run simlint (determinism static analysis)",
         description="Run simlint over Python sources. Exit codes: 0 = "
@@ -257,13 +323,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _parse_faults(args):
-    """FaultPlan from --fault-plan (None when absent or not supported)."""
+def _parse_faults(args, config=None):
+    """FaultPlan from --fault-plan (None when absent or not supported).
+
+    The ``trace:PATH.json`` form loads a generated failure trace, checks
+    its topology fingerprint against ``config`` (raising
+    :class:`~repro.errors.TraceFingerprintError`, exit 7, on mismatch) and
+    replays the trace's first frame window; any other spec goes through
+    the ``key=value`` mini-language.
+    """
     spec = getattr(args, "fault_plan", None)
     if not spec:
         return None
+    if spec.startswith("trace:"):
+        from .faults import load_failure_trace, plan_for_window
+        if config is None:
+            raise ConfigError(
+                "trace:-form fault plans need a concrete system config")
+        trace = load_failure_trace(spec[len("trace:"):])
+        return plan_for_window(trace, config, 0)
     from .faults import parse_fault_plan
     return parse_fault_plan(spec)
+
+
+def _setup_from_args(args):
+    """Setup from the common CLI flags.
+
+    Built in two steps because a ``trace:`` fault plan is validated
+    against the concrete fabric: probe the fault-free config first, then
+    rebuild with the parsed plan attached.
+    """
+    kwargs = dict(num_gpus=args.gpus,
+                  topology=getattr(args, "topology", None),
+                  sanitize=getattr(args, "sanitize", False))
+    probe = make_setup(args.scale, **kwargs)
+    return make_setup(args.scale, faults=_parse_faults(args, probe.config),
+                      **kwargs)
 
 
 def _make_engine(args, always: bool = False) -> Optional[Engine]:
@@ -290,9 +385,7 @@ def _parse_sweep_value(text: str):
 
 
 def cmd_render(args) -> int:
-    setup = make_setup(args.scale, num_gpus=args.gpus,
-                       faults=_parse_faults(args),
-                       sanitize=getattr(args, "sanitize", False))
+    setup = _setup_from_args(args)
     trace = load_benchmark(args.benchmark, args.scale)
     result = run(args.scheme, trace, setup)
     print(f"{args.scheme} on {args.benchmark} ({args.gpus} GPUs, "
@@ -314,9 +407,7 @@ def cmd_render(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    setup = make_setup(args.scale, num_gpus=args.gpus,
-                       faults=_parse_faults(args),
-                       sanitize=getattr(args, "sanitize", False))
+    setup = _setup_from_args(args)
     trace = load_benchmark(args.benchmark, args.scale)
     baseline = run("duplication", trace, setup)
     print(f"{args.benchmark} ({args.gpus} GPUs): speedup vs duplication")
@@ -386,7 +477,8 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_inspect(args) -> int:
-    setup = make_setup(args.scale, num_gpus=args.gpus)
+    setup = make_setup(args.scale, num_gpus=args.gpus,
+                       topology=getattr(args, "topology", None))
     trace = load_benchmark(args.benchmark, args.scale)
     print(f"{trace.name}: {trace.resolution}, {trace.num_draws} draws, "
           f"{trace.num_triangles} triangles")
@@ -419,9 +511,7 @@ def cmd_export(args) -> int:
 def cmd_timeline(args) -> int:
     from .harness import build_scheme
     from .timing import record_timeline
-    setup = make_setup(args.scale, num_gpus=args.gpus,
-                       faults=_parse_faults(args),
-                       sanitize=getattr(args, "sanitize", False))
+    setup = _setup_from_args(args)
     trace = load_benchmark(args.benchmark, args.scale)
     with record_timeline() as timeline:
         result = build_scheme(args.scheme, setup).run(trace)
@@ -436,8 +526,7 @@ def cmd_timeline(args) -> int:
 
 def cmd_export_results(args) -> int:
     from .harness.export import collect_rows, write_csv, write_json
-    setup = make_setup(args.scale, num_gpus=args.gpus,
-                       faults=_parse_faults(args))
+    setup = _setup_from_args(args)
     engine = _make_engine(args)
     with contextlib.ExitStack() as stack:
         if engine is not None:
@@ -463,7 +552,8 @@ def cmd_bench(args) -> int:
     import numpy as np
 
     from .render import render_service
-    setup = make_setup(args.scale, num_gpus=args.gpus)
+    setup = make_setup(args.scale, num_gpus=args.gpus,
+                       topology=getattr(args, "topology", None))
     service = render_service()
 
     def sweep_once():
@@ -546,6 +636,59 @@ def cmd_bench(args) -> int:
     return EXIT_OK
 
 
+def cmd_gen_trace(args) -> int:
+    from .faults.traces import (TraceGenConfig, generate_trace,
+                                save_failure_trace)
+    setup = make_setup(args.scale, num_gpus=args.gpus,
+                       topology=getattr(args, "topology", None))
+    kwargs = {"seed": args.seed}
+    if args.frames is not None:
+        kwargs["frames"] = args.frames
+    if args.frame_cycles is not None:
+        kwargs["frame_cycles"] = args.frame_cycles
+    for flag, key in (("link_mttf", "link_mttf_cycles"),
+                      ("link_mttr", "link_mttr_cycles"),
+                      ("degrade_mttf", "degrade_mttf_cycles"),
+                      ("degrade_mttr", "degrade_mttr_cycles"),
+                      ("gpu_mttf", "gpu_mttf_cycles"),
+                      ("gpu_mttr", "gpu_mttr_cycles")):
+        value = getattr(args, flag)
+        if value is not None:
+            # 0 disables that renewal process outright
+            kwargs[key] = None if value == 0 and key.endswith("mttf_cycles") \
+                else value
+    gen = TraceGenConfig(**kwargs)
+    trace = generate_trace(setup.config, gen)
+    save_failure_trace(trace, args.output)
+    topology = setup.config.link.topology
+    print(f"wrote {args.output}: {len(trace.events)} events over "
+          f"{gen.frames} frames of {gen.frame_cycles:,.0f} cycles")
+    print(f"  fabric      : {topology}, {args.gpus} GPUs "
+          f"(fingerprint {trace.fingerprint})")
+    failures = sum(1 for e in trace.events if e.event == "gpu_fail")
+    lossy = sum(1 for e in trace.events if e.event == "link_lossy")
+    degraded = sum(1 for e in trace.events if e.event == "link_degrade")
+    print(f"  episodes    : {failures} GPU fail-stops, {lossy} lossy "
+          f"links, {degraded} degraded links")
+    return EXIT_OK
+
+
+def cmd_soak(args) -> int:
+    from .faults.traces import load_failure_trace
+    from .harness.engine import run_soak
+    setup = make_setup(args.scale, num_gpus=args.gpus,
+                       topology=getattr(args, "topology", None))
+    trace = load_failure_trace(args.trace)
+    report = run_soak(trace, args.scheme, args.benchmark, setup,
+                      frames=args.frames)
+    print(report_module.render_soak_report(report))
+    if args.csv:
+        from .harness.export import write_soak_csv
+        write_soak_csv(report, args.csv)
+        print(f"per-frame rows written to {args.csv}")
+    return EXIT_OK if report.all_identical else EXIT_ERROR
+
+
 def cmd_lint(args) -> int:
     import pathlib
 
@@ -589,6 +732,8 @@ def cmd_lint(args) -> int:
 COMMANDS = {
     "render": cmd_render,
     "bench": cmd_bench,
+    "gen-trace": cmd_gen_trace,
+    "soak": cmd_soak,
     "lint": cmd_lint,
     "export-results": cmd_export_results,
     "timeline": cmd_timeline,

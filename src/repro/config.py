@@ -62,6 +62,11 @@ class GPUConfig:
 #: supported interconnect topologies
 TOPOLOGY_P2P = "p2p"           # full point-to-point (DGX/NVSwitch-like)
 TOPOLOGY_SHARED_BUS = "bus"    # one shared medium (PCIe-switch-like)
+TOPOLOGY_RING = "ring"         # bidirectional ring, store-and-forward hops
+TOPOLOGY_SWITCH = "switch"     # single crossbar, per-port contention
+
+ALL_TOPOLOGIES = (TOPOLOGY_P2P, TOPOLOGY_SHARED_BUS, TOPOLOGY_RING,
+                  TOPOLOGY_SWITCH)
 
 
 @dataclass(frozen=True)
@@ -76,7 +81,13 @@ class LinkConfig:
     channel (contention only at the per-GPU ports — the paper's DGX-like
     assumption, §V); ``bus`` funnels all transfers through one shared medium
     whose aggregate bandwidth is ``bus_bandwidth_x`` links' worth — an
-    ablation for pre-NVLink systems.
+    ablation for pre-NVLink systems; ``ring`` is a bidirectional ring where
+    messages hop store-and-forward along the shortest direction, contending
+    for each directed hop link; ``switch`` is a single crossbar — every GPU
+    has one uplink and one downlink port, transfers pay two wire hops plus
+    ``switch_latency_cycles`` of crossbar traversal, and the backplane
+    admits ``num_gpus / switch_oversubscription`` simultaneous streams
+    (1.0 = non-blocking).
     """
 
     bandwidth_gb_per_s: float = 64.0  # unit: bytes/s # GB scale, not dim.
@@ -84,16 +95,24 @@ class LinkConfig:
     ideal: bool = False
     topology: str = TOPOLOGY_P2P
     bus_bandwidth_x: float = 2.0      # unit: 1
+    switch_latency_cycles: int = 100  # unit: cycles
+    switch_oversubscription: float = 1.0  # unit: 1
 
     def __post_init__(self) -> None:
         if not self.ideal and self.bandwidth_gb_per_s <= 0:
             raise ConfigError("link bandwidth must be positive")
         if self.latency_cycles < 0:
             raise ConfigError("link latency cannot be negative")
-        if self.topology not in (TOPOLOGY_P2P, TOPOLOGY_SHARED_BUS):
-            raise ConfigError(f"unknown topology {self.topology!r}")
+        if self.topology not in ALL_TOPOLOGIES:
+            raise ConfigError(f"unknown topology {self.topology!r} "
+                              f"(known: {', '.join(ALL_TOPOLOGIES)})")
         if self.bus_bandwidth_x <= 0:
             raise ConfigError("bus bandwidth multiplier must be positive")
+        if self.switch_latency_cycles < 0:
+            raise ConfigError("switch latency cannot be negative")
+        if self.switch_oversubscription < 1.0:
+            raise ConfigError("switch oversubscription must be >= 1 "
+                              "(1.0 = non-blocking crossbar)")
 
     def bandwidth_bytes_per_cycle(self, frequency_hz: int = GIGA) -> float:
         """Bytes per cycle in one direction at the given GPU clock."""

@@ -13,6 +13,19 @@ class ConfigError(ReproError):
     """A configuration value is invalid or inconsistent."""
 
 
+class TraceFingerprintError(ConfigError):
+    """A failure trace was generated for a different fabric than the one it
+    is being replayed against (topology fingerprint mismatch).
+
+    Subclasses :class:`ConfigError` — the trace *is* configuration — but is
+    distinguishable so the CLI can map it to its own exit code and print
+    which identifying fields disagree."""
+
+    def __init__(self, message: str, mismatched_fields: tuple = ()):
+        super().__init__(message)
+        self.mismatched_fields = tuple(mismatched_fields)
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 

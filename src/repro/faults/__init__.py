@@ -4,19 +4,33 @@
 :class:`FaultPlan` (fail-stop GPUs, transient link errors, degraded-
 bandwidth windows) plus the per-run :class:`FaultInjector`;
 :mod:`repro.faults.degraded` holds the recovery planning algorithms the
-CHOPIN schemes use to finish a frame after a GPU dies.
+CHOPIN schemes use to finish a frame after a GPU dies;
+:mod:`repro.faults.traces` generates MTTF-driven failure traces bound to a
+topology fingerprint and projects per-frame windows of them back into
+fault plans for soak runs.
 """
 
 from .plan import (OUTCOME_CORRUPT, OUTCOME_DROP, OUTCOME_OK, DegradedWindow,
                    FaultInjector, FaultPlan, GPUFailure, parse_fault_plan)
+from .traces import (FailureTrace, TraceEvent, TraceGenConfig,
+                     generate_trace, load_failure_trace, plan_for_window,
+                     save_failure_trace, validate_trace)
 
 __all__ = [
     "DegradedWindow",
+    "FailureTrace",
     "FaultInjector",
     "FaultPlan",
     "GPUFailure",
     "OUTCOME_CORRUPT",
     "OUTCOME_DROP",
     "OUTCOME_OK",
+    "TraceEvent",
+    "TraceGenConfig",
+    "generate_trace",
+    "load_failure_trace",
     "parse_fault_plan",
+    "plan_for_window",
+    "save_failure_trace",
+    "validate_trace",
 ]

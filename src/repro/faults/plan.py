@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from random import Random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
 
@@ -95,6 +95,10 @@ class FaultPlan:
     drop_detection_cycles: float = 400.0
     gpu_failures: Tuple[GPUFailure, ...] = ()
     degraded_windows: Tuple[DegradedWindow, ...] = ()
+    #: GPU count the plan was written for (None = any). When set, fail-stop
+    #: indices are range-checked at construction and :meth:`validate_for`
+    #: refuses replay against a differently-sized system.
+    gpus: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name, p in (("drop_probability", self.drop_probability),
@@ -118,6 +122,24 @@ class FaultPlan:
                 raise ConfigError(
                     f"GPU{failure.gpu} fail-stops twice in the same plan")
             seen.add(failure.gpu)
+        if self.gpus is not None:
+            if self.gpus <= 0:
+                raise ConfigError(
+                    f"fault-plan GPU count must be positive (got {self.gpus})")
+            for failure in self.gpu_failures:
+                if failure.gpu >= self.gpus:
+                    raise ConfigError(
+                        f"fail-stop targets GPU{failure.gpu} but the plan "
+                        f"declares only {self.gpus} GPUs")
+        ordered = sorted(self.degraded_windows,
+                         key=lambda w: (w.start, w.end))
+        for prev, nxt in zip(ordered, ordered[1:]):
+            if nxt.start < prev.end:
+                raise ConfigError(
+                    f"degraded windows [{prev.start}, {prev.end}) and "
+                    f"[{nxt.start}, {nxt.end}) overlap; split them into "
+                    f"disjoint intervals (the most degraded factor wins "
+                    f"where they would overlap)")
 
     # -- derived queries ---------------------------------------------------
 
@@ -144,16 +166,19 @@ class FaultPlan:
     def bandwidth_factor_at(self, cycle: float) -> float:  # unit: 1
         """Link bandwidth multiplier in effect at ``cycle`` (1.0 = nominal).
 
-        Overlapping windows compound to the most degraded one.
+        Windows are disjoint by construction, so at most one applies.
         """
-        factor = 1.0
         for window in self.degraded_windows:
             if window.contains(cycle):
-                factor = min(factor, window.bandwidth_factor)
-        return factor
+                return window.bandwidth_factor
+        return 1.0
 
     def validate_for(self, num_gpus: int) -> None:
         """Check the plan against a concrete system size."""
+        if self.gpus is not None and self.gpus != num_gpus:
+            raise ConfigError(
+                f"fault plan was written for {self.gpus} GPUs but the "
+                f"system has {num_gpus}")
         for failure in self.gpu_failures:
             if failure.gpu >= num_gpus:
                 raise ConfigError(
@@ -237,11 +262,13 @@ def parse_fault_plan(spec: str) -> FaultPlan:
 
     The spec is a comma-separated list of ``key=value`` tokens::
 
-        seed=42,fail=2@50000,drop=0.01,corrupt=0.002,retries=5,
+        seed=42,gpus=8,fail=2@50000,drop=0.01,corrupt=0.002,retries=5,
         backoff=16,detect=400,slow=1000:9000:0.25
 
-    ``fail`` and ``slow`` may repeat. Unknown keys and malformed values
-    raise :class:`~repro.errors.ConfigError`.
+    ``fail`` and ``slow`` may repeat; ``slow`` windows must be disjoint.
+    ``gpus`` pins the plan to a system size (replay against any other size
+    is refused). Unknown keys and malformed values raise
+    :class:`~repro.errors.ConfigError`.
     """
     kwargs: Dict[str, object] = {}
     failures: List[GPUFailure] = []
@@ -267,6 +294,8 @@ def parse_fault_plan(spec: str) -> FaultPlan:
                 kwargs["backoff_base_cycles"] = float(value)
             elif key == "detect":
                 kwargs["drop_detection_cycles"] = float(value)
+            elif key == "gpus":
+                kwargs["gpus"] = int(value)
             elif key == "fail":
                 failures.append(_parse_failure(value))
             elif key == "slow":
@@ -274,7 +303,7 @@ def parse_fault_plan(spec: str) -> FaultPlan:
             else:
                 raise ConfigError(
                     f"unknown fault-plan key {key!r} (known: seed, drop, "
-                    f"corrupt, retries, backoff, detect, fail, slow)")
+                    f"corrupt, retries, backoff, detect, gpus, fail, slow)")
         except ConfigError:
             raise
         except ValueError as exc:

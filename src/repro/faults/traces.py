@@ -1,0 +1,522 @@
+"""MTTF-driven failure traces with topology fingerprints.
+
+This module adopts the LinkGuardian trace-generator model (SNIPPETS.md
+snippet 1, ROADMAP item 3): instead of hand-writing one-frame fault scripts,
+*generate* a long failure trace from per-element reliability parameters and
+replay slices of it through today's :class:`~repro.faults.plan.FaultPlan`
+machinery.
+
+Model
+-----
+Every directed link and every GPU of the configured fabric runs an
+independent **alternating renewal process**: exponentially-distributed
+up-times (mean = MTTF) alternate with exponentially-distributed repair
+times (mean = MTTR). Three processes exist:
+
+- **lossy links** — a link enters a lossy episode whose per-message
+  corruption rate is sampled from an empirical loss-rate distribution
+  (à la CorrOpt Table 1: most failures are mild, a heavy tail is severe);
+- **degraded links** — a link throttles to a sampled fraction of nominal
+  bandwidth (flapping lane / thermal throttling);
+- **fail-stop GPUs** — a GPU dies and is eventually repaired (dead across
+  any number of frame boundaries until then).
+
+Determinism: every element gets its own :class:`random.Random` stream keyed
+by ``sha256(f"{seed}:{kind}:{element}")``, so adding a GPU or reordering
+iteration cannot perturb any other element's draws — the same seed always
+yields the byte-identical trace.
+
+Fingerprinting: the trace embeds :func:`~repro.timing.topology.
+fingerprint_fields` and its hash for the fabric it was generated against.
+:func:`validate_trace` refuses — field by field — replay against any other
+fabric, and the CLI maps that to its own exit code.
+
+Replay: :func:`plan_for_window` projects the trace onto one frame's
+``[f*W, (f+1)*W)`` window and builds a ``FaultPlan`` for exactly that
+window, carrying fail-stop state across frame boundaries (a GPU dead at
+the window's start fails at cycle 0; repairs take effect only at the next
+frame boundary — mid-frame resurrection is not modeled).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError, TraceFingerprintError
+from .plan import DegradedWindow, FaultPlan, GPUFailure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import SystemConfig
+
+# ``repro.config`` itself imports this package (FaultPlan is part of the
+# system config), so the topology helpers — which need the full config —
+# are imported lazily inside the functions that use them.
+
+
+def _topology():
+    from ..timing import topology
+    return topology
+
+#: trace file format marker and schema version
+TRACE_FORMAT = "repro-failure-trace"
+TRACE_VERSION = 1
+
+#: event kinds, ordered pairs of (enter, leave) per renewal process
+EVENT_LINK_LOSSY = "link_lossy"      # severity = per-message corruption rate
+EVENT_LINK_REPAIR = "link_repair"    # severity = 0
+EVENT_LINK_DEGRADE = "link_degrade"  # severity = bandwidth factor
+EVENT_LINK_RESTORE = "link_restore"  # severity = 1
+EVENT_GPU_FAIL = "gpu_fail"          # severity = 0
+EVENT_GPU_REPAIR = "gpu_repair"      # severity = 1
+
+ALL_EVENTS = (EVENT_LINK_LOSSY, EVENT_LINK_REPAIR, EVENT_LINK_DEGRADE,
+              EVENT_LINK_RESTORE, EVENT_GPU_FAIL, EVENT_GPU_REPAIR)
+
+#: empirical loss-rate distribution, CorrOpt Table 1 style: (rate, weight).
+#: Most lossy episodes corrupt a small fraction of messages; a heavy tail
+#: is severe enough to eat the whole retry budget.
+DEFAULT_LOSS_RATES: Tuple[Tuple[float, float], ...] = (
+    (0.001, 0.50),
+    (0.01, 0.30),
+    (0.05, 0.15),
+    (0.25, 0.05),
+)
+
+#: empirical degraded-bandwidth factors: (factor, weight)
+DEFAULT_DEGRADE_FACTORS: Tuple[Tuple[float, float], ...] = (
+    (0.75, 0.40),
+    (0.50, 0.40),
+    (0.25, 0.15),
+    (0.10, 0.05),
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One state change of one fabric element at an absolute trace time."""
+
+    time: float    # unit: cycles # absolute, from trace start
+    element: str   # link ID (repro.timing.topology) or "gpu{N}"
+    event: str     # one of ALL_EVENTS
+    severity: float  # unit: 1 # rate or factor, event-specific
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"trace event time cannot be negative "
+                              f"(got {self.time})")
+        if self.event not in ALL_EVENTS:
+            raise ConfigError(f"unknown trace event kind {self.event!r} "
+                              f"(known: {', '.join(ALL_EVENTS)})")
+
+
+@dataclass(frozen=True)
+class TraceGenConfig:
+    """Reliability parameters for :func:`generate_trace`.
+
+    All MTTF/MTTR values are means of exponential distributions, in cycles
+    at the simulated GPU clock. A ``None`` MTTF disables that failure
+    process entirely (no draws are made for it).
+    """
+
+    seed: int = 0
+    frame_cycles: float = 2_000_000.0   # unit: cycles # window length
+    frames: int = 5                      # unit: 1 # trace horizon, in frames
+    link_mttf_cycles: Optional[float] = 8_000_000.0   # unit: cycles
+    link_mttr_cycles: float = 1_000_000.0             # unit: cycles
+    degrade_mttf_cycles: Optional[float] = 6_000_000.0  # unit: cycles
+    degrade_mttr_cycles: float = 2_000_000.0            # unit: cycles
+    gpu_mttf_cycles: Optional[float] = 40_000_000.0   # unit: cycles
+    gpu_mttr_cycles: float = 10_000_000.0             # unit: cycles
+    loss_rates: Tuple[Tuple[float, float], ...] = DEFAULT_LOSS_RATES
+    degrade_factors: Tuple[Tuple[float, float], ...] = DEFAULT_DEGRADE_FACTORS
+    retry_budget: int = 8
+    drop_detection_cycles: float = 400.0  # unit: cycles
+
+    def __post_init__(self) -> None:
+        if self.frame_cycles <= 0:
+            raise ConfigError("frame window must be positive")
+        if self.frames <= 0:
+            raise ConfigError("trace horizon must cover at least one frame")
+        for name, mttf, mttr in (
+                ("link", self.link_mttf_cycles, self.link_mttr_cycles),
+                ("degrade", self.degrade_mttf_cycles,
+                 self.degrade_mttr_cycles),
+                ("gpu", self.gpu_mttf_cycles, self.gpu_mttr_cycles)):
+            if mttf is not None and mttf <= 0:
+                raise ConfigError(f"{name} MTTF must be positive or None")
+            if mttr <= 0:
+                raise ConfigError(f"{name} MTTR must be positive")
+        for name, table in (("loss_rates", self.loss_rates),
+                            ("degrade_factors", self.degrade_factors)):
+            if not table:
+                raise ConfigError(f"{name} table cannot be empty")
+            for value, weight in table:
+                if weight <= 0:
+                    raise ConfigError(f"{name} weights must be positive")
+                if not 0.0 < value <= 1.0:
+                    raise ConfigError(
+                        f"{name} values must lie in (0, 1] (got {value})")
+        if self.retry_budget < 0:
+            raise ConfigError("retry budget cannot be negative")
+        if self.drop_detection_cycles < 0:
+            raise ConfigError("drop detection timeout cannot be negative")
+
+    @property
+    def horizon_cycles(self) -> float:  # unit: cycles
+        """Total trace length."""
+        return self.frame_cycles * self.frames
+
+
+@dataclass(frozen=True)
+class FailureTrace:
+    """A generated failure trace, bound to one fabric by fingerprint."""
+
+    version: int
+    fingerprint: str
+    topology: Tuple[Tuple[str, object], ...]  # fingerprint_fields, sorted
+    generator: TraceGenConfig
+    events: Tuple[TraceEvent, ...] = field(default_factory=tuple)
+
+    @property
+    def topology_dict(self) -> Dict[str, object]:
+        return dict(self.topology)
+
+
+def _element_rng(seed: int, kind: str, element: str) -> Random:
+    """Independent stream per (seed, process kind, element).
+
+    sha256 rather than ``hash()``: the taint lint bans salted ``hash()``
+    anywhere near fingerprints, and PYTHONHASHSEED would break determinism.
+    """
+    digest = hashlib.sha256(f"{seed}:{kind}:{element}".encode()).digest()
+    return Random(int.from_bytes(digest[:8], "big"))
+
+
+def _sample_weighted(rng: Random,
+                     table: Sequence[Tuple[float, float]]) -> float:
+    """Draw one value from a (value, weight) table."""
+    total = sum(weight for _, weight in table)
+    roll = rng.random() * total
+    acc = 0.0
+    for value, weight in table:
+        acc += weight
+        if roll < acc:
+            return value
+    return table[-1][0]
+
+
+def _renewal_events(rng: Random, element: str, horizon: float,
+                    mttf: float, mttr: float, enter_event: str,
+                    leave_event: str, enter_severity, leave_severity: float,
+                    ) -> List[TraceEvent]:
+    """One element's alternating up/down renewal process over [0, horizon).
+
+    ``enter_severity`` is either a fixed float or a callable drawing the
+    episode's severity from the same stream (so episode count and severity
+    draws stay interleaved deterministically).
+    """
+    events: List[TraceEvent] = []
+    t = rng.expovariate(1.0 / mttf)  # first failure after an up-time
+    while t < horizon:
+        severity = (enter_severity(rng) if callable(enter_severity)
+                    else enter_severity)
+        events.append(TraceEvent(time=t, element=element, event=enter_event,
+                                 severity=severity))
+        t += rng.expovariate(1.0 / mttr)
+        if t >= horizon:
+            break
+        events.append(TraceEvent(time=t, element=element, event=leave_event,
+                                 severity=leave_severity))
+        t += rng.expovariate(1.0 / mttf)
+    return events
+
+
+def generate_trace(config: "SystemConfig",
+                   gen: TraceGenConfig) -> FailureTrace:
+    """Generate the deterministic failure trace of ``config``'s fabric.
+
+    Elements are iterated in sorted order and each owns an independent
+    seeded stream, so the output is a pure function of (fabric, gen).
+    """
+    topo = _topology()
+    horizon = gen.horizon_cycles
+    events: List[TraceEvent] = []
+
+    for link in sorted(topo.directed_links(config)):
+        if gen.link_mttf_cycles is not None:
+            events.extend(_renewal_events(
+                _element_rng(gen.seed, "lossy", link), link, horizon,
+                gen.link_mttf_cycles, gen.link_mttr_cycles,
+                EVENT_LINK_LOSSY, EVENT_LINK_REPAIR,
+                lambda rng: _sample_weighted(rng, gen.loss_rates), 0.0))
+        if gen.degrade_mttf_cycles is not None:
+            events.extend(_renewal_events(
+                _element_rng(gen.seed, "degrade", link), link, horizon,
+                gen.degrade_mttf_cycles, gen.degrade_mttr_cycles,
+                EVENT_LINK_DEGRADE, EVENT_LINK_RESTORE,
+                lambda rng: _sample_weighted(rng, gen.degrade_factors), 1.0))
+
+    if gen.gpu_mttf_cycles is not None:
+        for g in range(config.num_gpus):
+            events.extend(_renewal_events(
+                _element_rng(gen.seed, "gpu", f"gpu{g}"), f"gpu{g}", horizon,
+                gen.gpu_mttf_cycles, gen.gpu_mttr_cycles,
+                EVENT_GPU_FAIL, EVENT_GPU_REPAIR, 0.0, 1.0))
+
+    events.sort(key=lambda e: (e.time, e.element, e.event))
+    fields = topo.fingerprint_fields(config)
+    return FailureTrace(
+        version=TRACE_VERSION,
+        fingerprint=topo.topology_fingerprint(config),
+        topology=tuple(sorted(fields.items())),
+        generator=gen,
+        events=tuple(events),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serialization — canonical JSON so save -> load -> save is byte-identical.
+
+
+def trace_to_dict(trace: FailureTrace) -> Dict[str, object]:
+    gen = trace.generator
+    return {
+        "format": TRACE_FORMAT,
+        "version": trace.version,
+        "fingerprint": trace.fingerprint,
+        "topology": trace.topology_dict,
+        "generator": {
+            "seed": gen.seed,
+            "frame_cycles": gen.frame_cycles,
+            "frames": gen.frames,
+            "link_mttf_cycles": gen.link_mttf_cycles,
+            "link_mttr_cycles": gen.link_mttr_cycles,
+            "degrade_mttf_cycles": gen.degrade_mttf_cycles,
+            "degrade_mttr_cycles": gen.degrade_mttr_cycles,
+            "gpu_mttf_cycles": gen.gpu_mttf_cycles,
+            "gpu_mttr_cycles": gen.gpu_mttr_cycles,
+            "loss_rates": [list(pair) for pair in gen.loss_rates],
+            "degrade_factors": [list(pair) for pair in gen.degrade_factors],
+            "retry_budget": gen.retry_budget,
+            "drop_detection_cycles": gen.drop_detection_cycles,
+        },
+        "events": [[e.time, e.element, e.event, e.severity]
+                   for e in trace.events],
+    }
+
+
+def trace_from_dict(data: Dict[str, object]) -> FailureTrace:
+    if not isinstance(data, dict) or data.get("format") != TRACE_FORMAT:
+        raise ConfigError(
+            f"not a failure trace: expected format={TRACE_FORMAT!r}")
+    version = data.get("version")
+    if version != TRACE_VERSION:
+        raise ConfigError(
+            f"unsupported failure-trace version {version!r} "
+            f"(this build reads version {TRACE_VERSION})")
+    try:
+        g = dict(data["generator"])
+        gen = TraceGenConfig(
+            seed=int(g["seed"]),
+            frame_cycles=float(g["frame_cycles"]),
+            frames=int(g["frames"]),
+            link_mttf_cycles=(None if g["link_mttf_cycles"] is None
+                              else float(g["link_mttf_cycles"])),
+            link_mttr_cycles=float(g["link_mttr_cycles"]),
+            degrade_mttf_cycles=(None if g["degrade_mttf_cycles"] is None
+                                 else float(g["degrade_mttf_cycles"])),
+            degrade_mttr_cycles=float(g["degrade_mttr_cycles"]),
+            gpu_mttf_cycles=(None if g["gpu_mttf_cycles"] is None
+                             else float(g["gpu_mttf_cycles"])),
+            gpu_mttr_cycles=float(g["gpu_mttr_cycles"]),
+            loss_rates=tuple((float(v), float(w))
+                             for v, w in g["loss_rates"]),
+            degrade_factors=tuple((float(v), float(w))
+                                  for v, w in g["degrade_factors"]),
+            retry_budget=int(g["retry_budget"]),
+            drop_detection_cycles=float(g["drop_detection_cycles"]),
+        )
+        events = tuple(
+            TraceEvent(time=float(t), element=str(el), event=str(ev),
+                       severity=float(sev))
+            for t, el, ev, sev in data["events"])
+        topology = dict(data["topology"])
+        fingerprint = str(data["fingerprint"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed failure trace: {exc}") from exc
+    return FailureTrace(version=TRACE_VERSION, fingerprint=fingerprint,
+                        topology=tuple(sorted(topology.items())),
+                        generator=gen, events=events)
+
+
+def save_failure_trace(trace: FailureTrace, path) -> None:
+    """Write ``trace`` as canonical JSON (sorted keys, stable separators)."""
+    text = json.dumps(trace_to_dict(trace), sort_keys=True, indent=1)
+    Path(path).write_text(text + "\n")
+
+
+def load_failure_trace(path) -> FailureTrace:
+    """Read a trace written by :func:`save_failure_trace`."""
+    p = Path(path)
+    if not p.is_file():
+        raise ConfigError(f"failure trace not found: {p}")
+    try:
+        data = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"failure trace {p} is not valid JSON: "
+                          f"{exc}") from exc
+    return trace_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Replay validation and FaultPlan projection.
+
+
+def validate_trace(trace: FailureTrace, config: "SystemConfig") -> None:
+    """Refuse replay against a fabric the trace was not generated for.
+
+    Raises :class:`~repro.errors.TraceFingerprintError` naming every
+    identifying field that disagrees (kind, GPU count, link parameters),
+    not just the opaque hash.
+    """
+    topo = _topology()
+    system = topo.fingerprint_fields(config)
+    stored = trace.topology_dict
+    mismatched = []
+    for name in sorted(set(system) | set(stored)):
+        if system.get(name) != stored.get(name):
+            mismatched.append(name)
+    system_fp = topo.topology_fingerprint(config)
+    if not mismatched and trace.fingerprint == system_fp:
+        return
+    details = "; ".join(
+        f"{name}: trace={stored.get(name)!r} system={system.get(name)!r}"
+        for name in mismatched) or (
+        f"fingerprint: trace={trace.fingerprint} system={system_fp}")
+    raise TraceFingerprintError(
+        f"failure trace was generated for a different fabric "
+        f"({details})", mismatched_fields=tuple(mismatched))
+
+
+def _window_overlap(start: float, end: float, lo: float, hi: float) -> float:
+    """Length of [start, end) ∩ [lo, hi)."""
+    return max(0.0, min(end, hi) - max(start, lo))
+
+
+def _element_intervals(trace: FailureTrace, enter_event: str,
+                       leave_event: str,
+                       ) -> Dict[str, List[Tuple[float, float, float]]]:
+    """Per-element (start, end, severity) episodes over the whole trace.
+
+    An episode still open at the end of the trace closes at the horizon.
+    """
+    horizon = trace.generator.horizon_cycles
+    open_at: Dict[str, Tuple[float, float]] = {}
+    episodes: Dict[str, List[Tuple[float, float, float]]] = {}
+    for event in trace.events:
+        if event.event == enter_event:
+            open_at[event.element] = (event.time, event.severity)
+        elif event.event == leave_event and event.element in open_at:
+            start, severity = open_at.pop(event.element)
+            episodes.setdefault(event.element, []).append(
+                (start, event.time, severity))
+    for element, (start, severity) in sorted(open_at.items()):
+        episodes.setdefault(element, []).append((start, horizon, severity))
+    return episodes
+
+
+def _degraded_windows_for(trace: FailureTrace, lo: float,
+                          hi: float) -> Tuple[DegradedWindow, ...]:
+    """Disjoint piecewise-min degraded windows clipped to [lo, hi).
+
+    Different links may degrade at overlapping times; ``FaultPlan`` models
+    one fabric-wide factor and rejects overlapping windows, so overlaps
+    collapse to the most degraded factor over each elementary interval.
+    """
+    episodes = _element_intervals(trace, EVENT_LINK_DEGRADE,
+                                  EVENT_LINK_RESTORE)
+    clipped: List[Tuple[float, float, float]] = []
+    for intervals in episodes.values():
+        for start, end, factor in intervals:
+            s, e = max(start, lo), min(end, hi)
+            if s < e:
+                clipped.append((s - lo, e - lo, factor))
+    if not clipped:
+        return ()
+    bounds = sorted({b for s, e, _ in clipped for b in (s, e)})
+    pieces: List[DegradedWindow] = []
+    for s, e in zip(bounds, bounds[1:]):
+        mid = (s + e) / 2.0
+        factors = [f for cs, ce, f in clipped if cs <= mid < ce]
+        if factors:
+            factor = min(factors)
+            if pieces and pieces[-1].end == s and \
+                    pieces[-1].bandwidth_factor == factor:
+                pieces[-1] = DegradedWindow(
+                    start=pieces[-1].start, end=e, bandwidth_factor=factor)
+            else:
+                pieces.append(DegradedWindow(start=s, end=e,
+                                             bandwidth_factor=factor))
+    return tuple(pieces)
+
+
+def plan_for_window(trace: FailureTrace, config: "SystemConfig",
+                    frame_index: int) -> Optional[FaultPlan]:
+    """Project the trace onto frame ``frame_index``'s window as a FaultPlan.
+
+    The window is ``[f*W, (f+1)*W)`` with ``W = generator.frame_cycles``.
+    Fail-stop state carries across frame boundaries: a GPU already dead at
+    the window's start fails at relative cycle 0; one that dies inside the
+    window fails at its relative time. Repairs take effect only at the next
+    frame boundary. Lossy episodes become a window-averaged per-message
+    ``corrupt_probability``; degraded episodes become clipped disjoint
+    windows. Returns ``None`` when the window is fault-free, so callers can
+    share the fault-free oracle run.
+    """
+    validate_trace(trace, config)
+    gen = trace.generator
+    if not 0 <= frame_index < gen.frames:
+        raise ConfigError(
+            f"frame {frame_index} is outside the trace horizon "
+            f"(0..{gen.frames - 1})")
+    lo = gen.frame_cycles * frame_index
+    hi = lo + gen.frame_cycles
+
+    failures: List[GPUFailure] = []
+    gpu_episodes = _element_intervals(trace, EVENT_GPU_FAIL,
+                                      EVENT_GPU_REPAIR)
+    for element, intervals in sorted(gpu_episodes.items()):
+        gpu = int(element[len("gpu"):])
+        for start, end, _ in intervals:
+            if start < hi and end > lo:  # dead at some point this window
+                failures.append(GPUFailure(gpu=gpu,
+                                           cycle=max(0.0, start - lo)))
+                break  # one fail-stop per GPU per frame (plan invariant)
+
+    num_links = max(1, len(_topology().directed_links(config)))
+    lossy = _element_intervals(trace, EVENT_LINK_LOSSY, EVENT_LINK_REPAIR)
+    weighted_loss = 0.0
+    for intervals in lossy.values():
+        for start, end, rate in intervals:
+            weighted_loss += rate * _window_overlap(start, end, lo, hi)
+    corrupt_probability = min(1.0, weighted_loss
+                              / (gen.frame_cycles * num_links))
+
+    windows = _degraded_windows_for(trace, lo, hi)
+
+    if not failures and corrupt_probability == 0.0 and not windows:
+        return None
+    return FaultPlan(
+        seed=gen.seed * 7919 + frame_index,
+        corrupt_probability=corrupt_probability,
+        retry_budget=gen.retry_budget,
+        drop_detection_cycles=gen.drop_detection_cycles,
+        gpu_failures=tuple(failures),
+        degraded_windows=windows,
+        gpus=config.num_gpus,
+    )

@@ -723,3 +723,120 @@ def restore_active_engine(previous: Optional[Engine]) -> None:
 
 def active_engine() -> Optional[Engine]:
     return _ACTIVE_ENGINE[0]
+
+
+# ------------------------------------------------------------- soak running
+#
+# A *soak* run renders N consecutive frames under one long MTTF-generated
+# failure trace (repro.faults.traces), carrying fail-stop state across frame
+# boundaries: plan_for_window() marks a GPU already dead at a window's start
+# as failed at relative cycle 0, so a GPU that dies in frame f stays dead in
+# frame f+1 unless the trace repaired it by then. Every frame's image is
+# checked bit-for-bit against the fault-free oracle of the same setup, and
+# the per-frame recovery overhead (frame cycles minus the oracle's) is
+# stamped into the frame's RunStats for reports/CSV.
+
+
+@dataclass(frozen=True)
+class SoakFrameResult:
+    """One frame of a soak run."""
+
+    frame_index: int
+    fault_events: int            # trace events inside this frame's window
+    bit_identical: bool          # image matches the fault-free oracle
+    frame_cycles: float          # unit: cycles
+    baseline_frame_cycles: float  # unit: cycles # the oracle's frame time
+    failed_gpus: Tuple[int, ...]
+    stats: RunStats
+
+    @property
+    def recovery_overhead_cycles(self) -> float:  # unit: cycles
+        return self.frame_cycles - self.baseline_frame_cycles
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """Outcome of a multi-frame soak run under one failure trace."""
+
+    scheme: str
+    benchmark: str
+    num_gpus: int
+    trace_fingerprint: str
+    frames: Tuple[SoakFrameResult, ...]
+
+    @property
+    def all_identical(self) -> bool:
+        return all(frame.bit_identical for frame in self.frames)
+
+    @property
+    def total_recovery_overhead_cycles(self) -> float:  # unit: cycles
+        return sum(frame.recovery_overhead_cycles for frame in self.frames)
+
+    @property
+    def faulty_frames(self) -> int:
+        return sum(1 for frame in self.frames if frame.fault_events)
+
+
+def run_soak(trace, scheme: str, benchmark: str, setup,
+             frames: Optional[int] = None, strict: bool = False) -> SoakReport:
+    """Render consecutive frames of ``benchmark`` under a failure trace.
+
+    ``trace`` is a :class:`repro.faults.traces.FailureTrace`; it must have
+    been generated for ``setup``'s fabric (fingerprint-checked, raising
+    :class:`~repro.errors.TraceFingerprintError` otherwise). The fault-free
+    oracle is rendered once; frames whose trace window is fault-free reuse
+    it outright. With ``strict=True`` the first non-bit-identical frame
+    raises :class:`~repro.errors.FaultError` instead of being reported.
+    """
+    import numpy as np
+
+    from ..errors import FaultError
+    from ..faults.traces import plan_for_window, validate_trace
+    from .runner import run_benchmark_direct
+
+    validate_trace(trace, setup.config)
+    total = trace.generator.frames if frames is None else frames
+    if not 1 <= total <= trace.generator.frames:
+        raise ConfigError(
+            f"soak frame count must lie in 1..{trace.generator.frames} "
+            f"(the trace horizon); got {total}")
+    if setup.config.faults is not None:
+        setup = setup.replace_config(faults=None)
+
+    oracle = run_benchmark_direct(scheme, benchmark, setup)
+    window = trace.generator.frame_cycles
+    results: List[SoakFrameResult] = []
+    for index in range(total):
+        lo, hi = window * index, window * (index + 1)
+        events = sum(1 for e in trace.events if lo <= e.time < hi)
+        plan = plan_for_window(trace, setup.config, index)
+        if plan is None:
+            result = oracle
+        else:
+            result = run_benchmark_direct(
+                scheme, benchmark, setup.replace_config(faults=plan))
+        identical = bool(
+            np.array_equal(result.image.color, oracle.image.color)
+            and np.array_equal(result.image.depth, oracle.image.depth))
+        if strict and not identical:
+            raise FaultError(
+                f"soak frame {index} of {scheme}/{benchmark} diverged "
+                f"from the fault-free oracle under trace "
+                f"{trace.fingerprint}")
+        # results can come from the run cache; stamp a private stats copy
+        stats = RunStats.from_dict(result.stats.to_dict())
+        stats.frame_index = index
+        stats.fault_events = events
+        stats.baseline_frame_cycles = oracle.stats.frame_cycles
+        results.append(SoakFrameResult(
+            frame_index=index,
+            fault_events=events,
+            bit_identical=identical,
+            frame_cycles=result.stats.frame_cycles,
+            baseline_frame_cycles=oracle.stats.frame_cycles,
+            failed_gpus=tuple(result.stats.failed_gpus),
+            stats=stats))
+    return SoakReport(scheme=scheme, benchmark=benchmark,
+                      num_gpus=setup.config.num_gpus,
+                      trace_fingerprint=trace.fingerprint,
+                      frames=tuple(results))

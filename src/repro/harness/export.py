@@ -25,7 +25,7 @@ PathLike = Union[str, pathlib.Path]
 FAULT_COLUMNS = ("link_retries", "dropped_transfers", "corrupted_transfers",
                  "retransmitted_bytes", "backoff_cycles", "failed_gpus",
                  "redistributed_draws", "recovery_cycles",
-                 "recovery_overhead_cycles")
+                 "recovery_overhead_cycles", "frame_index", "fault_events")
 
 #: engine supervision counters (see repro.harness.engine; zero/False when
 #: the run was unsupervised) plus race-sanitizer coverage (shared-state
@@ -149,3 +149,42 @@ def read_rows(path: PathLike) -> List[Dict[str, object]]:
     """Load rows back from a JSON export."""
     with open(path) as handle:
         return json.load(handle)
+
+
+#: per-frame soak export schema (see repro.harness.engine.run_soak)
+SOAK_COLUMNS = ("benchmark", "scheme", "num_gpus", "trace_fingerprint",
+                "frame_index", "fault_events", "bit_identical",
+                "frame_cycles", "baseline_frame_cycles",
+                "recovery_overhead_cycles", "failed_gpus",
+                "redistributed_draws", "link_retries")
+
+
+def soak_rows(report) -> List[Dict[str, object]]:
+    """Flatten a :class:`~repro.harness.engine.SoakReport` into rows."""
+    rows = []
+    for frame in report.frames:
+        rows.append({
+            "benchmark": report.benchmark,
+            "scheme": report.scheme,
+            "num_gpus": report.num_gpus,
+            "trace_fingerprint": report.trace_fingerprint,
+            "frame_index": frame.frame_index,
+            "fault_events": frame.fault_events,
+            "bit_identical": frame.bit_identical,
+            "frame_cycles": frame.frame_cycles,
+            "baseline_frame_cycles": frame.baseline_frame_cycles,
+            "recovery_overhead_cycles": frame.recovery_overhead_cycles,
+            "failed_gpus": len(frame.failed_gpus),
+            "redistributed_draws": frame.stats.redistributed_draws,
+            "link_retries": frame.stats.link_retries,
+        })
+    return rows
+
+
+def write_soak_csv(report, path: PathLike) -> None:
+    """One CSV row per soak frame (schema: ``SOAK_COLUMNS``)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=SOAK_COLUMNS)
+        writer.writeheader()
+        for row in soak_rows(report):
+            writer.writerow(row)

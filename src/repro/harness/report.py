@@ -204,3 +204,34 @@ def render_table3(rows: Sequence[Mapping], title: str = "Table III: "
     return render_table(
         ["bench", "paper res", "draws", "tris", "run res", "run draws",
          "run tris"], body, title)
+
+
+def render_soak_report(report, title: str = "") -> str:
+    """Per-frame table for a multi-frame soak run under a failure trace.
+
+    ``report`` is a :class:`~repro.harness.engine.SoakReport`. Every frame
+    shows its trace-event count, surviving fail-stops, frame time, recovery
+    overhead vs. the fault-free oracle, and the bit-identity verdict.
+    """
+    head = title or (f"soak: {report.scheme} on {report.benchmark} "
+                     f"({report.num_gpus} GPUs, trace "
+                     f"{report.trace_fingerprint})")
+    lines = [head]
+    lines.append(f"  {'frame':>5}  {'events':>6}  {'dead GPUs':<12} "
+                 f"{'cycles':>14}  {'overhead':>12}  image")
+    for frame in report.frames:
+        dead = ",".join(str(g) for g in frame.failed_gpus) or "-"
+        verdict = "identical" if frame.bit_identical else "DIVERGED"
+        lines.append(
+            f"  {frame.frame_index:>5}  {frame.fault_events:>6}  "
+            f"{dead:<12} {frame.frame_cycles:>14,.0f}  "
+            f"{frame.recovery_overhead_cycles:>12,.0f}  {verdict}")
+    lines.append(
+        f"  {len(report.frames)} frames, {report.faulty_frames} with "
+        f"faults, total recovery overhead "
+        f"{report.total_recovery_overhead_cycles:,.0f} cycles "
+        f"(oracle frame {report.frames[0].baseline_frame_cycles:,.0f})")
+    if not report.all_identical:
+        lines.append("  ERROR: at least one frame diverged from the "
+                     "fault-free oracle")
+    return "\n".join(lines)

@@ -100,6 +100,10 @@ class RunStats:
     recovery_cycles: float = 0.0
     #: fault-free frame time, recorded when a degraded run was compared
     baseline_frame_cycles: float = 0.0
+    #: position of this frame in a multi-frame soak run (0 outside soak)
+    frame_index: int = 0
+    #: failure-trace events that fell inside this frame's window (soak runs)
+    fault_events: int = 0
 
     # -- harness supervision (see repro.harness.engine) --------------------
     #: attempts the job that produced this run consumed (1 = first try)
@@ -189,6 +193,8 @@ class RunStats:
             "redistributed_draws": self.redistributed_draws,
             "recovery_cycles": self.recovery_cycles,
             "recovery_overhead_cycles": self.recovery_overhead_cycles,
+            "frame_index": self.frame_index,
+            "fault_events": self.fault_events,
         }
 
     def engine_summary(self) -> Dict[str, object]:
@@ -232,6 +238,8 @@ class RunStats:
             "redistributed_draws": self.redistributed_draws,
             "recovery_cycles": self.recovery_cycles,
             "baseline_frame_cycles": self.baseline_frame_cycles,
+            "frame_index": self.frame_index,
+            "fault_events": self.fault_events,
             "sanitizer_accesses": self.sanitizer_accesses,
             "artifact_hits": self.artifact_hits,
             "artifact_misses": self.artifact_misses,
@@ -269,6 +277,8 @@ class RunStats:
                     baseline_frame_cycles=float(
                         data["baseline_frame_cycles"]),
                     # absent in journals written before these fields existed
+                    frame_index=int(data.get("frame_index", 0)),
+                    fault_events=int(data.get("fault_events", 0)),
                     sanitizer_accesses=int(
                         data.get("sanitizer_accesses", 0)),
                     artifact_hits=int(data.get("artifact_hits", 0)),

@@ -1,10 +1,14 @@
 """Cycle-level timing models: costs, GPU pipeline engine, interconnect,
-timeline recording."""
+topology descriptors, timeline recording."""
 
 from .costs import CostModel
 from .gpu import DrawWork, GPUEngine
 from .interconnect import Interconnect
 from .timeline import Span, TimelineRecorder, record_timeline
+from .topology import (directed_links, fingerprint_fields, ring_hops,
+                       topology_fingerprint, transfer_links)
 
 __all__ = ["CostModel", "DrawWork", "GPUEngine", "Interconnect", "Span",
-           "TimelineRecorder", "record_timeline"]
+           "TimelineRecorder", "directed_links", "fingerprint_fields",
+           "record_timeline", "ring_hops", "topology_fingerprint",
+           "transfer_links"]

@@ -1,12 +1,26 @@
 """Inter-GPU interconnect timing model.
 
-Point-to-point links between every GPU pair (the NVLink/NVSwitch topology of
-NVIDIA DGX, §V), modeled with three contention points:
+The default fabric is point-to-point links between every GPU pair (the
+NVLink/NVSwitch topology of NVIDIA DGX, §V), modeled with three contention
+points:
 
 - a per-GPU **egress port** — a GPU streams one outbound message at a time;
 - a per-GPU **ingress port** — a GPU drains one inbound message at a time;
 - the directed link itself (implicit: with single egress/ingress ports the
   pairwise links never contend beyond the ports).
+
+``LinkConfig.topology`` swaps in three alternative fabrics (see
+:mod:`repro.timing.topology` for the link namespace and routing):
+
+- ``bus`` — every transfer serializes through one shared medium of
+  ``bus_bandwidth_x`` links' worth of aggregate bandwidth;
+- ``ring`` — messages hop store-and-forward along the shortest ring
+  direction, claiming each directed hop link in turn (hop contention) and
+  paying the head latency once per hop;
+- ``switch`` — a single crossbar: the per-GPU egress/ingress ports are the
+  switch ports, transfers pay two wire hops plus
+  ``switch_latency_cycles`` of traversal, and a backplane resource admits
+  ``num_gpus / switch_oversubscription`` simultaneous streams.
 
 A transfer claims the sender's egress, propagates head latency, then queues
 FIFO at the receiver's ingress. An optional ``gate`` event models the naive
@@ -29,7 +43,7 @@ counters land in :class:`~repro.stats.RunStats`.
 
 from __future__ import annotations
 
-from typing import Generator, Iterable, Optional
+from typing import Dict, Generator, Iterable, Optional, Tuple
 
 from ..analysis.sanitizer import ACCESS_WRITE
 from ..config import SystemConfig
@@ -66,12 +80,30 @@ class Interconnect:
             self._injector = FaultInjector(fault_plan)
         # Shared-bus ablation: all transfers serialize through one medium
         # of bus_bandwidth_x links' worth of aggregate bandwidth.
-        from ..config import TOPOLOGY_SHARED_BUS
+        from ..config import (TOPOLOGY_RING, TOPOLOGY_SHARED_BUS,
+                              TOPOLOGY_SWITCH)
+        from .topology import ring_link_id
         self._bus: Optional[Resource] = None
         if (config.link.topology == TOPOLOGY_SHARED_BUS
                 and not config.link.ideal):
             self._bus = Resource(sim, name="bus")
             self._bytes_per_cycle *= config.link.bus_bandwidth_x
+        # Ring: one Resource per directed hop link; messages claim the hops
+        # of their (shortest-direction) path one at a time.
+        self._ring: Dict[Tuple[int, int], Resource] = {}
+        if config.link.topology == TOPOLOGY_RING and not config.link.ideal:
+            for g in range(n):
+                for nb in ((g + 1) % n, (g - 1) % n):
+                    self._ring[(g, nb)] = Resource(
+                        sim, name=ring_link_id(g, nb))
+        # Switch: the egress/ingress ports are the crossbar ports; the
+        # backplane bounds simultaneous streams when oversubscribed.
+        self._backplane: Optional[Resource] = None
+        if config.link.topology == TOPOLOGY_SWITCH and not config.link.ideal:
+            capacity = max(1, round(n / config.link.switch_oversubscription))
+            if capacity < n:
+                self._backplane = Resource(sim, capacity=capacity,
+                                           name="backplane")
 
     def occupancy_cycles(self, num_bytes: float,
                          at: Optional[float] = None) -> float:
@@ -83,6 +115,25 @@ class Interconnect:
         if at is not None and self._injector is not None:
             rate *= self.fault_plan.bandwidth_factor_at(at)
         return num_bytes / rate
+
+    def head_latency_cycles(self, src: int, dst: int) -> float:
+        """Head (propagation) latency of one ``src`` -> ``dst`` message.
+
+        p2p/bus pay the link latency once; the ring pays it per
+        store-and-forward hop; the switch pays two wire hops plus the
+        crossbar traversal.
+        """
+        link = self.config.link
+        if link.ideal:
+            return 0.0
+        from ..config import TOPOLOGY_RING, TOPOLOGY_SWITCH
+        if link.topology == TOPOLOGY_RING:
+            from .topology import ring_hops
+            return link.latency_cycles * len(
+                ring_hops(src, dst, self.config.num_gpus))
+        if link.topology == TOPOLOGY_SWITCH:
+            return 2.0 * link.latency_cycles + link.switch_latency_cycles
+        return float(link.latency_cycles)
 
     def transfer(self, src: int, dst: int, num_bytes: float, category: str,
                  gate: Optional[Event] = None,
@@ -123,6 +174,7 @@ class Interconnect:
         egress_req = self.egress[src].request()
         ingress_req = None
         bus_req = None
+        backplane_req = None
         try:
             yield egress_req
             if gate is not None and not gate.processed:
@@ -137,6 +189,9 @@ class Interconnect:
             if self._bus is not None:
                 bus_req = self._bus.request()
                 yield bus_req
+            if self._backplane is not None:
+                backplane_req = self._backplane.request()
+                yield backplane_req
             yield from self._stream_with_retries(src, dst, num_bytes)
             if num_bytes > 0:
                 # The payload has landed in the receiver's framebuffer
@@ -147,6 +202,8 @@ class Interconnect:
                 # lands at the same instant by design).
                 self.sim.record_access(f"fb:gpu{dst}", ACCESS_WRITE)
         finally:
+            if backplane_req is not None:
+                self._backplane.withdraw(backplane_req)
             if bus_req is not None:
                 self._bus.withdraw(bus_req)
             if ingress_req is not None:
@@ -154,7 +211,7 @@ class Interconnect:
             self.egress[src].withdraw(egress_req)
             if ports_released is not None and not ports_released.triggered:
                 ports_released.succeed()
-        yield self.sim.timeout(self.config.link.latency_cycles)
+        yield self.sim.timeout(self.head_latency_cycles(src, dst))
         if receive_cycles:
             receive_start = self.sim.now
             yield self.sim.timeout(receive_cycles)
@@ -163,18 +220,51 @@ class Interconnect:
                 recorder.record(f"gpu{dst}", "composition",
                                 receive_start, self.sim.now)
 
+    def _stream_once(self, src: int, dst: int,
+                     num_bytes: float) -> Generator:
+        """Stream the payload across the fabric once (no error handling).
+
+        On the ring the message traverses its hop links store-and-forward,
+        claiming each directed hop resource in turn — two messages crossing
+        the same hop serialize there, which is exactly where ring fabrics
+        congest. Hop claims are withdrawn even if the owning process dies
+        mid-hop. Other fabrics stream in one span (the bus/backplane
+        resources are claimed by the caller).
+        """
+        if self._ring:
+            for a, b in self._ring_path(src, dst):
+                hop = self._ring[(a, b)]
+                hop_req = hop.request()
+                try:
+                    yield hop_req
+                    hop_start = self.sim.now
+                    yield self.sim.timeout(
+                        self.occupancy_cycles(num_bytes, at=hop_start))
+                    recorder = timeline.current()
+                    if recorder is not None:
+                        recorder.record(hop.name, "transfer",
+                                        hop_start, self.sim.now)
+                finally:
+                    hop.withdraw(hop_req)
+            return
+        span_start = self.sim.now
+        yield self.sim.timeout(self.occupancy_cycles(num_bytes,
+                                                     at=span_start))
+        recorder = timeline.current()
+        if recorder is not None:
+            recorder.record(f"link{src}->{dst}", "transfer",
+                            span_start, self.sim.now)
+
+    def _ring_path(self, src: int, dst: int):
+        from .topology import ring_hops
+        return ring_hops(src, dst, self.config.num_gpus)
+
     def _stream_with_retries(self, src: int, dst: int,
                              num_bytes: float) -> Generator:
         """Stream the payload, retransmitting on injected link errors."""
         attempt = 0
         while True:
-            span_start = self.sim.now
-            yield self.sim.timeout(self.occupancy_cycles(num_bytes,
-                                                         at=span_start))
-            recorder = timeline.current()
-            if recorder is not None:
-                recorder.record(f"link{src}->{dst}", "transfer",
-                                span_start, self.sim.now)
+            yield from self._stream_once(src, dst, num_bytes)
             if self._injector is None:
                 return
             outcome = self._injector.transfer_outcome(src, dst)

@@ -1,0 +1,143 @@
+"""Interconnect topology descriptors: link enumeration, routing, fingerprints.
+
+Every fabric the interconnect can simulate is described here in one place:
+
+- :func:`directed_links` enumerates the *real* directed link IDs of a
+  configured system — the element namespace that failure traces
+  (:mod:`repro.faults.traces`) address, so a trace generated for one fabric
+  can never silently target links that do not exist in another;
+- :func:`ring_hops` is the ring's deterministic routing function (shortest
+  direction, ties broken clockwise);
+- :func:`fingerprint_fields` / :func:`topology_fingerprint` reduce a
+  :class:`~repro.config.SystemConfig`'s fabric to a canonical field dict and
+  a stable content hash. The hash is embedded in every generated failure
+  trace; loaders refuse a trace whose fingerprint does not match the system
+  it is replayed against (LinkGuardian's trace-generator contract).
+
+Link ID conventions (stable — traces serialize them):
+
+==========  ==============================  =======================
+topology    link IDs                        count
+==========  ==============================  =======================
+``p2p``     ``link{i}->{j}`` for all i!=j   n*(n-1)
+``bus``     ``bus``                         1
+``ring``    ``ring{i}->{j}``, j = i+-1 mod  2n
+``switch``  ``up{i}`` and ``down{i}``       2n
+==========  ==============================  =======================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Tuple
+
+from ..config import (TOPOLOGY_P2P, TOPOLOGY_RING, TOPOLOGY_SHARED_BUS,
+                      TOPOLOGY_SWITCH, SystemConfig)
+from ..errors import ConfigError
+
+
+def ring_link_id(a: int, b: int) -> str:
+    """ID of the directed ring hop from GPU ``a`` to its neighbour ``b``."""
+    return f"ring{a}->{b}"
+
+
+def switch_uplink(gpu: int) -> str:
+    """ID of ``gpu``'s uplink port into the crossbar."""
+    return f"up{gpu}"
+
+
+def switch_downlink(gpu: int) -> str:
+    """ID of the crossbar's downlink port into ``gpu``."""
+    return f"down{gpu}"
+
+
+def ring_hops(src: int, dst: int, num_gpus: int) -> List[Tuple[int, int]]:
+    """Directed hop sequence a ring message takes from ``src`` to ``dst``.
+
+    Routes along the shorter direction; an exact tie (even rings, antipodal
+    pair) goes clockwise so routing stays deterministic.
+    """
+    if src == dst:
+        return []
+    clockwise = (dst - src) % num_gpus
+    counter = (src - dst) % num_gpus
+    step = 1 if clockwise <= counter else -1
+    hops: List[Tuple[int, int]] = []
+    here = src
+    while here != dst:
+        nxt = (here + step) % num_gpus
+        hops.append((here, nxt))
+        here = nxt
+    return hops
+
+
+def directed_links(config: SystemConfig) -> Tuple[str, ...]:
+    """All directed link IDs of the configured fabric, in a stable order."""
+    n = config.num_gpus
+    kind = config.link.topology
+    if kind == TOPOLOGY_P2P:
+        return tuple(f"link{i}->{j}" for i in range(n) for j in range(n)
+                     if i != j)
+    if kind == TOPOLOGY_SHARED_BUS:
+        return ("bus",)
+    if kind == TOPOLOGY_RING:
+        links: List[str] = []
+        for g in range(n):
+            links.append(ring_link_id(g, (g + 1) % n))
+            links.append(ring_link_id(g, (g - 1) % n))
+        return tuple(links)
+    if kind == TOPOLOGY_SWITCH:
+        links = []
+        for g in range(n):
+            links.append(switch_uplink(g))
+            links.append(switch_downlink(g))
+        return tuple(links)
+    raise ConfigError(f"unknown topology {kind!r}")
+
+
+def transfer_links(config: SystemConfig, src: int, dst: int) -> Tuple[str, ...]:
+    """Link IDs a ``src`` -> ``dst`` transfer crosses, in traversal order."""
+    kind = config.link.topology
+    if kind == TOPOLOGY_P2P:
+        return (f"link{src}->{dst}",)
+    if kind == TOPOLOGY_SHARED_BUS:
+        return ("bus",)
+    if kind == TOPOLOGY_RING:
+        return tuple(ring_link_id(a, b)
+                     for a, b in ring_hops(src, dst, config.num_gpus))
+    if kind == TOPOLOGY_SWITCH:
+        return (switch_uplink(src), switch_downlink(dst))
+    raise ConfigError(f"unknown topology {kind!r}")
+
+
+def fingerprint_fields(config: SystemConfig) -> Dict[str, object]:
+    """Canonical identifying fields of the configured fabric.
+
+    Everything that changes which links exist or how they behave is
+    included; anything that does not (tile size, cost model, fault plan)
+    is not — the same trace must replay against any workload on the same
+    fabric.
+    """
+    link = config.link
+    fields: Dict[str, object] = {
+        "kind": link.topology,
+        "num_gpus": config.num_gpus,
+        "bandwidth_gb_per_s": link.bandwidth_gb_per_s,
+        "latency_cycles": link.latency_cycles,
+        "ideal": link.ideal,
+        "num_links": len(directed_links(config)),
+    }
+    if link.topology == TOPOLOGY_SHARED_BUS:
+        fields["bus_bandwidth_x"] = link.bus_bandwidth_x
+    if link.topology == TOPOLOGY_SWITCH:
+        fields["switch_latency_cycles"] = link.switch_latency_cycles
+        fields["switch_oversubscription"] = link.switch_oversubscription
+    return fields
+
+
+def topology_fingerprint(config: SystemConfig) -> str:
+    """Stable 16-hex-digit content hash of :func:`fingerprint_fields`."""
+    canon = json.dumps(fingerprint_fields(config), sort_keys=True,
+                       separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]

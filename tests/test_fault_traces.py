@@ -1,0 +1,373 @@
+"""MTTF failure traces, topology fingerprints, ring/switch fabrics, soak.
+
+Covers the trace generator's determinism contract (generate -> save ->
+load -> regenerate is byte-identical for the same seed), fingerprint
+refusal with the offending fields named, per-frame FaultPlan projection
+with fail-stop carry-over, the ring/switch interconnect models, and the
+multi-frame soak runner's bit-identity gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXIT_CONFIG, EXIT_FINGERPRINT, EXIT_OK, main
+from repro.config import LinkConfig, SystemConfig
+from repro.errors import ConfigError, TraceFingerprintError
+from repro.faults.traces import (EVENT_GPU_FAIL, EVENT_GPU_REPAIR,
+                                 FailureTrace, TraceEvent, TraceGenConfig,
+                                 generate_trace, load_failure_trace,
+                                 plan_for_window, save_failure_trace,
+                                 validate_trace)
+from repro.harness.engine import run_soak
+from repro.harness.runner import make_setup, run_benchmark_direct
+from repro.timing.topology import (directed_links, fingerprint_fields,
+                                   ring_hops, topology_fingerprint,
+                                   transfer_links)
+
+GEN = TraceGenConfig(seed=11, frames=5, frame_cycles=100_000.0,
+                     link_mttf_cycles=400_000.0, link_mttr_cycles=50_000.0,
+                     degrade_mttf_cycles=300_000.0,
+                     degrade_mttr_cycles=100_000.0,
+                     gpu_mttf_cycles=2_000_000.0, gpu_mttr_cycles=500_000.0)
+
+
+def _config(topology="p2p", num_gpus=8):
+    return SystemConfig(num_gpus=num_gpus,
+                        link=LinkConfig(topology=topology))
+
+
+class TestTopologyDescriptors:
+    def test_directed_link_counts(self):
+        n = 8
+        assert len(directed_links(_config("p2p", n))) == n * (n - 1)
+        assert directed_links(_config("bus", n)) == ("bus",)
+        assert len(directed_links(_config("ring", n))) == 2 * n
+        assert len(directed_links(_config("switch", n))) == 2 * n
+
+    def test_ring_routing_takes_shorter_direction(self):
+        assert ring_hops(0, 2, 8) == [(0, 1), (1, 2)]
+        assert ring_hops(0, 6, 8) == [(0, 7), (7, 6)]
+        assert ring_hops(3, 3, 8) == []
+        # antipodal tie goes clockwise, deterministically
+        assert ring_hops(0, 4, 8)[0] == (0, 1)
+
+    def test_transfer_links_cross_real_links(self):
+        config = _config("switch")
+        assert transfer_links(config, 2, 5) == ("up2", "down5")
+        ring = _config("ring")
+        for link in transfer_links(ring, 1, 3):
+            assert link in directed_links(ring)
+
+    def test_fingerprint_distinguishes_fabrics(self):
+        prints = {topology_fingerprint(_config(kind))
+                  for kind in ("p2p", "bus", "ring", "switch")}
+        assert len(prints) == 4
+        assert topology_fingerprint(_config("p2p", 8)) != \
+            topology_fingerprint(_config("p2p", 16))
+
+    def test_fingerprint_stable_across_calls(self):
+        config = _config("switch")
+        assert topology_fingerprint(config) == topology_fingerprint(config)
+        assert len(topology_fingerprint(config)) == 16
+
+
+class TestTraceGeneration:
+    def test_same_seed_regenerates_identically(self):
+        config = _config()
+        assert generate_trace(config, GEN) == generate_trace(config, GEN)
+
+    def test_different_seed_differs(self):
+        config = _config()
+        other = TraceGenConfig(seed=GEN.seed + 1, frames=GEN.frames,
+                               frame_cycles=GEN.frame_cycles)
+        assert generate_trace(config, GEN).events != \
+            generate_trace(config, other).events
+
+    def test_events_sorted_and_bounded(self):
+        trace = generate_trace(_config(), GEN)
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+        assert all(0 <= t < GEN.horizon_cycles for t in times)
+
+    def test_events_address_real_elements(self):
+        config = _config("ring")
+        links = set(directed_links(config))
+        gpus = {f"gpu{g}" for g in range(config.num_gpus)}
+        trace = generate_trace(config, GEN)
+        assert trace.events  # the parameters above must produce episodes
+        for event in trace.events:
+            assert event.element in links | gpus
+
+    def test_disabled_processes_draw_nothing(self):
+        quiet = TraceGenConfig(seed=3, frames=2, link_mttf_cycles=None,
+                               degrade_mttf_cycles=None,
+                               gpu_mttf_cycles=None)
+        assert generate_trace(_config(), quiet).events == ()
+
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        config = _config("switch", 16)
+        trace = generate_trace(config, GEN)
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        save_failure_trace(trace, first)
+        loaded = load_failure_trace(first)
+        assert loaded == trace
+        save_failure_trace(loaded, second)
+        assert first.read_bytes() == second.read_bytes()
+        # regeneration from the same seed serializes identically too
+        save_failure_trace(generate_trace(config, GEN), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_rejects_malformed_files(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_failure_trace(path)
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ConfigError, match="not a failure trace"):
+            load_failure_trace(path)
+        with pytest.raises(ConfigError, match="not found"):
+            load_failure_trace(tmp_path / "missing.json")
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigError, match="unknown trace event"):
+            TraceEvent(time=0.0, element="gpu0", event="melted",
+                       severity=0.0)
+        with pytest.raises(ConfigError, match="negative"):
+            TraceEvent(time=-1.0, element="gpu0", event=EVENT_GPU_FAIL,
+                       severity=0.0)
+
+    def test_generator_validation(self):
+        with pytest.raises(ConfigError, match="MTTF"):
+            TraceGenConfig(link_mttf_cycles=-1.0)
+        with pytest.raises(ConfigError, match="loss_rates"):
+            TraceGenConfig(loss_rates=())
+
+
+class TestFingerprintRefusal:
+    def test_wrong_gpu_count_names_field(self):
+        trace = generate_trace(_config("p2p", 8), GEN)
+        with pytest.raises(TraceFingerprintError) as info:
+            validate_trace(trace, _config("p2p", 16))
+        assert "num_gpus" in str(info.value)
+        assert "num_gpus" in info.value.mismatched_fields
+
+    def test_wrong_topology_kind_names_field(self):
+        trace = generate_trace(_config("switch"), GEN)
+        with pytest.raises(TraceFingerprintError) as info:
+            validate_trace(trace, _config("ring"))
+        assert "kind" in info.value.mismatched_fields
+        assert "trace='switch'" in str(info.value)
+
+    def test_is_a_config_error(self):
+        trace = generate_trace(_config(), GEN)
+        with pytest.raises(ConfigError):
+            validate_trace(trace, _config(num_gpus=4))
+
+    def test_matching_system_passes(self):
+        trace = generate_trace(_config("ring", 8), GEN)
+        validate_trace(trace, _config("ring", 8))
+
+
+class TestPlanProjection:
+    def _trace_with_gpu_episode(self, fail_at, repair_at, config=None):
+        config = config or _config()
+        base = generate_trace(config, TraceGenConfig(
+            seed=0, frames=5, frame_cycles=100_000.0,
+            link_mttf_cycles=None, degrade_mttf_cycles=None,
+            gpu_mttf_cycles=None))
+        events = (
+            TraceEvent(time=fail_at, element="gpu2", event=EVENT_GPU_FAIL,
+                       severity=0.0),
+            TraceEvent(time=repair_at, element="gpu2",
+                       event=EVENT_GPU_REPAIR, severity=1.0),
+        )
+        return FailureTrace(version=base.version,
+                            fingerprint=base.fingerprint,
+                            topology=base.topology,
+                            generator=base.generator, events=events)
+
+    def test_failstop_carries_across_frames(self):
+        config = _config()
+        trace = self._trace_with_gpu_episode(150_000.0, 350_000.0)
+        assert plan_for_window(trace, config, 0) is None
+        mid = plan_for_window(trace, config, 1)
+        assert mid.gpu_failures == \
+            tuple([type(mid.gpu_failures[0])(gpu=2, cycle=50_000.0)])
+        carried = plan_for_window(trace, config, 2)
+        assert carried.failure_cycle(2) == 0.0  # dead from the window start
+        # repaired at 350k, mid-window 3: the repair only takes effect at
+        # the next frame boundary, so frame 3 still runs without GPU2
+        assert plan_for_window(trace, config, 3).failure_cycle(2) == 0.0
+        assert plan_for_window(trace, config, 4) is None  # alive again
+
+    def test_plan_pins_gpu_count(self):
+        trace = self._trace_with_gpu_episode(10_000.0, 500_000.0)
+        plan = plan_for_window(trace, _config(), 0)
+        assert plan.gpus == 8
+        with pytest.raises(ConfigError):
+            plan.validate_for(16)
+
+    def test_out_of_horizon_frame_rejected(self):
+        trace = generate_trace(_config(), GEN)
+        with pytest.raises(ConfigError, match="horizon"):
+            plan_for_window(trace, _config(), GEN.frames)
+
+    def test_windows_are_disjoint_and_clipped(self):
+        config = _config()
+        trace = generate_trace(config, GEN)
+        for frame in range(GEN.frames):
+            plan = plan_for_window(trace, config, frame)
+            if plan is None:
+                continue
+            windows = sorted(plan.degraded_windows, key=lambda w: w.start)
+            for window in windows:
+                assert 0.0 <= window.start < window.end <= GEN.frame_cycles
+            for prev, nxt in zip(windows, windows[1:]):
+                assert prev.end <= nxt.start
+
+    def test_validates_fingerprint_before_projecting(self):
+        trace = generate_trace(_config("p2p", 8), GEN)
+        with pytest.raises(TraceFingerprintError):
+            plan_for_window(trace, _config("p2p", 4), 0)
+
+
+class TestRingSwitchFabrics:
+    def test_images_unchanged_by_fabric_faults(self):
+        from repro.faults import DegradedWindow, FaultPlan, GPUFailure
+        plan = FaultPlan(seed=3, corrupt_probability=0.01,
+                         gpu_failures=(GPUFailure(gpu=2, cycle=20_000.0),),
+                         degraded_windows=(
+                             DegradedWindow(10_000, 40_000, 0.5),),
+                         gpus=8)
+        for topology in ("ring", "switch"):
+            clean = run_benchmark_direct(
+                "chopin+sched", "wolf",
+                make_setup("tiny", 8, topology=topology))
+            faulted = run_benchmark_direct(
+                "chopin+sched", "wolf",
+                make_setup("tiny", 8, topology=topology, faults=plan))
+            assert np.array_equal(clean.image.color, faulted.image.color)
+            assert np.array_equal(clean.image.depth, faulted.image.depth)
+            assert faulted.stats.failed_gpus == [2]
+
+    def test_ring_pays_multi_hop_latency(self):
+        p2p = run_benchmark_direct("chopin", "wolf", make_setup("tiny", 8))
+        ring = run_benchmark_direct(
+            "chopin", "wolf", make_setup("tiny", 8, topology="ring"))
+        assert ring.stats.frame_cycles > p2p.stats.frame_cycles
+
+    def test_switch_pays_crossbar_latency(self):
+        p2p = run_benchmark_direct("chopin", "wolf", make_setup("tiny", 8))
+        switch = run_benchmark_direct(
+            "chopin", "wolf", make_setup("tiny", 8, topology="switch"))
+        assert switch.stats.frame_cycles > p2p.stats.frame_cycles
+
+    def test_switch_fields_only_fingerprint_switch(self):
+        fields = fingerprint_fields(_config("switch"))
+        assert "switch_latency_cycles" in fields
+        assert "switch_latency_cycles" not in fingerprint_fields(_config())
+
+
+class TestSoak:
+    def test_soak_bit_identical_with_carryover(self):
+        setup = make_setup("tiny", 8)
+        trace = generate_trace(setup.config, GEN)
+        report = run_soak(trace, "chopin+sched", "wolf", setup)
+        assert len(report.frames) == GEN.frames
+        assert report.all_identical
+        assert report.trace_fingerprint == trace.fingerprint
+        dead_per_frame = [set(f.failed_gpus) for f in report.frames]
+        # with this seed GPUs die mid-trace and stay dead in later frames
+        assert any(dead_per_frame)
+        for earlier, later in zip(dead_per_frame, dead_per_frame[1:]):
+            # carry-over: a dead GPU only disappears via a trace repair,
+            # which this trace's horizon is too short to reach
+            assert earlier <= later
+        for frame in report.frames:
+            assert frame.stats.frame_index == frame.frame_index
+            assert frame.stats.fault_events == frame.fault_events
+            assert frame.stats.baseline_frame_cycles == \
+                report.frames[0].baseline_frame_cycles
+            if frame.fault_events:
+                assert frame.recovery_overhead_cycles >= 0.0
+
+    def test_soak_frame_count_clamped_to_horizon(self):
+        setup = make_setup("tiny", 8)
+        trace = generate_trace(setup.config, GEN)
+        report = run_soak(trace, "chopin+sched", "wolf", setup, frames=2)
+        assert len(report.frames) == 2
+        with pytest.raises(ConfigError, match="horizon"):
+            run_soak(trace, "chopin+sched", "wolf", setup,
+                     frames=GEN.frames + 1)
+
+    def test_soak_refuses_wrong_fabric(self):
+        setup = make_setup("tiny", 8)
+        trace = generate_trace(
+            make_setup("tiny", 8, topology="switch").config, GEN)
+        with pytest.raises(TraceFingerprintError):
+            run_soak(trace, "chopin+sched", "wolf", setup)
+
+    def test_soak_csv_rows(self, tmp_path):
+        from repro.harness.export import SOAK_COLUMNS, soak_rows, \
+            write_soak_csv
+        setup = make_setup("tiny", 8)
+        trace = generate_trace(setup.config, GEN)
+        report = run_soak(trace, "chopin+sched", "wolf", setup, frames=2)
+        rows = soak_rows(report)
+        assert len(rows) == 2
+        assert all(set(row) == set(SOAK_COLUMNS) for row in rows)
+        path = tmp_path / "soak.csv"
+        write_soak_csv(report, path)
+        header = path.read_text().splitlines()[0]
+        assert header == ",".join(SOAK_COLUMNS)
+
+
+class TestCLI:
+    def _gen(self, tmp_path, *extra):
+        path = tmp_path / "trace.json"
+        code = main(["gen-trace", str(path), "--seed", "11",
+                     "--frames", "3", "--frame-cycles", "100000",
+                     "--link-mttf", "400000", "--link-mttr", "50000",
+                     "--gpu-mttf", "2000000", "--gpu-mttr", "500000",
+                     *extra])
+        assert code == EXIT_OK
+        return path
+
+    def test_gen_trace_and_soak(self, capsys, tmp_path):
+        path = self._gen(tmp_path)
+        assert main(["soak", "wolf", "--trace", str(path),
+                     "--frames", "2"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "identical" in out
+        assert "recovery overhead" in out
+
+    def test_soak_writes_csv(self, capsys, tmp_path):
+        path = self._gen(tmp_path)
+        csv_path = tmp_path / "frames.csv"
+        assert main(["soak", "wolf", "--trace", str(path), "--frames", "2",
+                     "--csv", str(csv_path)]) == EXIT_OK
+        assert csv_path.read_text().count("\n") == 3  # header + 2 frames
+
+    def test_fingerprint_mismatch_exits_7(self, capsys, tmp_path):
+        path = self._gen(tmp_path, "--gpus", "16", "--topology", "switch")
+        assert main(["soak", "wolf", "--trace", str(path),
+                     "--gpus", "8"]) == EXIT_FINGERPRINT
+        err = capsys.readouterr().err
+        assert "TraceFingerprintError" in err
+        assert "num_gpus" in err and "kind" in err
+
+    def test_render_accepts_trace_form(self, capsys, tmp_path):
+        path = self._gen(tmp_path)
+        assert main(["render", "wolf", "--fault-plan",
+                     f"trace:{path}"]) == EXIT_OK
+        assert main(["render", "wolf", "--gpus", "16", "--fault-plan",
+                     f"trace:{path}"]) == EXIT_FINGERPRINT
+
+    def test_render_topology_flag(self, capsys):
+        assert main(["render", "wolf", "--gpus", "2", "--scheme", "chopin",
+                     "--topology", "ring"]) == EXIT_OK
+
+    def test_bad_trace_path_is_config_error(self, capsys):
+        assert main(["render", "wolf", "--fault-plan",
+                     "trace:/nonexistent.json"]) == EXIT_CONFIG

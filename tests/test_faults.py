@@ -44,14 +44,29 @@ class TestFaultPlan:
             DegradedWindow(start=0, end=100, bandwidth_factor=0.5),))
         assert plan.affects_links
 
-    def test_overlapping_windows_compound_to_worst(self):
+    def test_overlapping_windows_rejected_at_construction(self):
+        with pytest.raises(ConfigError, match="overlap"):
+            FaultPlan(degraded_windows=(
+                DegradedWindow(start=0, end=100, bandwidth_factor=0.5),
+                DegradedWindow(start=50, end=200, bandwidth_factor=0.25)))
+
+    def test_disjoint_windows_each_apply(self):
         plan = FaultPlan(degraded_windows=(
             DegradedWindow(start=0, end=100, bandwidth_factor=0.5),
-            DegradedWindow(start=50, end=200, bandwidth_factor=0.25)))
+            DegradedWindow(start=100, end=200, bandwidth_factor=0.25)))
         assert plan.bandwidth_factor_at(25) == 0.5
-        assert plan.bandwidth_factor_at(75) == 0.25
         assert plan.bandwidth_factor_at(150) == 0.25
         assert plan.bandwidth_factor_at(500) == 1.0
+
+    def test_plan_gpus_bounds_failstop_indices(self):
+        with pytest.raises(ConfigError, match="GPU7"):
+            FaultPlan(gpus=4,
+                      gpu_failures=(GPUFailure(gpu=7, cycle=1000.0),))
+        plan = FaultPlan(gpus=8,
+                         gpu_failures=(GPUFailure(gpu=7, cycle=1000.0),))
+        plan.validate_for(8)
+        with pytest.raises(ConfigError, match="written for 8"):
+            plan.validate_for(16)
 
     def test_failure_cycle_lookup(self):
         plan = FaultPlan(gpu_failures=(GPUFailure(gpu=3, cycle=1000.0),))
