@@ -223,6 +223,17 @@ class UnseededRNG(Rule):
 TIME_WALL_FNS = frozenset({"asctime", "ctime", "gmtime", "localtime",
                            "time", "time_ns"})
 DATETIME_WALL_FNS = frozenset({"now", "today", "utcnow"})
+#: additionally banned inside the serve package: the daemon is a pure
+#: virtual-time system, so even "harmless" elapsed-time reads (monotonic,
+#: perf_counter) and real sleeps are design violations there
+SERVE_TIME_FNS = frozenset({"monotonic", "monotonic_ns", "perf_counter",
+                            "perf_counter_ns", "process_time",
+                            "process_time_ns", "sleep"})
+
+
+def _in_serve_package(path: str) -> bool:
+    posix = path.replace("\\", "/")
+    return "/repro/serve/" in f"/{posix}" or posix.startswith("repro/serve/")
 
 
 @register
@@ -230,14 +241,18 @@ class WallClock(Rule):
     """Wall-clock reads leak host time into simulated behaviour; cycle
     counts must come from ``sim.now``. ``time.monotonic`` and
     ``time.perf_counter`` remain allowed for harness elapsed-time
-    measurement (they never feed simulated state)."""
+    measurement (they never feed simulated state) — except inside
+    ``repro.serve``, where the daemon's whole contract is virtual time
+    and *any* host-clock read or real sleep is flagged."""
 
     name = "wall-clock"
     description = ("wall-clock read (time.time / datetime.now); sim state "
-                   "must derive from sim.now")
+                   "must derive from sim.now (serve/ additionally bans "
+                   "monotonic/perf_counter/sleep)")
 
     def check(self, module: LintModule) -> Iterator[Finding]:
         aliases = _AliasMap(module.tree)
+        serve = _in_serve_package(module.path)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -260,6 +275,13 @@ class WallClock(Rule):
                     node, self.name,
                     f"`{canon}()` reads the wall clock; simulated time "
                     f"comes from sim.now")
+            elif (serve and len(parts) == 2 and parts[0] == "time"
+                    and parts[1] in SERVE_TIME_FNS):
+                yield module.finding(
+                    node, self.name,
+                    f"`{canon}()` touches the host clock inside "
+                    f"repro.serve; the daemon runs on virtual time only "
+                    f"(use sim.now / sim.timeout)")
 
 
 _SET_BUILTINS = frozenset({"set", "frozenset"})

@@ -19,23 +19,31 @@ Commands
                     :mod:`repro.faults.traces`)
 ``soak``            render N consecutive frames under a failure trace,
                     checking per-frame bit-identity vs the fault-free oracle
+``serve``           run the virtual-time frame-serving daemon against an
+                    open-loop request workload (admission control,
+                    batching, SLO gates; see :mod:`repro.serve`)
+``loadgen``         generate a request workload file for ``serve``
 ``lint``            run simlint (determinism static analysis) over sources
 
 Every simulation command accepts ``--scale {tiny,small,paper}``,
-``--gpus N``, ``--topology {p2p,bus,ring,switch}`` and
-``--artifact-dir DIR`` (spill the render artifact store to disk so warm
-state survives across invocations). ``render``, ``compare`` and
-``timeline`` accept ``--sanitize`` to run the DES with the race sanitizer
-attached. ``sweep``, ``figures`` and ``export-results`` additionally take
-the experiment-engine flags ``--jobs``, ``--timeout``, ``--retries``,
-``--journal`` and ``--resume`` (see :mod:`repro.harness.engine`).
+``--gpus N``, ``--topology {p2p,bus,ring,switch}``,
+``--watchdog-cycles N`` (bound simulated progress: a run that advances
+past the budget without finishing raises a typed watchdog error instead
+of spinning) and ``--artifact-dir DIR`` (spill the render artifact store
+to disk so warm state survives across invocations). ``render``,
+``compare`` and ``timeline`` accept ``--sanitize`` to run the DES with
+the race sanitizer attached. ``sweep``, ``figures`` and
+``export-results`` additionally take the experiment-engine flags
+``--jobs``, ``--timeout``, ``--retries``, ``--journal`` and ``--resume``
+(see :mod:`repro.harness.engine`).
 
 Exit codes
 ==========
 
 0 success · 1 library error · 2 bad configuration/usage · 3 completed with
 FAILED cells (partial results salvaged) · 4 job timeout · 5 worker crash ·
-6 retry budget exhausted · 7 failure-trace topology fingerprint mismatch
+6 retry budget exhausted · 7 failure-trace topology fingerprint mismatch ·
+8 serve run breached its SLO gates · 9 serve run degraded (watchdog trip)
 """
 
 from __future__ import annotations
@@ -47,8 +55,8 @@ from typing import List, Optional
 
 from .core import plan_frame, split_into_groups, summarize_plan
 from .errors import (ConfigError, JobTimeout, ReproError,
-                     RetryBudgetExhausted, TraceFingerprintError,
-                     WorkerCrashed)
+                     RetryBudgetExhausted, ServeOverloadError,
+                     TraceFingerprintError, WorkerCrashed)
 from .harness import MAIN_SCHEMES, SCHEMES, make_setup, run
 from .harness import experiments as experiments_module
 from .harness import report as report_module
@@ -65,11 +73,14 @@ EXIT_TIMEOUT = 4
 EXIT_CRASH = 5
 EXIT_BUDGET = 6
 EXIT_FINGERPRINT = 7
+EXIT_OVERLOAD = 8
+EXIT_DEGRADED = 9
 
 #: typed failure -> distinct exit code (most specific first)
 EXIT_CODES = ((RetryBudgetExhausted, EXIT_BUDGET), (JobTimeout, EXIT_TIMEOUT),
               (WorkerCrashed, EXIT_CRASH),
               (TraceFingerprintError, EXIT_FINGERPRINT),
+              (ServeOverloadError, EXIT_OVERLOAD),
               (ConfigError, EXIT_CONFIG), (ReproError, EXIT_ERROR))
 
 #: figure name -> (experiment callable name, renderer callable name)
@@ -103,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spill the render artifact store to this "
                             "directory (shared across processes and "
                             "invocations; see repro.render.store)")
+        p.add_argument("--watchdog-cycles", type=float, default=None,
+                       metavar="CYCLES",
+                       help="virtual-time progress budget: abort (typed "
+                            "WatchdogError) any simulation that advances "
+                            "past this many cycles without completing; "
+                            "the serve daemon degrades instead of "
+                            "crashing (default: unbounded)")
 
     def fault_opt(p):
         p.add_argument(
@@ -291,6 +309,90 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--csv", metavar="PATH", default=None,
                       help="write one CSV row per frame")
 
+    def serve_load_opts(p):
+        p.add_argument("--sessions", type=int, default=4,
+                       help="concurrent simulated client sessions")
+        p.add_argument("--rate-x", type=float, default=2.0,
+                       help="offered load as a multiple of pool capacity "
+                            "(2.0 = 2x saturation; default 2.0)")
+        p.add_argument("--duration-x", type=float, default=50.0,
+                       help="workload length in mean service times")
+        p.add_argument("--profile", default="steady",
+                       choices=("steady", "burst", "diurnal"),
+                       help="arrival-rate shape over time")
+        p.add_argument("--seed", type=int, default=0,
+                       help="workload seed (per-session sha256 streams)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the virtual-time frame-serving daemon under load",
+        description="Run repro.serve: simulated client sessions submit "
+                    "frame-render requests against a pool of render "
+                    "groups, through a bounded admission queue with a "
+                    "pluggable shedding policy, optional per-session "
+                    "budgets, deadline semantics and injected GPU "
+                    "faults. --gpus is GPUs PER RENDER GROUP; the pool "
+                    "has --groups of them. Exit codes: 0 = served within "
+                    "SLO, 8 = an SLO gate breached, 9 = degraded "
+                    "(virtual-time watchdog tripped).")
+    common(serve)
+    fault_opt(serve)
+    serve_load_opts(serve)
+    serve.add_argument("benchmarks", nargs="+", choices=BENCHMARK_NAMES,
+                       help="benchmark mix requests draw from (uniform)")
+    serve.add_argument("--scheme", default="chopin+sched",
+                       choices=sorted(SCHEMES))
+    serve.add_argument("--groups", type=int, default=2,
+                       help="render groups in the serving pool")
+    serve.add_argument("--load", metavar="PATH", default=None,
+                       help="replay a workload file written by loadgen "
+                            "instead of generating one")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="admission queue bound (requests)")
+    serve.add_argument("--policy", default="drop-newest",
+                       choices=("drop-newest", "drop-oldest",
+                                "deadline-expired"),
+                       help="shedding policy when the queue is full")
+    serve.add_argument("--batch-limit", type=int, default=4,
+                       help="max same-benchmark requests per render batch")
+    serve.add_argument("--retry-limit", type=int, default=3,
+                       help="re-queue attempts after a group failure "
+                            "before a request sheds")
+    serve.add_argument("--deadline-x", type=float, default=None,
+                       help="per-request deadline in mean service times "
+                            "(default: none)")
+    serve.add_argument("--budget-x", type=float, default=None,
+                       help="per-session token-bucket budget as a "
+                            "multiple of the session's fair share of "
+                            "pool capacity (default: unlimited)")
+    serve.add_argument("--csv", metavar="PATH", default=None,
+                       help="write pool + per-session rows as CSV")
+    serve.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full serve report as JSON")
+    serve.add_argument("--max-shed-rate", type=float, default=None,
+                       help="SLO gate: max tolerated fraction of "
+                            "unserved requests (breach exits 8)")
+    serve.add_argument("--max-p99-x", type=float, default=None,
+                       help="SLO gate: max p99 latency in mean service "
+                            "times (breach exits 8)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="generate a request workload file for serve",
+        description="Calibrate per-benchmark service times on one render "
+                    "group, draw open-loop Poisson arrivals for the "
+                    "requested profile, and write the workload as "
+                    "canonical JSON for 'serve --load'.")
+    common(loadgen)
+    serve_load_opts(loadgen)
+    loadgen.add_argument("output", help="output workload .json path")
+    loadgen.add_argument("--benchmarks", nargs="+", default=["wolf"],
+                         choices=BENCHMARK_NAMES)
+    loadgen.add_argument("--scheme", default="chopin+sched",
+                         choices=sorted(SCHEMES))
+    loadgen.add_argument("--groups", type=int, default=2,
+                         help="render groups the workload is sized for")
+
     lint = sub.add_parser(
         "lint", help="run simlint (determinism static analysis)",
         description="Run simlint over Python sources. Exit codes: 0 = "
@@ -355,7 +457,8 @@ def _setup_from_args(args):
     """
     kwargs = dict(num_gpus=args.gpus,
                   topology=getattr(args, "topology", None),
-                  sanitize=getattr(args, "sanitize", False))
+                  sanitize=getattr(args, "sanitize", False),
+                  watchdog_cycles=getattr(args, "watchdog_cycles", None))
     probe = make_setup(args.scale, **kwargs)
     return make_setup(args.scale, faults=_parse_faults(args, probe.config),
                       **kwargs)
@@ -478,7 +581,9 @@ def cmd_sweep(args) -> int:
 
 def cmd_inspect(args) -> int:
     setup = make_setup(args.scale, num_gpus=args.gpus,
-                       topology=getattr(args, "topology", None))
+                       topology=getattr(args, "topology", None),
+                       watchdog_cycles=getattr(args, "watchdog_cycles",
+                                               None))
     trace = load_benchmark(args.benchmark, args.scale)
     print(f"{trace.name}: {trace.resolution}, {trace.num_draws} draws, "
           f"{trace.num_triangles} triangles")
@@ -553,7 +658,9 @@ def cmd_bench(args) -> int:
 
     from .render import render_service
     setup = make_setup(args.scale, num_gpus=args.gpus,
-                       topology=getattr(args, "topology", None))
+                       topology=getattr(args, "topology", None),
+                       watchdog_cycles=getattr(args, "watchdog_cycles",
+                                               None))
     service = render_service()
 
     def sweep_once():
@@ -677,7 +784,9 @@ def cmd_soak(args) -> int:
     from .faults.traces import load_failure_trace
     from .harness.engine import run_soak
     setup = make_setup(args.scale, num_gpus=args.gpus,
-                       topology=getattr(args, "topology", None))
+                       topology=getattr(args, "topology", None),
+                       watchdog_cycles=getattr(args, "watchdog_cycles",
+                                               None))
     trace = load_failure_trace(args.trace)
     report = run_soak(trace, args.scheme, args.benchmark, setup,
                       frames=args.frames)
@@ -687,6 +796,110 @@ def cmd_soak(args) -> int:
         write_soak_csv(report, args.csv)
         print(f"per-frame rows written to {args.csv}")
     return EXIT_OK if report.all_identical else EXIT_ERROR
+
+
+def _group_setup(args):
+    """Fault-free setup for ONE render group (serve handles faults itself)."""
+    return make_setup(args.scale, num_gpus=args.gpus,
+                      topology=getattr(args, "topology", None),
+                      watchdog_cycles=getattr(args, "watchdog_cycles", None))
+
+
+def _serve_workload(args, setup):
+    """The request workload: replay ``--load`` or calibrate + generate."""
+    from .serve import (LoadProfile, calibrate_service_cycles,
+                        generate_workload, load_workload)
+    if getattr(args, "load", None):
+        # the workload file's benchmark mix and sizing win over the flags
+        return load_workload(args.load)
+    profile = LoadProfile(kind=args.profile, sessions=args.sessions,
+                          rate_x=args.rate_x, duration_x=args.duration_x,
+                          seed=args.seed)
+    _, mean_cycles = calibrate_service_cycles(args.scheme, args.benchmarks,
+                                              setup)
+    return generate_workload(profile, args.benchmarks, mean_cycles,
+                             args.groups)
+
+
+def _serve_fault_events(args, pool_gpus):
+    """GPU fail/repair schedule for the serving pool from --fault-plan.
+
+    The pool is one flat GPU index space (``group * gpus_per_group +
+    local``); a ``trace:`` plan must have been generated for the POOL's
+    fabric (``gen-trace --gpus groups*gpus``), and its fingerprint is
+    checked against that config (exit 7 on mismatch).
+    """
+    spec = getattr(args, "fault_plan", None)
+    if not spec:
+        return ()
+    from .serve import gpu_events_from_plan, gpu_events_from_trace
+    if spec.startswith("trace:"):
+        from .faults import load_failure_trace, validate_trace
+        pool = make_setup(args.scale, num_gpus=pool_gpus,
+                          topology=getattr(args, "topology", None))
+        trace = load_failure_trace(spec[len("trace:"):])
+        validate_trace(trace, pool.config)
+        return gpu_events_from_trace(trace)
+    from .faults import parse_fault_plan
+    plan = parse_fault_plan(spec)
+    plan.validate_for(pool_gpus)
+    return gpu_events_from_plan(plan)
+
+
+def cmd_serve(args) -> int:
+    from .harness.export import write_serve_csv, write_serve_json
+    from .serve import FrameServer, SloGates
+    try:
+        gates = SloGates(max_shed_rate=args.max_shed_rate,
+                         max_p99_x=args.max_p99_x)
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+    setup = _group_setup(args)
+    workload = _serve_workload(args, setup)
+    fault_events = _serve_fault_events(args, args.groups * args.gpus)
+    server = FrameServer(args.scheme, setup, workload,
+                         groups=args.groups,
+                         queue_limit=args.queue_limit,
+                         policy=args.policy,
+                         batch_limit=args.batch_limit,
+                         retry_limit=args.retry_limit,
+                         deadline_x=args.deadline_x,
+                         budget_x=args.budget_x,
+                         fault_events=fault_events)
+    report = server.serve()
+    print(report_module.render_serve_report(
+        report, f"serve: {args.scheme} x {args.groups} render groups "
+                f"({args.gpus} GPUs each, {args.scale} scale)"))
+    if args.csv:
+        write_serve_csv(report, args.csv)
+        print(f"serve rows written to {args.csv}")
+    if args.json:
+        write_serve_json(report, args.json)
+        print(f"serve report written to {args.json}")
+    gates.check(report)  # raises ServeOverloadError -> exit 8
+    return EXIT_DEGRADED if report.degraded else EXIT_OK
+
+
+def cmd_loadgen(args) -> int:
+    from .serve import (LoadProfile, calibrate_service_cycles,
+                        generate_workload, save_workload)
+    setup = _group_setup(args)
+    profile = LoadProfile(kind=args.profile, sessions=args.sessions,
+                          rate_x=args.rate_x, duration_x=args.duration_x,
+                          seed=args.seed)
+    service_cycles, mean_cycles = calibrate_service_cycles(
+        args.scheme, args.benchmarks, setup)
+    workload = generate_workload(profile, args.benchmarks, mean_cycles,
+                                 args.groups)
+    save_workload(workload, args.output)
+    print(f"wrote {args.output}: {len(workload.arrivals)} arrivals over "
+          f"{workload.duration_cycles:,.0f} cycles "
+          f"({profile.kind}, {profile.sessions} sessions, "
+          f"{profile.rate_x}x capacity of {args.groups} groups)")
+    for benchmark in args.benchmarks:
+        print(f"  {benchmark:<8}: {service_cycles[benchmark]:14,.0f} "
+              f"cycles/frame")
+    return EXIT_OK
 
 
 def cmd_lint(args) -> int:
@@ -734,6 +947,8 @@ COMMANDS = {
     "bench": cmd_bench,
     "gen-trace": cmd_gen_trace,
     "soak": cmd_soak,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
     "lint": cmd_lint,
     "export-results": cmd_export_results,
     "timeline": cmd_timeline,

@@ -160,10 +160,19 @@ class SystemConfig:
     #: conflicts between distinct processes fail the run. Purely a checking
     #: feature — it never changes simulated timing.
     sanitize: bool = False
+    #: virtual-cycle budget for a single simulator run (``--watchdog-cycles``):
+    #: a run that advances past it aborts with
+    #: :class:`~repro.errors.WatchdogError` instead of livelocking forever.
+    #: None (the default) keeps runs unbounded. A supervision knob, not a
+    #: model parameter — it never changes simulated timing.
+    watchdog_cycles: Optional[float] = None  # unit: cycles
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
             raise ConfigError("need at least one GPU")
+        if self.watchdog_cycles is not None and self.watchdog_cycles <= 0:
+            raise ConfigError("watchdog_cycles must be positive (or None "
+                              "for unbounded runs)")
         if self.tile_size <= 0:
             raise ConfigError("tile size must be positive")
         if self.composition_threshold < 0:

@@ -30,6 +30,17 @@ class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 
 
+class WatchdogError(SimulationError):
+    """The virtual-time watchdog tripped: a single :meth:`Simulator.run`
+    advanced more than its configured ``watchdog_cycles`` budget without
+    finishing (livelock — e.g. an unbounded retry loop that keeps feeding
+    the event queue, which the drain-based deadlock check can never see).
+
+    Subclasses :class:`SimulationError` so generic handlers treat a trip
+    like any other wedged simulation; the serve daemon catches it
+    specifically and degrades instead of crashing."""
+
+
 class RaceConditionError(SimulationError):
     """The race sanitizer observed same-cycle conflicting accesses to a
     shared resource by distinct processes (see ``repro.analysis.sanitizer``).
@@ -78,6 +89,24 @@ class WorkerCrashed(HarnessError):
     Transient: the engine retries these until the retry budget is
     exhausted.
     """
+
+
+class ServeError(ReproError):
+    """The frame-serving daemon (see :mod:`repro.serve`) failed."""
+
+
+class ServeOverloadError(ServeError):
+    """A serve run breached its declared SLO gates (shed rate or tail
+    latency above the ``--max-shed-rate`` / ``--max-p99-x`` bounds).
+
+    Carries the measured metrics so the CLI's exit-8 report can say by
+    how much the gate was missed, not just that it was."""
+
+    def __init__(self, message: str, shed_rate: float = 0.0,
+                 p99_cycles: float = 0.0):
+        super().__init__(message)
+        self.shed_rate = shed_rate
+        self.p99_cycles = p99_cycles
 
 
 class RetryBudgetExhausted(HarnessError):

@@ -294,6 +294,7 @@ class Journal:
             "attempts": outcome.attempts,
             "retries": outcome.retries,
             "timeouts": outcome.timeouts,
+            "attempt_log": outcome.attempt_log,
         })
 
     def close(self) -> None:
@@ -338,6 +339,11 @@ class JobOutcome:
     timeouts: int = 0
     elapsed_s: float = 0.0
     resumed: bool = False
+    #: per-attempt observability: one dict per attempt, in order —
+    #: ``{"attempt", "status", ...}`` plus, for failures, the error class,
+    #: its message, and the backoff delay slept before the next attempt
+    #: (``backoff_s`` is 0.0 on the final, non-retried attempt)
+    attempt_log: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -463,7 +469,8 @@ class Engine:
                 spec=JobSpec.from_dict(entry["spec"]), status=STATUS_OK,
                 payload=entry["payload"], attempts=entry.get("attempts", 1),
                 retries=entry.get("retries", 0),
-                timeouts=entry.get("timeouts", 0), resumed=True)
+                timeouts=entry.get("timeouts", 0), resumed=True,
+                attempt_log=entry.get("attempt_log", []))
 
     # -- single job --------------------------------------------------------
 
@@ -494,15 +501,19 @@ class Engine:
     def _run_attempts(self, spec: JobSpec) -> JobOutcome:
         attempts = retries = timeouts = 0
         error = message = None
+        attempt_log: List[Dict[str, object]] = []
         started = time.monotonic()
         while attempts <= self.retries:
             attempts += 1
             try:
                 payload = self._run_supervised(spec)
+                attempt_log.append({"attempt": attempts,
+                                    "status": STATUS_OK, "backoff_s": 0.0})
                 return JobOutcome(spec=spec, status=STATUS_OK,
                                   payload=payload, attempts=attempts,
                                   retries=retries, timeouts=timeouts,
-                                  elapsed_s=time.monotonic() - started)
+                                  elapsed_s=time.monotonic() - started,
+                                  attempt_log=attempt_log)
             except HarnessError as exc:
                 error, message = type(exc).__name__, str(exc)
                 if isinstance(exc, JobTimeout):
@@ -510,23 +521,35 @@ class Engine:
                     self.counters.timeouts += 1
                 elif isinstance(exc, WorkerCrashed):
                     self.counters.crashes += 1
-                if error not in TRANSIENT_ERRORS or attempts > self.retries:
+                will_retry = (error in TRANSIENT_ERRORS
+                              and attempts <= self.retries)
+                backoff_s = (min(self.backoff * 2 ** (attempts - 1),
+                                 self.backoff_cap) if will_retry else 0.0)
+                attempt_log.append({"attempt": attempts,
+                                    "status": STATUS_FAILED,
+                                    "error": error, "message": message,
+                                    "backoff_s": backoff_s})
+                if not will_retry:
                     break
                 retries += 1
                 self.counters.retries += 1
-                self._sleep(min(self.backoff * 2 ** (attempts - 1),
-                                self.backoff_cap))
+                self._sleep(backoff_s)
             except ReproError as exc:  # deterministic job error: no retry
                 # Only library errors are classified as a FAILED cell.
                 # Anything else (KeyboardInterrupt, a programming error in
                 # the sim) propagates: it is not a property of the job and
                 # must not be recorded in the journal as one.
                 error, message = type(exc).__name__, str(exc)
+                attempt_log.append({"attempt": attempts,
+                                    "status": STATUS_FAILED,
+                                    "error": error, "message": message,
+                                    "backoff_s": 0.0})
                 break
         return JobOutcome(spec=spec, status=STATUS_FAILED, error=error,
                           message=message, attempts=attempts,
                           retries=retries, timeouts=timeouts,
-                          elapsed_s=time.monotonic() - started)
+                          elapsed_s=time.monotonic() - started,
+                          attempt_log=attempt_log)
 
     def _run_supervised(self, spec: JobSpec) -> Dict[str, object]:
         if not self.isolate:

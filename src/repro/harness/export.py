@@ -36,7 +36,16 @@ ENGINE_COLUMNS = ("job_attempts", "job_retries", "job_timeouts",
 #: artifact-store counters (see repro.render.store): cached functional
 #: work this run reused vs recomputed; zero when the result was a hit
 ARTIFACT_COLUMNS = ("artifact_hits", "artifact_misses",
-                    "artifact_evictions", "artifact_disk_loads")
+                    "artifact_evictions", "artifact_disk_loads",
+                    "artifact_disk_corrupt")
+
+#: frame-serving counters (see repro.serve; zero outside serve runs)
+SERVE_COLUMNS = ("serve_requests", "serve_admitted", "serve_completed",
+                 "serve_rejected", "serve_throttled", "serve_shed",
+                 "serve_requeued", "serve_batches", "serve_queue_peak",
+                 "serve_deadline_misses", "serve_degraded_events",
+                 "serve_latency_p50_cycles", "serve_latency_p95_cycles",
+                 "serve_latency_p99_cycles")
 
 #: the flat columns a result row carries
 COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "status",
@@ -44,7 +53,7 @@ COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "status",
            "speedup_vs_duplication", "triangles", "fragments_shaded",
            "fragments_passed", "traffic_bytes") + tuple(
                f"cycles_{stage}" for stage in ALL_STAGES) \
-    + FAULT_COLUMNS + ENGINE_COLUMNS + ARTIFACT_COLUMNS
+    + FAULT_COLUMNS + ENGINE_COLUMNS + ARTIFACT_COLUMNS + SERVE_COLUMNS
 
 
 def result_row(result: SchemeResult, setup: Setup,
@@ -69,6 +78,7 @@ def result_row(result: SchemeResult, setup: Setup,
     row.update(result.stats.fault_summary())
     row.update(result.stats.engine_summary())
     row.update(result.stats.artifact_summary())
+    row.update(result.stats.serve_summary())
     return row
 
 
@@ -90,7 +100,9 @@ def failed_row(benchmark: str, scheme: str, setup: Setup,
         "sanitizer_accesses": 0,
         "artifact_hits": 0, "artifact_misses": 0,
         "artifact_evictions": 0, "artifact_disk_loads": 0,
+        "artifact_disk_corrupt": 0,
     })
+    row.update({column: 0 for column in SERVE_COLUMNS})
     return row
 
 
@@ -188,3 +200,77 @@ def write_soak_csv(report, path: PathLike) -> None:
         writer.writeheader()
         for row in soak_rows(report):
             writer.writerow(row)
+
+
+#: serve export schema (see repro.serve.daemon.ServeReport): a leading
+#: ``session=all`` aggregate row (the only one carrying the percentile,
+#: queue-depth and degraded columns), then one row per client session
+SERVE_SESSION_COLUMNS = ("benchmark", "scheme", "session", "submitted",
+                         "admitted", "rejected", "throttled", "shed",
+                         "completed", "requeues", "deadline_misses",
+                         "artifact_hit_rate", "latency_mean_cycles",
+                         "latency_max_cycles", "latency_p50_cycles",
+                         "latency_p95_cycles", "latency_p99_cycles",
+                         "queue_peak", "degraded_events")
+
+
+def serve_rows(report) -> List[Dict[str, object]]:
+    """Flatten a :class:`~repro.serve.daemon.ServeReport` into rows."""
+    stats = report.stats
+    rows: List[Dict[str, object]] = [{
+        "benchmark": "+".join(report.benchmarks),
+        "scheme": report.scheme,
+        "session": "all",
+        "submitted": stats.serve_requests,
+        "admitted": stats.serve_admitted,
+        "rejected": stats.serve_rejected,
+        "throttled": stats.serve_throttled,
+        "shed": stats.serve_shed,
+        "completed": stats.serve_completed,
+        "requeues": stats.serve_requeued,
+        "deadline_misses": stats.serve_deadline_misses,
+        "artifact_hit_rate": report.artifact_hit_rate,
+        "latency_mean_cycles": report.slo.mean_cycles,
+        "latency_max_cycles": report.slo.max_cycles,
+        "latency_p50_cycles": stats.serve_latency_p50_cycles,
+        "latency_p95_cycles": stats.serve_latency_p95_cycles,
+        "latency_p99_cycles": stats.serve_latency_p99_cycles,
+        "queue_peak": stats.serve_queue_peak,
+        "degraded_events": stats.serve_degraded_events,
+    }]
+    for session in report.sessions:
+        rows.append({
+            "benchmark": "+".join(report.benchmarks),
+            "scheme": report.scheme,
+            "session": session.session,
+            "submitted": session.submitted,
+            "admitted": session.admitted,
+            "rejected": session.rejected,
+            "throttled": session.throttled,
+            "shed": session.shed,
+            "completed": session.completed,
+            "requeues": session.requeues,
+            "deadline_misses": session.deadline_misses,
+            "artifact_hit_rate": session.hit_rate,
+            "latency_mean_cycles": session.latency_mean_cycles,
+            "latency_max_cycles": session.latency_max_cycles,
+            "latency_p50_cycles": "", "latency_p95_cycles": "",
+            "latency_p99_cycles": "", "queue_peak": "",
+            "degraded_events": "",
+        })
+    return rows
+
+
+def write_serve_csv(report, path: PathLike) -> None:
+    """Aggregate + per-session CSV (schema: ``SERVE_SESSION_COLUMNS``)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=SERVE_SESSION_COLUMNS)
+        writer.writeheader()
+        for row in serve_rows(report):
+            writer.writerow(row)
+
+
+def write_serve_json(report, path: PathLike) -> None:
+    """Full serve report (counters, SLOs, sessions, events) as JSON."""
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2)

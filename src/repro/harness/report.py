@@ -235,3 +235,60 @@ def render_soak_report(report, title: str = "") -> str:
         lines.append("  ERROR: at least one frame diverged from the "
                      "fault-free oracle")
     return "\n".join(lines)
+
+
+def render_serve_report(report, title: str = "") -> str:
+    """Overload/SLO report for one serve run.
+
+    ``report`` is a :class:`~repro.serve.daemon.ServeReport`: the
+    admission/shedding ledger, latency percentiles over completed
+    requests, a per-session table, and the degraded-mode event log
+    (GPU failures, revivals, watchdog trips).
+    """
+    stats = report.stats
+    head = title or (f"serve: {report.scheme} on "
+                     f"{'+'.join(report.benchmarks)} "
+                     f"({report.groups} group(s) x {report.group_gpus} "
+                     f"GPUs, policy {report.policy}, "
+                     f"queue limit {report.queue_limit})")
+    lines = [head]
+    lines.append(
+        f"  requests  : {stats.serve_requests} submitted, "
+        f"{stats.serve_admitted} admitted, {stats.serve_completed} "
+        f"completed, {stats.serve_rejected} rejected, "
+        f"{stats.serve_throttled} throttled, {stats.serve_shed} shed")
+    if report.shed_reasons:
+        reasons = ", ".join(f"{reason}={count}" for reason, count
+                            in sorted(report.shed_reasons.items()))
+        lines.append(f"  shed by   : {reasons}")
+    lines.append(
+        f"  queue     : peak depth {stats.serve_queue_peak}, "
+        f"{stats.serve_batches} batches, {stats.serve_requeued} requeues, "
+        f"{stats.serve_deadline_misses} deadline misses")
+    lines.append(
+        f"  latency   : p50 {stats.serve_latency_p50_cycles:,.0f}  "
+        f"p95 {stats.serve_latency_p95_cycles:,.0f}  "
+        f"p99 {stats.serve_latency_p99_cycles:,.0f} cycles "
+        f"(mean {report.slo.mean_cycles:,.0f}, "
+        f"max {report.slo.max_cycles:,.0f})")
+    lines.append(
+        f"  drained   : {report.drained_at_cycles:,.0f} cycles, "
+        f"throughput {report.slo.throughput_per_mcycle:.2f} frames/Mcycle, "
+        f"store hit rate {report.artifact_hit_rate:.0%}")
+    lines.append(f"  {'session':>7}  {'subm':>5}  {'admit':>5}  "
+                 f"{'done':>5}  {'shed':>5}  {'thrtl':>5}  "
+                 f"{'hit rate':>8}  {'mean lat':>12}")
+    for session in report.sessions:
+        lines.append(
+            f"  {session.session:>7}  {session.submitted:>5}  "
+            f"{session.admitted:>5}  {session.completed:>5}  "
+            f"{session.shed:>5}  {session.throttled:>5}  "
+            f"{session.hit_rate:>8.0%}  "
+            f"{session.latency_mean_cycles:>12,.0f}")
+    for event in report.events:
+        lines.append(f"  event     : cycle {event.time:,.0f} "
+                     f"{event.kind} — {event.detail}")
+    if report.degraded:
+        lines.append("  DEGRADED  : the daemon finished in degraded mode "
+                     "(see events above)")
+    return "\n".join(lines)

@@ -87,7 +87,8 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
                model_memory: bool = False,
                dram_gb_per_s: Optional[float] = None,
                faults: Optional["FaultPlan"] = None,
-               sanitize: bool = False) -> Setup:
+               sanitize: bool = False,
+               watchdog_cycles: Optional[float] = None) -> Setup:
     """Build a Table II setup re-scaled for ``scale``.
 
     ``composition_threshold`` and ``scheduler_update_interval`` are given in
@@ -108,6 +109,7 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
         "faults": repr(faults) if faults is not None else None,
         # None when off so pre-existing journal fingerprints stay valid
         "sanitize": True if sanitize else None,
+        "watchdog_cycles": watchdog_cycles,
     }
     origin = tuple(sorted((k, v) for k, v in origin_kwargs.items()
                           if v is not None))
@@ -134,6 +136,7 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
         msaa_samples=msaa_samples,
         faults=faults,
         sanitize=sanitize,
+        watchdog_cycles=watchdog_cycles,
     )
     if bandwidth_gb_per_s is not None or latency_cycles is not None:
         config = config.with_link(bandwidth_gb_per_s=bandwidth_gb_per_s,
@@ -226,6 +229,7 @@ def run(scheme: str, trace: Trace, setup: Setup,
         result.stats.artifact_misses = grew.misses
         result.stats.artifact_evictions = grew.evictions
         result.stats.artifact_disk_loads = grew.disk_loads
+        result.stats.artifact_disk_corrupt = grew.disk_corrupt
         return result
 
     if not use_cache:

@@ -20,8 +20,9 @@ across processes via disk spill.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 import numpy as np
 
@@ -178,6 +179,31 @@ class RenderService:
     def counters(self) -> StoreCounters:
         """Snapshot of the store's hit/miss/eviction counters."""
         return self.store.counters.snapshot()
+
+    @contextlib.contextmanager
+    def scoped_counters(self) -> Iterator[StoreCounters]:
+        """Attribute store activity inside the ``with`` body to one caller.
+
+        The store is shared across every client of the service — scheme
+        runs, the engine's prewarm, all of a serve daemon's sessions — so
+        the global counters alone cannot say *who* reused what. The
+        yielded object is filled in on exit with the counter growth the
+        body caused::
+
+            with service.scoped_counters() as scope:
+                run(scheme, trace, setup)
+            session_hits += scope.hits   # this caller's share
+
+        Scopes are attribution only (deltas of the one global counter
+        set); nesting attributes inner activity to both scopes.
+        """
+        before = self.store.counters.snapshot()
+        scope = StoreCounters()
+        try:
+            yield scope
+        finally:
+            grew = self.store.counters.snapshot().delta(before)
+            scope.__dict__.update(grew.__dict__)
 
 
 _SERVICE: Optional[RenderService] = None

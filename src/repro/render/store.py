@@ -17,12 +17,21 @@ set, entries are written through as pickles named by their key, and a
 memory miss falls back to a disk load — that is how pre-warmed artifacts
 survive process boundaries (engine worker subprocesses, separate CLI
 invocations) and how ``repro bench`` proves a reload is bit-identical.
+
+Spill files are integrity-framed: a magic line and the sha256 of the
+pickle payload precede the payload, writes go through a temp file +
+atomic rename, and a truncated, bit-flipped or otherwise unreadable
+spill is treated as a cache *miss* (counted in
+``StoreCounters.disk_corrupt``, quarantined by deletion, recomputed and
+re-spilled) — never an exception. A long-running daemon sharing its
+store across sessions must not die because one artifact rotted on disk.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 import pickle
 from collections import OrderedDict
@@ -30,6 +39,53 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import ConfigError
+
+#: disk-spill framing: this line, then the payload's hex sha256, then the
+#: raw pickle bytes. Files without the frame (pre-v1 spills) read as corrupt
+#: and are transparently recomputed.
+_SPILL_MAGIC = b"repro-artifact-spill-v1\n"
+
+
+def _write_spill(path: pathlib.Path, value: object) -> None:
+    """Spill one entry with an integrity frame, atomically.
+
+    The temp-file + ``os.replace`` dance means a reader never observes a
+    half-written file under the final name; a crash mid-write leaves only
+    a ``.tmp`` husk that ``reset()`` sweeps up.
+    """
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(_SPILL_MAGIC)
+        handle.write(digest)
+        handle.write(b"\n")
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def _read_spill(path: pathlib.Path) -> Tuple[object, bool]:
+    """Return ``(value, intact)``; ``intact=False`` on any corruption.
+
+    Truncation, a flipped bit (hash mismatch), a missing frame, or a
+    pickle that no longer deserializes all classify as "corrupt" — the
+    caller treats them uniformly as a miss.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return None, False
+    if not data.startswith(_SPILL_MAGIC):
+        return None, False
+    digest, sep, payload = data[len(_SPILL_MAGIC):].partition(b"\n")
+    if not sep or hashlib.sha256(payload).hexdigest().encode() != digest:
+        return None, False
+    try:
+        return pickle.loads(payload), True
+    except Exception:
+        # unpicklable payload that still hashed clean: a stale spill from
+        # an incompatible code version — same remedy as corruption
+        return None, False
 
 
 def store_key(kind: str, fields: Dict[str, object]) -> str:
@@ -60,12 +116,17 @@ class StoreCounters:
     puts: int = 0
     disk_loads: int = 0
     disk_writes: int = 0
+    #: spill files rejected by the integrity check (truncated, bit-flipped,
+    #: unframed, or unpicklable) — each one degraded a would-be disk hit
+    #: into a recompute
+    disk_corrupt: int = 0
 
     def snapshot(self) -> "StoreCounters":
         return StoreCounters(hits=self.hits, misses=self.misses,
                              evictions=self.evictions, puts=self.puts,
                              disk_loads=self.disk_loads,
-                             disk_writes=self.disk_writes)
+                             disk_writes=self.disk_writes,
+                             disk_corrupt=self.disk_corrupt)
 
     def delta(self, before: "StoreCounters") -> "StoreCounters":
         """Counter growth since an earlier :meth:`snapshot`."""
@@ -75,7 +136,8 @@ class StoreCounters:
             evictions=self.evictions - before.evictions,
             puts=self.puts - before.puts,
             disk_loads=self.disk_loads - before.disk_loads,
-            disk_writes=self.disk_writes - before.disk_writes)
+            disk_writes=self.disk_writes - before.disk_writes,
+            disk_corrupt=self.disk_corrupt - before.disk_corrupt)
 
     @property
     def hit_rate(self) -> float:
@@ -89,6 +151,7 @@ class StoreCounters:
                 "evictions": self.evictions, "puts": self.puts,
                 "disk_loads": self.disk_loads,
                 "disk_writes": self.disk_writes,
+                "disk_corrupt": self.disk_corrupt,
                 "hit_rate": self.hit_rate}
 
 
@@ -130,7 +193,9 @@ class ArtifactStore:
 
         A memory miss consults the disk tier (when attached) and, on a
         disk hit, re-admits the entry to memory. Only a miss in *both*
-        tiers counts as a miss.
+        tiers counts as a miss. A spill that fails its integrity check is
+        deleted and counted (``disk_corrupt``) but reads as a plain miss,
+        so the entry is recomputed rather than the lookup raising.
         """
         if key in self._entries:
             self._entries.move_to_end(key)
@@ -139,12 +204,14 @@ class ArtifactStore:
         if self._disk_dir is not None:
             path = self._disk_dir / f"{key}.pkl"
             if path.exists():
-                with open(path, "rb") as handle:
-                    value = pickle.load(handle)
-                self.counters.disk_loads += 1
-                self.counters.hits += 1
-                self._admit(key, value, write_disk=False)
-                return value, True
+                value, intact = _read_spill(path)
+                if intact:
+                    self.counters.disk_loads += 1
+                    self.counters.hits += 1
+                    self._admit(key, value, write_disk=False)
+                    return value, True
+                self.counters.disk_corrupt += 1
+                path.unlink()  # quarantine; the recompute re-spills it
         self.counters.misses += 1
         return None, False
 
@@ -178,6 +245,9 @@ class ArtifactStore:
             pattern = "*.pkl" if kind is None else f"{kind}-*.pkl"
             for path in sorted(self._disk_dir.glob(pattern)):
                 path.unlink()
+            # crash husks from interrupted atomic writes
+            for path in sorted(self._disk_dir.glob(pattern + ".tmp")):
+                path.unlink()
 
     def drop_memory(self) -> None:
         """Flush the memory tier only (spilled entries stay on disk).
@@ -206,9 +276,7 @@ class ArtifactStore:
         if write_disk and self._disk_dir is not None:
             path = self._disk_dir / f"{key}.pkl"
             if not path.exists():
-                with open(path, "wb") as handle:
-                    pickle.dump(value, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                _write_spill(path, value)
                 self.counters.disk_writes += 1
         while (len(self._entries) > self.max_entries
                or (self.current_bytes > self.max_bytes

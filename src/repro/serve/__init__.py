@@ -1,0 +1,40 @@
+"""repro.serve: an overload-safe virtual-time frame-serving daemon.
+
+The batch harness answers "how fast is one frame"; this package answers
+"what happens when many clients want frames at once". A
+:class:`~repro.serve.daemon.FrameServer` runs entirely in *virtual time*
+on the repo's discrete-event kernel: simulated client sessions submit
+frame-render requests (open-loop Poisson arrivals from
+:mod:`repro.serve.loadgen`), a bounded admission queue with pluggable
+shedding policies and per-session token-bucket budgets keeps overload
+from growing the queue without bound, requests batch by benchmark
+through the shared :class:`~repro.render.service.RenderService`, and
+injected GPU failures re-queue in-flight work against surviving render
+groups with bounded retry + deadline semantics.
+
+:mod:`repro.serve.slo` turns the completion ledger into latency
+percentiles, throughput, and enforceable SLO gates
+(:class:`~repro.serve.slo.SloGates` raises
+:class:`~repro.errors.ServeOverloadError`, CLI exit code 8).
+
+Everything here is simulated: the lint rule set bans *any* host-clock
+read (even ``time.monotonic``) inside this package.
+"""
+
+from .daemon import (POLICIES, POLICY_DEADLINE, POLICY_DROP_NEWEST,
+                     POLICY_DROP_OLDEST, FrameServer, ServeEvent,
+                     ServeReport, SessionReport, gpu_events_from_plan,
+                     gpu_events_from_trace)
+from .loadgen import (PROFILES, LoadProfile, RequestArrival, WorkloadSpec,
+                      calibrate_service_cycles, generate_workload,
+                      load_workload, save_workload)
+from .slo import SloGates, SloSummary, latency_percentile_cycles
+
+__all__ = [
+    "FrameServer", "LoadProfile", "POLICIES", "POLICY_DEADLINE",
+    "POLICY_DROP_NEWEST", "POLICY_DROP_OLDEST", "PROFILES",
+    "RequestArrival", "ServeEvent", "ServeReport", "SessionReport",
+    "SloGates", "SloSummary", "WorkloadSpec", "calibrate_service_cycles",
+    "generate_workload", "gpu_events_from_plan", "gpu_events_from_trace",
+    "latency_percentile_cycles", "load_workload", "save_workload",
+]

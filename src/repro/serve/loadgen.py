@@ -1,0 +1,290 @@
+"""Open-loop load generation for the frame-serving daemon.
+
+The generator produces a :class:`WorkloadSpec`: a merged, time-sorted list
+of :class:`RequestArrival`\\ s from ``sessions`` independent simulated
+clients. Arrivals are *open loop* — clients do not wait for responses, so
+overload actually overloads (a closed loop would self-throttle and hide
+the regime the admission controller exists for).
+
+Each session draws from a non-homogeneous Poisson process via thinning:
+candidate gaps are exponential at the profile's peak rate and each
+candidate is accepted with probability ``factor(t) / max_factor``, where
+``factor`` shapes the profile — constant (``steady``), square-wave bursts
+(``burst``), or a sinusoidal day/night swing (``diurnal``).
+
+Determinism: every session owns a :class:`random.Random` stream keyed by
+``sha256(f"{seed}:serve-session:{session}")`` (the same construction the
+MTTF trace generator uses), so adding a session or reordering generation
+cannot perturb any other session's arrivals.
+
+Rates are expressed relative to capacity: ``rate_x`` is the offered load
+as a multiple of the serving pool's aggregate throughput
+(``groups / mean_service_cycles`` requests per cycle), so ``rate_x=2.0``
+always means 2x saturation regardless of scale or benchmark mix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import ConfigError
+
+PathLike = Union[str, pathlib.Path]
+
+#: workload file format marker and schema version
+WORKLOAD_FORMAT = "repro-request-workload"
+WORKLOAD_VERSION = 1
+
+PROFILE_STEADY = "steady"
+PROFILE_BURST = "burst"
+PROFILE_DIURNAL = "diurnal"
+PROFILES = (PROFILE_STEADY, PROFILE_BURST, PROFILE_DIURNAL)
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of the offered load, independent of any benchmark.
+
+    Durations and periods are multiples of the workload's mean service
+    time (``duration_x=50`` runs for 50 mean-service-times), which keeps
+    profiles meaningful across trace scales.
+    """
+
+    kind: str = PROFILE_STEADY
+    sessions: int = 4              # unit: 1
+    rate_x: float = 2.0            # offered load / pool capacity
+    duration_x: float = 50.0       # run length, in mean service times
+    seed: int = 0
+    burst_x: float = 4.0           # burst height multiplier
+    burst_period_x: float = 10.0   # burst spacing, in mean service times
+    burst_len_x: float = 2.0       # burst width, in mean service times
+    diurnal_amplitude: float = 0.8  # unit: 1 # sinusoid swing, < 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROFILES:
+            raise ConfigError(f"unknown load profile {self.kind!r} "
+                              f"(known: {', '.join(PROFILES)})")
+        if self.sessions <= 0:
+            raise ConfigError("need at least one client session")
+        if self.rate_x <= 0:
+            raise ConfigError("offered load rate_x must be positive")
+        if self.duration_x <= 0:
+            raise ConfigError("workload duration must be positive")
+        if self.burst_x < 1.0:
+            raise ConfigError("burst_x must be >= 1 (1 = no burst)")
+        if self.burst_period_x <= 0 or self.burst_len_x <= 0:
+            raise ConfigError("burst period and length must be positive")
+        if self.burst_len_x > self.burst_period_x:
+            raise ConfigError("burst length cannot exceed the burst period")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigError("diurnal amplitude must lie in [0, 1) so the "
+                              "arrival rate stays positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind, "sessions": self.sessions,
+            "rate_x": self.rate_x, "duration_x": self.duration_x,
+            "seed": self.seed, "burst_x": self.burst_x,
+            "burst_period_x": self.burst_period_x,
+            "burst_len_x": self.burst_len_x,
+            "diurnal_amplitude": self.diurnal_amplitude,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LoadProfile":
+        return cls(kind=str(data["kind"]), sessions=int(data["sessions"]),
+                   rate_x=float(data["rate_x"]),
+                   duration_x=float(data["duration_x"]),
+                   seed=int(data["seed"]), burst_x=float(data["burst_x"]),
+                   burst_period_x=float(data["burst_period_x"]),
+                   burst_len_x=float(data["burst_len_x"]),
+                   diurnal_amplitude=float(data["diurnal_amplitude"]))
+
+
+@dataclass(frozen=True)
+class RequestArrival:
+    """One client's frame-render request entering the daemon."""
+
+    time: float      # unit: cycles # absolute virtual arrival time
+    session: int
+    benchmark: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"arrival time cannot be negative "
+                              f"(got {self.time})")
+        if self.session < 0:
+            raise ConfigError("session index cannot be negative")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A fully materialized workload: profile + arrivals, time-sorted."""
+
+    profile: LoadProfile
+    benchmarks: Tuple[str, ...]
+    mean_service_cycles: float
+    duration_cycles: float
+    arrivals: Tuple[RequestArrival, ...] = field(default_factory=tuple)
+
+
+def _session_rng(seed: int, session: int) -> Random:
+    """Independent per-session stream (sha256, never salted ``hash()``)."""
+    digest = hashlib.sha256(
+        f"{seed}:serve-session:{session}".encode()).digest()
+    return Random(int.from_bytes(digest[:8], "big"))
+
+
+def _rate_factor(profile: LoadProfile, t_cycles: float,
+                 mean_service_cycles: float,
+                 duration_cycles: float) -> float:
+    """Instantaneous rate multiplier of the profile at time ``t_cycles``."""
+    if profile.kind == PROFILE_BURST:
+        period_cycles = profile.burst_period_x * mean_service_cycles
+        phase_cycles = t_cycles % period_cycles
+        if phase_cycles < profile.burst_len_x * mean_service_cycles:
+            return profile.burst_x
+        return 1.0
+    if profile.kind == PROFILE_DIURNAL:
+        return 1.0 + profile.diurnal_amplitude * math.sin(
+            2.0 * math.pi * t_cycles / duration_cycles)
+    return 1.0
+
+
+def _max_factor(profile: LoadProfile) -> float:
+    if profile.kind == PROFILE_BURST:
+        return profile.burst_x
+    if profile.kind == PROFILE_DIURNAL:
+        return 1.0 + profile.diurnal_amplitude
+    return 1.0
+
+
+def generate_workload(profile: LoadProfile, benchmarks: Sequence[str],
+                      mean_service_cycles: float,
+                      groups: int) -> WorkloadSpec:
+    """Materialize a workload for a pool of ``groups`` render groups.
+
+    The pool's aggregate capacity is ``groups / mean_service_cycles``
+    requests per cycle; the profile's ``rate_x`` scales that, split
+    evenly across sessions. Benchmarks are drawn uniformly per request
+    from the session's own stream.
+    """
+    if not benchmarks:
+        raise ConfigError("workload needs at least one benchmark")
+    if mean_service_cycles <= 0:
+        raise ConfigError("mean service time must be positive")
+    if groups <= 0:
+        raise ConfigError("need at least one render group")
+    duration_cycles = profile.duration_x * mean_service_cycles
+    rate_per_session = (profile.rate_x * groups
+                        / mean_service_cycles / profile.sessions)
+    peak_rate = rate_per_session * _max_factor(profile)
+    bench_list = list(benchmarks)
+    arrivals: List[RequestArrival] = []
+    for session in range(profile.sessions):
+        rng = _session_rng(profile.seed, session)
+        t_cycles = 0.0
+        while True:
+            t_cycles += rng.expovariate(peak_rate)
+            if t_cycles >= duration_cycles:
+                break
+            accept = (_rate_factor(profile, t_cycles, mean_service_cycles,
+                                   duration_cycles)
+                      / _max_factor(profile))
+            if rng.random() >= accept:
+                continue  # thinned out
+            benchmark = bench_list[rng.randrange(len(bench_list))]
+            arrivals.append(RequestArrival(time=t_cycles, session=session,
+                                           benchmark=benchmark))
+    arrivals.sort(key=lambda a: (a.time, a.session))
+    return WorkloadSpec(profile=profile, benchmarks=tuple(bench_list),
+                        mean_service_cycles=mean_service_cycles,
+                        duration_cycles=duration_cycles,
+                        arrivals=tuple(arrivals))
+
+
+def calibrate_service_cycles(scheme: str, benchmarks: Sequence[str],
+                             setup) -> Tuple[Dict[str, float], float]:
+    """Per-benchmark service time (frame cycles) on one render group.
+
+    Runs each benchmark once through the ordinary cached
+    :func:`~repro.harness.runner.run` path — the calibration render is
+    the same artifact the daemon later serves, so it is free work, not
+    extra work. Returns ``({benchmark: frame_cycles}, mean)``.
+    """
+    from ..harness.runner import run
+    from ..traces import load_benchmark
+    if not benchmarks:
+        raise ConfigError("calibration needs at least one benchmark")
+    service_cycles: Dict[str, float] = {}
+    for benchmark in benchmarks:
+        result = run(scheme, load_benchmark(benchmark, setup.scale), setup)
+        service_cycles[benchmark] = result.frame_cycles
+    mean_cycles = sum(service_cycles.values()) / len(service_cycles)
+    return service_cycles, mean_cycles
+
+
+# ---------------------------------------------------------------------------
+# Serialization — canonical JSON, byte-stable across save/load/save.
+
+
+def workload_to_dict(workload: WorkloadSpec) -> Dict[str, object]:
+    return {
+        "format": WORKLOAD_FORMAT,
+        "version": WORKLOAD_VERSION,
+        "profile": workload.profile.to_dict(),
+        "benchmarks": list(workload.benchmarks),
+        "mean_service_cycles": workload.mean_service_cycles,
+        "duration_cycles": workload.duration_cycles,
+        "arrivals": [[a.time, a.session, a.benchmark]
+                     for a in workload.arrivals],
+    }
+
+
+def workload_from_dict(data: Dict[str, object]) -> WorkloadSpec:
+    if not isinstance(data, dict) or data.get("format") != WORKLOAD_FORMAT:
+        raise ConfigError(
+            f"not a request workload: expected format={WORKLOAD_FORMAT!r}")
+    version = data.get("version")
+    if version != WORKLOAD_VERSION:
+        raise ConfigError(
+            f"unsupported workload version {version!r} "
+            f"(this build reads version {WORKLOAD_VERSION})")
+    try:
+        profile = LoadProfile.from_dict(dict(data["profile"]))
+        arrivals = tuple(
+            RequestArrival(time=float(t), session=int(s), benchmark=str(b))
+            for t, s, b in data["arrivals"])
+        return WorkloadSpec(
+            profile=profile,
+            benchmarks=tuple(str(b) for b in data["benchmarks"]),
+            mean_service_cycles=float(data["mean_service_cycles"]),
+            duration_cycles=float(data["duration_cycles"]),
+            arrivals=arrivals)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed request workload: {exc}") from exc
+
+
+def save_workload(workload: WorkloadSpec, path: PathLike) -> None:
+    """Write the workload as canonical JSON (sorted keys)."""
+    text = json.dumps(workload_to_dict(workload), sort_keys=True, indent=1)
+    pathlib.Path(path).write_text(text + "\n")
+
+
+def load_workload(path: PathLike) -> WorkloadSpec:
+    """Read a workload written by :func:`save_workload`."""
+    p = pathlib.Path(path)
+    if not p.is_file():
+        raise ConfigError(f"request workload not found: {p}")
+    try:
+        data = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            f"request workload {p} is not valid JSON: {exc}") from exc
+    return workload_from_dict(data)

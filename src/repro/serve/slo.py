@@ -1,0 +1,124 @@
+"""SLO accounting and enforcement for the frame-serving daemon.
+
+Latency here is *virtual* request latency: completion cycle minus arrival
+cycle, measured on the daemon's discrete-event clock. Percentiles use the
+nearest-rank method (the p99 of 100 samples is the 99th smallest), which
+is deterministic and needs no interpolation policy.
+
+:class:`SloGates` is the enforcement half: the CLI declares acceptable
+shed-rate and p99 bounds, and a finished run that breaches either raises
+:class:`~repro.errors.ServeOverloadError` — mapped to its own exit code
+so CI can assert "the daemon survived 2x saturation within SLO" without
+parsing tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ServeOverloadError
+
+
+def latency_percentile_cycles(sorted_latencies_cycles: Sequence[float],
+                              percentile: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted latency list."""
+    if not sorted_latencies_cycles:
+        return 0.0
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError(f"percentile must lie in (0, 100] "
+                         f"(got {percentile})")
+    n = len(sorted_latencies_cycles)
+    rank = max(1, -(-int(percentile * n) // 100))  # ceil(p*n/100), >= 1
+    return sorted_latencies_cycles[min(n, rank) - 1]
+
+
+@dataclass(frozen=True)
+class SloSummary:
+    """Latency/throughput digest over one serve run's completed requests."""
+
+    completed: int = 0
+    p50_cycles: float = 0.0
+    p95_cycles: float = 0.0
+    p99_cycles: float = 0.0
+    mean_cycles: float = 0.0
+    max_cycles: float = 0.0
+    #: completed requests per million virtual cycles of daemon lifetime
+    throughput_per_mcycle: float = 0.0
+
+    @classmethod
+    def from_latencies(cls, latencies_cycles: Sequence[float],
+                       elapsed_cycles: float) -> "SloSummary":
+        ordered = sorted(latencies_cycles)
+        if not ordered:
+            return cls()
+        return cls(
+            completed=len(ordered),
+            p50_cycles=latency_percentile_cycles(ordered, 50.0),
+            p95_cycles=latency_percentile_cycles(ordered, 95.0),
+            p99_cycles=latency_percentile_cycles(ordered, 99.0),
+            mean_cycles=sum(ordered) / len(ordered),
+            max_cycles=ordered[-1],
+            throughput_per_mcycle=(len(ordered) * 1e6 / elapsed_cycles
+                                   if elapsed_cycles > 0 else 0.0))
+
+    def to_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "p50_cycles": self.p50_cycles,
+            "p95_cycles": self.p95_cycles,
+            "p99_cycles": self.p99_cycles,
+            "mean_cycles": self.mean_cycles,
+            "max_cycles": self.max_cycles,
+            "throughput_per_mcycle": self.throughput_per_mcycle,
+        }
+
+
+@dataclass(frozen=True)
+class SloGates:
+    """Declared service-level objectives for one serve run.
+
+    ``max_shed_rate`` bounds the fraction of submitted requests that were
+    *not* served (rejected, throttled, or shed); ``max_p99_x`` bounds the
+    p99 request latency as a multiple of the workload's mean service
+    time. ``None`` disables a gate.
+    """
+
+    max_shed_rate: Optional[float] = None
+    max_p99_x: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_shed_rate is not None \
+                and not 0.0 <= self.max_shed_rate <= 1.0:
+            raise ValueError("max_shed_rate must lie in [0, 1]")
+        if self.max_p99_x is not None and self.max_p99_x <= 0:
+            raise ValueError("max_p99_x must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_shed_rate is not None or self.max_p99_x is not None
+
+    def check(self, report) -> None:
+        """Raise :class:`~repro.errors.ServeOverloadError` on any breach.
+
+        ``report`` is a :class:`~repro.serve.daemon.ServeReport`. All
+        breaches are collected into one message so a CI failure names
+        every violated objective at once.
+        """
+        breaches = []
+        shed_rate = report.shed_rate
+        p99_cycles = report.slo.p99_cycles
+        if self.max_shed_rate is not None and shed_rate > self.max_shed_rate:
+            breaches.append(
+                f"shed rate {shed_rate:.3f} > allowed {self.max_shed_rate}")
+        if self.max_p99_x is not None:
+            limit_cycles = self.max_p99_x * report.mean_service_cycles
+            if p99_cycles > limit_cycles:
+                breaches.append(
+                    f"p99 latency {p99_cycles:,.0f} cycles > allowed "
+                    f"{limit_cycles:,.0f} ({self.max_p99_x}x mean service "
+                    f"time)")
+        if breaches:
+            raise ServeOverloadError(
+                "serve run breached its SLO gates: " + "; ".join(breaches),
+                shed_rate=shed_rate, p99_cycles=p99_cycles)

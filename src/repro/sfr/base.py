@@ -102,9 +102,11 @@ class SFRScheme:
         raise NotImplementedError
 
     def _make_sim(self):
-        """Simulator for one frame, honoring ``config.sanitize``."""
+        """Simulator for one frame, honoring ``config.sanitize`` and the
+        configured virtual-time watchdog budget (``--watchdog-cycles``)."""
         from ..sim import Simulator
-        return Simulator(sanitize=self.config.sanitize)
+        return Simulator(sanitize=self.config.sanitize,
+                         watchdog_cycles=self.config.watchdog_cycles)
 
     @staticmethod
     def _run_sim_checked(sim, processes, stats=None) -> float:

@@ -25,7 +25,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from ..analysis.sanitizer import ACCESS_WRITE, RaceSanitizer
-from ..errors import SimulationError
+from ..errors import SimulationError, WatchdogError
 
 
 class Event:
@@ -239,13 +239,20 @@ class Simulator:
     is currently executing.
     """
 
-    def __init__(self, sanitize: bool = False) -> None:
+    def __init__(self, sanitize: bool = False,
+                 watchdog_cycles: Optional[float] = None) -> None:
+        if watchdog_cycles is not None and watchdog_cycles <= 0:
+            raise SimulationError(
+                f"watchdog_cycles must be positive (got {watchdog_cycles})")
         self.now: float = 0.0
         self._queue: List[tuple] = []
         self._sequence = 0
         self._running = False
         self._processes: List[Process] = []
         self._active_process: Optional[Process] = None
+        #: virtual-cycle budget for one run() call (None = unbounded); a
+        #: run that would advance past it raises WatchdogError
+        self.watchdog_cycles: Optional[float] = watchdog_cycles
         self.sanitizer: Optional[RaceSanitizer] = (
             RaceSanitizer() if sanitize else None)
 
@@ -312,15 +319,36 @@ class Simulator:
         watchdog instead raises :class:`SimulationError` naming every stuck
         process and what it is waiting on. Pass ``watchdog=False`` to get
         the old drain-and-return behaviour.
+
+        When ``watchdog_cycles`` is configured on the simulator, a second
+        guard covers *livelock*: if this run would advance more than that
+        many cycles past its starting time, it raises
+        :class:`~repro.errors.WatchdogError` naming the still-unfinished
+        processes. The queue never drains in a livelock, so the drain
+        check alone cannot catch it.
         """
         if self._running:
             raise SimulationError("simulator is already running")
+        budget: Optional[float] = None
+        if self.watchdog_cycles is not None:
+            budget = self.now + self.watchdog_cycles
         self._running = True
         try:
             while self._queue:
                 if until is not None and self._queue[0][0] > until:
                     self.now = until
                     break
+                if budget is not None and self._queue[0][0] > budget:
+                    stuck = self.stuck_processes()
+                    details = "; ".join(
+                        f"{p.name!r} waiting on {p.describe_wait()}"
+                        for p in stuck) or "only daemon processes remain"
+                    raise WatchdogError(
+                        f"virtual-time watchdog tripped at cycle "
+                        f"{self.now:,.0f}: next event at cycle "
+                        f"{self._queue[0][0]:,.0f} exceeds the "
+                        f"{self.watchdog_cycles:,.0f}-cycle budget; "
+                        f"{details}")
                 self.step()
         finally:
             self._running = False

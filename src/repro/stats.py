@@ -128,6 +128,34 @@ class RunStats:
     artifact_misses: int = 0
     artifact_evictions: int = 0
     artifact_disk_loads: int = 0
+    #: disk-spill files rejected by the integrity check during this run
+    #: (each one turned a would-be disk hit into a recompute)
+    artifact_disk_corrupt: int = 0
+
+    # -- frame serving (see repro.serve) ------------------------------------
+    #: request accounting for a serve run: submissions, admissions, refusals
+    #: at the door (queue-full rejects, budget throttles), post-admission
+    #: drops (sheds), and requests that were re-queued after a GPU failure.
+    #: All 0 for ordinary batch runs.
+    serve_requests: int = 0
+    serve_admitted: int = 0
+    serve_completed: int = 0
+    serve_rejected: int = 0
+    serve_throttled: int = 0
+    serve_shed: int = 0
+    serve_requeued: int = 0
+    #: batches dispatched to render groups
+    serve_batches: int = 0
+    #: peak admission-queue depth observed
+    serve_queue_peak: int = 0
+    #: completed requests that finished after their deadline
+    serve_deadline_misses: int = 0
+    #: degraded-mode events (watchdog trips, post-run stalled sweeps)
+    serve_degraded_events: int = 0
+    #: request latency percentiles over completed requests (virtual cycles)
+    serve_latency_p50_cycles: float = 0.0
+    serve_latency_p95_cycles: float = 0.0
+    serve_latency_p99_cycles: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.gpus:
@@ -214,6 +242,26 @@ class RunStats:
             "artifact_misses": self.artifact_misses,
             "artifact_evictions": self.artifact_evictions,
             "artifact_disk_loads": self.artifact_disk_loads,
+            "artifact_disk_corrupt": self.artifact_disk_corrupt,
+        }
+
+    def serve_summary(self) -> Dict[str, object]:
+        """Frame-serving counters for reports/exports (zero outside serve)."""
+        return {
+            "serve_requests": self.serve_requests,
+            "serve_admitted": self.serve_admitted,
+            "serve_completed": self.serve_completed,
+            "serve_rejected": self.serve_rejected,
+            "serve_throttled": self.serve_throttled,
+            "serve_shed": self.serve_shed,
+            "serve_requeued": self.serve_requeued,
+            "serve_batches": self.serve_batches,
+            "serve_queue_peak": self.serve_queue_peak,
+            "serve_deadline_misses": self.serve_deadline_misses,
+            "serve_degraded_events": self.serve_degraded_events,
+            "serve_latency_p50_cycles": self.serve_latency_p50_cycles,
+            "serve_latency_p95_cycles": self.serve_latency_p95_cycles,
+            "serve_latency_p99_cycles": self.serve_latency_p99_cycles,
         }
 
     # -- serialization (run journal, see repro.harness.engine) -------------
@@ -245,6 +293,21 @@ class RunStats:
             "artifact_misses": self.artifact_misses,
             "artifact_evictions": self.artifact_evictions,
             "artifact_disk_loads": self.artifact_disk_loads,
+            "artifact_disk_corrupt": self.artifact_disk_corrupt,
+            "serve_requests": self.serve_requests,
+            "serve_admitted": self.serve_admitted,
+            "serve_completed": self.serve_completed,
+            "serve_rejected": self.serve_rejected,
+            "serve_throttled": self.serve_throttled,
+            "serve_shed": self.serve_shed,
+            "serve_requeued": self.serve_requeued,
+            "serve_batches": self.serve_batches,
+            "serve_queue_peak": self.serve_queue_peak,
+            "serve_deadline_misses": self.serve_deadline_misses,
+            "serve_degraded_events": self.serve_degraded_events,
+            "serve_latency_p50_cycles": self.serve_latency_p50_cycles,
+            "serve_latency_p95_cycles": self.serve_latency_p95_cycles,
+            "serve_latency_p99_cycles": self.serve_latency_p99_cycles,
             "gpus": [{
                 "stage_cycles": dict(g.stage_cycles),
                 "traffic_bytes": dict(g.traffic_bytes),
@@ -286,7 +349,28 @@ class RunStats:
                     artifact_evictions=int(
                         data.get("artifact_evictions", 0)),
                     artifact_disk_loads=int(
-                        data.get("artifact_disk_loads", 0)))
+                        data.get("artifact_disk_loads", 0)),
+                    artifact_disk_corrupt=int(
+                        data.get("artifact_disk_corrupt", 0)),
+                    serve_requests=int(data.get("serve_requests", 0)),
+                    serve_admitted=int(data.get("serve_admitted", 0)),
+                    serve_completed=int(data.get("serve_completed", 0)),
+                    serve_rejected=int(data.get("serve_rejected", 0)),
+                    serve_throttled=int(data.get("serve_throttled", 0)),
+                    serve_shed=int(data.get("serve_shed", 0)),
+                    serve_requeued=int(data.get("serve_requeued", 0)),
+                    serve_batches=int(data.get("serve_batches", 0)),
+                    serve_queue_peak=int(data.get("serve_queue_peak", 0)),
+                    serve_deadline_misses=int(
+                        data.get("serve_deadline_misses", 0)),
+                    serve_degraded_events=int(
+                        data.get("serve_degraded_events", 0)),
+                    serve_latency_p50_cycles=float(
+                        data.get("serve_latency_p50_cycles", 0.0)),
+                    serve_latency_p95_cycles=float(
+                        data.get("serve_latency_p95_cycles", 0.0)),
+                    serve_latency_p99_cycles=float(
+                        data.get("serve_latency_p99_cycles", 0.0)))
         stats.gpus = []
         for entry in data["gpus"]:
             gpu = GPUStats(

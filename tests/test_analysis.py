@@ -609,3 +609,48 @@ def test_src_repro_is_lint_clean():
     package_root = pathlib.Path(repro.__file__).parent
     findings = lint_paths([package_root])
     assert findings == [], render_text(findings)
+
+
+class TestServeWallClock:
+    """Inside repro.serve even *monotonic* host-clock reads are banned."""
+
+    @staticmethod
+    def serve_rules_hit(snippet, path="src/repro/serve/daemon.py"):
+        return {f.rule
+                for f in lint_source(textwrap.dedent(snippet), path=path)}
+
+    def test_monotonic_flagged_inside_serve(self):
+        assert self.serve_rules_hit("""\
+            import time
+            start = time.monotonic()
+        """) == {"wall-clock"}
+
+    def test_sleep_and_perf_counter_flagged_inside_serve(self):
+        assert self.serve_rules_hit("""\
+            import time
+            time.sleep(0.1)
+            t = time.perf_counter()
+        """) == {"wall-clock"}
+
+    def test_monotonic_still_allowed_elsewhere(self):
+        snippet = """\
+            import time
+            start = time.monotonic()
+        """
+        assert self.serve_rules_hit(
+            snippet, path="src/repro/harness/engine.py") == set()
+        # a module merely named 'server' outside the package is exempt too
+        assert self.serve_rules_hit(
+            snippet, path="src/observer/daemon.py") == set()
+
+    def test_wall_clock_proper_still_flagged_everywhere(self):
+        assert self.serve_rules_hit("""\
+            import time
+            t = time.time()
+        """, path="src/repro/harness/engine.py") == {"wall-clock"}
+
+    def test_sim_now_is_the_blessed_clock(self):
+        assert self.serve_rules_hit("""\
+            cycle = sim.now
+            yield sim.timeout(10.0)
+        """) == set()

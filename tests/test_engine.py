@@ -335,3 +335,44 @@ class TestCLI:
         assert code_for(WorkerCrashed("x")) == cli.EXIT_CRASH
         assert code_for(ConfigError("x")) == cli.EXIT_CONFIG
         assert code_for(ReproError("x")) == cli.EXIT_ERROR
+
+
+class TestAttemptLog:
+    """Per-attempt retry/backoff observability on JobOutcome + journal."""
+
+    def test_crash_logs_every_attempt_with_backoff(self):
+        eng = Engine(retries=2, backoff=0.5, backoff_cap=10.0, isolate=True)
+        eng._sleep = lambda s: None
+        out = eng.run_job(JobSpec(kind="crash"))
+        assert out.status == "failed"
+        log = out.attempt_log
+        assert [entry["attempt"] for entry in log] == [1, 2, 3]
+        assert all(entry["status"] == "failed" for entry in log)
+        assert all(entry["error"] == "WorkerCrashed" for entry in log)
+        # exponential backoff before each retry; none after the last
+        assert [entry["backoff_s"] for entry in log] == [0.5, 1.0, 0.0]
+
+    def test_flaky_recovery_ends_with_ok_entry(self, tmp_path):
+        eng = Engine(retries=2, backoff=0.0, isolate=True)
+        out = eng.run_job(JobSpec(kind="flaky", params=(
+            ("counter", str(tmp_path / "flaky")), ("fail_times", 1))))
+        assert out.status == "ok"
+        assert [e["status"] for e in out.attempt_log] == ["failed", "ok"]
+        assert out.attempt_log[-1]["backoff_s"] == 0.0
+
+    def test_clean_run_logs_single_ok_attempt(self):
+        eng = Engine()
+        out = eng.run_job(benchmark_job("chopin+sched", "wolf", num_gpus=2))
+        assert out.status == "ok"
+        assert out.attempt_log == [
+            {"attempt": 1, "status": "ok", "backoff_s": 0.0}]
+
+    def test_attempt_log_persists_through_journal(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        eng = Engine(retries=1, backoff=0.25, isolate=True, journal=journal)
+        eng._sleep = lambda s: None
+        eng.run_job(JobSpec(kind="crash"))
+        entry = json.loads(journal.read_text().splitlines()[-1])
+        assert [e["backoff_s"] for e in entry["attempt_log"]] == [0.25, 0.0]
+        assert all(e["error"] == "WorkerCrashed"
+                   for e in entry["attempt_log"])

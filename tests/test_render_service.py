@@ -252,3 +252,57 @@ class TestLayering:
         assert direct.triangles_rasterized == via_service.triangles_rasterized
         assert direct.fragments_shaded == via_service.fragments_shaded
         assert direct.fragments_passed == via_service.fragments_passed
+
+
+class TestSpillIntegrity:
+    """A damaged disk spill is a *miss with a counter*, never a crash."""
+
+    def _spilled_store(self, tmp_path):
+        store = ArtifactStore(disk_dir=str(tmp_path))
+        store.put("frame-abc", {"color": list(range(64))})
+        store.drop_memory()
+        return store, tmp_path / "frame-abc.pkl"
+
+    def test_bit_flip_reads_as_counted_miss(self, tmp_path):
+        store, path = self._spilled_store(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload byte; the sha256 frame catches it
+        path.write_bytes(bytes(blob))
+        value, found = store.get("frame-abc")
+        assert not found and value is None
+        assert store.counters.disk_corrupt == 1
+        assert store.counters.disk_loads == 0
+        # the quarantined file is gone, so the recompute can re-spill
+        assert not path.exists()
+
+    def test_truncation_reads_as_counted_miss(self, tmp_path):
+        store, path = self._spilled_store(tmp_path)
+        path.write_bytes(path.read_bytes()[:40])
+        _, found = store.get("frame-abc")
+        assert not found
+        assert store.counters.disk_corrupt == 1
+
+    def test_foreign_file_reads_as_counted_miss(self, tmp_path):
+        store, path = self._spilled_store(tmp_path)
+        path.write_bytes(b"not a spill at all")
+        _, found = store.get("frame-abc")
+        assert not found
+        assert store.counters.disk_corrupt == 1
+
+    def test_intact_spill_still_round_trips(self, tmp_path):
+        store, _ = self._spilled_store(tmp_path)
+        value, found = store.get("frame-abc")
+        assert found and value == {"color": list(range(64))}
+        assert store.counters.disk_corrupt == 0
+        assert store.counters.disk_loads == 1
+
+    def test_corrupt_spill_recomputes_through_cached(self, tmp_path):
+        store, path = self._spilled_store(tmp_path)
+        path.write_bytes(b"garbage")
+        value = store.cached("frame-abc", lambda: "recomputed")
+        assert value == "recomputed"
+        assert store.counters.disk_corrupt == 1
+        # the recompute re-spilled an intact replacement
+        store.drop_memory()
+        value, found = store.get("frame-abc")
+        assert found and value == "recomputed"

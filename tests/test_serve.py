@@ -1,0 +1,429 @@
+"""The frame-serving daemon: overload, faults, SLOs, determinism.
+
+Pins down repro.serve's contract:
+
+1. *bounded overload*: at saturating arrival rates the admission queue
+   never exceeds its limit, sheds are nonzero and typed, and the
+   accounting closes (every submitted request is completed, rejected,
+   throttled, or shed — exactly once);
+2. *correctness under serving*: a frame served to a client is
+   bit-identical to the batch harness's render of the same benchmark;
+3. *virtual time*: completion timestamps are nondecreasing and latency
+   percentiles are ordered (p50 <= p95 <= p99);
+4. *graceful degradation*: a GPU failure mid-run re-queues in-flight
+   work against survivors, a dead pool sheds with a typed reason instead
+   of hanging, and a watchdog trip degrades the run instead of crashing;
+5. *determinism*: the same workload + faults produce a byte-identical
+   report.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError, ServeOverloadError
+from repro.harness import make_setup, run
+from repro.serve import (FrameServer, LoadProfile, SloGates, SloSummary,
+                         WorkloadSpec, calibrate_service_cycles,
+                         generate_workload, gpu_events_from_plan,
+                         latency_percentile_cycles, load_workload,
+                         save_workload)
+from repro.serve.daemon import (POLICY_DEADLINE, POLICY_DROP_NEWEST,
+                                POLICY_DROP_OLDEST, gpu_events_from_trace)
+from repro.traces import load_benchmark
+
+SCHEME = "chopin+sched"
+BENCH = "wolf"
+
+
+@pytest.fixture(scope="module")
+def group_setup():
+    """One 2-GPU render group at tiny scale."""
+    return make_setup("tiny", num_gpus=2)
+
+
+@pytest.fixture(scope="module")
+def mean_cycles(group_setup):
+    _, mean = calibrate_service_cycles(SCHEME, [BENCH], group_setup)
+    return mean
+
+
+@pytest.fixture(scope="module")
+def saturating_workload(mean_cycles):
+    """4x pool capacity: guaranteed overload even with light batching."""
+    profile = LoadProfile(sessions=3, rate_x=4.0, duration_x=20.0, seed=1)
+    return generate_workload(profile, [BENCH], mean_cycles, groups=2)
+
+
+def serve_once(setup, workload, **kwargs):
+    kwargs.setdefault("groups", 2)
+    return FrameServer(SCHEME, setup, workload, **kwargs).serve()
+
+
+def closure(report):
+    s = report.stats
+    return (s.serve_completed + s.serve_rejected + s.serve_throttled
+            + s.serve_shed)
+
+
+# ------------------------------------------------------------------ loadgen
+
+
+class TestLoadgen:
+    def test_same_seed_same_arrivals(self, mean_cycles):
+        profile = LoadProfile(sessions=2, seed=42, duration_x=10.0)
+        a = generate_workload(profile, [BENCH], mean_cycles, groups=2)
+        b = generate_workload(profile, [BENCH], mean_cycles, groups=2)
+        assert a.arrivals == b.arrivals
+
+    def test_different_seed_different_arrivals(self, mean_cycles):
+        base = LoadProfile(sessions=2, seed=1, duration_x=10.0)
+        other = LoadProfile(sessions=2, seed=2, duration_x=10.0)
+        a = generate_workload(base, [BENCH], mean_cycles, groups=2)
+        b = generate_workload(other, [BENCH], mean_cycles, groups=2)
+        assert a.arrivals != b.arrivals
+
+    def test_adding_a_session_is_stable(self, mean_cycles):
+        """Per-session sha256 streams: session 0 is unchanged by session 2.
+
+        rate_x scales with the session count here so each session's own
+        arrival rate stays fixed; only then is stream independence
+        observable.
+        """
+        two = LoadProfile(sessions=2, rate_x=2.0, seed=9, duration_x=10.0)
+        three = LoadProfile(sessions=3, rate_x=3.0, seed=9,
+                            duration_x=10.0)
+        a = generate_workload(two, [BENCH], mean_cycles, groups=2)
+        b = generate_workload(three, [BENCH], mean_cycles, groups=2)
+        assert ([x for x in a.arrivals if x.session == 0]
+                == [x for x in b.arrivals if x.session == 0])
+
+    def test_rate_scales_arrival_count(self, mean_cycles):
+        lo = LoadProfile(sessions=2, rate_x=1.0, duration_x=30.0, seed=5)
+        hi = LoadProfile(sessions=2, rate_x=4.0, duration_x=30.0, seed=5)
+        a = generate_workload(lo, [BENCH], mean_cycles, groups=2)
+        b = generate_workload(hi, [BENCH], mean_cycles, groups=2)
+        assert len(b.arrivals) > 2 * len(a.arrivals)
+
+    def test_arrivals_sorted_within_duration(self, saturating_workload):
+        times = [a.time for a in saturating_workload.arrivals]
+        assert times == sorted(times)
+        assert all(0 <= t < saturating_workload.duration_cycles
+                   for t in times)
+
+    def test_burst_profile_clusters_arrivals(self, mean_cycles):
+        profile = LoadProfile(kind="burst", sessions=2, rate_x=2.0,
+                              duration_x=40.0, seed=3, burst_x=8.0,
+                              burst_period_x=10.0, burst_len_x=2.0)
+        workload = generate_workload(profile, [BENCH], mean_cycles,
+                                     groups=2)
+        period = 10.0 * mean_cycles
+        in_burst = sum(1 for a in workload.arrivals
+                       if (a.time % period) < 2.0 * mean_cycles)
+        # bursts cover 20% of the time but carry the majority of arrivals
+        assert in_burst > len(workload.arrivals) / 2
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError, match="unknown load profile"):
+            LoadProfile(kind="sawtooth")
+
+    def test_save_load_round_trip(self, saturating_workload, tmp_path):
+        path = tmp_path / "wl.json"
+        save_workload(saturating_workload, path)
+        loaded = load_workload(path)
+        assert loaded == saturating_workload
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_workload(path)
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigError, match="not a request workload"):
+            load_workload(path)
+
+
+# ---------------------------------------------------------------------- SLO
+
+
+class TestSlo:
+    def test_nearest_rank_percentiles(self):
+        samples = sorted(float(v) for v in range(1, 101))
+        assert latency_percentile_cycles(samples, 50.0) == 50.0
+        assert latency_percentile_cycles(samples, 99.0) == 99.0
+        assert latency_percentile_cycles(samples, 100.0) == 100.0
+        assert latency_percentile_cycles([7.0], 99.0) == 7.0
+        assert latency_percentile_cycles([], 99.0) == 0.0
+
+    def test_summary_orders_percentiles(self):
+        summary = SloSummary.from_latencies([5.0, 1.0, 9.0, 3.0], 100.0)
+        assert summary.completed == 4
+        assert (summary.p50_cycles <= summary.p95_cycles
+                <= summary.p99_cycles == summary.max_cycles == 9.0)
+        assert summary.throughput_per_mcycle == pytest.approx(4e4)
+
+    def test_gate_validation(self):
+        with pytest.raises(ValueError):
+            SloGates(max_shed_rate=1.5)
+        with pytest.raises(ValueError):
+            SloGates(max_p99_x=0.0)
+        assert not SloGates().enabled
+
+
+# ----------------------------------------------------------------- overload
+
+
+class TestOverload:
+    def test_queue_bounded_and_sheds_typed(self, group_setup,
+                                           saturating_workload):
+        report = serve_once(group_setup, saturating_workload,
+                            queue_limit=8, batch_limit=1)
+        stats = report.stats
+        assert stats.serve_requests == len(saturating_workload.arrivals)
+        assert stats.serve_queue_peak <= 8
+        assert stats.serve_rejected > 0
+        assert report.shed_reasons.get("queue-full", 0) > 0
+        assert closure(report) == stats.serve_requests
+        assert not report.degraded
+
+    def test_latencies_monotone_in_virtual_time(self, group_setup,
+                                                saturating_workload):
+        report = serve_once(group_setup, saturating_workload,
+                            queue_limit=8, batch_limit=1)
+        times = report.completion_times_cycles
+        assert times == sorted(times)
+        assert (report.slo.p50_cycles <= report.slo.p95_cycles
+                <= report.slo.p99_cycles <= report.slo.max_cycles)
+
+    def test_served_frames_bit_identical_to_batch(self, group_setup,
+                                                  saturating_workload):
+        report_server = FrameServer(SCHEME, group_setup,
+                                    saturating_workload, groups=2,
+                                    queue_limit=8)
+        report_server.serve()
+        served = report_server.rendered_results[BENCH]
+        batch = run(SCHEME, load_benchmark(BENCH, "tiny"), group_setup)
+        assert np.array_equal(served.image.color, batch.image.color)
+        assert np.array_equal(served.image.depth, batch.image.depth)
+        assert served.frame_cycles == batch.frame_cycles
+
+    def test_batching_amortizes_overload(self, group_setup,
+                                         saturating_workload):
+        solo = serve_once(group_setup, saturating_workload,
+                          queue_limit=8, batch_limit=1)
+        batched = serve_once(group_setup, saturating_workload,
+                             queue_limit=8, batch_limit=4)
+        assert (batched.stats.serve_completed
+                > solo.stats.serve_completed)
+        assert (batched.stats.serve_batches
+                < batched.stats.serve_completed)
+
+    def test_deterministic_report(self, group_setup, saturating_workload):
+        a = serve_once(group_setup, saturating_workload, queue_limit=8)
+        b = serve_once(group_setup, saturating_workload, queue_limit=8)
+        assert a.to_dict() == b.to_dict()
+
+    def test_empty_workload_drains_immediately(self, group_setup,
+                                               mean_cycles):
+        profile = LoadProfile(sessions=1, duration_x=1.0)
+        empty = WorkloadSpec(profile=profile, benchmarks=(BENCH,),
+                             mean_service_cycles=mean_cycles,
+                             duration_cycles=mean_cycles, arrivals=())
+        report = serve_once(group_setup, empty)
+        assert report.stats.serve_requests == 0
+        assert report.shed_rate == 0.0
+        assert not report.degraded
+
+
+# ----------------------------------------------------------------- policies
+
+
+class TestPolicies:
+    def test_drop_oldest_evicts_instead_of_rejecting(self, group_setup,
+                                                     saturating_workload):
+        newest = serve_once(group_setup, saturating_workload,
+                            queue_limit=8, batch_limit=1,
+                            policy=POLICY_DROP_NEWEST)
+        oldest = serve_once(group_setup, saturating_workload,
+                            queue_limit=8, batch_limit=1,
+                            policy=POLICY_DROP_OLDEST)
+        assert newest.shed_reasons.get("evicted", 0) == 0
+        assert oldest.shed_reasons.get("evicted", 0) > 0
+        # eviction favors fresh work: admitted count goes up
+        assert (oldest.stats.serve_admitted
+                > newest.stats.serve_admitted)
+        assert closure(oldest) == oldest.stats.serve_requests
+
+    def test_deadline_policy_shreds_expired_first(self, group_setup,
+                                                  saturating_workload):
+        report = serve_once(group_setup, saturating_workload,
+                            queue_limit=8, batch_limit=1,
+                            policy=POLICY_DEADLINE, deadline_x=3.0)
+        assert report.shed_reasons.get("deadline", 0) > 0
+        # anything completed past its deadline is counted as a miss, and
+        # served requests still close the books
+        assert closure(report) == report.stats.serve_requests
+
+    def test_unknown_policy_rejected(self, group_setup,
+                                     saturating_workload):
+        with pytest.raises(ConfigError, match="unknown shedding policy"):
+            serve_once(group_setup, saturating_workload,
+                       policy="drop-random")
+
+    def test_token_bucket_throttles_heavy_sessions(self, group_setup,
+                                                   saturating_workload):
+        report = serve_once(group_setup, saturating_workload,
+                            queue_limit=32, budget_x=0.5)
+        assert report.stats.serve_throttled > 0
+        assert report.shed_reasons.get("budget", 0) > 0
+        assert closure(report) == report.stats.serve_requests
+
+
+# ------------------------------------------------------------------- faults
+
+
+class TestFaults:
+    def test_group_failure_requeues_in_flight(self, group_setup,
+                                              saturating_workload):
+        fail_at = saturating_workload.duration_cycles * 0.25
+        report = serve_once(group_setup, saturating_workload,
+                            queue_limit=8, batch_limit=2,
+                            fault_events=[(fail_at, 0, "gpu_fail")])
+        assert report.stats.serve_requeued > 0
+        assert any(e.kind == "group-fail" for e in report.events)
+        assert closure(report) == report.stats.serve_requests
+        assert not report.degraded
+
+    def test_dead_pool_sheds_typed_and_drains(self, group_setup,
+                                              saturating_workload):
+        fail_at = saturating_workload.duration_cycles * 0.25
+        report = serve_once(group_setup, saturating_workload,
+                            queue_limit=8,
+                            fault_events=[(fail_at, 0, "gpu_fail"),
+                                          (fail_at, 2, "gpu_fail")])
+        assert report.shed_reasons.get("no-survivors", 0) > 0
+        assert closure(report) == report.stats.serve_requests
+        # after the pool dies nothing completes, but nothing hangs either
+        assert report.drained_at_cycles > 0
+
+    def test_repair_revives_the_group(self, group_setup,
+                                      saturating_workload):
+        fail_at = saturating_workload.duration_cycles * 0.25
+        back_at = saturating_workload.duration_cycles * 0.5
+        dead = serve_once(group_setup, saturating_workload,
+                          queue_limit=8, batch_limit=1,
+                          fault_events=[(fail_at, 0, "gpu_fail")])
+        revived = serve_once(group_setup, saturating_workload,
+                             queue_limit=8, batch_limit=1,
+                             fault_events=[(fail_at, 0, "gpu_fail"),
+                                           (back_at, 0, "gpu_repair")])
+        assert any(e.kind == "group-revive" for e in revived.events)
+        assert (revived.stats.serve_completed
+                > dead.stats.serve_completed)
+        assert closure(revived) == revived.stats.serve_requests
+
+    def test_faulted_run_stays_bit_identical(self, group_setup,
+                                             saturating_workload):
+        fail_at = saturating_workload.duration_cycles * 0.25
+        server = FrameServer(SCHEME, group_setup, saturating_workload,
+                             groups=2, queue_limit=8, batch_limit=2,
+                             fault_events=[(fail_at, 0, "gpu_fail")])
+        server.serve()
+        served = server.rendered_results[BENCH]
+        batch = run(SCHEME, load_benchmark(BENCH, "tiny"), group_setup)
+        assert np.array_equal(served.image.color, batch.image.color)
+        assert np.array_equal(served.image.depth, batch.image.depth)
+
+    def test_fault_event_validation(self, group_setup,
+                                    saturating_workload):
+        with pytest.raises(ConfigError, match="only understands"):
+            serve_once(group_setup, saturating_workload,
+                       fault_events=[(1.0, 0, "gpu_meltdown")])
+        with pytest.raises(ConfigError, match="pool has 4 GPUs"):
+            serve_once(group_setup, saturating_workload,
+                       fault_events=[(1.0, 9, "gpu_fail")])
+
+    def test_events_from_plan_and_trace(self, group_setup):
+        from repro.faults import parse_fault_plan
+        from repro.faults.traces import TraceGenConfig, generate_trace
+        plan = parse_fault_plan("fail=1@5000")
+        assert gpu_events_from_plan(plan) == [(5000.0, 1, "gpu_fail")]
+        pool = make_setup("tiny", num_gpus=4)
+        trace = generate_trace(pool.config, TraceGenConfig(
+            seed=11, frames=4, frame_cycles=100_000.0,
+            gpu_mttf_cycles=150_000.0, gpu_mttr_cycles=50_000.0,
+            link_mttf_cycles=None, degrade_mttf_cycles=None))
+        events = gpu_events_from_trace(trace)
+        assert events, "trace parameters should produce GPU episodes"
+        assert all(kind in ("gpu_fail", "gpu_repair")
+                   for _, _, kind in events)
+
+
+# --------------------------------------------------------------- durability
+
+
+class TestDegradedMode:
+    def test_watchdog_trip_degrades_instead_of_crashing(
+            self, saturating_workload, mean_cycles):
+        setup = make_setup("tiny", num_gpus=2,
+                           watchdog_cycles=mean_cycles * 5)
+        report = serve_once(setup, saturating_workload, queue_limit=8)
+        assert report.degraded
+        assert report.stats.serve_degraded_events > 0
+        assert report.shed_reasons.get("watchdog", 0) > 0
+        assert any(e.kind == "watchdog-trip" for e in report.events)
+        assert closure(report) == report.stats.serve_requests
+
+    def test_shared_store_hit_rate_per_session(self, group_setup,
+                                               saturating_workload):
+        report = serve_once(group_setup, saturating_workload,
+                            queue_limit=16)
+        # the module-scoped calibration already rendered wolf, so every
+        # session serves from the shared artifact store
+        for session in report.sessions:
+            if session.completed:
+                assert session.hit_rate == 1.0
+        assert report.artifact_hit_rate == 1.0
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+class TestServeCli:
+    def test_loadgen_then_serve_within_slo(self, tmp_path, capsys):
+        workload = tmp_path / "wl.json"
+        assert main(["loadgen", str(workload), "--benchmarks", BENCH,
+                     "--scale", "tiny", "--gpus", "2", "--groups", "2",
+                     "--rate-x", "2.0", "--duration-x", "15",
+                     "--seed", "3"]) == 0
+        csv_path = tmp_path / "serve.csv"
+        json_path = tmp_path / "serve.json"
+        assert main(["serve", BENCH, "--scale", "tiny", "--gpus", "2",
+                     "--groups", "2", "--load", str(workload),
+                     "--queue-limit", "16",
+                     "--csv", str(csv_path), "--json", str(json_path),
+                     "--max-shed-rate", "0.95",
+                     "--max-p99-x", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out and "latency" in out
+        header = csv_path.read_text().splitlines()[0]
+        assert "latency_p99_cycles" in header
+        data = json.loads(json_path.read_text())
+        assert data["stats"]["serve_requests"] > 0
+        assert data["shed_rate"] <= 0.95
+
+    def test_slo_breach_exits_8(self, tmp_path, capsys):
+        assert main(["serve", BENCH, "--scale", "tiny", "--gpus", "2",
+                     "--groups", "2", "--rate-x", "4.0",
+                     "--duration-x", "15", "--queue-limit", "4",
+                     "--batch-limit", "1",
+                     "--max-shed-rate", "0.0"]) == 8
+
+    def test_watchdog_degraded_exits_9(self, capsys):
+        assert main(["serve", BENCH, "--scale", "tiny", "--gpus", "2",
+                     "--groups", "2", "--rate-x", "2.0",
+                     "--duration-x", "15",
+                     "--watchdog-cycles", "800000"]) == 9
+        assert "DEGRADED" in capsys.readouterr().out

@@ -320,3 +320,62 @@ class TestProcessFailureModes:
         p.kill()
         assert not p.killed
         assert p.value == "fine"
+
+
+class TestLivelockWatchdog:
+    """The configurable virtual-time budget (``watchdog_cycles``)."""
+
+    def test_livelock_trips_typed_error(self):
+        from repro.errors import WatchdogError
+        sim = Simulator(watchdog_cycles=100.0)
+
+        def spinner():
+            while True:
+                yield sim.timeout(10.0)
+
+        sim.process(spinner(), name="spinner")
+        with pytest.raises(WatchdogError, match="'spinner'"):
+            sim.run()
+        # the clock never advances past the budget
+        assert sim.now <= 100.0
+
+    def test_budget_is_per_run_not_absolute(self):
+        """Each run() call gets a fresh budget from its starting time."""
+        sim = Simulator(watchdog_cycles=100.0)
+
+        def step():
+            yield sim.timeout(80.0)
+
+        sim.process(step())
+        assert sim.run() == 80.0
+        sim.process(step())
+        assert sim.run() == 160.0  # 80 cycles into the second budget
+
+    def test_completing_run_never_trips(self):
+        sim = Simulator(watchdog_cycles=1000.0)
+
+        def proc():
+            yield sim.timeout(999.0)
+
+        sim.process(proc())
+        assert sim.run() == 999.0
+
+    def test_watchdog_error_is_a_simulation_error(self):
+        from repro.errors import WatchdogError
+        assert issubclass(WatchdogError, SimulationError)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(SimulationError, match="positive"):
+            Simulator(watchdog_cycles=0.0)
+        with pytest.raises(SimulationError, match="positive"):
+            Simulator(watchdog_cycles=-5.0)
+
+    def test_budget_threads_through_make_setup(self):
+        from repro.harness import make_setup
+        setup = make_setup("tiny", num_gpus=2, watchdog_cycles=123.0)
+        assert setup.config.watchdog_cycles == 123.0
+        # the budget must not perturb results: it is excluded from the
+        # result-cache identity
+        baseline = make_setup("tiny", num_gpus=2)
+        assert setup.config.link == baseline.config.link
+        assert setup.config.gpu == baseline.config.gpu
