@@ -21,14 +21,21 @@ fail-stop recovery, and every speedup figure trustworthy):
 The **deep** layer (``python -m repro lint --deep``) adds project-wide
 passes on a shared symbol table / call graph
 (:mod:`repro.analysis.flow`): a units/dimension checker for the timing
-model (:mod:`repro.analysis.units`) and a nondeterminism taint pass
-(:mod:`repro.analysis.taint`), with a JSON baseline workflow
-(:mod:`repro.analysis.baseline`) for incremental adoption.
+model (:mod:`repro.analysis.units`), a nondeterminism taint pass
+(:mod:`repro.analysis.taint`), a resource-protocol / deadlock analyzer
+for the sim kernel (:mod:`repro.analysis.protocol`), and an
+error-contract checker over the exception taxonomy and exit-code
+registry (:mod:`repro.analysis.contract`) — with a JSON baseline
+workflow (:mod:`repro.analysis.baseline`) for incremental adoption and
+``--changed`` scoping (:mod:`repro.analysis.scope`) to keep the deep
+pass fast on large trees.
 """
 
 from .baseline import (filter_baselined, finding_key, load_baseline,
                        save_baseline)
+from .contract import ContractChecker
 from .flow import ClassInfo, FunctionInfo, Project
+from .protocol import ProtocolChecker
 from .rules import (PROJECT_RULES, RULES, ProjectRule, Rule,
                     all_rule_descriptions, default_project_rules,
                     default_rules, register, register_project)
@@ -37,6 +44,7 @@ from .sanitizer import (ACCESS_ARBITRATED, ACCESS_READ, ACCESS_WRITE,
 from .simlint import (SEVERITIES, Finding, lint_file, lint_paths,
                       lint_project, lint_source)
 from .reporters import render_json, render_text
+from .scope import changed_scope, expand_with_dependents
 from .taint import TaintChecker
 from .units import UnitChecker, format_unit, parse_unit
 
@@ -48,11 +56,13 @@ __all__ = [
     "CONFLICT_WW",
     "ClassInfo",
     "Conflict",
+    "ContractChecker",
     "Finding",
     "FunctionInfo",
     "PROJECT_RULES",
     "Project",
     "ProjectRule",
+    "ProtocolChecker",
     "RULES",
     "RaceSanitizer",
     "Rule",
@@ -60,7 +70,9 @@ __all__ = [
     "TaintChecker",
     "UnitChecker",
     "all_rule_descriptions",
+    "changed_scope",
     "default_project_rules",
+    "expand_with_dependents",
     "default_rules",
     "filter_baselined",
     "finding_key",

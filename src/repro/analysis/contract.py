@@ -1,0 +1,424 @@
+"""Error-contract checker (deep).
+
+The CLI's contract with callers is the pair (typed exception taxonomy,
+exit-code ladder): every failure the library raises on purpose derives
+from ``ReproError`` (:mod:`repro.errors`), and ``main()`` maps each
+subclass to a deterministic exit code through the ``EXIT_CODES``
+registry. This pass rebuilds that contract from the *sources* — the
+class hierarchy, the registry constant, and the documented exit-code
+table — and flags the ways it decays:
+
+``contract-unmapped``
+    A ``ReproError`` subclass that only matches the generic catch-all
+    ladder entry and is not named (directly or via an ancestor) in the
+    ``GENERIC_EXIT`` allowlist next to the registry. Every typed failure
+    should either have a deliberate exit code or a recorded decision
+    that the generic code is fine.
+
+``contract-collision``
+    Two ladder entries resolving to the same exit code, or an entry that
+    can never match because an earlier entry's class is a superclass
+    (the isinstance ladder is ordered most-specific-first).
+
+``contract-swallowed``
+    An ``except`` clause catching a taxonomy class (or bare
+    ``Exception``, which swallows the whole taxonomy) whose body is
+    effectively empty — no re-raise, no typed handling, just
+    ``pass``/``continue``/``return``. Handlers that *do* something with
+    the error (log it, mark a cell FAILED, map it to a result) are not
+    flagged.
+
+``contract-raise-generic``
+    A ``raise Exception(...)`` / ``raise BaseException(...)`` in a tree
+    that defines the taxonomy: untyped failures bypass the exit-code
+    contract entirely.
+
+``contract-undocumented``
+    A module documenting the exit codes (a docstring with an exit-code
+    section heading) that does not mention a code the registry maps.
+
+All checks are keyed off the taxonomy root being literally named
+``ReproError``; a project without one (e.g. an unrelated lint fixture
+tree) produces no contract findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .flow import ClassInfo, Project, dotted_chain
+from .rules import ProjectRule, register_project
+from .simlint import Finding
+
+RULE_UNMAPPED = "contract-unmapped"
+RULE_COLLISION = "contract-collision"
+RULE_SWALLOWED = "contract-swallowed"
+RULE_GENERIC = "contract-raise-generic"
+RULE_UNDOCUMENTED = "contract-undocumented"
+
+#: the taxonomy root class name and the registry constant names
+ROOT_NAME = "ReproError"
+REGISTRY_NAME = "EXIT_CODES"
+ALLOWLIST_NAME = "GENERIC_EXIT"
+_DOC_SECTION = "Exit codes"
+
+
+@dataclass
+class _Entry:
+    """One resolved ladder entry of an ``EXIT_CODES`` registry."""
+
+    class_qualname: str
+    class_name: str
+    code: Optional[int]
+    node: ast.expr
+
+
+@dataclass
+class _Taxonomy:
+    """The ``ReproError`` hierarchy as found in the project."""
+
+    roots: Set[str] = field(default_factory=set)
+    members: Dict[str, ClassInfo] = field(default_factory=dict)
+    parents: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def ancestors(self, qualname: str) -> Set[str]:
+        out: Set[str] = set()
+        frontier = [qualname]
+        while frontier:
+            node = frontier.pop()
+            for parent in self.parents.get(node, ()):
+                if parent not in out:
+                    out.add(parent)
+                    frontier.append(parent)
+        return out
+
+    def is_ancestor(self, ancestor: str, descendant: str) -> bool:
+        return ancestor == descendant \
+            or ancestor in self.ancestors(descendant)
+
+
+class ContractChecker:
+    """Runs the error-contract pass over a project."""
+
+    severity = "error"
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        taxonomy = self._build_taxonomy()
+        if not taxonomy.roots:
+            return []
+        registries = self._find_registries()
+        for module_qual, node in registries:
+            entries = self._resolve_entries(module_qual, node, taxonomy)
+            self._check_collisions(module_qual, node, entries, taxonomy)
+            self._check_unmapped(module_qual, entries, taxonomy)
+            self._check_documented(entries)
+        self._check_handlers_and_raises(taxonomy)
+        return sorted(self.findings)
+
+    def report(self, path: str, node: ast.AST, rule: str,
+               message: str) -> None:
+        finding = Finding(
+            path=path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), rule=rule,
+            message=message, severity=self.severity)
+        if finding not in self.findings:
+            self.findings.append(finding)
+
+    # -- taxonomy ------------------------------------------------------------
+
+    def _build_taxonomy(self) -> _Taxonomy:
+        taxonomy = _Taxonomy()
+        for qualname, info in self.project.classes.items():
+            if info.name == ROOT_NAME:
+                taxonomy.roots.add(qualname)
+                taxonomy.members[qualname] = info
+        by_name: Dict[str, str] = {
+            info.name: qualname
+            for qualname, info in sorted(self.project.classes.items())}
+        grew = True
+        while grew:
+            grew = False
+            for qualname, info in sorted(self.project.classes.items()):
+                if qualname in taxonomy.members:
+                    continue
+                parents = set()
+                for base in info.base_exprs:
+                    base_qual = self._class_ref(
+                        info.module_name, base, by_name)
+                    if base_qual in taxonomy.members:
+                        parents.add(base_qual)
+                if parents:
+                    taxonomy.members[qualname] = info
+                    taxonomy.parents[qualname] = parents
+                    grew = True
+        return taxonomy
+
+    def _class_ref(self, module_name: str, expr: ast.expr,
+                   by_name: Dict[str, str]) -> Optional[str]:
+        """Resolve a class-reference expression to a project qualname."""
+        chain = dotted_chain(expr)
+        if chain is None:
+            return None
+        resolved = self.project.resolve_chain(module_name, chain)
+        info = self.project.lookup_class(resolved)
+        if info is not None:
+            return info.qualname
+        # fixture fallback: an unimported bare name matching a known class
+        if len(chain) == 1:
+            return by_name.get(chain[0])
+        return by_name.get(chain[-1])
+
+    # -- the EXIT_CODES registry ---------------------------------------------
+
+    def _find_registries(self) -> List[Tuple[str, ast.expr]]:
+        out = []
+        for qualname, node in sorted(self.project.constants.items()):
+            if qualname.rsplit(".", 1)[-1] == REGISTRY_NAME \
+                    and isinstance(node, (ast.Tuple, ast.List)):
+                out.append((qualname.rsplit(".", 1)[0], node))
+        return out
+
+    def _resolve_entries(self, module_qual: str, node: ast.expr,
+                         taxonomy: _Taxonomy) -> List[_Entry]:
+        by_name = {info.name: qualname
+                   for qualname, info in sorted(taxonomy.members.items())}
+        entries: List[_Entry] = []
+        for element in node.elts:
+            if not isinstance(element, (ast.Tuple, ast.List)) \
+                    or len(element.elts) != 2:
+                continue
+            class_expr, code_expr = element.elts
+            class_qual = self._class_ref(module_qual, class_expr, by_name)
+            if class_qual is None or class_qual not in taxonomy.members:
+                continue
+            entries.append(_Entry(
+                class_qualname=class_qual,
+                class_name=taxonomy.members[class_qual].name,
+                code=self._int_value(module_qual, code_expr),
+                node=element))
+        return entries
+
+    def _int_value(self, module_qual: str,
+                   expr: ast.expr) -> Optional[int]:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int) \
+                and not isinstance(expr.value, bool):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            constant = self.project.constants.get(
+                f"{module_qual}.{expr.id}")
+            if constant is None:
+                resolved = self.project.resolve_name(module_qual, expr.id)
+                if resolved is not None:
+                    constant = self.project.constants.get(resolved)
+            if isinstance(constant, ast.Constant) \
+                    and isinstance(constant.value, int):
+                return constant.value
+        return None
+
+    def _module_path(self, module_qual: str) -> str:
+        module = self.project.modules.get(module_qual)
+        return module.path if module is not None else "<unknown>"
+
+    # -- mapping checks ------------------------------------------------------
+
+    def _check_collisions(self, module_qual: str, node: ast.expr,
+                          entries: List[_Entry],
+                          taxonomy: _Taxonomy) -> None:
+        path = self._module_path(module_qual)
+        seen_codes: Dict[int, _Entry] = {}
+        for entry in entries:
+            if entry.code is None:
+                continue
+            earlier = seen_codes.get(entry.code)
+            if earlier is not None:
+                self.report(
+                    path, entry.node, RULE_COLLISION,
+                    f"exit code {entry.code} is assigned to both "
+                    f"{earlier.class_name} and {entry.class_name}")
+            else:
+                seen_codes[entry.code] = entry
+        for position, entry in enumerate(entries):
+            for earlier in entries[:position]:
+                if taxonomy.is_ancestor(earlier.class_qualname,
+                                        entry.class_qualname):
+                    self.report(
+                        path, entry.node, RULE_COLLISION,
+                        f"ladder entry {entry.class_name} can never "
+                        f"match: {earlier.class_name} earlier in the "
+                        "ladder already catches it (most-specific-first "
+                        "ordering violated)")
+                    break
+
+    def _check_unmapped(self, module_qual: str, entries: List[_Entry],
+                        taxonomy: _Taxonomy) -> None:
+        allow = self._allowlist(module_qual)
+        specific = {entry.class_qualname for entry in entries
+                    if entry.class_qualname not in taxonomy.roots}
+        for qualname in sorted(taxonomy.members):
+            if qualname in taxonomy.roots:
+                continue
+            info = taxonomy.members[qualname]
+            lineage = {qualname} | taxonomy.ancestors(qualname)
+            if lineage & specific:
+                continue
+            names = {taxonomy.members[q].name
+                     for q in lineage if q not in taxonomy.roots}
+            if names & allow:
+                continue
+            self.report(
+                info.module.path, info.node, RULE_UNMAPPED,
+                f"error class {info.name} maps only to the generic "
+                "catch-all exit code; add an EXIT_CODES ladder entry or "
+                f"record it in {ALLOWLIST_NAME}")
+
+    def _allowlist(self, module_qual: str) -> Set[str]:
+        node = self.project.constants.get(
+            f"{module_qual}.{ALLOWLIST_NAME}")
+        if node is None:
+            return set()
+        if isinstance(node, ast.Call) and node.args:
+            node = node.args[0]
+        names: Set[str] = set()
+        for element in getattr(node, "elts", ()):
+            if isinstance(element, ast.Constant) \
+                    and isinstance(element.value, str):
+                names.add(element.value)
+            elif isinstance(element, ast.Name):
+                names.add(element.id)
+        return names
+
+    def _check_documented(self, entries: List[_Entry]) -> None:
+        for module_qual in sorted(self.project.modules):
+            module = self.project.modules[module_qual]
+            docstring = ast.get_docstring(module.tree)
+            if not docstring or _DOC_SECTION not in docstring:
+                continue
+            for entry in entries:
+                if entry.code is None:
+                    continue
+                if not re.search(rf"(?<!\d){entry.code}(?!\d)",
+                                 docstring):
+                    self.report(
+                        module.path, module.tree, RULE_UNDOCUMENTED,
+                        f"exit code {entry.code} ({entry.class_name}) "
+                        "is missing from this module's exit-code "
+                        "documentation")
+
+    # -- handlers and raises -------------------------------------------------
+
+    def _check_handlers_and_raises(self, taxonomy: _Taxonomy) -> None:
+        catch_names = {info.name for info in taxonomy.members.values()}
+        by_name = {info.name: qualname
+                   for qualname, info in sorted(taxonomy.members.items())}
+        for module_qual in sorted(self.project.modules):
+            module = self.project.modules[module_qual]
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ExceptHandler):
+                    self._check_handler(module.path, module_qual, node,
+                                        catch_names, by_name)
+                elif isinstance(node, ast.Raise):
+                    self._check_raise(module.path, node)
+
+    def _check_handler(self, path: str, module_qual: str,
+                       handler: ast.ExceptHandler,
+                       catch_names: Set[str],
+                       by_name: Dict[str, str]) -> None:
+        caught = self._caught_taxonomy_name(module_qual, handler.type,
+                                            catch_names, by_name)
+        if caught is None:
+            return
+        if not _is_silent_body(handler.body):
+            return
+        self.report(
+            path, handler, RULE_SWALLOWED,
+            f"except {caught}: swallows a typed library error without "
+            "re-raise or handling — the failure (and its exit code) "
+            "disappears silently")
+
+    def _caught_taxonomy_name(self, module_qual: str,
+                              type_expr: Optional[ast.expr],
+                              catch_names: Set[str],
+                              by_name: Dict[str, str]) -> Optional[str]:
+        if type_expr is None:
+            return None
+        if isinstance(type_expr, ast.Tuple):
+            for element in type_expr.elts:
+                name = self._caught_taxonomy_name(
+                    module_qual, element, catch_names, by_name)
+                if name is not None:
+                    return name
+            return None
+        chain = dotted_chain(type_expr)
+        if chain is None:
+            return None
+        if len(chain) == 1 and chain[0] == "Exception":
+            return "Exception"
+        qualname = self._class_ref(module_qual, type_expr, by_name)
+        if qualname is not None and qualname in by_name.values():
+            return qualname.rsplit(".", 1)[-1]
+        if chain[-1] in catch_names:
+            return chain[-1]
+        return None
+
+    def _check_raise(self, path: str, node: ast.Raise) -> None:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) \
+                and exc.id in ("Exception", "BaseException"):
+            self.report(
+                path, node, RULE_GENERIC,
+                f"raise of bare {exc.id} bypasses the typed error "
+                "taxonomy and the exit-code contract; raise a "
+                f"{ROOT_NAME} subclass instead")
+
+
+def _is_silent_body(stmts: List[ast.stmt]) -> bool:
+    """True when a handler body neither re-raises nor handles."""
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return False
+    for stmt in stmts:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) \
+                and isinstance(stmt.value, ast.Constant):
+            continue
+        if isinstance(stmt, ast.Return) and (
+                stmt.value is None
+                or (isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is None)):
+            continue
+        return False
+    return True
+
+
+@register_project
+class ContractPass(ProjectRule):
+    """Deep pass wrapper exposing the contract checker to the registry."""
+
+    name = RULE_UNMAPPED
+    description = ("ReproError subclass with no deterministic exit-code "
+                   "mapping in the EXIT_CODES registry")
+    severity = "error"
+    extra_rules: Dict[str, str] = {
+        RULE_COLLISION: ("duplicate or unreachable (shadowed) entries "
+                         "in the EXIT_CODES ladder"),
+        RULE_SWALLOWED: ("except clause that silently swallows a typed "
+                         "library error"),
+        RULE_GENERIC: ("raise of bare Exception/BaseException instead "
+                       "of a taxonomy class"),
+        RULE_UNDOCUMENTED: ("registered exit code missing from the "
+                            "documented exit-code table"),
+    }
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(ContractChecker(project).run())

@@ -1,0 +1,719 @@
+"""Resource-protocol / deadlock analysis pass (deep).
+
+The DES kernel's resources (:mod:`repro.sim.resources`) follow a strict
+protocol: a process calls ``resource.request()``, ``yield``\\ s the
+returned request event until granted, and must ``release(req)`` (or
+``withdraw(req)``) every hold on every exit path — including the
+``GeneratorExit`` path taken when :meth:`Process.kill` fail-stops the
+process mid-hold. The runtime deadlock watchdog only detects the wedge
+*after* it happens; this pass proves the absence of whole classes of
+wedges statically, before the composition scheduler grows tile-level
+pipelining.
+
+It models generator-process lifecycles over the
+:class:`~repro.analysis.flow.Project` substrate, abstractly executing
+each function body and tracking every hold through the states
+``REQUESTED -> HELD -> RELEASED`` (or ``ESCAPED`` when the request
+object leaves the function through a return, container, or unresolvable
+call). Four finding ids:
+
+``lock-order-cycle``
+    The global acquisition-order graph (an edge ``A -> B`` whenever some
+    process waits on ``B`` while holding ``A``, followed through calls
+    and ``yield from`` delegation) contains a cycle — the classic static
+    deadlock signal. Same-resource re-entry (``A -> A``) is *not*
+    flagged: with ``capacity > 1`` it is a legitimate pattern.
+
+``leaked-hold``
+    A path from acquire to process exit with no release: a hold still
+    live when the function ends, a granted request never bound to a
+    name, a request result discarded as a bare statement, the last
+    reference to a live hold rebound, or a ``yield`` while holding
+    inside a ``try`` whose ``finally`` does not release the hold (an
+    exception or kill at that yield leaks it forever).
+
+``yield-while-holding``
+    A ``yield`` of an unrelated event while a hold is live and
+    unprotected by a ``finally`` release. Some holds legitimately span
+    timeouts (streaming a payload occupies the port by design) — those
+    are recognized as protected when the release sits in a ``finally``,
+    and can also be allowlisted per resource name via
+    :attr:`ProtocolChecker.allowed_holds`.
+
+``double-release``
+    A strict ``release()`` of a request that the same path already
+    released (the runtime raises ``SimulationError`` for this).
+    ``withdraw``/``cancel`` never flag: ``withdraw`` is the
+    idempotent-safe cleanup form used in ``finally`` blocks.
+
+Resource identity is the attribute/parameter *name* with subscripts
+stripped (``self.egress[src]`` and ``self.egress[dst]`` are both
+``egress``), which matches how the acquisition-order discipline is
+actually designed. See DESIGN.md §15 for the model and its known
+unsoundness (dynamic dispatch, holds passed through containers,
+optimistic branch merging).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (Dict, FrozenSet, Iterator, List, Optional, Sequence,
+                    Set, Tuple)
+
+from .flow import FunctionInfo, Project
+from .rules import ProjectRule, register_project
+from .simlint import Finding
+
+RULE_CYCLE = "lock-order-cycle"
+RULE_LEAK = "leaked-hold"
+RULE_YIELD = "yield-while-holding"
+RULE_DOUBLE = "double-release"
+
+#: hold lifecycle states, in "progress" order (branch merges keep the
+#: most-progressed state: optimistic, to avoid false leak positives)
+REQUESTED, HELD, ESCAPED, RELEASED = range(4)
+
+#: methods that end a hold; only the strict form flags double-release
+_RELEASE_METHODS = frozenset({"release", "withdraw", "cancel"})
+
+
+def _param_tag(name: str) -> str:
+    return f"<param:{name}>"
+
+
+def _strip_tag(key: str) -> str:
+    if key.startswith("<param:") and key.endswith(">"):
+        return key[len("<param:"):-1]
+    return key
+
+
+def _is_request_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "request")
+
+
+def _release_kind(node: ast.AST) -> Optional[str]:
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_METHODS and node.args):
+        return node.func.attr
+    return None
+
+
+class _Hold:
+    """One tracked request event inside one function."""
+
+    __slots__ = ("resource", "node", "names", "state", "release_line")
+
+    def __init__(self, resource: str, node: ast.AST) -> None:
+        self.resource = resource
+        self.node = node
+        self.names: Set[str] = set()
+        self.state = REQUESTED
+        self.release_line = 0
+
+    @property
+    def live(self) -> bool:
+        return self.state in (REQUESTED, HELD)
+
+
+@dataclass
+class ProtocolSummary:
+    """What one function does to resources, seen from a call site."""
+
+    #: resource keys acquired inside (transitively); params tagged
+    acquires: FrozenSet[str] = frozenset()
+    #: parameter names this function releases (directly or via callees)
+    releases_params: FrozenSet[str] = frozenset()
+    #: internal held -> acquired order edges (keys may be param-tagged)
+    edges: Tuple[Tuple[str, str], ...] = ()
+
+
+class ProtocolChecker:
+    """Runs the resource-protocol pass over a project."""
+
+    severity = "error"
+
+    def __init__(self, project: Project,
+                 allowed_holds: FrozenSet[str] = frozenset()) -> None:
+        self.project = project
+        self.allowed_holds = frozenset(allowed_holds)
+        self.findings: List[Finding] = []
+        self._summaries: Dict[str, ProtocolSummary] = {}
+        #: (held, acquired) -> (function qualname, path, line) witness
+        self._edges: Dict[Tuple[str, str], Tuple[str, str, int]] = {}
+
+    def run(self) -> List[Finding]:
+        for qualname in sorted(self.project.functions):
+            self.summary(self.project.functions[qualname])
+        self._report_cycles()
+        return sorted(self.findings)
+
+    def summary(self, fn: FunctionInfo) -> ProtocolSummary:
+        if fn.qualname in self._summaries:
+            return self._summaries[fn.qualname]
+        self._summaries[fn.qualname] = ProtocolSummary()  # recursion guard
+        summary = _ProtocolEval(self, fn).run()
+        self._summaries[fn.qualname] = summary
+        return summary
+
+    def add_edge(self, held: str, acquired: str, fn: FunctionInfo,
+                 node: ast.AST) -> None:
+        held, acquired = _strip_tag(held), _strip_tag(acquired)
+        if held == acquired:
+            return  # capacity-dependent re-entry, not an order violation
+        self._edges.setdefault(
+            (held, acquired),
+            (fn.qualname, fn.module.path, getattr(node, "lineno", 1)))
+
+    def report(self, fn: FunctionInfo, node: ast.AST, rule: str,
+               message: str) -> None:
+        finding = Finding(
+            path=fn.module.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), rule=rule, message=message,
+            severity=self.severity)
+        if finding not in self.findings:
+            self.findings.append(finding)
+
+    # -- acquisition-order cycles --------------------------------------------
+
+    def _report_cycles(self) -> None:
+        graph: Dict[str, Set[str]] = {}
+        for held, acquired in self._edges:
+            graph.setdefault(held, set()).add(acquired)
+            graph.setdefault(acquired, set())
+        for component in _strongly_connected(graph):
+            if len(component) < 2:
+                continue
+            members = set(component)
+            cycle_edges = sorted(
+                edge for edge in self._edges
+                if edge[0] in members and edge[1] in members)
+            qualname, path, line = self._edges[cycle_edges[0]]
+            described = "; ".join(
+                f"{a} -> {b} (in "
+                f"{self._edges[(a, b)][0].rsplit('.', 1)[-1]})"
+                for a, b in cycle_edges)
+            self.findings.append(Finding(
+                path=path, line=line, col=0, rule=RULE_CYCLE,
+                message=(
+                    "acquisition-order cycle between resources "
+                    f"{{{', '.join(sorted(members))}}}: {described} — "
+                    "processes taking these in conflicting orders can "
+                    "deadlock"),
+                severity=self.severity))
+
+
+class _ProtocolEval:
+    """Abstract execution of one function body for the hold protocol."""
+
+    def __init__(self, checker: ProtocolChecker, fn: FunctionInfo) -> None:
+        self.checker = checker
+        self.project = checker.project
+        self.fn = fn
+        self.params = set(fn.param_names())
+        self.env: Dict[str, _Hold] = {}
+        self.holds: List[_Hold] = []
+        #: resource-looking aliases: ``hop = self._ring[(a, b)]``
+        self._res_alias: Dict[str, str] = {}
+        self.try_stack: List[ast.Try] = []
+        self._hazard_reported: Set[int] = set()
+        self.acquires: Set[str] = set()
+        self.releases_params: Set[str] = set()
+        self.edges: List[Tuple[str, str]] = []
+
+    def run(self) -> ProtocolSummary:
+        self.exec_block(self.fn.node.body)
+        for hold in self.holds:
+            if hold.live:
+                self.checker.report(
+                    self.fn, hold.node, RULE_LEAK,
+                    f"hold on '{_strip_tag(hold.resource)}' acquired here "
+                    "is never released on some path through "
+                    f"`{self.fn.name}`")
+        return ProtocolSummary(
+            acquires=frozenset(self.acquires),
+            releases_params=frozenset(self.releases_params),
+            edges=tuple(dict.fromkeys(self.edges)))
+
+    # -- resource identity ---------------------------------------------------
+
+    def _resource_key(self, expr: ast.expr) -> Optional[str]:
+        while isinstance(expr, ast.Subscript):
+            expr = expr.value
+        if isinstance(expr, ast.Attribute):
+            return expr.attr
+        if isinstance(expr, ast.Name):
+            if expr.id in self._res_alias:
+                return self._res_alias[expr.id]
+            if expr.id in self.params:
+                return _param_tag(expr.id)
+            return expr.id
+        return None
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._exec_assign([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, (ast.Yield, ast.YieldFrom)):
+                self._exec_yield(stmt.value)
+            elif _is_request_call(stmt.value):
+                # result discarded: the grant can never be released
+                hold = self._acquire(stmt.value)
+                hold.state = HELD
+                self.checker.report(
+                    self.fn, stmt.value, RULE_LEAK,
+                    f"request on '{_strip_tag(hold.resource)}' is "
+                    "discarded — the granted hold can never be released")
+                hold.state = ESCAPED
+            else:
+                self.eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._escape_named(stmt.value)
+                self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval(stmt.iter)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_try(stmt)
+        elif isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _exec_assign(self, targets: List[ast.expr],
+                     value: ast.expr) -> None:
+        inner = value
+        if isinstance(inner, ast.Yield) and inner.value is not None:
+            # ``req = yield port.request()``: commit-on-grant idiom
+            inner = inner.value
+            if _is_request_call(inner):
+                hold = self._acquire(inner)
+                self._commit(hold, value)
+                self._bind_targets(targets, hold, value)
+                return
+            self._exec_yield(value)
+            self._rebind_only(targets)
+            return
+        if _is_request_call(inner):
+            hold = self._acquire(inner)
+            self._bind_targets(targets, hold, value)
+            return
+        if isinstance(inner, ast.Name) and inner.id in self.env:
+            self._bind_targets(targets, self.env[inner.id], value)
+            return
+        self.eval(value)
+        self._rebind_only(targets)
+        # remember resource-shaped aliases for later ``alias.request()``
+        if len(targets) == 1 and isinstance(targets[0], ast.Name) \
+                and isinstance(inner, (ast.Attribute, ast.Subscript,
+                                       ast.Name)):
+            key = self._resource_key(inner)
+            if key is not None:
+                self._res_alias[targets[0].id] = key
+
+    def _bind_targets(self, targets: List[ast.expr], hold: _Hold,
+                      value: ast.expr) -> None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._unbind(target.id, target)
+                self.env[target.id] = hold
+                hold.names.add(target.id)
+            else:
+                # stored into an attribute/container: leaves our model
+                hold.state = ESCAPED
+
+    def _rebind_only(self, targets: List[ast.expr]) -> None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._unbind(target.id, target)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                self._rebind_only(list(target.elts))
+
+    def _unbind(self, name: str, node: ast.AST) -> None:
+        hold = self.env.pop(name, None)
+        if hold is None:
+            return
+        hold.names.discard(name)
+        if not hold.names and hold.live:
+            self.checker.report(
+                self.fn, node, RULE_LEAK,
+                f"rebinding `{name}` drops the last reference to a live "
+                f"hold on '{_strip_tag(hold.resource)}' (acquired at "
+                f"line {getattr(hold.node, 'lineno', '?')})")
+            hold.state = ESCAPED
+
+    def _escape_named(self, expr: ast.expr) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in self.env:
+                hold = self.env[node.id]
+                if hold.live:
+                    hold.state = ESCAPED
+
+    # -- branching -----------------------------------------------------------
+
+    def _snapshot(self) -> Dict[int, int]:
+        return {index: hold.state
+                for index, hold in enumerate(self.holds)}
+
+    def _restore(self, snap: Dict[int, int]) -> None:
+        for index, state in snap.items():
+            self.holds[index].state = state
+
+    def _merge(self, outcomes: List[Dict[int, int]]) -> None:
+        for index, hold in enumerate(self.holds):
+            states = [snap[index] for snap in outcomes if index in snap]
+            if states:
+                hold.state = max(states)
+
+    def _exec_branches(self, branches: List[List[ast.stmt]]) -> None:
+        before = self._snapshot()
+        outcomes = []
+        for branch in branches:
+            self._restore(before)
+            self.exec_block(branch)
+            outcomes.append(self._snapshot())
+        self._merge(outcomes)
+
+    def _exec_try(self, stmt: ast.Try) -> None:
+        before = self._snapshot()
+        self.try_stack.append(stmt)
+        self.exec_block(stmt.body)
+        self.exec_block(stmt.orelse)
+        after_body = self._snapshot()
+        outcomes = [after_body]
+        for handler in stmt.handlers:
+            # a handler observes a *partially executed* body; starting it
+            # from the pre-body state keeps a handler-side release of the
+            # same hold from counting as a double release
+            self._restore(before)
+            self.exec_block(handler.body)
+            outcomes.append(self._snapshot())
+        self.try_stack.pop()
+        self._merge(outcomes)
+        self.exec_block(stmt.finalbody)
+
+    # -- yields: commits, hazards, order edges -------------------------------
+
+    def _exec_yield(self, expr: ast.expr) -> None:
+        inner = getattr(expr, "value", None)
+        committed: Optional[_Hold] = None
+        if isinstance(expr, ast.YieldFrom) and isinstance(inner, ast.Call):
+            self._eval_call(inner)
+        elif _is_request_call(inner):
+            hold = self._acquire(inner)
+            self._commit(hold, expr)
+            self.checker.report(
+                self.fn, expr, RULE_LEAK,
+                f"granted request on '{_strip_tag(hold.resource)}' is "
+                "never bound to a name and can never be released")
+            hold.state = ESCAPED
+            committed = hold
+        elif isinstance(inner, ast.Name) and inner.id in self.env:
+            committed = self.env[inner.id]
+            self._commit(committed, expr)
+        elif inner is not None:
+            self.eval(inner)
+        self._check_yield_hazards(expr, committed)
+
+    def _commit(self, hold: _Hold, node: ast.AST) -> None:
+        if hold.state == REQUESTED:
+            hold.state = HELD
+        for other in self.holds:
+            if other is not hold and other.state == HELD:
+                self._order_edge(other.resource, hold.resource, node)
+
+    def _order_edge(self, held: str, acquired: str,
+                    node: ast.AST) -> None:
+        self.edges.append((held, acquired))
+        self.checker.add_edge(held, acquired, self.fn, node)
+
+    def _check_yield_hazards(self, node: ast.AST,
+                             committed: Optional[_Hold]) -> None:
+        for hold in self.holds:
+            if hold is committed or not hold.live:
+                continue
+            if id(hold) in self._hazard_reported:
+                continue
+            if _strip_tag(hold.resource) in self.checker.allowed_holds:
+                continue
+            if self._protected(hold):
+                continue
+            self._hazard_reported.add(id(hold))
+            resource = _strip_tag(hold.resource)
+            acquired_at = getattr(hold.node, "lineno", "?")
+            if self.try_stack:
+                self.checker.report(
+                    self.fn, node, RULE_LEAK,
+                    f"yield while holding '{resource}' inside a try "
+                    "without a finally release — an exception or "
+                    "process kill here leaks the hold (acquired at "
+                    f"line {acquired_at})")
+            else:
+                self.checker.report(
+                    self.fn, node, RULE_YIELD,
+                    f"yield while holding '{resource}' with no finally "
+                    "protection (acquired at line "
+                    f"{acquired_at}) — a process kill at this yield "
+                    "leaks the hold")
+
+    def _protected(self, hold: _Hold) -> bool:
+        return any(self._releases_in(try_stmt.finalbody, hold)
+                   for try_stmt in self.try_stack)
+
+    def _releases_in(self, stmts: Sequence[ast.stmt],
+                     hold: _Hold) -> bool:
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _release_kind(node) is not None:
+                    if any(isinstance(arg, ast.Name)
+                           and arg.id in hold.names
+                           for arg in node.args):
+                        return True
+                elif self._callee_releases(node, hold.names):
+                    return True
+        return False
+
+    def _callee_releases(self, call: ast.Call,
+                         names: Set[str]) -> bool:
+        """Does this call pass one of ``names`` to a releasing callee?"""
+        if not any(isinstance(arg, ast.Name) and arg.id in names
+                   for arg in call.args):
+            return False
+        callee = self.project.resolve_call(self.fn, call)
+        if callee is None:
+            return False
+        summary = self.checker.summary(callee)
+        if not summary.releases_params:
+            return False
+        params = self._callee_params(callee)
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Name) and arg.id in names \
+                    and position < len(params) \
+                    and params[position] in summary.releases_params:
+                return True
+        return False
+
+    # -- calls ---------------------------------------------------------------
+
+    def eval(self, expr: Optional[ast.expr]) -> None:
+        """Walk an expression, dispatching calls through the protocol."""
+        if expr is None:
+            return
+        if isinstance(expr, ast.Call):
+            self._eval_call(expr)
+            return
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            self._exec_yield(expr)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+
+    def _acquire(self, call: ast.Call) -> _Hold:
+        resource = self._resource_key(call.func.value) or "<unknown>"
+        for arg in call.args:
+            self.eval(arg)
+        hold = _Hold(resource, call)
+        self.holds.append(hold)
+        self.acquires.add(resource)
+        return hold
+
+    def _eval_call(self, call: ast.Call) -> None:
+        kind = _release_kind(call)
+        if kind is not None:
+            self._exec_release(call, kind)
+            return
+        if _is_request_call(call):
+            # request in a non-binding context: out of our model
+            hold = self._acquire(call)
+            hold.state = ESCAPED
+            return
+        for arg in call.args:
+            self.eval(arg)
+        for keyword in call.keywords:
+            self.eval(keyword.value)
+        hold_args = [(position, arg.id) for position, arg
+                     in enumerate(call.args)
+                     if isinstance(arg, ast.Name) and arg.id in self.env]
+        callee = self.project.resolve_call(self.fn, call)
+        if callee is None:
+            for _, name in hold_args:
+                hold = self.env[name]
+                if hold.live:
+                    hold.state = ESCAPED
+            return
+        self._apply_summary(call, callee, hold_args)
+
+    def _exec_release(self, call: ast.Call, kind: str) -> None:
+        arg = call.args[0]
+        for extra in call.args[1:]:
+            self.eval(extra)
+        if not isinstance(arg, ast.Name):
+            self.eval(arg)
+            return
+        if arg.id in self.env:
+            hold = self.env[arg.id]
+            if kind == "release" and hold.state == RELEASED:
+                self.checker.report(
+                    self.fn, call, RULE_DOUBLE,
+                    f"'{_strip_tag(hold.resource)}' request released "
+                    f"again — already released at line "
+                    f"{hold.release_line} (the runtime raises "
+                    "SimulationError here)")
+                return
+            hold.state = RELEASED
+            hold.release_line = getattr(call, "lineno", 0)
+        elif arg.id in self.params:
+            self.releases_params.add(arg.id)
+
+    def _callee_params(self, callee: FunctionInfo) -> List[str]:
+        params = callee.param_names()
+        if params and params[0] in ("self", "cls") and callee.is_method:
+            params = params[1:]
+        return params
+
+    def _apply_summary(self, call: ast.Call, callee: FunctionInfo,
+                       hold_args: List[Tuple[int, str]]) -> None:
+        summary = self.checker.summary(callee)
+        params = self._callee_params(callee)
+        by_param_hold: Dict[str, _Hold] = {}
+        for position, name in hold_args:
+            if position < len(params):
+                by_param_hold[params[position]] = self.env[name]
+        by_param_key: Dict[str, str] = {}
+        for position, arg in enumerate(call.args):
+            if position < len(params):
+                key = self._resource_key(arg)
+                if key is not None:
+                    by_param_key[params[position]] = key
+
+        def substitute(key: str) -> str:
+            if key.startswith("<param:"):
+                return by_param_key.get(_strip_tag(key), _strip_tag(key))
+            return key
+
+        # a hold handed to a callee that releases it is closed here
+        for param, hold in by_param_hold.items():
+            if param in summary.releases_params:
+                hold.state = RELEASED
+                hold.release_line = getattr(call, "lineno", 0)
+        remaining = {name for _, name in hold_args
+                     if self.env[name].live}
+        for name in remaining:
+            # passed onward without a release: assume the callee keeps it
+            self.env[name].state = ESCAPED
+        # order edges: everything we hold precedes what the callee takes
+        acquired = {substitute(key) for key in summary.acquires}
+        self.acquires.update(acquired)
+        for hold in self.holds:
+            if hold.state == HELD:
+                for key in sorted(acquired):
+                    self._order_edge(hold.resource, key, call)
+        for held, taken in summary.edges:
+            held, taken = substitute(held), substitute(taken)
+            self.edges.append((held, taken))
+            self.checker.add_edge(held, taken, self.fn, call)
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's SCC algorithm, iterative, deterministic order."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    def visit(root: str) -> None:
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            visit(node)
+    return components
+
+
+@register_project
+class ProtocolPass(ProjectRule):
+    """Deep pass wrapper exposing the protocol checker to the registry."""
+
+    name = RULE_CYCLE
+    description = ("resource acquisition-order cycle across sim "
+                   "processes (static deadlock signal)")
+    severity = "error"
+    extra_rules: Dict[str, str] = {
+        RULE_LEAK: ("a resource hold reaches process exit, an "
+                    "exception, or a kill-able yield with no release"),
+        RULE_YIELD: ("yield of an unrelated event while holding an "
+                     "unprotected resource (kill at that yield leaks "
+                     "the hold)"),
+        RULE_DOUBLE: ("strict release() of an already-released request "
+                      "(runtime SimulationError)"),
+    }
+    #: resource names allowed to span unrelated yields unprotected
+    allowed_holds: FrozenSet[str] = frozenset()
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(ProtocolChecker(
+            project, allowed_holds=self.allowed_holds).run())

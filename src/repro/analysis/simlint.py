@@ -121,13 +121,21 @@ def lint_file(path: Union[str, pathlib.Path],
 
 def lint_paths(paths: Iterable[Union[str, pathlib.Path]],
                rules: Optional[Iterable] = None,
-               deep: bool = False) -> List[Finding]:
+               deep: bool = False,
+               scope: Optional[Set[pathlib.Path]] = None) -> List[Finding]:
     """Lint files and/or directory trees (``*.py``, recursively).
 
     With ``deep=True``, additionally builds a
     :class:`~repro.analysis.flow.Project` over all the paths at once and
     runs the registered project-wide passes (units checker,
-    nondeterminism taint) on top of the per-statement rules.
+    nondeterminism taint, resource protocol, error contract) on top of
+    the per-statement rules.
+
+    ``scope`` (a set of *resolved* paths, e.g. from
+    :func:`~repro.analysis.scope.changed_scope`) restricts reporting:
+    per-statement rules run only on scoped files, and the deep passes —
+    which still analyze the whole file set so cross-module flows stay
+    visible — report only findings located in scoped files.
     """
     files: List[pathlib.Path] = []
     for path in paths:
@@ -145,9 +153,16 @@ def lint_paths(paths: Iterable[Union[str, pathlib.Path]],
             continue
         seen.add(resolved)
         unique_files.append(file_path)
-        findings.extend(lint_file(file_path, rules=rules))
+        if scope is None or resolved in scope:
+            findings.extend(lint_file(file_path, rules=rules))
     if deep:
-        findings.extend(lint_project(unique_files))
+        deep_findings = lint_project(unique_files)
+        if scope is not None:
+            scoped_strs = {str(fp) for fp in unique_files
+                           if fp.resolve() in scope}
+            deep_findings = [f for f in deep_findings
+                             if f.path in scoped_strs]
+        findings.extend(deep_findings)
     return sorted(findings)
 
 

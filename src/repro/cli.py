@@ -43,7 +43,12 @@ Exit codes
 0 success · 1 library error · 2 bad configuration/usage · 3 completed with
 FAILED cells (partial results salvaged) · 4 job timeout · 5 worker crash ·
 6 retry budget exhausted · 7 failure-trace topology fingerprint mismatch ·
-8 serve run breached its SLO gates · 9 serve run degraded (watchdog trip)
+8 serve run breached its SLO gates · 9 run degraded (virtual-time
+watchdog tripped; serve degrades in-band) · 10 unrecoverable injected
+fault · 11 scheduler reached an invalid state
+
+The mapping lives in :data:`repro.errors.EXIT_CODES` (re-exported here)
+so the error-contract lint pass and ``main()`` consume one registry.
 """
 
 from __future__ import annotations
@@ -54,9 +59,11 @@ import sys
 from typing import List, Optional
 
 from .core import plan_frame, split_into_groups, summarize_plan
-from .errors import (ConfigError, JobTimeout, ReproError,
-                     RetryBudgetExhausted, ServeOverloadError,
-                     TraceFingerprintError, WorkerCrashed)
+from .errors import (EXIT_BUDGET, EXIT_CODES, EXIT_CONFIG, EXIT_CRASH,
+                     EXIT_DEGRADED, EXIT_ERROR, EXIT_FAULT,
+                     EXIT_FINGERPRINT, EXIT_OK, EXIT_OVERLOAD,
+                     EXIT_PARTIAL, EXIT_SCHEDULING, EXIT_TIMEOUT,
+                     ConfigError, ReproError, exit_code_for)
 from .harness import MAIN_SCHEMES, SCHEMES, make_setup, run
 from .harness import experiments as experiments_module
 from .harness import report as report_module
@@ -64,24 +71,6 @@ from .harness.engine import Engine
 from .stats import ALL_STAGES
 from .traces import BENCHMARK_NAMES, load_benchmark, triangle_histogram
 from .traces.io import load_trace, save_trace
-
-EXIT_OK = 0
-EXIT_ERROR = 1
-EXIT_CONFIG = 2
-EXIT_PARTIAL = 3
-EXIT_TIMEOUT = 4
-EXIT_CRASH = 5
-EXIT_BUDGET = 6
-EXIT_FINGERPRINT = 7
-EXIT_OVERLOAD = 8
-EXIT_DEGRADED = 9
-
-#: typed failure -> distinct exit code (most specific first)
-EXIT_CODES = ((RetryBudgetExhausted, EXIT_BUDGET), (JobTimeout, EXIT_TIMEOUT),
-              (WorkerCrashed, EXIT_CRASH),
-              (TraceFingerprintError, EXIT_FINGERPRINT),
-              (ServeOverloadError, EXIT_OVERLOAD),
-              (ConfigError, EXIT_CONFIG), (ReproError, EXIT_ERROR))
 
 #: figure name -> (experiment callable name, renderer callable name)
 FIGURES = {
@@ -408,8 +397,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the registered rules and exit")
     lint.add_argument("--deep", action="store_true",
                       help="also run the project-wide passes (units/"
-                           "dimension checker, nondeterminism taint) "
-                           "over all paths as one program")
+                           "dimension checker, nondeterminism taint, "
+                           "resource protocol, error contract) over "
+                           "all paths as one program")
+    lint.add_argument("--changed", nargs="?", const="main", default=None,
+                      metavar="REF",
+                      help="report only files touched since merge-base "
+                           "with REF (default: main) plus their reverse "
+                           "import dependencies; deep passes still "
+                           "analyze the whole tree")
+    lint.add_argument("--json-report", metavar="FILE",
+                      help="additionally write the findings (after "
+                           "baseline filtering) to FILE as JSON")
     lint.add_argument("--baseline", metavar="FILE",
                       help="suppress findings recorded in this JSON "
                            "baseline; only new findings count")
@@ -921,7 +920,20 @@ def cmd_lint(args) -> int:
     for path in paths:
         if not pathlib.Path(path).exists():
             raise ConfigError(f"lint path does not exist: {path}")
-    findings = lint_paths(paths, deep=args.deep)
+    scope = None
+    if args.changed:
+        from .analysis.scope import changed_scope
+        scope = changed_scope(paths, args.changed)
+        if not scope:
+            print(f"simlint: no linted files changed since "
+                  f"merge-base with {args.changed}", file=sys.stderr)
+            if args.json_report:
+                pathlib.Path(args.json_report).write_text(
+                    render_json([]) + "\n")
+            return EXIT_OK
+        print(f"simlint: scoped to {len(scope)} changed/dependent "
+              f"file(s) vs {args.changed}", file=sys.stderr)
+    findings = lint_paths(paths, deep=args.deep, scope=scope)
     if args.update_baseline:
         count = save_baseline(args.update_baseline, findings)
         print(f"simlint: baseline {args.update_baseline} written "
@@ -931,6 +943,9 @@ def cmd_lint(args) -> int:
     if args.baseline:
         findings, suppressed = filter_baselined(
             findings, load_baseline(args.baseline))
+    if args.json_report:
+        pathlib.Path(args.json_report).write_text(
+            render_json(findings) + "\n")
     renderer = render_json if args.fmt == "json" else render_text
     print(renderer(findings))
     if suppressed and args.fmt == "text":
@@ -968,12 +983,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             configure_render_service(artifact_dir=args.artifact_dir)
         return COMMANDS[args.command](args)
     except ReproError as exc:
-        for exc_type, code in EXIT_CODES:
-            if isinstance(exc, exc_type):
-                print(f"error [{type(exc).__name__}]: {exc}",
-                      file=sys.stderr)
-                return code
-        raise  # unreachable: ReproError is the last mapping entry
+        print(f"error [{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

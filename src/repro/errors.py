@@ -1,7 +1,16 @@
-"""Exception hierarchy for the repro package.
+"""Exception hierarchy and exit-code registry for the repro package.
 
 Every error raised on purpose by this library derives from :class:`ReproError`
 so callers can catch library failures without masking programming errors.
+
+The module also owns the CLI exit-code contract: the ``EXIT_*``
+constants, the :data:`EXIT_CODES` isinstance ladder (most specific
+first) that maps every taxonomy class to a deterministic exit code, and
+the :data:`GENERIC_EXIT` allowlist recording which classes *deliberately*
+fall through to the generic catch-all code. ``repro.cli`` consumes this
+registry via :func:`exit_code_for`, and the deep-lint error-contract
+pass (:mod:`repro.analysis.contract`) checks it stays total, collision-
+free, and documented.
 """
 
 
@@ -122,3 +131,56 @@ class RetryBudgetExhausted(HarnessError):
         self.fingerprint = fingerprint
         self.last_error = last_error
         self.attempts = attempts
+
+
+# -- CLI exit-code registry ---------------------------------------------------
+#
+# Single source of truth for ``python -m repro`` exit codes. ``cli.py``
+# re-exports these names for backward compatibility; the error-contract
+# lint pass parses this block to prove every taxonomy class maps
+# deterministically.
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_CONFIG = 2
+EXIT_PARTIAL = 3
+EXIT_TIMEOUT = 4
+EXIT_CRASH = 5
+EXIT_BUDGET = 6
+EXIT_FINGERPRINT = 7
+EXIT_OVERLOAD = 8
+EXIT_DEGRADED = 9
+EXIT_FAULT = 10
+EXIT_SCHEDULING = 11
+
+#: typed failure -> distinct exit code (most specific first; the
+#: trailing ReproError entry is the generic catch-all)
+EXIT_CODES = ((RetryBudgetExhausted, EXIT_BUDGET), (JobTimeout, EXIT_TIMEOUT),
+              (WorkerCrashed, EXIT_CRASH),
+              (TraceFingerprintError, EXIT_FINGERPRINT),
+              (ServeOverloadError, EXIT_OVERLOAD),
+              (WatchdogError, EXIT_DEGRADED),
+              (FaultError, EXIT_FAULT),
+              (SchedulingError, EXIT_SCHEDULING),
+              (ConfigError, EXIT_CONFIG), (ReproError, EXIT_ERROR))
+
+#: taxonomy classes that *deliberately* map to the generic catch-all
+#: exit code (EXIT_ERROR); subclasses inherit the decision unless they
+#: appear in the ladder themselves. Checked by the contract lint pass:
+#: a class in neither EXIT_CODES nor (transitively) this set is flagged.
+GENERIC_EXIT = frozenset({
+    "SimulationError",   # kernel misuse: a bug, not an outcome
+    "PipelineError",     # driven with invalid inputs: a bug
+    "CompositionError",  # incompatible operands: a bug
+    "TraceError",        # malformed workload trace
+    "HarnessError",      # engine glue; its job outcomes map specifically
+    "ServeError",        # daemon internals; SLO breaches map specifically
+})
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """Deterministic CLI exit code for a typed library failure."""
+    for exc_type, code in EXIT_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return EXIT_ERROR  # non-ReproError caller mistake: generic failure

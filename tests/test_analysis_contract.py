@@ -1,0 +1,365 @@
+"""Error-contract pass tests: fixtures per rule, exit-code registry,
+seeded mutations.
+
+The fixture tests pin the contract model (taxonomy closure, ladder
+resolution, allowlist, silent-handler definition); the registry tests pin
+``repro.errors.exit_code_for`` and the ``main()`` ladder; the meta-tests
+copy ``src/repro`` and seed it with each decay mode the pass exists to
+catch — a swallowed ReproError, an unmapped class, an exit-code
+collision, a bare ``raise Exception`` and a stale exit-code table — and
+require the deep lint to find it.
+"""
+
+import pathlib
+import shutil
+import textwrap
+
+from repro import cli
+from repro.analysis import lint_paths
+from repro.analysis.contract import (RULE_COLLISION, RULE_GENERIC,
+                                     RULE_SWALLOWED, RULE_UNDOCUMENTED,
+                                     RULE_UNMAPPED, ContractChecker)
+from repro.analysis.flow import Project
+from repro.analysis.simlint import LintModule
+from repro.errors import (EXIT_CONFIG, EXIT_DEGRADED, EXIT_ERROR,
+                          EXIT_FAULT, EXIT_FINGERPRINT, EXIT_SCHEDULING,
+                          ConfigError, FaultError, RaceConditionError,
+                          ReproError, SchedulingError,
+                          TraceFingerprintError, WatchdogError,
+                          exit_code_for)
+
+REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+TAXONOMY = textwrap.dedent("""
+    class ReproError(Exception):
+        pass
+
+    class ConfigError(ReproError):
+        pass
+
+    class FaultError(ReproError):
+        pass
+
+    EXIT_ERROR = 1
+    EXIT_CONFIG = 2
+    EXIT_FAULT = 3
+
+    EXIT_CODES = ((ConfigError, EXIT_CONFIG), (FaultError, EXIT_FAULT),
+                  (ReproError, EXIT_ERROR))
+""")
+
+
+def project_of(*named_sources):
+    return Project.from_modules(
+        (name, False, LintModule(f"{name}.py", textwrap.dedent(src)))
+        for name, src in named_sources)
+
+
+def contract_findings(*named_sources):
+    return ContractChecker(project_of(*named_sources)).run()
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestTaxonomyAndLadder:
+    def test_clean_fixture_has_no_findings(self):
+        assert contract_findings(("errs", TAXONOMY)) == []
+
+    def test_project_without_taxonomy_is_ignored(self):
+        # without a ReproError root even `except Exception: pass` is out
+        # of scope (unrelated fixture trees must stay quiet)
+        findings = contract_findings(("mod", """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    pass
+        """))
+        assert findings == []
+
+    def test_unmapped_subclass_flags(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY + textwrap.dedent("""
+            class TraceError(ReproError):
+                pass
+        """)))
+        assert rules_of(findings) == {RULE_UNMAPPED}
+        assert "TraceError" in findings[0].message
+
+    def test_allowlisted_subclass_is_clean(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY + textwrap.dedent("""
+            class TraceError(ReproError):
+                pass
+
+            GENERIC_EXIT = frozenset({"TraceError"})
+        """)))
+        assert findings == []
+
+    def test_allowlist_covers_descendants(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY + textwrap.dedent("""
+            class TraceError(ReproError):
+                pass
+
+            class TraceHeaderError(TraceError):
+                pass
+
+            GENERIC_EXIT = frozenset({"TraceError"})
+        """)))
+        assert findings == []
+
+    def test_subclass_of_mapped_class_inherits_mapping(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY + textwrap.dedent("""
+            class FingerprintError(ConfigError):
+                pass
+        """)))
+        assert findings == []
+
+    def test_duplicate_code_collides(self):
+        findings = contract_findings(("errs", """
+            class ReproError(Exception):
+                pass
+
+            class ConfigError(ReproError):
+                pass
+
+            class FaultError(ReproError):
+                pass
+
+            EXIT_CODES = ((ConfigError, 2), (FaultError, 2),
+                          (ReproError, 1))
+        """))
+        assert rules_of(findings) == {RULE_COLLISION}
+        assert "assigned to both" in findings[0].message
+
+    def test_shadowed_entry_collides(self):
+        findings = contract_findings(("errs", """
+            class ReproError(Exception):
+                pass
+
+            class ConfigError(ReproError):
+                pass
+
+            EXIT_CODES = ((ReproError, 1), (ConfigError, 2))
+        """))
+        assert rules_of(findings) == {RULE_COLLISION}
+        assert "can never match" in findings[0].message
+
+    def test_taxonomy_resolves_across_modules(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY),
+            ("extra", """
+            from errs import ReproError
+
+            class ServeError(ReproError):
+                pass
+        """))
+        assert rules_of(findings) == {RULE_UNMAPPED}
+        assert "ServeError" in findings[0].message
+
+
+class TestHandlersAndRaises:
+    def test_silently_swallowed_repro_error_flags(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY),
+            ("mod", """
+            def run(job):
+                try:
+                    job()
+                except ReproError:
+                    pass
+        """))
+        assert rules_of(findings) == {RULE_SWALLOWED}
+
+    def test_bare_exception_swallow_flags(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY),
+            ("mod", """
+            def run(job):
+                try:
+                    job()
+                except Exception:
+                    return None
+        """))
+        assert rules_of(findings) == {RULE_SWALLOWED}
+
+    def test_handler_that_handles_is_clean(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY),
+            ("mod", """
+            def run(job, log):
+                try:
+                    return job(), True
+                except ReproError as exc:
+                    log.append(str(exc))
+                    return None, False
+        """))
+        assert findings == []
+
+    def test_handler_that_reraises_is_clean(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY),
+            ("mod", """
+            def run(job, cleanup):
+                try:
+                    return job()
+                except ReproError:
+                    cleanup()
+                    raise
+        """))
+        assert findings == []
+
+    def test_raise_bare_exception_flags(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY),
+            ("mod", """
+            def explode():
+                raise Exception("boom")
+        """))
+        assert rules_of(findings) == {RULE_GENERIC}
+
+
+class TestDocumentedCodes:
+    def test_docstring_missing_a_code_flags(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY),
+            ("front", '''
+            """Front end.
+
+            Exit codes
+            ==========
+
+            1 library error · 2 bad configuration
+            """
+        '''))
+        assert rules_of(findings) == {RULE_UNDOCUMENTED}
+        assert "exit code 3" in findings[0].message
+
+    def test_complete_docstring_is_clean(self):
+        findings = contract_findings(
+            ("errs", TAXONOMY),
+            ("front", '''
+            """Front end.
+
+            Exit codes
+            ==========
+
+            1 library error · 2 bad configuration · 3 fault
+            """
+        '''))
+        assert findings == []
+
+
+# ------------------------------------------------- exit-code registry
+
+
+class TestExitCodeRegistry:
+    def test_every_new_class_maps_deterministically(self):
+        assert exit_code_for(FaultError("x")) == EXIT_FAULT == 10
+        assert exit_code_for(SchedulingError("x")) == EXIT_SCHEDULING == 11
+        assert exit_code_for(WatchdogError("x")) == EXIT_DEGRADED
+
+    def test_specific_entries_win_over_ancestors(self):
+        assert exit_code_for(TraceFingerprintError("x")) == EXIT_FINGERPRINT
+        assert exit_code_for(ConfigError("x")) == EXIT_CONFIG
+
+    def test_generic_allowlisted_classes_fall_through(self):
+        assert exit_code_for(RaceConditionError("x")) == EXIT_ERROR
+        assert exit_code_for(ReproError("x")) == EXIT_ERROR
+
+    def test_cli_reexports_the_registry(self):
+        from repro import errors
+        assert cli.EXIT_CODES is errors.EXIT_CODES
+        assert cli.EXIT_FAULT == errors.EXIT_FAULT
+
+    def test_main_maps_fault_and_scheduling_errors(self, monkeypatch,
+                                                   capsys):
+        def raise_fault(args):
+            raise FaultError("no survivors")
+
+        def raise_scheduling(args):
+            raise SchedulingError("stuck pairing")
+
+        monkeypatch.setitem(cli.COMMANDS, "lint", raise_fault)
+        assert cli.main(["lint"]) == EXIT_FAULT
+        assert "error [FaultError]: no survivors" in capsys.readouterr().err
+        monkeypatch.setitem(cli.COMMANDS, "lint", raise_scheduling)
+        assert cli.main(["lint"]) == EXIT_SCHEDULING
+        assert "[SchedulingError]" in capsys.readouterr().err
+
+
+# ------------------------------------------------------- seeded mutations
+
+
+def _copy_src_repro(tmp_path):
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO_SRC, tree)
+    return tree
+
+
+def _findings(tree, rule):
+    return [f for f in lint_paths([tree], deep=True) if f.rule == rule]
+
+
+class TestContractMeta:
+    def test_catches_seeded_swallowed_error(self, tmp_path):
+        tree = _copy_src_repro(tmp_path)
+        daemon = tree / "serve" / "daemon.py"
+        daemon.write_text(daemon.read_text() + textwrap.dedent("""
+
+            def _swallow_failures(job):
+                try:
+                    return job()
+                except ReproError:
+                    pass
+        """))
+        findings = _findings(tree, RULE_SWALLOWED)
+        assert any("daemon.py" in f.path for f in findings)
+
+    def test_catches_seeded_unmapped_class(self, tmp_path):
+        tree = _copy_src_repro(tmp_path)
+        errors = tree / "errors.py"
+        source = errors.read_text()
+        mutated = source.replace("(FaultError, EXIT_FAULT),\n", "")
+        assert mutated != source
+        errors.write_text(mutated)
+        findings = _findings(tree, RULE_UNMAPPED)
+        assert any("FaultError" in f.message for f in findings)
+
+    def test_catches_seeded_code_collision(self, tmp_path):
+        tree = _copy_src_repro(tmp_path)
+        errors = tree / "errors.py"
+        source = errors.read_text()
+        mutated = source.replace("EXIT_SCHEDULING = 11",
+                                 "EXIT_SCHEDULING = 10")
+        assert mutated != source
+        errors.write_text(mutated)
+        findings = _findings(tree, RULE_COLLISION)
+        assert any("assigned to both" in f.message for f in findings)
+
+    def test_catches_seeded_generic_raise(self, tmp_path):
+        tree = _copy_src_repro(tmp_path)
+        daemon = tree / "serve" / "daemon.py"
+        daemon.write_text(daemon.read_text() + textwrap.dedent("""
+
+            def _explode():
+                raise Exception("boom")
+        """))
+        findings = _findings(tree, RULE_GENERIC)
+        assert any("daemon.py" in f.path for f in findings)
+
+    def test_catches_seeded_stale_exit_code_table(self, tmp_path):
+        tree = _copy_src_repro(tmp_path)
+        cli_path = tree / "cli.py"
+        source = cli_path.read_text()
+        mutated = source.replace(" · 11 scheduler reached an invalid state",
+                                 "")
+        assert mutated != source
+        cli_path.write_text(mutated)
+        findings = _findings(tree, RULE_UNDOCUMENTED)
+        assert any("cli.py" in f.path and "exit code 11" in f.message
+                   for f in findings)

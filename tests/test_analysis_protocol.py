@@ -1,0 +1,379 @@
+"""Resource-protocol pass tests: fixtures per rule + seeded mutations.
+
+The fixture tests pin down the abstract-execution model (hold states,
+finally protection, interprocedural release, order edges); the meta-tests
+at the bottom copy ``src/repro`` and seed it with exactly the bug classes
+the pass exists to catch — a dropped port release in the interconnect and
+a transfer taking the ports in the reversed order — and require the deep
+lint to find them (the unmutated tree stays clean, see test_flow.py).
+"""
+
+import pathlib
+import shutil
+import textwrap
+
+from repro.analysis import lint_paths
+from repro.analysis.flow import Project
+from repro.analysis.protocol import (RULE_CYCLE, RULE_DOUBLE, RULE_LEAK,
+                                     RULE_YIELD, ProtocolChecker)
+from repro.analysis.simlint import LintModule
+
+REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def project_of(*named_sources):
+    return Project.from_modules(
+        (name, False, LintModule(f"{name}.py", textwrap.dedent(src)))
+        for name, src in named_sources)
+
+
+def protocol_findings(source, allowed_holds=()):
+    checker = ProtocolChecker(project_of(("fixture", source)),
+                              allowed_holds=frozenset(allowed_holds))
+    return checker.run()
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+# ------------------------------------------------------------ leaked-hold
+
+
+class TestLeakedHold:
+    def test_hold_never_released_leaks(self):
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                self.count += 1
+        """)
+        assert rules_of(findings) == {RULE_LEAK}
+        assert "never released" in findings[0].message
+
+    def test_release_on_every_path_is_clean(self):
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                self.port.release(req)
+        """)
+        assert findings == []
+
+    def test_discarded_request_leaks(self):
+        findings = protocol_findings("""
+            def worker(self):
+                self.port.request()
+        """)
+        assert rules_of(findings) == {RULE_LEAK}
+        assert "discarded" in findings[0].message
+
+    def test_unbound_granted_request_leaks(self):
+        findings = protocol_findings("""
+            def worker(self):
+                yield self.port.request()
+        """)
+        assert rules_of(findings) == {RULE_LEAK}
+        assert "never bound" in findings[0].message
+
+    def test_rebinding_last_reference_leaks(self):
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                req = None
+        """)
+        assert rules_of(findings) == {RULE_LEAK}
+        assert "rebinding" in findings[0].message
+
+    def test_yield_inside_try_without_finally_release_leaks(self):
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                try:
+                    yield self.sim.timeout(3)
+                except ValueError:
+                    self.log("interrupted")
+                self.port.release(req)
+        """)
+        assert rules_of(findings) == {RULE_LEAK}
+        assert "without a finally release" in findings[0].message
+
+    def test_release_via_callee_is_clean(self):
+        findings = protocol_findings("""
+            class Link:
+                def _done(self, req):
+                    self.port.release(req)
+
+                def worker(self):
+                    req = yield self.port.request()
+                    self._done(req)
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------- yield-while-holding
+
+
+class TestYieldWhileHolding:
+    def test_unprotected_yield_flags(self):
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                yield self.sim.timeout(3)
+                self.port.release(req)
+        """)
+        assert rules_of(findings) == {RULE_YIELD}
+        assert "holding 'port'" in findings[0].message
+
+    def test_finally_release_protects_the_hold(self):
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                try:
+                    yield self.sim.timeout(3)
+                finally:
+                    self.port.withdraw(req)
+        """)
+        assert findings == []
+
+    def test_finally_release_through_callee_protects(self):
+        findings = protocol_findings("""
+            class Link:
+                def _cleanup(self, req):
+                    self.port.withdraw(req)
+
+                def worker(self):
+                    req = yield self.port.request()
+                    try:
+                        yield self.sim.timeout(3)
+                    finally:
+                        self._cleanup(req)
+        """)
+        assert findings == []
+
+    def test_allowlisted_resource_may_span_yields(self):
+        source = """
+            def worker(self):
+                req = yield self.port.request()
+                yield self.sim.timeout(3)
+                self.port.release(req)
+        """
+        assert protocol_findings(source, allowed_holds={"port"}) == []
+
+    def test_guarded_finally_release_protects(self):
+        # the interconnect idiom: the request variable may still be None
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                try:
+                    yield self.sim.timeout(3)
+                finally:
+                    if req is not None:
+                        self.port.withdraw(req)
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------- double-release
+
+
+class TestDoubleRelease:
+    def test_strict_release_twice_flags(self):
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                self.port.release(req)
+                self.port.release(req)
+        """)
+        assert rules_of(findings) == {RULE_DOUBLE}
+        assert "already released" in findings[0].message
+
+    def test_withdraw_is_idempotent_safe(self):
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                self.port.withdraw(req)
+                self.port.withdraw(req)
+        """)
+        assert findings == []
+
+    def test_release_in_branch_then_handler_is_not_double(self):
+        # the handler observes a partially executed body: releasing there
+        # is cleanup, not a second release
+        findings = protocol_findings("""
+            def worker(self):
+                req = yield self.port.request()
+                try:
+                    self.port.release(req)
+                except ValueError:
+                    self.port.release(req)
+        """)
+        assert findings == []
+
+
+# --------------------------------------------------------- lock-order-cycle
+
+
+class TestLockOrderCycle:
+    CONFLICTING = """
+        def forward(p, q):
+            a = yield p.request()
+            try:
+                b = yield q.request()
+                q.release(b)
+            finally:
+                p.withdraw(a)
+
+        def backward(p, q):
+            b = yield q.request()
+            try:
+                a = yield p.request()
+                p.release(a)
+            finally:
+                q.withdraw(b)
+    """
+
+    def test_conflicting_orders_cycle(self):
+        findings = protocol_findings(self.CONFLICTING)
+        assert rules_of(findings) == {RULE_CYCLE}
+        assert "{p, q}" in findings[0].message
+
+    def test_consistent_order_is_clean(self):
+        findings = protocol_findings("""
+            def forward(p, q):
+                a = yield p.request()
+                try:
+                    b = yield q.request()
+                    q.release(b)
+                finally:
+                    p.withdraw(a)
+
+            def also_forward(p, q):
+                a = yield p.request()
+                try:
+                    b = yield q.request()
+                    q.release(b)
+                finally:
+                    p.withdraw(a)
+        """)
+        assert findings == []
+
+    def test_same_resource_reentry_is_not_a_cycle(self):
+        # capacity > 1 makes nested holds of one resource legitimate
+        findings = protocol_findings("""
+            def worker(self):
+                first = yield self.port.request()
+                try:
+                    second = yield self.port.request()
+                    self.port.release(second)
+                finally:
+                    self.port.withdraw(first)
+        """)
+        assert findings == []
+
+    def test_edges_follow_calls(self):
+        # order edges cross call boundaries: caller holds `outer`, callee
+        # acquires its own port
+        findings = protocol_findings("""
+            class Hub:
+                def inner_hop(self):
+                    req = yield self.inner.request()
+                    self.inner.release(req)
+
+                def forward(self):
+                    req = yield self.outer.request()
+                    try:
+                        yield from self.inner_hop()
+                    finally:
+                        self.outer.withdraw(req)
+
+                def backward(self):
+                    req = yield self.inner.request()
+                    try:
+                        other = yield self.outer.request()
+                        self.outer.release(other)
+                    finally:
+                        self.inner.withdraw(req)
+        """)
+        assert rules_of(findings) == {RULE_CYCLE}
+        assert "{inner, outer}" in findings[0].message
+
+    def test_subscripts_share_resource_identity(self):
+        # self.egress[src] and self.egress[dst] are the same order class
+        findings = protocol_findings("""
+            def worker(self, src, dst):
+                a = yield self.egress[src].request()
+                try:
+                    b = yield self.egress[dst].request()
+                    self.egress[dst].release(b)
+                finally:
+                    self.egress[src].withdraw(a)
+        """)
+        assert findings == []
+
+
+# -------------------------------------------------------------- suppression
+
+
+class TestSuppression:
+    def test_marker_on_acquire_line_suppresses_leak(self, tmp_path):
+        module = tmp_path / "leaky.py"
+        module.write_text(textwrap.dedent("""
+            def worker(self):
+                req = yield self.port.request()  # simlint: disable=leaked-hold
+                self.count += 1
+        """))
+        findings = [f for f in lint_paths([tmp_path], deep=True)
+                    if f.rule == RULE_LEAK]
+        assert findings == []
+
+
+# ------------------------------------------------------- seeded mutations
+
+
+def _copy_src_repro(tmp_path):
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO_SRC, tree)
+    return tree
+
+
+class TestProtocolMeta:
+    def test_catches_seeded_release_drop(self, tmp_path):
+        tree = _copy_src_repro(tmp_path)
+        interconnect = tree / "timing" / "interconnect.py"
+        source = interconnect.read_text()
+        mutated = source.replace(
+            "self.egress[src].withdraw(egress_req)",
+            "pass  # dropped the egress release")
+        assert mutated != source
+        interconnect.write_text(mutated)
+        findings = [f for f in lint_paths([tree], deep=True)
+                    if f.rule == RULE_LEAK]
+        assert any("interconnect.py" in f.path
+                   and "egress" in f.message for f in findings)
+
+    def test_catches_seeded_order_reversal(self, tmp_path):
+        tree = _copy_src_repro(tmp_path)
+        interconnect = tree / "timing" / "interconnect.py"
+        source = interconnect.read_text()
+        reversed_transfer = textwrap.dedent("""
+            def reversed_transfer(self, src, dst):
+                ingress_req = self.ingress[dst].request()
+                try:
+                    yield ingress_req
+                    egress_req = self.egress[src].request()
+                    try:
+                        yield egress_req
+                    finally:
+                        self.egress[src].withdraw(egress_req)
+                finally:
+                    self.ingress[dst].withdraw(ingress_req)
+        """)
+        mutated = source.replace(
+            "\n    def _stream_once",
+            "\n" + textwrap.indent(reversed_transfer, "    ")
+            + "\n    def _stream_once", 1)
+        assert mutated != source
+        interconnect.write_text(mutated)
+        findings = [f for f in lint_paths([tree], deep=True)
+                    if f.rule == RULE_CYCLE]
+        assert any("egress" in f.message and "ingress" in f.message
+                   for f in findings)

@@ -1,0 +1,180 @@
+"""Change-scoped linting tests: dependency expansion + ``--changed`` CLI.
+
+The CLI tests build a real throwaway git repository so the scope
+computation runs against the same plumbing (`merge-base`, `diff`,
+`ls-files --others`) the flag uses in anger.
+"""
+
+import json
+import pathlib
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import Project
+from repro.analysis.scope import (changed_scope, expand_with_dependents,
+                                  git_changed_files)
+from repro.cli import main
+from repro.errors import ConfigError
+
+VIOLATION = textwrap.dedent("""
+    import random
+
+
+    def jitter():
+        return random.random()
+""")
+
+CLEAN = textwrap.dedent("""
+    def double(x):
+        return 2 * x
+""")
+
+
+def _write_package(root, **sources):
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for name, source in sources.items():
+        (pkg / f"{name}.py").write_text(source)
+    return pkg
+
+
+def _git(repo, *args):
+    subprocess.run(["git", "-c", "user.email=t@t", "-c", "user.name=t"]
+                   + list(args), cwd=str(repo), check=True,
+                   stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def _git_repo(tmp_path):
+    _git(tmp_path, "init", "-q")
+    return tmp_path
+
+
+class TestExpandWithDependents:
+    def test_reverse_import_closure(self, tmp_path):
+        pkg = _write_package(
+            tmp_path,
+            base=CLEAN,
+            middle="from pkg.base import double\n",
+            top="from pkg.middle import double\n",
+            unrelated=CLEAN)
+        project = Project.from_paths([pkg])
+        changed = {(pkg / "base.py").resolve()}
+        scope = expand_with_dependents(project, changed)
+        names = {path.name for path in scope}
+        assert {"base.py", "middle.py", "top.py"} <= names
+        assert "unrelated.py" not in names
+
+    def test_changed_module_pulls_its_package_init(self, tmp_path):
+        pkg = _write_package(tmp_path, base=CLEAN)
+        project = Project.from_paths([pkg])
+        scope = expand_with_dependents(
+            project, {(pkg / "base.py").resolve()})
+        assert (pkg / "__init__.py").resolve() in scope
+
+
+class TestChangedScope:
+    def test_requires_a_git_checkout(self, tmp_path):
+        pkg = _write_package(tmp_path, base=CLEAN)
+        with pytest.raises(ConfigError, match="git checkout"):
+            changed_scope([pkg], "HEAD")
+
+    def test_untracked_files_count_as_changed(self, tmp_path):
+        repo = _git_repo(tmp_path)
+        pkg = _write_package(repo, base=CLEAN)
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-qm", "seed")
+        (pkg / "fresh.py").write_text(CLEAN)
+        changed = git_changed_files("HEAD", pkg)
+        assert (pkg / "fresh.py").resolve() in changed
+        scope = changed_scope([pkg], "HEAD")
+        assert (pkg / "fresh.py").resolve() in scope
+        assert (pkg / "base.py").resolve() not in scope
+
+    def test_empty_scope_when_nothing_changed(self, tmp_path):
+        repo = _git_repo(tmp_path)
+        pkg = _write_package(repo, base=CLEAN)
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-qm", "seed")
+        assert changed_scope([pkg], "HEAD") == set()
+
+
+class TestChangedCli:
+    def _seed_repo(self, tmp_path):
+        repo = _git_repo(tmp_path)
+        pkg = _write_package(repo, stale=VIOLATION, fresh=CLEAN)
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-qm", "seed")
+        return repo, pkg
+
+    def test_unchanged_files_are_not_reported(self, tmp_path, capsys):
+        repo, pkg = self._seed_repo(tmp_path)
+        # `stale.py` has a violation but predates the change; only the
+        # touched clean file is in scope, so the run is clean
+        (pkg / "fresh.py").write_text(CLEAN + "\n\ndef triple(x):\n"
+                                      "    return 3 * x\n")
+        assert main(["lint", "--changed", "HEAD", str(pkg)]) == 0
+        captured = capsys.readouterr()
+        assert "stale.py" not in captured.out
+        assert "scoped to" in captured.err
+
+    def test_changed_file_findings_are_reported(self, tmp_path, capsys):
+        repo, pkg = self._seed_repo(tmp_path)
+        (pkg / "fresh.py").write_text(VIOLATION)
+        assert main(["lint", "--changed", "HEAD", str(pkg)]) == 1
+        captured = capsys.readouterr()
+        assert "fresh.py" in captured.out
+        assert "unseeded-rng" in captured.out
+        assert "stale.py" not in captured.out
+
+    def test_dependents_of_changed_files_are_in_scope(self, tmp_path,
+                                                      capsys):
+        repo = _git_repo(tmp_path)
+        pkg = _write_package(
+            repo, base=CLEAN,
+            dependent="from pkg.base import double\n" + VIOLATION)
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-qm", "seed")
+        # only base.py changes, but dependent.py imports it: its finding
+        # must still be reported
+        (pkg / "base.py").write_text(CLEAN + "\n\ndef triple(x):\n"
+                                     "    return 3 * x\n")
+        assert main(["lint", "--changed", "HEAD", str(pkg)]) == 1
+        captured = capsys.readouterr()
+        assert "dependent.py" in captured.out
+
+    def test_no_changes_short_circuits(self, tmp_path, capsys):
+        repo, pkg = self._seed_repo(tmp_path)
+        assert main(["lint", "--changed", "HEAD", str(pkg)]) == 0
+        captured = capsys.readouterr()
+        assert "no linted files changed" in captured.err
+        assert "stale.py" not in captured.out
+
+
+class TestJsonReport:
+    def test_report_written_even_when_scope_is_empty(self, tmp_path,
+                                                     capsys):
+        repo = _git_repo(tmp_path)
+        pkg = _write_package(repo, base=CLEAN)
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-qm", "seed")
+        report = tmp_path / "report.json"
+        assert main(["lint", "--changed", "HEAD",
+                     "--json-report", str(report), str(pkg)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["count"] == 0
+        assert payload["findings"] == []
+
+    def test_report_lists_findings_as_json(self, tmp_path, capsys):
+        pkg = _write_package(tmp_path, bad=VIOLATION)
+        report = tmp_path / "report.json"
+        assert main(["lint", "--json-report", str(report),
+                     str(pkg)]) == 1
+        payload = json.loads(report.read_text())
+        findings = payload["findings"]
+        assert payload["count"] == len(findings) > 0
+        assert any(entry["rule"] == "unseeded-rng" for entry in findings)
+        assert all({"path", "line", "rule", "severity"}
+                   <= set(entry) for entry in findings)
