@@ -23,9 +23,14 @@ passes on a shared symbol table / call graph
 (:mod:`repro.analysis.flow`): a units/dimension checker for the timing
 model (:mod:`repro.analysis.units`), a nondeterminism taint pass
 (:mod:`repro.analysis.taint`), a resource-protocol / deadlock analyzer
-for the sim kernel (:mod:`repro.analysis.protocol`), and an
+for the sim kernel (:mod:`repro.analysis.protocol`), an
 error-contract checker over the exception taxonomy and exit-code
-registry (:mod:`repro.analysis.contract`) — with a JSON baseline
+registry (:mod:`repro.analysis.contract`), an interprocedural
+effect/purity inference guarding the geometry/fragment phase split
+plus a per-fragment-path allocation lint
+(:mod:`repro.analysis.effects`), and a cache-key soundness check over
+every ArtifactStore ``cached``/``store_key`` site
+(:mod:`repro.analysis.cachekey`) — with a JSON baseline
 workflow (:mod:`repro.analysis.baseline`) for incremental adoption and
 ``--changed`` scoping (:mod:`repro.analysis.scope`) to keep the deep
 pass fast on large trees.
@@ -33,7 +38,9 @@ pass fast on large trees.
 
 from .baseline import (filter_baselined, finding_key, load_baseline,
                        save_baseline)
+from .cachekey import CacheKeyChecker
 from .contract import ContractChecker
+from .effects import EffectChecker, EffectSummary, HotAllocChecker
 from .flow import ClassInfo, FunctionInfo, Project
 from .protocol import ProtocolChecker
 from .rules import (PROJECT_RULES, RULES, ProjectRule, Rule,
@@ -54,11 +61,15 @@ __all__ = [
     "ACCESS_WRITE",
     "CONFLICT_RW",
     "CONFLICT_WW",
+    "CacheKeyChecker",
     "ClassInfo",
     "Conflict",
     "ContractChecker",
+    "EffectChecker",
+    "EffectSummary",
     "Finding",
     "FunctionInfo",
+    "HotAllocChecker",
     "PROJECT_RULES",
     "Project",
     "ProjectRule",

@@ -1,0 +1,401 @@
+"""Cache-key soundness for the content-addressed ArtifactStore (deep pass).
+
+Every ``ArtifactStore`` entry is addressed by ``store_key(kind,
+fields)`` — a hash over the *declared* identifying fields. The contract
+is that the keyed computation reads nothing else: an input the key does
+not cover makes two different computations collide on one address
+(stale artifacts, the CHOPIN failure mode the phase split exists to
+prevent), while a key field the computation never reads fragments the
+address space and kills the hit rate for no correctness gain.
+
+This pass checks both directions at every ``*.cached(...)`` call site:
+
+- the *transitive input set* of the compute callable — the parameters,
+  ``self`` attributes and module globals it (transitively) reads,
+  obtained from :mod:`repro.analysis.effects` summaries with
+  call-site parameter substitution;
+- the *covered set* of the key — each field's name plus the root tokens
+  of its value expression (fields built by a helper returning a dict
+  literal, e.g. ``_result_fields(...)``, are chased into the helper
+  with the same substitution).
+
+Tokens are normalized before comparison (leading underscores dropped,
+``_fp``/``_fingerprint``/``_hash``/``_key``/``_id`` suffixes stripped)
+so ``"camera": self._camera_fp`` covers reads of ``self.camera`` and
+``draw.fingerprint`` covers ``draw``.
+
+Rules:
+
+``cache-key-missing`` (error)
+    The computation reads an input no key field covers. Reported at the
+    ``cached`` call.
+
+``cache-key-unused`` (warning)
+    A key field whose tokens the computation never reads. Only reported
+    when the input analysis is *complete* (every call in the compute
+    closure resolved) — an unresolved call could hide the read, and a
+    false "unused" invites deleting a load-bearing field.
+
+Sites whose fields or compute cannot be resolved statically (both are
+forwarded parameters inside the store plumbing itself, for instance)
+are skipped silently, in the substrate's best-effort spirit. Store
+plumbing (``render_service()``, ``store_key``, ``cached`` and the
+``render.store`` module) never counts as an input: fetching the cache
+is not reading data the key must name.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .effects import EffectChecker, Root, scope_eval
+from .flow import FunctionInfo, Project, dotted_chain
+from .rules import ProjectRule, register_project
+from .simlint import Finding
+
+RULE_MISSING = "cache-key-missing"
+RULE_UNUSED = "cache-key-unused"
+
+#: identity-suffix conventions stripped before token comparison
+_TOKEN_SUFFIXES = ("_fingerprint", "_fp", "_hash", "_key", "_id")
+
+#: store plumbing: calling it is cache mechanics, not a data input
+_SUBSTRATE_FUNCTIONS = frozenset({
+    "render_service", "configure_render_service", "store_key", "cached",
+})
+
+
+def normalize_token(token: str) -> str:
+    """Canonical form of a field name / input root for comparison."""
+    token = token.lstrip("_")
+    for suffix in _TOKEN_SUFFIXES:
+        if token.endswith(suffix) and len(token) > len(suffix):
+            return token[:-len(suffix)]
+    return token
+
+
+def _is_substrate(fn: FunctionInfo) -> bool:
+    if fn.name in _SUBSTRATE_FUNCTIONS:
+        return True
+    tail = fn.module_name.rsplit(".", 1)[-1]
+    return tail == "store"
+
+
+@dataclass
+class _FieldEntry:
+    """One key field: its name plus the tokens its value contributes."""
+
+    name: str
+    path: str
+    line: int
+    col: int
+    tokens: Set[str]
+
+
+class CacheKeyChecker:
+    """Checks key coverage at every ``*.cached(...)`` site."""
+
+    severity = "error"
+
+    def __init__(self, project: Project,
+                 effects: Optional[EffectChecker] = None) -> None:
+        self.project = project
+        self.effects = effects if effects is not None \
+            else EffectChecker(project)
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        for qualname in sorted(self.project.functions):
+            fn = self.project.functions[qualname]
+            evaluator = scope_eval(self.effects, fn)
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute) \
+                        and node.func.attr == "cached":
+                    self._check_site(fn, evaluator, node)
+        return sorted(self.findings)
+
+    # -- one site ------------------------------------------------------------
+
+    def _check_site(self, fn: FunctionInfo, evaluator, call: ast.Call
+                    ) -> None:
+        parsed = self._parse_site(evaluator, call)
+        if parsed is None:
+            return
+        kind, fields_expr, compute = parsed
+        entries = self._field_entries(fn, evaluator, fields_expr)
+        if entries is None:
+            return
+        scan = _ComputeScan(self, evaluator)
+        if not scan.scan_compute(fn, compute):
+            return
+        inputs = {normalize_token(name) for _, name in scan.roots}
+        covered: Set[str] = set()
+        for entry in entries:
+            covered |= entry.tokens
+        for token in sorted(inputs - covered):
+            self.findings.append(Finding(
+                path=fn.module.path, line=call.lineno,
+                col=call.col_offset, rule=RULE_MISSING,
+                message=f"cached computation for kind {kind!r} reads "
+                        f"`{token}` but no key field covers it (fields: "
+                        f"{', '.join(e.name for e in entries)}); an "
+                        f"un-keyed input makes distinct computations "
+                        f"collide on one artifact address"))
+        if not scan.complete:
+            return  # an unresolved call could hide the read
+        for entry in entries:
+            if not entry.tokens & inputs:
+                self.findings.append(Finding(
+                    path=entry.path, line=entry.line, col=entry.col,
+                    rule=RULE_UNUSED,
+                    message=f"key field {entry.name!r} of kind {kind!r} "
+                            f"is never read by the cached computation; "
+                            f"over-keying fragments the address space "
+                            f"and defeats cache hits"))
+
+    def _parse_site(self, evaluator, call: ast.Call
+                    ) -> Optional[Tuple[str, ast.expr, ast.expr]]:
+        """``(kind, fields_expr, compute_expr)`` or None to skip."""
+        if call.keywords or any(isinstance(a, ast.Starred)
+                                for a in call.args):
+            return None
+        if len(call.args) == 3:
+            kind_expr, fields_expr, compute = call.args
+        elif len(call.args) == 2:
+            resolved = self._resolve_store_key(evaluator, call.args[0])
+            if resolved is None:
+                return None
+            kind_expr, fields_expr = resolved
+            compute = call.args[1]
+        else:
+            return None
+        kind = kind_expr.value if isinstance(kind_expr, ast.Constant) \
+            and isinstance(kind_expr.value, str) else "?"
+        return kind, fields_expr, compute
+
+    def _resolve_store_key(self, evaluator, key_expr: ast.expr
+                           ) -> Optional[Tuple[ast.expr, ast.expr]]:
+        """Chase a 2-arg site's key back to its ``store_key(kind, fields)``."""
+        if isinstance(key_expr, ast.Name):
+            key_expr = evaluator.aliases.get(key_expr.id)
+        if not isinstance(key_expr, ast.Call) or len(key_expr.args) != 2:
+            return None
+        chain = dotted_chain(key_expr.func)
+        if chain is None or chain[-1] != "store_key":
+            return None
+        return key_expr.args[0], key_expr.args[1]
+
+    # -- the covered set -----------------------------------------------------
+
+    def _field_entries(self, fn: FunctionInfo, evaluator,
+                       fields_expr: ast.expr
+                       ) -> Optional[List[_FieldEntry]]:
+        if isinstance(fields_expr, ast.Dict):
+            return self._entries_of_dict(fn, evaluator, fields_expr,
+                                         lambda expr: evaluator.roots(expr))
+        if isinstance(fields_expr, ast.Call):
+            return self._entries_of_builder(fn, evaluator, fields_expr)
+        return None
+
+    def _entries_of_dict(self, fn: FunctionInfo, evaluator,
+                         node: ast.Dict, root_fn
+                         ) -> Optional[List[_FieldEntry]]:
+        entries: List[_FieldEntry] = []
+        for key, value in zip(node.keys, node.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                return None  # ** expansion or computed key: give up
+            tokens = {normalize_token(key.value)}
+            tokens |= {normalize_token(name) for _, name in root_fn(value)}
+            entries.append(_FieldEntry(
+                name=key.value, path=fn.module.path, line=key.lineno,
+                col=key.col_offset, tokens=tokens))
+        return entries
+
+    def _entries_of_builder(self, fn: FunctionInfo, evaluator,
+                            call: ast.Call) -> Optional[List[_FieldEntry]]:
+        builder = self.project.resolve_call(fn, call)
+        if builder is None:
+            return None
+        returned = None
+        for node in ast.walk(builder.node):
+            if isinstance(node, ast.Return) \
+                    and isinstance(node.value, ast.Dict):
+                returned = node.value
+                break
+        if returned is None:
+            return None
+        builder_eval = scope_eval(self.effects, builder)
+        argmap = evaluator._argmap(call, builder)
+        receiver = call.func.value \
+            if isinstance(call.func, ast.Attribute) else None
+
+        def site_roots(value: ast.expr) -> Set[Root]:
+            mapped: Set[Root] = set()
+            for kind, name in builder_eval.roots(value):
+                if kind == "param":
+                    if argmap and name in argmap:
+                        mapped |= evaluator.roots(argmap[name])
+                elif kind == "self":
+                    if isinstance(receiver, ast.Name) \
+                            and receiver.id in ("self", "cls"):
+                        mapped.add(("self", name))
+                    elif receiver is not None:
+                        mapped |= evaluator.roots(receiver)
+                else:
+                    mapped.add((kind, name))
+            return mapped
+
+        entries = self._entries_of_dict(builder, builder_eval, returned,
+                                        site_roots)
+        if entries is None:
+            return None
+        # findings anchor at the builder's dict, in the builder's module
+        for entry in entries:
+            entry.path = builder.module.path
+        return entries
+
+
+class _ComputeScan:
+    """Transitive input roots of one compute callable."""
+
+    def __init__(self, checker: CacheKeyChecker, evaluator) -> None:
+        self.checker = checker
+        self.evaluator = evaluator
+        self.roots: Set[Root] = set()
+        self.complete = True
+
+    def scan_compute(self, fn: FunctionInfo, compute: ast.expr) -> bool:
+        """Populate from the compute expression; False = unanalyzable."""
+        if isinstance(compute, ast.Lambda):
+            self._scan(compute.body)
+            return True
+        if isinstance(compute, ast.Name):
+            nested = self._nested_def(fn, compute.id)
+            if nested is not None:
+                for stmt in nested.body:
+                    self._scan(stmt)
+                return True
+            symbol = self.checker.project.resolve_name(
+                fn.module_name, compute.id)
+            target = self.checker.project.lookup_function(symbol)
+            if target is not None:
+                return self._from_summary(target, receiver_is_self=False)
+            return False
+        chain = dotted_chain(compute)
+        if chain is not None and chain[0] in ("self", "cls") \
+                and len(chain) == 2 and fn.is_method:
+            cls = self.checker.project.classes.get(fn.class_qualname)
+            method = self.checker.project.method_of(cls, chain[1]) \
+                if cls is not None else None
+            if method is not None:
+                return self._from_summary(method, receiver_is_self=True)
+        return False
+
+    def _nested_def(self, fn: FunctionInfo,
+                    name: str) -> Optional[ast.FunctionDef]:
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not fn.node and node.name == name:
+                return node
+        return None
+
+    def _from_summary(self, target: FunctionInfo,
+                      receiver_is_self: bool) -> bool:
+        summary = self.checker.effects.summary(target)
+        self.complete = self.complete and summary.complete
+        self.roots |= {("global", g) for g in summary.global_reads}
+        if summary.self_reads:
+            if receiver_is_self:
+                self.roots |= {("self", a) for a in summary.self_reads}
+            else:
+                self.complete = False
+        # called with no arguments: parameter reads hit defaults only
+        return True
+
+    # -- expression walk -----------------------------------------------------
+
+    def _scan(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self._scan_call(node)
+            return
+        if isinstance(node, (ast.Attribute, ast.Name)) \
+                and isinstance(getattr(node, "ctx", None), ast.Load):
+            self.roots |= self.evaluator.roots(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._scan(child)
+
+    def _scan_call(self, call: ast.Call) -> None:
+        chain = dotted_chain(call.func)
+        callee = self.checker.project.resolve_call(
+            self.evaluator.fn, call)
+        if callee is not None and _is_substrate(callee):
+            pass  # cache plumbing, not an input
+        elif callee is not None:
+            summary = self.checker.effects.summary(callee)
+            if not summary.complete:
+                self.complete = False
+            if summary.self_reads \
+                    and isinstance(call.func, ast.Attribute):
+                receiver = call.func.value
+                if isinstance(receiver, ast.Name) \
+                        and receiver.id in ("self", "cls"):
+                    self.roots |= {("self", a)
+                                   for a in summary.self_reads}
+                else:
+                    self.roots |= self.evaluator.roots(receiver)
+            self.roots |= {("global", g) for g in summary.global_reads}
+        elif chain is not None and self.evaluator._trusted_external(chain):
+            pass
+        else:
+            self.complete = False
+            if isinstance(call.func, ast.Attribute):
+                # the receiver object itself is an input we can still see
+                self.roots |= self.evaluator.roots(call.func.value)
+            elif isinstance(call.func, ast.Name) \
+                    and (call.func.id in self.evaluator.params
+                         or call.func.id in self.evaluator.locals):
+                # a callable that flowed in as data is an input; an
+                # unresolvable global function is only incompleteness
+                self.roots |= self.evaluator.roots(call.func)
+        for arg in call.args:
+            self._scan(arg.value if isinstance(arg, ast.Starred) else arg)
+        for keyword in call.keywords:
+            self._scan(keyword.value)
+
+
+# ------------------------------------------------------------ registration
+
+
+@register_project
+class CacheKeyPass(ProjectRule):
+    """Deep pass wrapper for the un-keyed-input (soundness) direction."""
+
+    name = RULE_MISSING
+    description = ("a cached computation reads an input its store_key "
+                   "fields do not cover (distinct computations collide "
+                   "on one artifact address)")
+    severity = "error"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        findings = CacheKeyChecker(project).run()
+        return iter(f for f in findings if f.rule == RULE_MISSING)
+
+
+@register_project
+class CacheKeyUnusedPass(ProjectRule):
+    """Deep pass wrapper for the over-keying (hit-rate) direction."""
+
+    name = RULE_UNUSED
+    description = ("a store_key field is never read by the cached "
+                   "computation (over-keying fragments the address "
+                   "space and defeats cache hits)")
+    severity = "warning"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        findings = CacheKeyChecker(project).run()
+        return iter(f for f in findings if f.rule == RULE_UNUSED)

@@ -1,0 +1,842 @@
+"""Interprocedural effect/purity inference (deep pass).
+
+CHOPIN's parallel composition is only correct because draw rendering is
+assignment-independent: the geometry phase must be a pure function of
+(draw content, camera, resolution), or the content-addressed artifacts
+it produces silently become stale or GPU-assignment-dependent. This
+pass classifies every project function with a summary over a small
+effect lattice and checks the phase-split invariant statically:
+
+- ``pure`` — the empty effect set;
+- ``reads-config`` — reads static configuration (``config``/``cfg``
+  chains): harmless for caching *when keyed*;
+- ``reads-assignment`` — reads GPU-assignment state (``owner_map``,
+  ``owner_mask``, ``num_owners``, ...): the one thing geometry-phase
+  code must never touch;
+- ``reads-fault-state`` — reads fault/failure state (``fault_plan``,
+  ``failed_gpus``, ...);
+- ``reads-live-sim-state`` — reads through a ``sim``/``simulator``
+  object (event time, queues);
+- ``mutates-args`` / ``mutates-shared`` — stores into parameters,
+  ``self``, or module globals;
+- ``io`` — file/process side effects.
+
+Summaries propagate bottom-up through the resolved call graph with
+parameter substitution (a callee that mutates its parameter ``buf``
+gives the caller ``mutates-args`` only when the caller passed its own
+parameter or shared state there), the same style as the protocol pass.
+Each summary also carries the *external read set* — which parameters,
+``self`` attributes, and module globals the function (transitively)
+reads — which is what :mod:`repro.analysis.cachekey` checks key fields
+against.
+
+Three finding ids come out of this module:
+
+``phase-impure`` (error)
+    A function transitively reachable from a ``geometry_phase`` root
+    reads assignment, fault, or live-sim state. Reported at the
+    offending read, in the function that performs it. ``# effect:``
+    declarations deliberately do not override this rule (a stale
+    ``pure`` must not hide a real read); a known-benign exception is
+    suppressed per line with ``# simlint: disable=phase-impure``.
+
+``effect-undeclared`` (error)
+    A function carries a trailing ``# effect: <tags>`` declaration on
+    its ``def`` line (``# effect: pure``, ``# effect: reads-config,
+    mutates-args``, ...) and the inferred effects exceed it. A
+    declaration is also trusted upward: callers see the declared
+    effects, which makes a deliberate ``# effect:`` the structured way
+    to cut a known-benign effect out of propagation.
+
+``hot-alloc`` (warning)
+    Container/array allocation or closure creation on a per-fragment /
+    per-pixel path in ``raster/``, ``shading/`` or
+    ``composition/operators.py``: non-empty list/dict/set literals,
+    ``list()``/``dict()``/``set()``/``tuple()`` calls, lambdas and
+    nested ``def``\\ s, and numpy constructors with all-constant
+    arguments (``np.zeros(4)`` rebuilt per call). A function counts as
+    hot when it is reachable from ``fragment_phase`` or called from a
+    ``for``/``while`` body anywhere in the project; comprehensions are
+    flagged only when lexically inside a loop (a result-sized
+    comprehension at function top level is the function's output, not a
+    per-pixel temporary). Empty-container accumulators are exempt.
+
+Known unsoundness (see DESIGN.md §16): dynamic dispatch through
+untyped locals, ``**kwargs`` forwarding, and reads laundered by
+passing ``self`` wholesale are invisible to the inference; effect
+classification of reads is name-vocabulary based.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .flow import FunctionInfo, Project, dotted_chain
+from .rules import ProjectRule, register_project
+from .simlint import Finding
+
+RULE_PHASE = "phase-impure"
+RULE_UNDECLARED = "effect-undeclared"
+RULE_HOT_ALLOC = "hot-alloc"
+
+#: effect tags a ``# effect:`` declaration may use (``pure`` = none)
+EFFECT_TAGS = frozenset({
+    "reads-config", "reads-assignment", "reads-fault-state",
+    "reads-live-sim-state", "mutates-args", "mutates-shared", "io",
+})
+
+#: the tags geometry-phase code must never carry
+PHASE_BAD_TAGS = ("reads-assignment", "reads-fault-state",
+                  "reads-live-sim-state")
+
+_EFFECT_COMMENT_RE = re.compile(r"#\s*effect:\s*([\w\-,\s]+)")
+
+#: identifier vocabulary: a chain component in one of these sets marks
+#: the whole read (exact component match, never substring)
+ASSIGNMENT_WORDS = frozenset({
+    "owner_mask", "owner_masks", "own_masks", "owner_map", "owners",
+    "num_owners", "assignment", "assignments", "gpu_id",
+})
+FAULT_WORDS = frozenset({
+    "fault", "faults", "fault_plan", "failed", "failed_gpus",
+    "fail_stopped", "degraded",
+})
+SIM_WORDS = frozenset({"sim", "simulator"})
+CONFIG_WORDS = frozenset({"config", "cfg", "configuration"})
+
+_IO_BUILTINS = frozenset({"open", "print", "input"})
+_IO_MODULES = frozenset({"os", "subprocess", "shutil", "socket"})
+_IO_ATTRS = frozenset({"write_text", "read_text", "write_bytes",
+                       "read_bytes", "unlink", "mkdir", "rmdir",
+                       "urlopen"})
+
+#: external modules whose calls are trusted effect-free (reads of their
+#: arguments are scanned independently, so nothing is lost)
+_PURE_MODULES = frozenset({
+    "numpy", "math", "hashlib", "json", "itertools", "collections",
+    "dataclasses", "enum", "textwrap", "re", "functools", "heapq",
+    "bisect", "copy", "typing", "struct", "zlib",
+})
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "add", "update", "insert", "remove", "pop",
+    "popleft", "appendleft", "clear", "setdefault", "sort", "reverse",
+    "fill",
+})
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: a root token of an external read/mutation:
+#: ("param", name) / ("self", attr) / ("global", name)
+Root = Tuple[str, str]
+
+
+@dataclass
+class EffectSummary:
+    """What one function does, seen from a call site."""
+
+    #: receiver-independent effects (reads-*, io, mutates-shared for
+    #: module-global stores)
+    effects: FrozenSet[str] = frozenset()
+    #: parameters it (transitively) mutates; ``"self"`` marks mutation
+    #: of the receiver object
+    mutates_params: FrozenSet[str] = frozenset()
+    #: parameters it (transitively) reads
+    param_reads: FrozenSet[str] = frozenset()
+    #: first-level ``self`` attributes it (transitively) reads
+    self_reads: FrozenSet[str] = frozenset()
+    #: module-global names it (transitively) reads
+    global_reads: FrozenSet[str] = frozenset()
+    #: every call in the transitive closure resolved (or was trusted)
+    complete: bool = True
+
+
+@dataclass
+class _Witness:
+    """First offending read of one effect tag inside one function."""
+
+    line: int
+    detail: str
+
+
+def declared_effects(project: Project, fn: FunctionInfo
+                     ) -> Tuple[Optional[FrozenSet[str]], List[str]]:
+    """Parse a ``# effect:`` declaration on the ``def`` line.
+
+    Returns ``(tags, unknown_words)``; ``tags`` is None when there is
+    no declaration, the empty set for ``# effect: pure``.
+    """
+    comment = project.line_comment(fn.module, fn.node.lineno)
+    match = _EFFECT_COMMENT_RE.search(comment)
+    if match is None:
+        return None, []
+    tags: Set[str] = set()
+    unknown: List[str] = []
+    for word in match.group(1).split(","):
+        word = word.strip()
+        if not word:
+            continue
+        if word == "pure":
+            continue
+        if word in EFFECT_TAGS:
+            tags.add(word)
+        else:
+            unknown.append(word)
+    return frozenset(tags), unknown
+
+
+def display_tags(summary: EffectSummary) -> FrozenSet[str]:
+    """The effect set as a declaration would have to spell it."""
+    tags = set(summary.effects)
+    if summary.mutates_params - {"self"}:
+        tags.add("mutates-args")
+    if "self" in summary.mutates_params:
+        tags.add("mutates-shared")
+    return frozenset(tags)
+
+
+class EffectChecker:
+    """Infers effect summaries and runs the phase/declaration checks."""
+
+    severity = "error"
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.findings: List[Finding] = []
+        self._summaries: Dict[str, EffectSummary] = {}
+        #: pre-declaration-override summaries, for the undeclared check
+        self._inferred: Dict[str, EffectSummary] = {}
+        #: qualname -> tag -> first offending read (own reads only)
+        self._witnesses: Dict[str, Dict[str, _Witness]] = {}
+
+    # -- summaries -----------------------------------------------------------
+
+    def summary(self, fn: FunctionInfo) -> EffectSummary:
+        if fn.qualname in self._summaries:
+            return self._summaries[fn.qualname]
+        # recursion guard: a cycle contributes nothing extra
+        self._summaries[fn.qualname] = EffectSummary()
+        inferred = _EffectEval(self, fn).run()
+        self._inferred[fn.qualname] = inferred
+        self._summaries[fn.qualname] = self._apply_declaration(fn, inferred)
+        return self._summaries[fn.qualname]
+
+    def _apply_declaration(self, fn: FunctionInfo,
+                           inferred: EffectSummary) -> EffectSummary:
+        declared, _ = declared_effects(self.project, fn)
+        if declared is None:
+            return inferred
+        # the declaration is trusted upward: callers see declared tags
+        effects = frozenset(t for t in declared
+                            if t not in ("mutates-args", "mutates-shared"))
+        mutates: Set[str] = set()
+        if "mutates-args" in declared:
+            mutates |= inferred.mutates_params - {"self"}
+        if "mutates-shared" in declared:
+            if "self" in inferred.mutates_params:
+                mutates.add("self")
+            else:
+                effects = effects | {"mutates-shared"}
+        return EffectSummary(
+            effects=effects, mutates_params=frozenset(mutates),
+            param_reads=inferred.param_reads,
+            self_reads=inferred.self_reads,
+            global_reads=inferred.global_reads,
+            complete=inferred.complete)
+
+    def own_witnesses(self, qualname: str) -> Dict[str, _Witness]:
+        return self._witnesses.get(qualname, {})
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        for qualname in sorted(self.project.functions):
+            self.summary(self.project.functions[qualname])
+        self._check_declarations()
+        self._check_phase_purity()
+        return sorted(self.findings)
+
+    def _check_declarations(self) -> None:
+        for qualname in sorted(self.project.functions):
+            fn = self.project.functions[qualname]
+            declared, unknown = declared_effects(self.project, fn)
+            if declared is None:
+                continue
+            for word in unknown:
+                self.findings.append(Finding(
+                    path=fn.module.path, line=fn.node.lineno,
+                    col=fn.node.col_offset, rule=RULE_UNDECLARED,
+                    message=f"unknown effect tag {word!r} on "
+                            f"{fn.name}(); known tags: pure, "
+                            + ", ".join(sorted(EFFECT_TAGS))))
+            inferred = display_tags(self._inferred[qualname])
+            extra = inferred - declared
+            if extra:
+                self.findings.append(Finding(
+                    path=fn.module.path, line=fn.node.lineno,
+                    col=fn.node.col_offset, rule=RULE_UNDECLARED,
+                    message=f"{fn.name}() declares `# effect: "
+                            f"{_format_tags(declared)}` but the inferred "
+                            f"effects add {_format_tags(extra)}"))
+
+    def _check_phase_purity(self) -> None:
+        roots = [qn for qn, fn in self.project.functions.items()
+                 if fn.name == "geometry_phase"]
+        if not roots:
+            return
+        graph = self.project.call_graph()
+        closure: Set[str] = set()
+        frontier = sorted(roots)
+        while frontier:
+            qualname = frontier.pop()
+            if qualname in closure:
+                continue
+            closure.add(qualname)
+            frontier.extend(sorted(graph.get(qualname, ())))
+        root_label = min(roots)
+        for qualname in sorted(closure):
+            fn = self.project.functions.get(qualname)
+            if fn is None:
+                continue
+            witnesses = self.own_witnesses(qualname)
+            for tag in PHASE_BAD_TAGS:
+                if tag not in witnesses:
+                    continue
+                # an `# effect:` declaration does NOT override this rule
+                # (a stale `pure` must not hide a real assignment read);
+                # a deliberate exception takes a per-line
+                # `# simlint: disable=phase-impure` at the witness
+                witness = witnesses[tag]
+                self.findings.append(Finding(
+                    path=fn.module.path, line=witness.line, col=0,
+                    rule=RULE_PHASE,
+                    message=f"{fn.name}() is geometry-phase code "
+                            f"(reached from {root_label}) but reads "
+                            f"{_TAG_LABELS[tag]} via `{witness.detail}`; "
+                            f"the phase split requires "
+                            f"assignment-independent geometry"))
+
+
+_TAG_LABELS = {
+    "reads-assignment": "GPU-assignment state",
+    "reads-fault-state": "fault state",
+    "reads-live-sim-state": "live simulator state",
+}
+
+
+def _format_tags(tags: FrozenSet[str]) -> str:
+    return ", ".join(sorted(tags)) if tags else "pure"
+
+
+class _EffectEval:
+    """Infers one function's effect summary (bottom-up, memoized)."""
+
+    def __init__(self, checker: EffectChecker, fn: FunctionInfo) -> None:
+        self.checker = checker
+        self.project = checker.project
+        self.fn = fn
+        params = fn.param_names()
+        if fn.is_method and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        self.params: Set[str] = set(params)
+        self.locals: Set[str] = set()
+        self.aliases: Dict[str, ast.expr] = {}
+        self.effects: Set[str] = set()
+        self.mutates: Set[str] = set()
+        self.param_reads: Set[str] = set()
+        self.self_reads: Set[str] = set()
+        self.global_reads: Set[str] = set()
+        self.complete = True
+        self.witnesses: Dict[str, _Witness] = {}
+        args = fn.node.args
+        if args.vararg or args.kwarg:
+            self.complete = False
+
+    def run(self) -> EffectSummary:
+        self._collect_locals()
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.ctx, ast.Load):
+                self._read(node)
+            elif isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load):
+                self._read(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._store(node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._store_target(node.target)
+            elif isinstance(node, ast.Call):
+                self._call(node)
+            elif isinstance(node, ast.Global):
+                self._tag("mutates-shared", node.lineno,
+                          f"global {', '.join(node.names)}")
+        self.checker._witnesses[self.fn.qualname] = self.witnesses
+        return EffectSummary(
+            effects=frozenset(self.effects),
+            mutates_params=frozenset(self.mutates),
+            param_reads=frozenset(self.param_reads),
+            self_reads=frozenset(self.self_reads),
+            global_reads=frozenset(self.global_reads),
+            complete=self.complete)
+
+    # -- scope ---------------------------------------------------------------
+
+    def _collect_locals(self) -> None:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                self.locals.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not self.fn.node:
+                    self.locals.add(node.name)
+                for arg in (node.args.posonlyargs + node.args.args
+                            + node.args.kwonlyargs):
+                    self.locals.add(arg.arg)
+            elif isinstance(node, ast.Lambda):
+                for arg in (node.args.posonlyargs + node.args.args
+                            + node.args.kwonlyargs):
+                    self.locals.add(arg.arg)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                self.locals.add(node.name)
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                self.aliases.setdefault(node.targets[0].id, node.value)
+
+    def roots(self, expr: Optional[ast.expr],
+              _depth: int = 0) -> Set[Root]:
+        """External root tokens an expression reads (alias-resolved)."""
+        out: Set[Root] = set()
+        if expr is None or _depth > 8:
+            return out
+        for node in ast.walk(expr):
+            chain = None
+            if isinstance(node, ast.Attribute):
+                chain = dotted_chain(node)
+            elif isinstance(node, ast.Name):
+                chain = [node.id]
+            if chain is None:
+                continue
+            root = chain[0]
+            if root == "self" or root == "cls":
+                if len(chain) > 1 and not self._is_self_method(chain[1]):
+                    out.add(("self", chain[1]))
+                # the whole receiver: reads through it are untracked
+            elif root in self.params:
+                out.add(("param", root))
+            elif root in self.locals:
+                alias = self.aliases.get(root)
+                if alias is not None and alias is not expr:
+                    out |= self.roots(alias, _depth + 1)
+            elif self.project.resolve_name(self.fn.module_name,
+                                           root) is not None:
+                continue  # module-level code/constant, not runtime input
+            elif root not in _BUILTIN_NAMES:
+                out.add(("global", root))
+        return out
+
+    # -- reads ---------------------------------------------------------------
+
+    def _read(self, node: ast.AST) -> None:
+        chain = dotted_chain(node) if isinstance(node, ast.Attribute) \
+            else [node.id]
+        if chain is None:
+            return
+        self._classify_chain(chain, node.lineno)
+        root = chain[0]
+        if root in ("self", "cls"):
+            if len(chain) > 1 and not self._is_self_method(chain[1]):
+                self.self_reads.add(chain[1])
+        elif root in self.params:
+            self.param_reads.add(root)
+        elif root in self.locals:
+            pass
+        elif self.project.resolve_name(self.fn.module_name, root) is not None:
+            pass
+        elif root not in _BUILTIN_NAMES:
+            self.global_reads.add(root)
+
+    def _classify_chain(self, chain: List[str], line: int) -> None:
+        detail = ".".join(chain)
+        for comp in chain:
+            if comp in FAULT_WORDS:
+                self._tag("reads-fault-state", line, detail)
+            elif comp in ASSIGNMENT_WORDS:
+                self._tag("reads-assignment", line, detail)
+            elif comp in CONFIG_WORDS:
+                self._tag("reads-config", line, detail)
+        if len(chain) > 1 and any(c in SIM_WORDS for c in chain[:-1]):
+            self._tag("reads-live-sim-state", line, detail)
+
+    def _tag(self, tag: str, line: int, detail: str) -> None:
+        self.effects.add(tag)
+        self.witnesses.setdefault(tag, _Witness(line, detail))
+
+    def _is_self_method(self, attr: str) -> bool:
+        """``self.attr`` names a plain method (an access, not a state
+        read); properties still count as reads."""
+        if not self.fn.is_method:
+            return False
+        cls = self.project.classes.get(self.fn.class_qualname)
+        if cls is None:
+            return False
+        method = self.project.method_of(cls, attr)
+        return method is not None and not method.is_property
+
+    # -- stores --------------------------------------------------------------
+
+    def _store(self, node: ast.stmt) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        for target in targets:
+            self._store_target(target)
+
+    def _store_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store_target(elt)
+            return
+        if isinstance(target, ast.Name):
+            return  # rebinding a local
+        base = target
+        while isinstance(base, (ast.Attribute, ast.Subscript,
+                                ast.Starred)):
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return
+        root = base.id
+        line = getattr(target, "lineno", self.fn.node.lineno)
+        if root in ("self", "cls"):
+            if self.fn.name in ("__init__", "__post_init__") \
+                    and isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name):
+                return  # constructors initialize their own object
+            self.mutates.add("self")
+        elif root in self.params:
+            self.mutates.add(root)
+        elif root in self.locals:
+            pass
+        else:
+            self._tag("mutates-shared", line,
+                      ".".join(dotted_chain(target) or [root]))
+
+    # -- calls ---------------------------------------------------------------
+
+    def _call(self, call: ast.Call) -> None:
+        chain = dotted_chain(call.func)
+        if chain is not None:
+            self._call_io(call, chain)
+            if chain[-1] in _MUTATOR_METHODS and len(chain) > 1:
+                self._mutate_receiver(chain)
+        callee = self.project.resolve_call(self.fn, call)
+        if callee is not None and callee.qualname != self.fn.qualname:
+            self._fold(call, callee)
+            return
+        if chain is not None and self._trusted_external(chain):
+            return
+        self.complete = False
+
+    def _call_io(self, call: ast.Call, chain: List[str]) -> None:
+        line = call.lineno
+        if len(chain) == 1 and chain[0] in _IO_BUILTINS:
+            self._tag("io", line, f"{chain[0]}()")
+        elif chain[-1] in _IO_ATTRS:
+            self._tag("io", line, ".".join(chain) + "()")
+        else:
+            table = self.project.imports.get(self.fn.module_name)
+            canon = table.modules.get(chain[0]) if table else None
+            if canon and canon.split(".")[0] in _IO_MODULES:
+                self._tag("io", line, ".".join(chain) + "()")
+
+    def _mutate_receiver(self, chain: List[str]) -> None:
+        root = chain[0]
+        if root in ("self", "cls"):
+            self.mutates.add("self")
+        elif root in self.params and len(chain) == 2:
+            self.mutates.add(root)
+
+    def _trusted_external(self, chain: List[str]) -> bool:
+        root = chain[0]
+        if len(chain) == 1 and root in _BUILTIN_NAMES:
+            return True
+        table = self.project.imports.get(self.fn.module_name)
+        if table is None:
+            return False
+        canon = table.modules.get(root) or table.members.get(root)
+        if canon is None:
+            return False
+        return canon.split(".")[0] in _PURE_MODULES
+
+    def _fold(self, call: ast.Call, callee: FunctionInfo) -> None:
+        summary = self.checker.summary(callee)
+        if not summary.complete:
+            self.complete = False
+        self.effects |= summary.effects
+        argmap = self._argmap(call, callee)
+        if argmap is None:
+            self.complete = False
+            argmap = {}
+        receiver = self._receiver_expr(call, callee)
+        for param in sorted(summary.mutates_params):
+            if param == "self":
+                self._fold_mutation(receiver)
+            elif param in argmap:
+                self._fold_mutation(argmap[param])
+        for param in sorted(summary.param_reads):
+            if param in argmap:
+                self._fold_reads(self.roots(argmap[param]))
+        if summary.self_reads:
+            if isinstance(receiver, ast.Name) \
+                    and receiver.id in ("self", "cls"):
+                self.self_reads |= summary.self_reads
+            elif receiver is not None:
+                self._fold_reads(self.roots(receiver))
+            # a plain-function callee has no receiver; for Class(...)
+            # construction the fresh object's state comes from the
+            # arguments, which param_reads already covers
+        self.global_reads |= summary.global_reads
+
+    def _fold_mutation(self, expr: Optional[ast.expr]) -> None:
+        if expr is None:
+            return
+        for kind, name in sorted(self.roots(expr)):
+            if kind == "param":
+                self.mutates.add(name)
+            elif kind == "self":
+                self.mutates.add("self")
+            elif kind == "global":
+                self._tag("mutates-shared", expr.lineno,
+                          f"{name} (via call)")
+
+    def _fold_reads(self, roots: Set[Root]) -> None:
+        for kind, name in roots:
+            if kind == "param":
+                self.param_reads.add(name)
+            elif kind == "self":
+                self.self_reads.add(name)
+            else:
+                self.global_reads.add(name)
+
+    def _receiver_expr(self, call: ast.Call,
+                       callee: FunctionInfo) -> Optional[ast.expr]:
+        if not callee.is_method or callee.name == "__init__":
+            return None
+        if isinstance(call.func, ast.Attribute):
+            return call.func.value
+        return None
+
+    def _argmap(self, call: ast.Call, callee: FunctionInfo
+                ) -> Optional[Dict[str, ast.expr]]:
+        params = callee.param_names()
+        if callee.is_method and params and params[0] in ("self", "cls"):
+            bound = isinstance(call.func, ast.Attribute) \
+                or callee.name == "__init__"
+            if bound:
+                params = params[1:]
+        mapping: Dict[str, ast.expr] = {}
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                return None
+            if index < len(params):
+                mapping[params[index]] = arg
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                return None  # **kwargs forwarding: unsound, bail
+            mapping[keyword.arg] = keyword.value
+        return mapping
+
+
+def scope_eval(checker: EffectChecker, fn: FunctionInfo) -> "_EffectEval":
+    """An evaluator with ``fn``'s scope tables (params, locals, aliases)
+    built but no effects recorded — :mod:`repro.analysis.cachekey` uses
+    its ``roots`` resolution to evaluate expressions in function scope."""
+    evaluator = _EffectEval(checker, fn)
+    evaluator._collect_locals()
+    return evaluator
+
+
+# ------------------------------------------------------------- hot-alloc
+
+
+#: modules whose functions sit on the per-fragment/per-pixel path
+def _in_hot_scope(path: str) -> bool:
+    posix = "/" + path.replace("\\", "/")
+    return ("/raster/" in posix or "/shading/" in posix
+            or posix.endswith("/composition/operators.py"))
+
+
+_NP_CONSTRUCTORS = frozenset({"array", "zeros", "ones", "empty", "full",
+                              "eye", "arange"})
+_CONTAINER_BUILTINS = frozenset({"list", "dict", "set", "tuple"})
+
+
+class HotAllocChecker:
+    """Flags per-fragment-path allocations in the raster/shading tier."""
+
+    severity = "warning"
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        scope_fns = {qn: fn for qn, fn in self.project.functions.items()
+                     if _in_hot_scope(fn.module.path)}
+        if not scope_fns:
+            return []
+        hot = self._hot_set(scope_fns)
+        for qualname in sorted(scope_fns):
+            fn = scope_fns[qualname]
+            self._scan(fn, fn.node, in_loop=False,
+                       whole_hot=qualname in hot,
+                       reason=hot.get(qualname, ""))
+        return sorted(self.findings)
+
+    def _hot_set(self, scope_fns: Dict[str, FunctionInfo]
+                 ) -> Dict[str, str]:
+        hot: Dict[str, str] = {}
+        graph = self.project.call_graph()
+        roots = sorted(qn for qn, fn in self.project.functions.items()
+                       if fn.name == "fragment_phase")
+        seen: Set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            qualname = frontier.pop()
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            if qualname in scope_fns and qualname not in hot:
+                hot[qualname] = "reachable from fragment_phase"
+            frontier.extend(sorted(graph.get(qualname, ())))
+        for qualname in sorted(self.project.functions):
+            fn = self.project.functions[qualname]
+            for call in self._loop_calls(fn.node):
+                callee = self.project.resolve_call(fn, call)
+                if callee is not None and callee.qualname in scope_fns:
+                    hot.setdefault(
+                        callee.qualname,
+                        f"called per-iteration from {fn.name}()")
+        return hot
+
+    def _loop_calls(self, func: ast.AST) -> Iterator[ast.Call]:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                for stmt in node.body:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Call):
+                            yield sub
+
+    def _scan(self, fn: FunctionInfo, node: ast.AST, in_loop: bool,
+              whole_hot: bool, reason: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_in_loop = in_loop
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)) \
+                    and child in node.body + node.orelse:
+                child_in_loop = True
+            self._check_node(fn, child, child_in_loop, whole_hot, reason)
+            self._scan(fn, child, child_in_loop, whole_hot, reason)
+
+    def _check_node(self, fn: FunctionInfo, node: ast.AST, in_loop: bool,
+                    whole_hot: bool, reason: str) -> None:
+        hot_here = in_loop or whole_hot
+        why = "inside a loop body" if in_loop else reason
+        label: Optional[str] = None
+        # outside a loop body, a container literal is only worth flagging
+        # when its contents are constant — i.e. actually hoistable
+        if isinstance(node, (ast.List, ast.Set)) and node.elts and hot_here \
+                and (in_loop or all(_is_constant(e) for e in node.elts)):
+            label = "list literal" if isinstance(node, ast.List) \
+                else "set literal"
+        elif isinstance(node, ast.Dict) and node.keys and hot_here \
+                and (in_loop or all(_is_constant(v)
+                                    for v in node.keys + node.values
+                                    if v is not None)):
+            label = "dict literal"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)) and in_loop:
+            label = "comprehension"
+            why = "inside a loop body"
+        elif isinstance(node, ast.Lambda) and hot_here:
+            label = "closure (lambda)"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not fn.node and hot_here:
+            label = f"closure (nested def {node.name})"
+        elif isinstance(node, ast.Call) and hot_here:
+            label = self._alloc_call(fn, node)
+        if label is None:
+            return
+        self.findings.append(Finding(
+            path=fn.module.path,
+            line=getattr(node, "lineno", fn.node.lineno),
+            col=getattr(node, "col_offset", 0), rule=RULE_HOT_ALLOC,
+            message=f"{label} allocated per call in {fn.name}() "
+                    f"({why}); hoist the temporary out of the "
+                    f"per-fragment path"))
+
+    def _alloc_call(self, fn: FunctionInfo,
+                    call: ast.Call) -> Optional[str]:
+        chain = dotted_chain(call.func)
+        if chain is None:
+            return None
+        if len(chain) == 1 and chain[0] in _CONTAINER_BUILTINS:
+            return f"{chain[0]}() call"
+        if chain[-1] not in _NP_CONSTRUCTORS or len(chain) < 2:
+            return None
+        table = self.project.imports.get(fn.module_name)
+        canon = table.modules.get(chain[0]) if table else None
+        if canon is None or canon.split(".")[0] != "numpy":
+            return None
+        if not all(_is_constant(arg) for arg in call.args):
+            return None
+        for keyword in call.keywords:
+            if keyword.arg != "dtype" and not _is_constant(keyword.value):
+                return None
+        return f"constant np.{chain[-1]}(...) array"
+
+
+def _is_constant(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Tuple):
+        return all(_is_constant(elt) for elt in node.elts)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)):
+        return _is_constant(node.operand)
+    return False
+
+
+# ------------------------------------------------------------ registration
+
+
+@register_project
+class EffectsPass(ProjectRule):
+    """Deep pass wrapper exposing the effect checker to the registry."""
+
+    name = RULE_PHASE
+    description = ("geometry-phase code reads assignment/fault/live-sim "
+                   "state (breaks the phase-split caching invariant)")
+    severity = "error"
+    extra_rules: Dict[str, str] = {
+        RULE_UNDECLARED: ("inferred effects exceed the function's "
+                          "`# effect:` declaration"),
+    }
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(EffectChecker(project).run())
+
+
+@register_project
+class HotAllocPass(ProjectRule):
+    """Deep pass wrapper for the per-fragment allocation lint."""
+
+    name = RULE_HOT_ALLOC
+    description = ("container/array allocation or closure creation on a "
+                   "per-fragment/per-pixel path (raster/, shading/, "
+                   "composition operators)")
+    severity = "warning"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(HotAllocChecker(project).run())

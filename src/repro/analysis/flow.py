@@ -129,6 +129,9 @@ class _ModuleImports:
                  tree: ast.AST) -> None:
         self.modules: Dict[str, str] = {}
         self.members: Dict[str, str] = {}
+        #: base modules of ``from X import *`` (canonical dotted names);
+        #: names they re-export are resolved lazily by the project
+        self.stars: List[str] = []
         if is_package:
             package_parts = module_name.split(".") if module_name else []
         else:
@@ -157,6 +160,7 @@ class _ModuleImports:
                     continue
                 for alias in node.names:
                     if alias.name == "*":
+                        self.stars.append(base)
                         continue
                     local = alias.asname or alias.name
                     self.members[local] = f"{base}.{alias.name}"
@@ -247,7 +251,8 @@ class Project:
 
     # -- symbol resolution ---------------------------------------------------
 
-    def resolve_name(self, module_name: str, name: str) -> Optional[str]:
+    def resolve_name(self, module_name: str, name: str,
+                     _depth: int = 0) -> Optional[str]:
         """Canonical dotted symbol for a bare name used in ``module_name``."""
         local = f"{module_name}.{name}"
         if local in self.functions or local in self.classes \
@@ -260,6 +265,15 @@ class Project:
             return table.members[name]
         if name in table.modules:
             return table.modules[name]
+        # star re-exports: the name may come from any `from X import *`
+        if _depth <= _MAX_CHASE:
+            for base in table.stars:
+                if base == module_name:
+                    continue
+                if base in self.modules:
+                    found = self.resolve_name(base, name, _depth + 1)
+                    if found is not None:
+                        return found
         return None
 
     def resolve_chain(self, module_name: str,

@@ -58,7 +58,8 @@ def default_rules() -> List["Rule"]:
 def default_project_rules() -> List["ProjectRule"]:
     """Fresh instances of every registered deep pass, in name order."""
     # importing the pass modules is what registers them
-    from . import contract, protocol, taint, units  # noqa: F401
+    from . import cachekey, contract, effects, protocol, taint, \
+        units  # noqa: F401
     return [PROJECT_RULES[name]() for name in sorted(PROJECT_RULES)]
 
 
@@ -69,7 +70,8 @@ def all_rule_descriptions() -> Dict[str, "RuleMeta"]:
     for name in sorted(RULES):
         cls = RULES[name]
         out[name] = RuleMeta(cls.description, cls.severity, False)
-    from . import contract, protocol, taint, units  # noqa: F401 - registration side effect
+    from . import cachekey, contract, effects, protocol, taint, \
+        units  # noqa: F401 - registration side effect
     for name in sorted(PROJECT_RULES):
         cls = PROJECT_RULES[name]
         out[name] = RuleMeta(cls.description, cls.severity, True)

@@ -85,8 +85,11 @@ def expand_with_dependents(project: Project,
                                        for name in project.modules}
     names = set(project.modules)
     for name, table in project.imports.items():
+        # star re-exports (`from X import *`) carry no member entries,
+        # but changing X still invalidates this module and everything
+        # importing through it — chase them like flow.py does
         targets = list(table.modules.values()) + \
-            list(table.members.values())
+            list(table.members.values()) + list(table.stars)
         for target in targets:
             owner = _owning_module(target, names)
             if owner is not None and owner != name:

@@ -128,8 +128,9 @@ def lint_paths(paths: Iterable[Union[str, pathlib.Path]],
     With ``deep=True``, additionally builds a
     :class:`~repro.analysis.flow.Project` over all the paths at once and
     runs the registered project-wide passes (units checker,
-    nondeterminism taint, resource protocol, error contract) on top of
-    the per-statement rules.
+    nondeterminism taint, resource protocol, error contract,
+    effect/purity inference + hot-path allocation lint, cache-key
+    soundness) on top of the per-statement rules.
 
     ``scope`` (a set of *resolved* paths, e.g. from
     :func:`~repro.analysis.scope.changed_scope`) restricts reporting:

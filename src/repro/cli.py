@@ -398,7 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--deep", action="store_true",
                       help="also run the project-wide passes (units/"
                            "dimension checker, nondeterminism taint, "
-                           "resource protocol, error contract) over "
+                           "resource protocol, error contract, "
+                           "effect/purity inference with the hot-path "
+                           "allocation lint, cache-key soundness) over "
                            "all paths as one program")
     lint.add_argument("--changed", nargs="?", const="main", default=None,
                       metavar="REF",
@@ -901,6 +903,23 @@ def cmd_loadgen(args) -> int:
     return EXIT_OK
 
 
+def _write_json_report(target: str, payload: str) -> None:
+    """Write ``--json-report`` output, creating parent directories.
+
+    Filesystem trouble (an unwritable location, a parent that is a
+    file) is a configuration error — exit code 2 via the EXIT_CODES
+    ladder, not a traceback.
+    """
+    import pathlib
+    path = pathlib.Path(target)
+    try:
+        if path.parent != path:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload)
+    except OSError as exc:
+        raise ConfigError(f"cannot write --json-report {target}: {exc}")
+
+
 def cmd_lint(args) -> int:
     import pathlib
 
@@ -928,8 +947,7 @@ def cmd_lint(args) -> int:
             print(f"simlint: no linted files changed since "
                   f"merge-base with {args.changed}", file=sys.stderr)
             if args.json_report:
-                pathlib.Path(args.json_report).write_text(
-                    render_json([]) + "\n")
+                _write_json_report(args.json_report, render_json([]) + "\n")
             return EXIT_OK
         print(f"simlint: scoped to {len(scope)} changed/dependent "
               f"file(s) vs {args.changed}", file=sys.stderr)
@@ -944,8 +962,7 @@ def cmd_lint(args) -> int:
         findings, suppressed = filter_baselined(
             findings, load_baseline(args.baseline))
     if args.json_report:
-        pathlib.Path(args.json_report).write_text(
-            render_json(findings) + "\n")
+        _write_json_report(args.json_report, render_json(findings) + "\n")
     renderer = render_json if args.fmt == "json" else render_text
     print(renderer(findings))
     if suppressed and args.fmt == "text":

@@ -64,15 +64,24 @@ def is_associative_pair(op_a: BlendOp, op_b: BlendOp) -> bool:
     return op_a is op_b
 
 
+# identity pixels are shared per-process (identity_for sits on per-layer
+# loops); read-only so a caller cannot corrupt every later composition
+_IDENTITY_TRANSPARENT = np.zeros(4, dtype=np.float32)
+_IDENTITY_TRANSPARENT.flags.writeable = False
+_IDENTITY_WHITE = np.ones(4, dtype=np.float32)
+_IDENTITY_WHITE.flags.writeable = False
+
+
 def identity_for(op: BlendOp) -> np.ndarray:
     """The neutral element pixel for an operator, where one exists.
 
     OVER and ADDITIVE treat fully transparent black as identity; MULTIPLY
     treats white. REPLACE has no left identity (any value is overwritten),
-    which is why opaque groups composite by depth instead.
+    which is why opaque groups composite by depth instead. The returned
+    array is shared and read-only — copy before mutating in place.
     """
     if op in (BlendOp.OVER, BlendOp.ADDITIVE):
-        return np.zeros(4, dtype=np.float32)
+        return _IDENTITY_TRANSPARENT
     if op is BlendOp.MULTIPLY:
-        return np.ones(4, dtype=np.float32)
+        return _IDENTITY_WHITE
     raise CompositionError(f"{op!r} has no identity element")

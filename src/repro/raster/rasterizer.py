@@ -40,6 +40,10 @@ _EMPTY = FragmentBatch(
     colors=np.empty((0, 4), dtype=np.float32),
 )
 
+#: vertex permutation that flips triangle winding (hot path: one triangle
+#: per call, so the index array must not be rebuilt per triangle)
+_WINDING_SWAP = np.array([0, 2, 1])
+
 
 def _edge(ax, ay, bx, by, px, py):
     """Signed edge function: >0 when (px,py) is left of a->b (y-down CCW)."""
@@ -61,8 +65,8 @@ def rasterize_triangle(xy: np.ndarray, depth: np.ndarray, colors: np.ndarray,
     if area < 0.0:
         # Normalize winding so the inside test is uniform.
         v1, v2 = v2, v1
-        depth = depth[[0, 2, 1]]
-        colors = colors[[0, 2, 1]]
+        depth = depth[_WINDING_SWAP]
+        colors = colors[_WINDING_SWAP]
         area = -area
 
     x_min = max(int(np.floor(min(v0[0], v1[0], v2[0]))), 0)

@@ -36,12 +36,15 @@ from ..raster.rasterizer import rasterize_triangle
 from .artifact import DrawArtifact, DrawMetrics, empty_artifact
 
 
-def geometry_phase(draw: DrawCommand, mvp: Optional[np.ndarray],
+def geometry_phase(draw: DrawCommand,  # effect: pure
+                   mvp: Optional[np.ndarray],
                    width: int, height: int) -> DrawArtifact:
     """Run the geometry stage of one draw command.
 
     ``width``/``height`` fix the screen mapping, so an artifact is keyed
-    by (draw content, camera, resolution) and nothing else.
+    by (draw content, camera, resolution) and nothing else — the
+    ``# effect: pure`` declaration is enforced by the deep lint's
+    effect inference (`effect-undeclared` fires if this stops holding).
     """
     if draw.num_triangles == 0:
         return empty_artifact(0)
@@ -196,8 +199,8 @@ def fragment_phase(artifact: DrawArtifact, draw: DrawCommand,
     return metrics
 
 
-def _write(target, depth_buf, frags, shaded_colors, state, metrics,
-           touched) -> None:
+def _write(target, depth_buf, frags, shaded_colors,  # effect: mutates-args
+           state, metrics, touched) -> None:
     """Blend surviving fragments into the render target."""
     ys, xs = frags.ys, frags.xs
     if state.blend_op is BlendOp.REPLACE:

@@ -1,0 +1,234 @@
+"""Cache-key soundness tests: fixtures per rule + seeded mutations.
+
+The fixture tests pin down site parsing (3-arg / 2-arg ``cached``
+forms, key-builder chasing, alias resolution), the token normalization
+that maps ``trace.fingerprint`` onto a ``"trace"`` field, and the
+completeness gate on ``cache-key-unused``. The meta-tests copy
+``src/repro`` and seed the two bug classes the pass exists to catch —
+a new input read by a cached computation without a covering key field,
+and a key field nothing reads — and require the deep lint to find them
+(the unmutated tree stays clean, see test_flow.py).
+"""
+
+import pathlib
+import shutil
+import textwrap
+
+from repro.analysis import lint_paths
+from repro.analysis.cachekey import (RULE_MISSING, RULE_UNUSED,
+                                     CacheKeyChecker, normalize_token)
+from repro.analysis.flow import Project
+from repro.analysis.simlint import LintModule
+
+REPO_SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def project_of(*named_sources):
+    return Project.from_modules(
+        (name, False, LintModule(f"{name}.py", textwrap.dedent(src)))
+        for name, src in named_sources)
+
+
+def cachekey_findings(source):
+    return CacheKeyChecker(project_of(("fixture", source))).run()
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+# ---------------------------------------------------------- normalization
+
+
+class TestNormalizeToken:
+    def test_identity_suffixes_stripped(self):
+        assert normalize_token("trace_fingerprint") == "trace"
+        assert normalize_token("_camera_fp") == "camera"
+        assert normalize_token("scene_hash") == "scene"
+        assert normalize_token("frame_id") == "frame"
+
+    def test_bare_and_short_tokens_untouched(self):
+        assert normalize_token("trace") == "trace"
+        # a token that IS a suffix stays itself rather than vanishing
+        assert normalize_token("_fp") == "fp"
+
+
+# ------------------------------------------------------- cache-key-missing
+
+
+class TestCacheKeyMissing:
+    def test_unkeyed_read_flagged(self):
+        findings = cachekey_findings("""
+            def load(store, trace, salt):
+                return store.cached("frame", {"trace": trace.fingerprint},
+                                    lambda: trace.frame * salt)
+        """)
+        assert rules_of(findings) == {RULE_MISSING}
+        assert "`salt`" in findings[0].message
+        assert "'frame'" in findings[0].message
+
+    def test_covered_reads_are_clean(self):
+        findings = cachekey_findings("""
+            def load(store, trace, salt):
+                return store.cached(
+                    "frame",
+                    {"trace": trace.fingerprint, "salt": salt},
+                    lambda: trace.frame * salt)
+        """)
+        assert findings == []
+
+    def test_fingerprint_field_covers_object_read(self):
+        # key stores trace.fingerprint, compute reads trace.frame:
+        # both normalize to the root object "trace"
+        findings = cachekey_findings("""
+            class Session:
+                def load(self, store):
+                    return store.cached(
+                        "geo", {"camera": self._camera_fp},
+                        lambda: self.camera.project())
+        """)
+        assert findings == []
+
+    def test_key_builder_function_chased(self):
+        findings = cachekey_findings("""
+            def _fields(trace, scale):
+                return {"trace": trace.fingerprint, "scale": scale}
+
+            def load(store, trace, scale, salt):
+                return store.cached("frame", _fields(trace, scale),
+                                    lambda: trace.frame * scale + salt)
+        """)
+        assert rules_of(findings) == {RULE_MISSING}
+        assert "`salt`" in findings[0].message
+
+    def test_two_arg_form_with_key_alias(self):
+        findings = cachekey_findings("""
+            def store_key(kind, fields):
+                return (kind, tuple(sorted(fields)))
+
+            def load(store, trace, salt):
+                key = store_key("frame", {"trace": trace.fingerprint})
+                return store.cached(key, lambda: trace.frame * salt)
+        """)
+        assert RULE_MISSING in rules_of(findings)
+        assert any("`salt`" in f.message for f in findings)
+
+    def test_nested_def_compute(self):
+        findings = cachekey_findings("""
+            def load(store, trace, salt):
+                def compute():
+                    return trace.frame * salt
+                return store.cached("frame", {"trace": trace.fingerprint},
+                                    compute)
+        """)
+        assert RULE_MISSING in rules_of(findings)
+        assert any("`salt`" in f.message for f in findings)
+
+    def test_forwarded_fields_parameter_skipped(self):
+        # plumbing that forwards kind/fields/compute verbatim is not a
+        # keyed site itself (RenderService.cached shape)
+        findings = cachekey_findings("""
+            class Service:
+                def cached(self, kind, fields, compute):
+                    return self.store.cached(kind, fields, compute)
+        """)
+        assert findings == []
+
+
+# -------------------------------------------------------- cache-key-unused
+
+
+class TestCacheKeyUnused:
+    def test_unread_field_flagged(self):
+        findings = cachekey_findings("""
+            def load(store, trace):
+                return store.cached(
+                    "frame",
+                    {"trace": trace.fingerprint, "salt": 3},
+                    lambda: trace.frame)
+        """)
+        assert rules_of(findings) == {RULE_UNUSED}
+        assert "salt" in findings[0].message
+
+    def test_unused_gated_on_complete_analysis(self):
+        # the compute calls an unresolvable function, so the input set
+        # is a lower bound — no field can be proven unread
+        findings = cachekey_findings("""
+            def load(store, trace):
+                return store.cached(
+                    "frame",
+                    {"trace": trace.fingerprint, "salt": 3},
+                    lambda: mystery(trace))
+        """)
+        assert findings == []
+
+    def test_severity_is_warning(self):
+        findings = lint_of_unused()
+        assert findings and findings[0].severity == "warning"
+
+
+def lint_of_unused(tmp_dir=None):
+    """Run the full deep-lint path so pass severities apply."""
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        target = pathlib.Path(tmp) / "consumer.py"
+        target.write_text(textwrap.dedent("""
+            def load(store, trace):
+                return store.cached(
+                    "frame",
+                    {"trace": trace.fingerprint, "salt": 3},
+                    lambda: trace.frame)
+        """))
+        return [f for f in lint_paths([target], deep=True)
+                if f.rule == RULE_UNUSED]
+
+
+# ------------------------------------------------------ seeded mutations
+
+
+def _copy_src_repro(tmp_path):
+    tree = tmp_path / "repro"
+    shutil.copytree(REPO_SRC, tree)
+    return tree
+
+
+def _mutate(tree, relative, old, new):
+    target = tree / relative
+    source = target.read_text()
+    mutated = source.replace(old, new)
+    assert mutated != source, f"mutation anchor vanished from {relative}"
+    target.write_text(mutated)
+
+
+class TestCacheKeyMeta:
+    def test_unkeyed_input_in_render_session_is_found(self, tmp_path):
+        tree = _copy_src_repro(tmp_path)
+        # the geometry artifact starts depending on a jitter the key
+        # does not cover — exactly the stale-cache bug class
+        _mutate(tree, "render/service.py",
+                "lambda: geometry_phase(draw, self.camera,",
+                "lambda: geometry_phase(draw, self.camera * self.jitter,")
+        findings = [f for f in lint_paths([tree], deep=True)
+                    if f.rule == RULE_MISSING]
+        assert findings, "seeded un-keyed read not detected"
+        assert all(f.path.endswith("service.py") for f in findings)
+        assert any("`jitter`" in f.message for f in findings)
+        assert findings[0].severity == "error"
+
+    def test_dead_key_field_is_found(self, tmp_path):
+        tree = _copy_src_repro(tmp_path)
+        probe = textwrap.dedent("""
+
+            def _lint_probe(store, trace):
+                return store.cached(
+                    store_key("probe", {"trace": trace.fingerprint,
+                                        "salt": 3}),
+                    lambda: trace.frame)
+        """)
+        target = tree / "render" / "store.py"
+        target.write_text(target.read_text() + probe)
+        findings = [f for f in lint_paths([tree], deep=True)
+                    if f.rule == RULE_UNUSED]
+        assert findings, "seeded dead key field not detected"
+        assert findings[0].path.endswith("store.py")
+        assert "salt" in findings[0].message

@@ -67,6 +67,23 @@ class TestExpandWithDependents:
         assert {"base.py", "middle.py", "top.py"} <= names
         assert "unrelated.py" not in names
 
+    def test_star_reexport_facade_is_chased(self, tmp_path):
+        # consumer imports through a `from pkg.core import *` facade:
+        # a change to core must pull in the facade AND the consumer,
+        # even though the facade's import table has no member entries
+        pkg = _write_package(
+            tmp_path,
+            core=CLEAN,
+            facade="from pkg.core import *\n",
+            consumer="from pkg.facade import double\n")
+        project = Project.from_paths([pkg])
+        assert project.resolve_name("pkg.facade", "double") \
+            == "pkg.core.double"
+        scope = expand_with_dependents(
+            project, {(pkg / "core.py").resolve()})
+        names = {path.name for path in scope}
+        assert {"core.py", "facade.py", "consumer.py"} <= names
+
     def test_changed_module_pulls_its_package_init(self, tmp_path):
         pkg = _write_package(tmp_path, base=CLEAN)
         project = Project.from_paths([pkg])
@@ -178,3 +195,31 @@ class TestJsonReport:
         assert any(entry["rule"] == "unseeded-rng" for entry in findings)
         assert all({"path", "line", "rule", "severity"}
                    <= set(entry) for entry in findings)
+
+    def test_missing_parent_directories_are_created(self, tmp_path,
+                                                    capsys):
+        pkg = _write_package(tmp_path, base=CLEAN)
+        report = tmp_path / "out" / "deeper" / "report.json"
+        assert main(["lint", "--json-report", str(report),
+                     str(pkg)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["count"] == 0
+
+    def test_unwritable_report_path_is_a_config_error(self, tmp_path,
+                                                      capsys):
+        pkg = _write_package(tmp_path, base=CLEAN)
+        # /dev/null is a file, so it cannot be a parent directory
+        assert main(["lint", "--json-report", "/dev/null/report.json",
+                     str(pkg)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot write --json-report" in captured.err
+
+    def test_findings_are_canonically_sorted(self, tmp_path, capsys):
+        pkg = _write_package(tmp_path, zeta=VIOLATION, alpha=VIOLATION)
+        report = tmp_path / "report.json"
+        assert main(["lint", "--json-report", str(report),
+                     str(pkg)]) == 1
+        entries = [(e["path"], e["line"], e["col"], e["rule"])
+                   for e in json.loads(report.read_text())["findings"]]
+        assert entries == sorted(entries)
+        assert len(entries) >= 2
