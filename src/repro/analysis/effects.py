@@ -661,11 +661,13 @@ def scope_eval(checker: EffectChecker, fn: FunctionInfo) -> "_EffectEval":
 # ------------------------------------------------------------- hot-alloc
 
 
-#: modules whose functions sit on the per-fragment/per-pixel path
+#: modules whose functions sit on the per-fragment/per-pixel path (the DFB
+#: tile reducers fold every arriving tile, so they are per-pixel-hot too)
 def _in_hot_scope(path: str) -> bool:
     posix = "/" + path.replace("\\", "/")
     return ("/raster/" in posix or "/shading/" in posix
-            or posix.endswith("/composition/operators.py"))
+            or posix.endswith("/composition/operators.py")
+            or posix.endswith("/composition/dfb.py"))
 
 
 _NP_CONSTRUCTORS = frozenset({"array", "zeros", "ones", "empty", "full",

@@ -81,6 +81,7 @@ FIGURES = {
     "fig13": ("fig13_performance", None),
     "fig15": ("fig15_depth_test", "render_fig15"),
     "fig17": ("fig17_traffic", "render_fig17"),
+    "head2head": ("composition_head_to_head", "render_head_to_head"),
 }
 
 
@@ -249,6 +250,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail (exit 1) when warm wall-time is not at "
                             "least this factor faster than cold "
                             "(default 1.0: warm must beat cold)")
+    bench.add_argument("--mode", default="cache",
+                       choices=("cache", "pipelining"),
+                       help="cache: cold-vs-warm artifact-store benchmark "
+                            "(the default). pipelining: simulated-cycle "
+                            "benchmark of the in-flight group window — "
+                            "chopin+sched and dfb at pipeline_depth 1 vs "
+                            "unbounded, asserting bit-identical images and "
+                            "reporting idle/stall/overlap cycles "
+                            "(--schemes is ignored; default output "
+                            "BENCH_pipelining.json)")
+    bench.add_argument("--min-overlap-win", type=float, default=0.0,
+                       help="pipelining mode gate: fail (exit 1) unless "
+                            "unbounding the window cuts summed idle "
+                            "cycles by at least this fraction vs "
+                            "pipeline_depth=1 (default 0.0)")
 
     gen_trace = sub.add_parser(
         "gen-trace",
@@ -344,6 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shedding policy when the queue is full")
     serve.add_argument("--batch-limit", type=int, default=4,
                        help="max same-benchmark requests per render batch")
+    serve.add_argument("--pipeline-overlap", action="store_true",
+                       help="overlap a back-to-back batch's geometry with "
+                            "the previous frame's composition tail "
+                            "(cross-request pipelining; off by default)")
     serve.add_argument("--retry-limit", type=int, default=3,
                        help="re-queue attempts after a group failure "
                             "before a request sheds")
@@ -651,6 +671,95 @@ def cmd_export_results(args) -> int:
     return EXIT_OK
 
 
+def _cmd_bench_pipelining(args) -> int:
+    """``bench --mode pipelining``: quantify the in-flight group window.
+
+    Runs chopin+sched and dfb twice per benchmark — pipeline_depth=1 (a
+    hard render/composition barrier per group) and unbounded — asserts the
+    images are bit-identical (the window is a timing knob, never a result
+    knob), and reports frame cycles plus the idle/stall/overlap counters.
+    The gate is on summed idle cycles: unbounding the window must cut them
+    by at least ``--min-overlap-win`` (a fraction).
+    """
+    import json
+
+    import numpy as np
+
+    from .stats import gmean
+
+    output = args.output
+    if output == "BENCH_artifact_cache.json":
+        output = "BENCH_pipelining.json"
+    schemes = ("chopin+sched", "dfb")
+    topology = getattr(args, "topology", None)
+    bounded = make_setup(args.scale, num_gpus=args.gpus, topology=topology,
+                         pipeline_depth=1)
+    unbounded = make_setup(args.scale, num_gpus=args.gpus,
+                           topology=topology)
+
+    def cell(result) -> dict:
+        summary = result.stats.pipeline_summary()
+        summary["frame_cycles"] = result.frame_cycles
+        summary["comp_overlap_cycles"] = round(
+            summary["comp_overlap_cycles"], 2)
+        summary["idle_cycles"] = round(summary["idle_cycles"], 2)
+        summary["pipeline_stall_cycles"] = round(
+            summary["pipeline_stall_cycles"], 2)
+        return summary
+
+    cells = []
+    mismatches = []
+    for bench in args.benchmarks:
+        trace = load_benchmark(bench, args.scale)
+        for scheme in schemes:
+            serial = run(scheme, trace, bounded)
+            overlapped = run(scheme, trace, unbounded)
+            identical = (
+                np.array_equal(serial.image.color, overlapped.image.color)
+                and np.array_equal(serial.image.depth,
+                                   overlapped.image.depth))
+            if not identical:
+                mismatches.append(f"{bench}/{scheme}")
+            cells.append({"benchmark": bench, "scheme": scheme,
+                          "depth_1": cell(serial),
+                          "unbounded": cell(overlapped)})
+
+    idle_serial = sum(c["depth_1"]["idle_cycles"] for c in cells)
+    idle_overlap = sum(c["unbounded"]["idle_cycles"] for c in cells)
+    idle_win = 1.0 - idle_overlap / idle_serial if idle_serial else 0.0
+    speedup = gmean([c["depth_1"]["frame_cycles"]
+                     / c["unbounded"]["frame_cycles"] for c in cells])
+    report = {
+        "benchmarks": list(args.benchmarks), "schemes": list(schemes),
+        "scale": args.scale, "num_gpus": args.gpus,
+        "idle_cycles_depth_1": round(idle_serial, 2),
+        "idle_cycles_unbounded": round(idle_overlap, 2),
+        "idle_win": round(idle_win, 4),
+        "frame_speedup": round(speedup, 4),
+        "bit_identical": not mismatches, "mismatches": mismatches,
+        "cells": cells,
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"bench pipelining: {len(cells)} cells "
+          f"({len(args.benchmarks)} benchmarks x {len(schemes)} schemes, "
+          f"{args.gpus} GPUs, {args.scale} scale)")
+    print(f"  idle cycles: {idle_serial:14,.0f} at depth 1")
+    print(f"               {idle_overlap:14,.0f} unbounded "
+          f"({idle_win:.1%} win)")
+    print(f"  frame speedup (gmean): {speedup:.3f}x  -> {output}")
+    if mismatches:
+        print(f"error: pipeline window changed the image on "
+              f"{', '.join(mismatches)}", file=sys.stderr)
+        return EXIT_ERROR
+    if idle_win < args.min_overlap_win:
+        print(f"error: idle-cycle win {idle_win:.1%} below required "
+              f"{args.min_overlap_win:.1%}", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
+
+
 def cmd_bench(args) -> int:
     import json
     import time
@@ -658,6 +767,9 @@ def cmd_bench(args) -> int:
     import numpy as np
 
     from .render import render_service
+
+    if args.mode == "pipelining":
+        return _cmd_bench_pipelining(args)
     setup = make_setup(args.scale, num_gpus=args.gpus,
                        topology=getattr(args, "topology", None),
                        watchdog_cycles=getattr(args, "watchdog_cycles",
@@ -866,6 +978,7 @@ def cmd_serve(args) -> int:
                          retry_limit=args.retry_limit,
                          deadline_x=args.deadline_x,
                          budget_x=args.budget_x,
+                         pipeline_overlap=args.pipeline_overlap,
                          fault_events=fault_events)
     report = server.serve()
     print(report_module.render_serve_report(

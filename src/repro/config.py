@@ -166,6 +166,14 @@ class SystemConfig:
     #: None (the default) keeps runs unbounded. A supervision knob, not a
     #: model parameter — it never changes simulated timing.
     watchdog_cycles: Optional[float] = None  # unit: cycles
+    #: bounded window of in-flight composition groups per GPU: a GPU may
+    #: start rendering group *k* only once its own composition of group
+    #: ``k - pipeline_depth`` has completed. ``1`` serializes rendering with
+    #: composition (a hard group barrier); ``None`` (the default) leaves the
+    #: window unbounded — composition drains fully overlapped behind
+    #: rendering, which is the paper's Fig 3 behaviour. The knob models the
+    #: number of sub-image buffers a GPU can hold concurrently.
+    pipeline_depth: Optional[int] = None  # unit: 1
 
     def __post_init__(self) -> None:
         if self.num_gpus <= 0:
@@ -183,6 +191,9 @@ class SystemConfig:
             raise ConfigError("retained_cull_fraction must lie in [0, 1]")
         if self.msaa_samples not in (1, 2, 4, 8):
             raise ConfigError("msaa_samples must be 1, 2, 4, or 8")
+        if self.pipeline_depth is not None and self.pipeline_depth < 1:
+            raise ConfigError("pipeline_depth must be >= 1 (or None for an "
+                              "unbounded in-flight group window)")
         if self.faults is not None:
             self.faults.validate_for(self.num_gpus)
 

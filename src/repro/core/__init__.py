@@ -9,8 +9,9 @@ from .draw_scheduler import (DrawScheduler, LeastRemainingTrianglesScheduler,
 from .composition_scheduler import (CompositionStatus,
                                     ImageCompositionScheduler,
                                     adjacency_pairs)
-from .workflow import (GroupMode, GroupPlan, WorkflowSummary, plan_frame,
-                       plan_group, plan_trace_frame, summarize_plan)
+from .workflow import (GroupMode, GroupPlan, PipelineWindow, WorkflowSummary,
+                       plan_frame, plan_group, plan_trace_frame,
+                       summarize_plan)
 from .hardware import (composition_scheduler_size_bytes,
                        composition_scheduler_traffic_bytes,
                        draw_scheduler_size_bytes,
@@ -30,6 +31,7 @@ __all__ = [
     "ImageCompositionScheduler",
     "LeastRemainingTrianglesScheduler",
     "OracleLPTScheduler",
+    "PipelineWindow",
     "RoundRobinScheduler",
     "SampledRateScheduler",
     "WorkflowSummary",

@@ -21,6 +21,18 @@ groups only *adjacent* partners (in the current reduction tree) are
 eligible, since transparent sub-images cannot be composed fully
 out-of-order (§II-D).
 
+The table supports a *window* of in-flight composition groups: each row
+carries its own CGID, so different GPUs may be composing different groups
+concurrently (cross-group pipelining). Groups are admitted with
+``open_group`` (optionally bounded by ``window``), rows move forward with
+``advance`` — which fully resets the row, so no Sent/Received state can
+leak from one group into the next — and ``retire_group`` frees the slot
+once every participant finished. Pairing is safe across the window because
+a GPU only advances past a group after exchanging with *all* of its
+partners there: no remaining participant can still need it as a sender.
+``start_group`` keeps the legacy single-active-group behaviour (reset every
+row onto one CGID).
+
 The scheduler is a passive table; the DES layer drives it through
 ``mark_ready`` / ``begin`` / ``complete`` and waits on ``wait_change``.
 """
@@ -28,7 +40,7 @@ The scheduler is a passive table; the DES layer drives it through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.sanitizer import ACCESS_ARBITRATED
 from ..errors import SchedulingError
@@ -62,14 +74,26 @@ class ImageCompositionScheduler:
     """Centralized pairing of GPUs for sub-image exchange."""
 
     def __init__(self, num_gpus: int,
-                 sim: Optional[Simulator] = None) -> None:
+                 sim: Optional[Simulator] = None,
+                 window: Optional[int] = None) -> None:
         if num_gpus <= 0:
             raise SchedulingError("need at least one GPU")
+        if window is not None and window < 1:
+            raise SchedulingError("scheduler window must be >= 1 (or None "
+                                  "for an unbounded in-flight group window)")
         self.num_gpus = num_gpus
         self.sim = sim
         self.table = [CompositionStatus() for _ in range(num_gpus)]
-        #: partner restriction for the current group (None = all-to-all)
-        self._allowed: Optional[List[Set[int]]] = None
+        #: bound on concurrently open CGIDs (None = unbounded)
+        self.window = window
+        #: in-flight CGIDs, in admission order
+        self._open: List[int] = []
+        #: per-CGID partner restriction (None entry = all-to-all)
+        self._group_allowed: Dict[int, Optional[List[Set[int]]]] = {}
+        #: fail-stopped GPUs, removed from every group's partner sets
+        self._excluded: Set[int] = set()
+        #: high-water mark of concurrently open groups (for RunStats)
+        self.groups_peak = 0
         self._waiters: List[Event] = []
 
     def _record_table_access(self) -> None:
@@ -83,15 +107,67 @@ class ImageCompositionScheduler:
         if self.sim is not None:
             self.sim.record_access("scheduler:table", ACCESS_ARBITRATED)
 
+    # -- group window --------------------------------------------------------
+
+    def open_group(self, cgid: int,
+                   allowed_partners: Optional[List[Set[int]]] = None) -> None:
+        """Admit a composition group into the in-flight window.
+
+        Each open group carries its own partner restriction, so a fail-stop
+        repair can narrow one in-flight group to its survivor set without
+        touching the groups pipelined behind it.
+        """
+        if cgid in self._open:
+            raise SchedulingError(f"group {cgid} is already in flight")
+        if self.window is not None and len(self._open) >= self.window:
+            raise SchedulingError(
+                f"cannot open group {cgid}: window of {self.window} "
+                f"in-flight groups is full ({self._open})")
+        if allowed_partners is not None:
+            if len(allowed_partners) != self.num_gpus:
+                raise SchedulingError("allowed_partners must cover every GPU")
+        self._open.append(cgid)
+        self._group_allowed[cgid] = allowed_partners
+        if len(self._open) > self.groups_peak:
+            self.groups_peak = len(self._open)
+
+    def retire_group(self, cgid: int) -> None:
+        """Close a finished group, freeing its window slot."""
+        if cgid not in self._open:
+            raise SchedulingError(f"group {cgid} is not in flight")
+        self._open.remove(cgid)
+        del self._group_allowed[cgid]
+
+    def advance(self, gpu: int, cgid: int) -> None:
+        """Move one GPU's row to an open group, *fully* resetting it.
+
+        The full reset is load-bearing: a row that kept its previous
+        Sent/Received vectors across the CGID change would satisfy
+        ``gpu_done`` for the new group without exchanging a single
+        sub-image (the cross-group state leak this table historically
+        avoided by being rebuilt per group).
+        """
+        if cgid not in self._open:
+            raise SchedulingError(
+                f"GPU{gpu} cannot advance to group {cgid}: not in flight")
+        self._record_table_access()
+        row = self.table[gpu]
+        row.reset()
+        row.cgid = cgid
+
+    def in_flight(self) -> Tuple[int, ...]:
+        """Currently open CGIDs, in admission order."""
+        return tuple(self._open)
+
     # -- table driving -------------------------------------------------------
 
     def start_group(self, cgid: int,
                     allowed_partners: Optional[List[Set[int]]] = None) -> None:
-        """Begin a new composition phase; optionally restrict partners."""
-        if allowed_partners is not None:
-            if len(allowed_partners) != self.num_gpus:
-                raise SchedulingError("allowed_partners must cover every GPU")
-        self._allowed = allowed_partners
+        """Begin a new *sole* composition phase (legacy single-group mode):
+        drops any in-flight groups and resets every row onto ``cgid``."""
+        self._open.clear()
+        self._group_allowed.clear()
+        self.open_group(cgid, allowed_partners)
         for row in self.table:
             row.reset()
             row.cgid = cgid
@@ -106,9 +182,17 @@ class ImageCompositionScheduler:
         self._notify()
 
     def partners_of(self, gpu: int) -> Set[int]:
-        if self._allowed is not None:
-            return self._allowed[gpu]
-        return {g for g in range(self.num_gpus) if g != gpu}
+        """Partner set of this GPU *in its row's current group*."""
+        if gpu in self._excluded:
+            return set()
+        allowed = self._group_allowed.get(self.table[gpu].cgid)
+        if allowed is not None:
+            base = allowed[gpu]
+        else:
+            base = {g for g in range(self.num_gpus) if g != gpu}
+        if self._excluded:
+            return base - self._excluded
+        return base
 
     def find_sender_for(self, receiver: int) -> Optional[int]:
         """A sender this receiver may compose with now (Fig 12 conditions)."""
@@ -149,27 +233,24 @@ class ImageCompositionScheduler:
     def exclude_gpu(self, gpu: int) -> None:
         """Drop a fail-stopped GPU from every partner set (degraded mode).
 
-        The dead GPU's row keeps whatever state it had, but no survivor will
-        be paired with it any more and its own partner set empties, so
-        :meth:`gpu_done` holds for it trivially.
+        The exclusion spans *every* in-flight group — a dead GPU is dead for
+        the whole window. Its row keeps whatever state it had, but no
+        survivor will be paired with it any more and its own partner set
+        empties, so :meth:`gpu_done` holds for it trivially.
         """
         if not 0 <= gpu < self.num_gpus:
             raise SchedulingError(f"cannot exclude unknown GPU{gpu}")
         self._record_table_access()
-        if self._allowed is None:
-            self._allowed = [
-                {p for p in range(self.num_gpus) if p != g}
-                for g in range(self.num_gpus)]
-        for partners in self._allowed:
-            partners.discard(gpu)
-        self._allowed[gpu] = set()
+        self._excluded.add(gpu)
         self._notify()
 
     def extend_partners(self, gpu: int, partners: Set[int]) -> None:
-        """Widen a GPU's allowed partner set (tree reductions grow reach)."""
-        if self._allowed is None:
+        """Widen a GPU's allowed partner set in its row's current group
+        (tree reductions grow reach)."""
+        allowed = self._group_allowed.get(self.table[gpu].cgid)
+        if allowed is None:
             return
-        self._allowed[gpu] = set(partners)
+        allowed[gpu] = set(partners)
         self._notify()
 
     # -- completion tests ----------------------------------------------------

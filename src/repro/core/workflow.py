@@ -15,10 +15,12 @@ For every composition group, CHOPIN decides:
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Deque, List, Optional
 
 from ..config import SystemConfig
+from ..errors import ConfigError
 from ..geometry.primitives import DrawCommand
 from .draw_scheduler import even_split_by_triangles
 from .grouping import CompositionGroup
@@ -92,6 +94,60 @@ def plan_trace_frame(trace, config: SystemConfig,
         {"trace": trace.fingerprint, "num_gpus": config.num_gpus,
          "threshold": limit},
         lambda: plan_frame(split_into_groups(trace.frame), config, limit))
+
+
+class PipelineWindow:
+    """Bounded window of in-flight groups for one GPU (cross-group pipeline).
+
+    A group is *in flight* from the moment its rendering finished until its
+    composition completes; the window bounds how many such groups a GPU may
+    hold concurrently (= how many sub-image buffers it keeps). The DES layer
+    calls :meth:`push` with each group's composition-done event and waits on
+    :meth:`admit_gate` before starting the next group's rendering:
+
+    - ``depth=None`` — unbounded: composition always drains behind
+      rendering (the paper's fully overlapped Fig 3 behaviour);
+    - ``depth=1`` — the next group's rendering waits for the previous
+      group's composition: a hard per-GPU group barrier;
+    - ``depth=k`` — rendering runs at most ``k`` groups ahead of this GPU's
+      own composition chain.
+
+    Entries are events with a ``processed`` flag (duck-typed so the core
+    tier stays independent of the sim kernel). Compositions complete in
+    CGID order per GPU, so the head of the deque is always the oldest
+    pending group.
+    """
+
+    def __init__(self, depth: Optional[int]) -> None:
+        if depth is not None and depth < 1:
+            raise ConfigError("pipeline window depth must be >= 1 (or None "
+                              "for an unbounded window)")
+        self.depth = depth
+        self._pending: Deque = deque()
+        #: groups pushed through the window over its lifetime
+        self.admitted = 0
+        #: admissions that found the window full (caller had to wait)
+        self.stalls = 0
+
+    def admit_gate(self):
+        """Event to wait on before starting another group (None = go)."""
+        while self._pending and self._pending[0].processed:
+            self._pending.popleft()
+        if self.depth is None or len(self._pending) < self.depth:
+            return None
+        self.stalls += 1
+        return self._pending[0]
+
+    def push(self, composition_done) -> None:
+        """Register a freshly rendered group's composition-done event."""
+        self._pending.append(composition_done)
+        self.admitted += 1
+
+    def pending(self) -> int:
+        """Groups currently in flight (rendered, composition pending)."""
+        while self._pending and self._pending[0].processed:
+            self._pending.popleft()
+        return len(self._pending)
 
 
 @dataclass

@@ -99,6 +99,43 @@ def repair_region_matrix(region_pixels: np.ndarray, dead: Sequence[int],
     return matrix
 
 
+def repair_tile_sources(touched_tiles: Sequence[np.ndarray],
+                        dead: Sequence[int],
+                        inherit: Mapping[int, int]) -> List[np.ndarray]:
+    """Fold dead GPUs' touched-tile bitmaps onto their re-rendering
+    inheritors (the DFB analogue of :func:`repair_region_matrix`).
+
+    The fold is a *union*, not a sum: a tile both the dead GPU and its
+    inheritor touched is streamed once by the survivor, where the matrix
+    repair conservatively bills both messages — tile granularity makes the
+    repaired traffic strictly more precise.
+    """
+    merged = [np.array(b, dtype=bool, copy=True) for b in touched_tiles]
+    for f in sorted(dead):
+        a = inherit[f]
+        if a == f:
+            raise FaultError(f"GPU{f} cannot inherit from itself")
+        merged[a] |= merged[f]
+        merged[f][:] = False
+    return merged
+
+
+def repair_tile_owner(tile_owner: np.ndarray, dead: Sequence[int],
+                      inherit: Mapping[int, int]) -> np.ndarray:
+    """Re-own dead GPUs' framebuffer tiles to their inheritors.
+
+    ``inherit`` maps every dead GPU to a *survivor*, so a single rewrite
+    pass suffices (no inheritance chains to chase).
+    """
+    owner = np.array(tile_owner, dtype=np.int64, copy=True)
+    for f in sorted(dead):
+        a = inherit[f]
+        if a == f or a in dead:
+            raise FaultError(f"GPU{f} must be inherited by a survivor")
+        owner[owner == f] = a
+    return owner
+
+
 # ---------------------------------------------------------------------------
 # Tile-granularity geometry for transparent-group repair
 

@@ -22,8 +22,11 @@ from ..sfr.base import reference_pass
 from ..stats import (STAGE_COMPOSITION, STAGE_DISTRIBUTION, STAGE_FRAGMENT,
                      STAGE_GEOMETRY, STAGE_PROJECTION, STAGE_SYNC,
                      TRAFFIC_COMPOSITION, gmean)
-from ..traces import BENCHMARK_NAMES, TABLE3, load_benchmark, scale_for
-from .runner import MAIN_SCHEMES, make_setup, run_benchmark
+from ..composition import default_factorization
+from ..errors import ConfigError
+from ..traces import (BENCHMARK_NAMES, TABLE3, load_benchmark, load_stress,
+                      scale_for)
+from .runner import MAIN_SCHEMES, make_setup, run, run_benchmark
 
 Benchmarks = Sequence[str]
 
@@ -457,3 +460,135 @@ def sec6g_workload_trend(scale: str = "tiny", benchmark: str = "cry",
             / (base_geo * factor + base_frag),
         })
     return rows
+
+
+# ------------------------------------------------ composition head-to-head
+
+#: classic sort-last exchange algorithms, modeled analytically
+EXCHANGE_ALGORITHMS = ("direct-send", "binary-swap", "radix-k")
+
+#: DES-simulated composition transports (all share CHOPIN's render path)
+HEAD_TO_HEAD_SCHEMES = ("chopin", "chopin+sched", "dfb")
+
+
+def _exchange_rounds(algorithm: str, num_pixels: float, num_gpus: int,
+                     ) -> List[tuple]:
+    """Per-round ``(messages_per_gpu, pixels_per_message)`` of an exchange.
+
+    The schedules are the textbook ones (and match the functional
+    implementations in :mod:`repro.composition`): direct-send is a single
+    all-to-all round over 1/n slices; binary-swap halves each GPU's span
+    over log2(n) pairwise rounds; radix-k runs a direct-send within groups
+    of ``k_i`` per round over the default factorization of n.
+    """
+    n = num_gpus
+    if n <= 1:
+        return []
+    if algorithm == "direct-send":
+        return [(n - 1, num_pixels / n)]
+    if algorithm == "binary-swap":
+        if n & (n - 1):
+            raise ConfigError(f"binary-swap needs a power-of-two GPU "
+                              f"count, got {n}")
+        rounds = []
+        span = float(num_pixels)
+        while span and len(rounds) < n.bit_length() - 1:
+            span /= 2.0
+            rounds.append((1, span))
+        return rounds
+    if algorithm == "radix-k":
+        rounds = []
+        span = float(num_pixels)
+        for k in default_factorization(n):
+            rounds.append((k - 1, span / k))
+            span /= k
+        return rounds
+    raise ConfigError(f"unknown exchange algorithm {algorithm!r}; choose "
+                      f"from {EXCHANGE_ALGORITHMS}")
+
+
+def exchange_compose_cycles(algorithm: str, num_pixels: float,
+                            config: SystemConfig, costs,
+                            gather: bool = True) -> float:
+    """Analytic critical-path cycles of one full-framebuffer exchange.
+
+    Mirrors the DES interconnect's per-message cost — one head latency
+    plus the payload serialized on the sender's egress port — and adds ROP
+    blend time for each round's received pixels. Rounds are barriers (the
+    round r+1 payload is the reduction of round r), which is exactly what
+    makes these algorithms *synchronous*: none of the transfer time can
+    hide behind rendering, unlike CHOPIN's per-group overlap or DFB's tile
+    streaming. ``num_pixels`` counts MSAA samples; with ``gather`` the
+    final 1/n-slices are pulled to a display GPU over one more round
+    (serialized on the receiver's ingress port).
+    """
+    link = config.link
+    bandwidth = link.bandwidth_bytes_per_cycle()
+    total = 0.0
+    for messages, pixels in _exchange_rounds(algorithm, num_pixels,
+                                             config.num_gpus):
+        total += messages * (link.latency_cycles
+                             + pixels * config.pixel_bytes / bandwidth)
+        total += costs.compose_cycles(messages * pixels)
+    if gather and config.num_gpus > 1:
+        slice_pixels = num_pixels / config.num_gpus
+        total += link.latency_cycles + (config.num_gpus - 1) \
+            * slice_pixels * config.pixel_bytes / bandwidth
+    return total
+
+
+def composition_head_to_head(scale: str = "tiny",
+                             benchmarks: Benchmarks = ("wolf", "cod2"),
+                             gpu_counts: Sequence[int] = (8, 16, 32, 64),
+                             stress: Sequence[str] = ("transparency-heavy",),
+                             pipeline_depth=None) -> Dict:
+    """Head-to-head of composition transports across GPU counts.
+
+    Three DES rows share CHOPIN's render path and differ only in how
+    sub-images travel: ``chopin`` (naive direct-send gated on receiver
+    readiness), ``chopin+sched`` (the §IV-E pairing scheduler) and ``dfb``
+    (asynchronous per-tile streaming to tile owners). Three analytic rows
+    graft a classic frame-end sort-last exchange (direct-send /
+    binary-swap / radix-k over the full framebuffer, no render overlap)
+    onto the composition-free ``chopin-ideal`` schedule of the same
+    workload. Benchmarks plus the ``stress`` workloads (default: the
+    transparency-heavy blend-a-third-of-the-frame trace) each run at every
+    GPU count; DES cells carry the pipelining counters
+    (``comp_overlap_cycles``, ``idle_cycles``, ``pipeline_stall_cycles``)
+    alongside ``frame_cycles`` and busy composition cycles.
+    """
+    workloads = [(name, load_benchmark(name, scale)) for name in benchmarks]
+    workloads += [(name, load_stress(name, scale)) for name in stress]
+    table: Dict = {}
+    for name, trace in workloads:
+        table[name] = {}
+        for num_gpus in gpu_counts:
+            setup = make_setup(scale, num_gpus=num_gpus,
+                               pipeline_depth=pipeline_depth)
+            config = setup.config
+            row: Dict[str, Dict[str, float]] = {}
+            for scheme in HEAD_TO_HEAD_SCHEMES:
+                result = run(scheme, trace, setup)
+                stats = result.stats
+                stages = stats.stage_cycle_totals()
+                row[scheme] = {
+                    "frame_cycles": result.frame_cycles,
+                    "composition_cycles": stages.get(STAGE_COMPOSITION, 0.0),
+                    "comp_overlap_cycles": stats.comp_overlap_cycles,
+                    "idle_cycles": stats.idle_cycles,
+                    "pipeline_stall_cycles": stats.pipeline_stall_cycles,
+                }
+            ideal = run("chopin-ideal", trace, setup)
+            pixels = float(trace.width * trace.height * config.msaa_samples)
+            for algorithm in EXCHANGE_ALGORITHMS:
+                compose = exchange_compose_cycles(algorithm, pixels,
+                                                  config, setup.costs)
+                row[algorithm] = {
+                    "frame_cycles": ideal.frame_cycles + compose,
+                    "composition_cycles": compose,
+                    "comp_overlap_cycles": 0.0,
+                    "idle_cycles": 0.0,
+                    "pipeline_stall_cycles": 0.0,
+                }
+            table[name][num_gpus] = row
+    return table

@@ -45,7 +45,14 @@ SERVE_COLUMNS = ("serve_requests", "serve_admitted", "serve_completed",
                  "serve_requeued", "serve_batches", "serve_queue_peak",
                  "serve_deadline_misses", "serve_degraded_events",
                  "serve_latency_p50_cycles", "serve_latency_p95_cycles",
-                 "serve_latency_p99_cycles")
+                 "serve_latency_p99_cycles", "serve_overlap_cycles",
+                 "serve_overlapped_batches")
+
+#: cross-group pipelining counters (see repro.sfr.chopin / repro.sfr.dfb;
+#: zero for schemes without an overlapped composition chain)
+PIPELINE_COLUMNS = ("pipeline_depth", "pipeline_stall_cycles",
+                    "comp_overlap_cycles", "idle_cycles",
+                    "scheduler_groups_peak")
 
 #: the flat columns a result row carries
 COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "status",
@@ -53,7 +60,8 @@ COLUMNS = ("benchmark", "scheme", "num_gpus", "scale", "status",
            "speedup_vs_duplication", "triangles", "fragments_shaded",
            "fragments_passed", "traffic_bytes") + tuple(
                f"cycles_{stage}" for stage in ALL_STAGES) \
-    + FAULT_COLUMNS + ENGINE_COLUMNS + ARTIFACT_COLUMNS + SERVE_COLUMNS
+    + FAULT_COLUMNS + ENGINE_COLUMNS + ARTIFACT_COLUMNS + SERVE_COLUMNS \
+    + PIPELINE_COLUMNS
 
 
 def result_row(result: SchemeResult, setup: Setup,
@@ -79,6 +87,7 @@ def result_row(result: SchemeResult, setup: Setup,
     row.update(result.stats.engine_summary())
     row.update(result.stats.artifact_summary())
     row.update(result.stats.serve_summary())
+    row.update(result.stats.pipeline_summary())
     return row
 
 
@@ -103,6 +112,7 @@ def failed_row(benchmark: str, scheme: str, setup: Setup,
         "artifact_disk_corrupt": 0,
     })
     row.update({column: 0 for column in SERVE_COLUMNS})
+    row.update({column: 0 for column in PIPELINE_COLUMNS})
     return row
 
 
@@ -211,7 +221,8 @@ SERVE_SESSION_COLUMNS = ("benchmark", "scheme", "session", "submitted",
                          "artifact_hit_rate", "latency_mean_cycles",
                          "latency_max_cycles", "latency_p50_cycles",
                          "latency_p95_cycles", "latency_p99_cycles",
-                         "queue_peak", "degraded_events")
+                         "queue_peak", "degraded_events",
+                         "overlap_cycles", "overlapped_batches")
 
 
 def serve_rows(report) -> List[Dict[str, object]]:
@@ -237,6 +248,8 @@ def serve_rows(report) -> List[Dict[str, object]]:
         "latency_p99_cycles": stats.serve_latency_p99_cycles,
         "queue_peak": stats.serve_queue_peak,
         "degraded_events": stats.serve_degraded_events,
+        "overlap_cycles": stats.serve_overlap_cycles,
+        "overlapped_batches": stats.serve_overlapped_batches,
     }]
     for session in report.sessions:
         rows.append({
@@ -257,6 +270,7 @@ def serve_rows(report) -> List[Dict[str, object]]:
             "latency_p50_cycles": "", "latency_p95_cycles": "",
             "latency_p99_cycles": "", "queue_peak": "",
             "degraded_events": "",
+            "overlap_cycles": "", "overlapped_batches": "",
         })
     return rows
 

@@ -265,6 +265,11 @@ def render_serve_report(report, title: str = "") -> str:
         f"  queue     : peak depth {stats.serve_queue_peak}, "
         f"{stats.serve_batches} batches, {stats.serve_requeued} requeues, "
         f"{stats.serve_deadline_misses} deadline misses")
+    if stats.serve_overlapped_batches:
+        lines.append(
+            f"  overlap   : {stats.serve_overlapped_batches} "
+            f"back-to-back batches pipelined, "
+            f"{stats.serve_overlap_cycles:,.0f} cycles saved")
     lines.append(
         f"  latency   : p50 {stats.serve_latency_p50_cycles:,.0f}  "
         f"p95 {stats.serve_latency_p95_cycles:,.0f}  "
@@ -292,3 +297,30 @@ def render_serve_report(report, title: str = "") -> str:
         lines.append("  DEGRADED  : the daemon finished in degraded mode "
                      "(see events above)")
     return "\n".join(lines)
+
+
+def render_head_to_head(table: Mapping, title: str = "Composition "
+                        "head-to-head: DES transports vs analytic "
+                        "sort-last exchanges") -> str:
+    """Render :func:`~repro.harness.experiments.composition_head_to_head`.
+
+    One block per workload; rows are (GPU count, contender), columns the
+    frame total, busy composition cycles and the pipelining counters. The
+    analytic exchange rows model a synchronous frame-end composition, so
+    their overlap/idle columns are zero by construction.
+    """
+    headers = ["gpus", "contender", "frame", "compose",
+               "overlap", "idle", "stall"]
+    blocks = []
+    for workload, counts in table.items():
+        rows = []
+        for num_gpus, contenders in counts.items():
+            for contender, cells in contenders.items():
+                rows.append([num_gpus, contender,
+                             cells["frame_cycles"],
+                             cells["composition_cycles"],
+                             cells["comp_overlap_cycles"],
+                             cells["idle_cycles"],
+                             cells["pipeline_stall_cycles"]])
+        blocks.append(render_table(headers, rows, f"{title}\n[{workload}]"))
+    return "\n\n".join(blocks)

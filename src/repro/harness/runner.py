@@ -22,7 +22,7 @@ from ..config import SystemConfig
 from ..errors import ConfigError
 from ..faults.plan import FaultPlan
 from ..sfr import (Chopin, ChopinOracle, ChopinRoundRobin, ChopinSampled,
-                   ChopinWithScheduler, GPUpd,
+                   ChopinWithScheduler, DistributedFramebufferChopin, GPUpd,
                    IdealChopin, IdealGPUpd, PrimitiveDuplication, SchemeResult,
                    SFRScheme, SortMiddle)
 from ..timing.costs import CostModel
@@ -39,6 +39,7 @@ SCHEMES: Dict[str, Type[SFRScheme]] = {
     "chopin-rr": ChopinRoundRobin,
     "chopin-oracle": ChopinOracle,
     "chopin-sampled": ChopinSampled,
+    "dfb": DistributedFramebufferChopin,
     "sort-middle": SortMiddle,
 }
 
@@ -88,7 +89,8 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
                dram_gb_per_s: Optional[float] = None,
                faults: Optional["FaultPlan"] = None,
                sanitize: bool = False,
-               watchdog_cycles: Optional[float] = None) -> Setup:
+               watchdog_cycles: Optional[float] = None,
+               pipeline_depth: Optional[int] = None) -> Setup:
     """Build a Table II setup re-scaled for ``scale``.
 
     ``composition_threshold`` and ``scheduler_update_interval`` are given in
@@ -110,6 +112,7 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
         # None when off so pre-existing journal fingerprints stay valid
         "sanitize": True if sanitize else None,
         "watchdog_cycles": watchdog_cycles,
+        "pipeline_depth": pipeline_depth,
     }
     origin = tuple(sorted((k, v) for k, v in origin_kwargs.items()
                           if v is not None))
@@ -137,6 +140,7 @@ def make_setup(scale: str = "tiny", num_gpus: int = 8,
         faults=faults,
         sanitize=sanitize,
         watchdog_cycles=watchdog_cycles,
+        pipeline_depth=pipeline_depth,
     )
     if bandwidth_gb_per_s is not None or latency_cycles is not None:
         config = config.with_link(bandwidth_gb_per_s=bandwidth_gb_per_s,
@@ -205,6 +209,9 @@ def _result_fields(scheme: str, trace: Trace, setup: Setup) -> dict:
         "dram_bandwidth_bytes_per_s": cfg.gpu.dram_bandwidth_bytes_per_s,
         "faults": repr(cfg.faults) if cfg.faults is not None else None,
         "sanitize": cfg.sanitize,
+        # 0 = unbounded window; part of the key so depth variants of the
+        # same setup never collide in the result cache
+        "pipeline_depth": cfg.pipeline_depth or 0,
     }
 
 

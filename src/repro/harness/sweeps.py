@@ -34,7 +34,7 @@ from .engine import Engine, JobSpec, active_engine, benchmark_job
 SWEEPABLE = ("num_gpus", "bandwidth_gb_per_s", "latency_cycles",
              "composition_threshold", "scheduler_update_interval",
              "retained_cull_fraction", "topology", "msaa_samples",
-             "model_memory", "dram_gb_per_s")
+             "model_memory", "dram_gb_per_s", "pipeline_depth")
 
 #: cell marker for jobs that failed beyond their retry budget
 FAILED = "FAILED"

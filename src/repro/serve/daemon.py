@@ -45,7 +45,7 @@ from ..errors import ConfigError, WatchdogError
 from ..faults.plan import FaultPlan
 from ..faults.traces import EVENT_GPU_FAIL, EVENT_GPU_REPAIR, FailureTrace
 from ..sim import Simulator
-from ..stats import RunStats
+from ..stats import STAGE_COMPOSITION, STAGE_GEOMETRY, RunStats
 from .loadgen import WorkloadSpec
 from .slo import SloSummary
 
@@ -263,6 +263,7 @@ class FrameServer:
                  budget_x: Optional[float] = None,
                  budget_burst_x: float = 4.0,
                  batch_overhead_x: float = 0.1,
+                 pipeline_overlap: bool = False,
                  fault_events: Sequence[Tuple[float, int, str]] = ()
                  ) -> None:
         if groups <= 0:
@@ -308,6 +309,12 @@ class FrameServer:
         self.budget_x = budget_x
         self.budget_burst_x = budget_burst_x
         self.batch_overhead_x = batch_overhead_x
+        #: opt-in cross-request pipelining: when a group takes its next
+        #: batch back-to-back (no idle gap), the previous frame's tail
+        #: composition overlaps the next frame's geometry phase and the
+        #: new batch's service time shrinks by the overlappable cycles.
+        #: Off by default — it changes timing, never results.
+        self.pipeline_overlap = pipeline_overlap
         self._fault_schedule = sorted(
             (float(t), int(g), str(k)) for t, g, k in fault_events)
         # results of the batch-identical renders, keyed by benchmark;
@@ -344,6 +351,12 @@ class FrameServer:
         self.total_shed = 0
         self.total_requeued = 0
         self.total_batches = 0
+        self.total_overlap_cycles = 0.0
+        self.total_overlapped_batches = 0
+        #: per group: (completion cycle, benchmark) of the last batch it
+        #: finished cleanly — the overlap window for a back-to-back next one
+        self._group_last_done: List[Optional[Tuple[float, str]]] = \
+            [None] * self.groups
         self.queue_peak = 0
         self.total_deadline_misses = 0
         self.degraded_events = 0
@@ -427,12 +440,17 @@ class FrameServer:
             self.in_flight[group] = batch
             self.total_batches += 1
             service_cycles = self._batch_service_cycles(batch)
+            if self.pipeline_overlap:
+                service_cycles -= self._overlap_credit(group, batch,
+                                                       service_cycles)
             timer = sim.timeout(service_cycles)
             fired = yield sim.any_of([timer, fail_event])
             self.in_flight[group] = []
             if fired is fail_event:
+                self._group_last_done[group] = None
                 self._requeue_or_shed(batch)
                 return
+            self._group_last_done[group] = (sim.now, batch[0].benchmark)
             for request in batch:
                 self._complete(request)
             self._maybe_finish()
@@ -570,6 +588,31 @@ class FrameServer:
             self._served_count.setdefault(benchmark, 0)
         return result
 
+    def _overlap_credit(self, group: int, batch: List[Request],
+                        service_cycles: float) -> float:
+        """Cycles a back-to-back batch saves by cross-request pipelining.
+
+        Only when the group takes this batch the same cycle it finished
+        the previous one (it never went idle): the prior frame's
+        composition tail — still draining through ROPs and interconnect —
+        overlaps the new frame's geometry phase, which touches neither.
+        The credit is the smaller of the two phases' per-GPU busy cycles,
+        capped at half the new batch's service time so overlap can trim a
+        frame but never swallow it.
+        """
+        last = self._group_last_done[group]
+        if last is None or last[0] != self.sim.now:
+            return 0.0
+        prev = self._render(last[1]).stats.stage_cycle_totals()
+        head = self._render(batch[0].benchmark).stats.stage_cycle_totals()
+        comp_tail = prev.get(STAGE_COMPOSITION, 0.0) / self.group_gpus
+        geom_head = head.get(STAGE_GEOMETRY, 0.0) / self.group_gpus
+        credit = min(comp_tail, geom_head, 0.5 * service_cycles)
+        if credit > 0.0:
+            self.total_overlap_cycles += credit
+            self.total_overlapped_batches += 1
+        return credit
+
     def _batch_service_cycles(self, batch: List[Request]) -> float:
         result = self._render(batch[0].benchmark)
         frame_cycles = result.frame_cycles
@@ -698,6 +741,8 @@ class FrameServer:
         stats.serve_shed = self.total_shed
         stats.serve_requeued = self.total_requeued
         stats.serve_batches = self.total_batches
+        stats.serve_overlap_cycles = self.total_overlap_cycles
+        stats.serve_overlapped_batches = self.total_overlapped_batches
         stats.serve_queue_peak = self.queue_peak
         stats.serve_deadline_misses = self.total_deadline_misses
         stats.serve_degraded_events = self.degraded_events

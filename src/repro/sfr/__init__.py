@@ -7,6 +7,7 @@ from .duplication import PrimitiveDuplication
 from .gpupd import GPUpd, IdealGPUpd, clear_projection_cache
 from .chopin import (Chopin, ChopinOracle, ChopinRoundRobin, ChopinSampled,
                      ChopinWithScheduler, IdealChopin, clear_chopin_cache)
+from .dfb import DistributedFramebufferChopin
 from .sort_middle import SortMiddle
 from .afr import AFRResult, AlternateFrameRendering, frame_render_cycles
 
@@ -18,6 +19,7 @@ __all__ = [
     "ChopinRoundRobin",
     "ChopinSampled",
     "ChopinWithScheduler",
+    "DistributedFramebufferChopin",
     "GPUpd",
     "IdealChopin",
     "IdealGPUpd",

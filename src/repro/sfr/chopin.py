@@ -44,6 +44,7 @@ import numpy as np
 
 from ..composition.compositor import (SubImage, blend_merge, composite_opaque,
                                       resolve_to_background)
+from ..composition.dfb import plan_group_tiles, tree_edge_tile_sizes
 from ..composition.operators import identity_for
 from ..config import SystemConfig
 from ..core.composition_scheduler import ImageCompositionScheduler
@@ -51,12 +52,13 @@ from ..core.draw_scheduler import (DrawScheduler,
                                    LeastRemainingTrianglesScheduler,
                                    OracleLPTScheduler, RoundRobinScheduler,
                                    SampledRateScheduler)
-from ..core.workflow import (GroupMode, GroupPlan, plan_trace_frame,
-                             summarize_plan)
+from ..core.workflow import (GroupMode, GroupPlan, PipelineWindow,
+                             plan_trace_frame, summarize_plan)
 from ..errors import FaultError, SchedulingError
 from ..faults.degraded import (first_unfinished_group, merge_chunks,
                                nearest_survivor, rebuild_reduction,
                                redistribute_draw_works, repair_region_matrix,
+                               repair_tile_owner, repair_tile_sources,
                                scatter_sizes, tile_owner_matrix,
                                tile_pixel_counts)
 from ..faults.plan import FaultPlan
@@ -106,6 +108,9 @@ class _GroupPrep:
     #: [gpu] -> touched-tile bitmap of its layer (transparent only); lets
     #: degraded mode rebuild the reduction tree over any survivor set
     layer_tiles: List[np.ndarray] = field(default_factory=list)
+    #: [gpu] -> touched-tile bitmap of its sub-image (opaque only); the
+    #: DFB scheme streams exactly these tiles to their owners
+    touched_tiles: List[np.ndarray] = field(default_factory=list)
 
 
 @dataclass
@@ -136,10 +141,16 @@ class _GroupRepair:
         default_factory=dict)
     #: repaired src->dst composition matrix (opaque groups)
     region_pixels: Optional[np.ndarray] = None
+    #: repaired tile-source bitmaps and tile ownership (opaque groups, DFB:
+    #: survivors stream the dead GPUs' tiles, inheritors own their regions)
+    touched_tiles: Optional[List[np.ndarray]] = None
+    tile_owner: Optional[np.ndarray] = None
     #: rebuilt reduction tree + scatter over survivors (transparent groups)
     tree_levels: Optional[List[List[Tuple[int, int, int]]]] = None
     scatter_sizes: Optional[Dict[int, int]] = None
     root: int = 0
+    #: merged per-survivor layer bitmaps (transparent groups, DFB streams)
+    layer_bitmaps: Optional[Dict[int, np.ndarray]] = None
 
 
 @dataclass
@@ -171,6 +182,11 @@ class Chopin(SFRScheme):
 
     name = "chopin"
     use_composition_scheduler = False
+    #: how opaque sub-images travel: ``"subimage"`` exchanges whole
+    #: per-region messages at the group boundary; ``"tiles"`` (the DFB
+    #: scheme) streams fixed-size tiles to their owners with no receiver
+    #: gating, and transparent tree edges stream per tile too
+    composition_style = "subimage"
     #: CHOPIN can finish a frame after a GPU fail-stops (degraded mode)
     supports_fail_stop = True
 
@@ -274,6 +290,10 @@ class Chopin(SFRScheme):
                     adopt(survivor, work, when, f)
                 repair.region_pixels = repair_region_matrix(
                     gp.region_pixels, dead, inherit)
+                repair.touched_tiles = repair_tile_sources(
+                    gp.touched_tiles, dead, inherit)
+                repair.tile_owner = repair_tile_owner(
+                    prep.tile_owner, dead, inherit)
             else:  # transparent: merge chunks into adjacent survivors
                 merged = merge_chunks(list(range(n)), dead, inherit)
                 bitmaps: Dict[int, np.ndarray] = {}
@@ -292,6 +312,7 @@ class Chopin(SFRScheme):
                 repair.scatter_sizes = scatter_sizes(
                     root_bitmap, prep.tile_pixels, prep.tile_owner,
                     dead, inherit)
+                repair.layer_bitmaps = bitmaps
             dplan.repairs[gi] = repair
         return dplan
 
@@ -396,6 +417,9 @@ class Chopin(SFRScheme):
         """Identifying fields of this variant's functional prep artifact."""
         cfg = self.config
         return {
+            # bumped when the prep *content* changes shape: rev 2 added the
+            # per-GPU touched-tile bitmaps of opaque groups (DFB streaming)
+            "prep_rev": 2,
             "trace": trace.fingerprint, "num_gpus": cfg.num_gpus,
             "tile_size": cfg.tile_size,
             "composition_threshold": cfg.composition_threshold,
@@ -549,7 +573,9 @@ class Chopin(SFRScheme):
                     region_pixels[src, dst] = pixels
         self._refresh_own_regions(plan, global_pool, local_pools, own_masks)
         return _GroupPrep(plan=plan, mode=plan.mode, works=works,
-                          issue_times=issues, region_pixels=region_pixels)
+                          issue_times=issues, region_pixels=region_pixels,
+                          touched_tiles=[grid.touched_tiles(touched[g])
+                                         for g in range(n)])
 
     def _prep_transparent(self, plan, session, global_pool, local_pools,
                           own_masks, grid, tallies) -> _GroupPrep:
@@ -668,10 +694,24 @@ class Chopin(SFRScheme):
                 return None
             return degraded.repairs.get(gi)
 
+        # Per-GPU cross-group pipeline window: bounds how many rendered
+        # groups may await their own composition (``None`` = unbounded).
+        windows = [PipelineWindow(cfg.pipeline_depth) for _ in range(n)]
+        stall_cycles = [0.0] * n
+        overlap_cycles = [0.0] * n
+        last_render_end = [0.0] * n
+
         # Pre-build per-group synchronization objects (no intra-sim races).
+        # One scheduler table spans the whole frame: every opaque group is
+        # admitted into its in-flight window up front (admission = CGID
+        # order) and each GPU's row advances through the groups as its own
+        # composition chain progresses; a group retires once every alive
+        # participant finished composing it.
+        sched: Optional[ImageCompositionScheduler] = None
+        comp_remaining: Dict[int, int] = {}
         ready_events: List[List[Event]] = []
         receive_latches: List[List[Optional[Countdown]]] = []
-        schedulers: List[Optional[ImageCompositionScheduler]] = []
+        tile_sends: List[Optional[List[list]]] = []
         chunk_events: List[List[Event]] = []
         scatter_events: List[List[Event]] = []
         region_matrices: List[Optional[np.ndarray]] = []
@@ -685,26 +725,38 @@ class Chopin(SFRScheme):
                 if repair is not None and repair.region_pixels is not None:
                     matrix = repair.region_pixels
                 region_matrices.append(matrix)
-                latches = []
-                for dst in range(n):
-                    senders = int((matrix[:, dst] > 0).sum())
-                    latches.append(Countdown(sim, senders))
+                if self.composition_style == "tiles":
+                    bitmaps = (gp.touched_tiles if repair is None
+                               else repair.touched_tiles)
+                    owner = (prep.tile_owner if repair is None
+                             else repair.tile_owner)
+                    sends, recv_counts = plan_group_tiles(
+                        bitmaps, prep.tile_pixels, owner)
+                    tile_sends.append(sends)
+                    latches = [Countdown(sim, recv_counts[dst])
+                               for dst in range(n)]
+                else:
+                    tile_sends.append(None)
+                    latches = []
+                    for dst in range(n):
+                        senders = int((matrix[:, dst] > 0).sum())
+                        latches.append(Countdown(sim, senders))
                 receive_latches.append(latches)
-                sched = None
-                if self.use_composition_scheduler:
-                    sched = ImageCompositionScheduler(n, sim)
+                if self.use_composition_scheduler and len(alive) > 1:
+                    if sched is None:
+                        sched = ImageCompositionScheduler(n, sim)
+                    cgid = gp.plan.group.index
                     if repair is not None:
                         allowed = [set(alive) - {g} if g in alive else set()
                                    for g in range(n)]
-                        sched.start_group(gp.plan.group.index,
-                                          allowed_partners=allowed)
+                        sched.open_group(cgid, allowed_partners=allowed)
                     else:
-                        sched.start_group(gp.plan.group.index)
-                schedulers.append(sched)
+                        sched.open_group(cgid)
+                    comp_remaining[cgid] = len(alive)
             else:
                 region_matrices.append(None)
                 receive_latches.append([None] * n)
-                schedulers.append(None)
+                tile_sends.append(None)
             chunk_events.append([Event(sim) for _ in range(n)])
             scatter_events.append([Event(sim) for _ in range(n)])
             if (repair is not None
@@ -717,7 +769,8 @@ class Chopin(SFRScheme):
                 continue
             self._wire_transparent(sim, interconnect, stats, gp,
                                    chunk_events[gi], scatter_events[gi],
-                                   repair=repair_of(gi))
+                                   repair=repair_of(gi),
+                                   tile_pixels=prep.tile_pixels)
 
         def compose_naive(gpu: int, gi: int):
             matrix = region_matrices[gi]
@@ -736,6 +789,25 @@ class Chopin(SFRScheme):
                 yield sim.all_of(sends)
             yield receive_latches[gi][gpu].event
 
+        def compose_tiles(gpu: int, gi: int):
+            # DFB: stream every touched tile straight to its owner, no
+            # receiver gating — the owner folds tiles in arrival order
+            # (any-order argmin reduction, bit-identical by construction).
+            # Messages serialize on the sender's egress port, each paying
+            # its own head latency: the per-tile message cost model.
+            sends = []
+            for message in tile_sends[gi][gpu]:
+                pixels = message.pixels * samples
+                if pixels == 0:
+                    continue
+                sends.append(sim.process(self._send_subimage(
+                    interconnect, stats, gpu, message.dst, pixels,
+                    pixel_bytes, gate=None,
+                    latch=receive_latches[gi][message.dst])))
+            if sends:
+                yield sim.all_of(sends)
+            yield receive_latches[gi][gpu].event
+
         def opaque_comp_proc(gpu: int, gi: int,
                              prev_done: Event, done: Event):
             # One composition at a time per GPU, in group (CGID) order; the
@@ -743,16 +815,29 @@ class Chopin(SFRScheme):
             # overlapped Comp stage).
             if not prev_done.processed:
                 yield prev_done
+            comp_start = sim.now
             if self.use_composition_scheduler:
                 yield from compose_scheduled(gpu, gi)
+            elif self.composition_style == "tiles":
+                yield from compose_tiles(gpu, gi)
             else:
                 yield from compose_naive(gpu, gi)
+            # Cycles this composition spent under later groups' rendering:
+            # the overlap the cross-group pipeline exists to create.
+            overlap = min(sim.now, last_render_end[gpu]) - comp_start
+            if overlap > 0:
+                overlap_cycles[gpu] += overlap
             note_end(gpu, gi)
             done.succeed()
+            cgid = prep.groups[gi].plan.group.index
+            if sched is not None and cgid in comp_remaining:
+                comp_remaining[cgid] -= 1
+                if comp_remaining[cgid] == 0:
+                    sched.retire_group(cgid)
 
         def compose_scheduled(gpu: int, gi: int):
-            sched = schedulers[gi]
             matrix = region_matrices[gi]
+            sched.advance(gpu, prep.groups[gi].plan.group.index)
             sched.mark_ready(gpu)
             in_flight = []
             while not sched.gpu_done(gpu):
@@ -798,6 +883,15 @@ class Chopin(SFRScheme):
                 repair = repair_of(gi)
                 if repair is not None and gpu in repair.dead:
                     break  # fail-stop: this GPU leaves the frame here
+                # Pipeline-window admission: with a bounded depth, wait for
+                # this GPU's own oldest pending composition before starting
+                # another group's rendering (sub-image buffers are full).
+                gate = windows[gpu].admit_gate()
+                while gate is not None:
+                    stall_start = sim.now
+                    yield gate
+                    stall_cycles[gpu] += sim.now - stall_start
+                    gate = windows[gpu].admit_gate()
                 group_start = sim.now
                 alive_count = len(repair.alive) if repair is not None else n
                 if gp.mode is GroupMode.DUPLICATE:
@@ -805,6 +899,7 @@ class Chopin(SFRScheme):
                     if repair is not None:
                         yield from run_adopted(gpu, repair, group_start)
                     yield engines[gpu].drain()
+                    last_render_end[gpu] = sim.now
                     note_end(gpu, gi)
                 elif gp.mode is GroupMode.OPAQUE_PARALLEL:
                     for work, when in zip(gp.works[gpu],
@@ -816,6 +911,7 @@ class Chopin(SFRScheme):
                     if repair is not None:
                         yield from run_adopted(gpu, repair, group_start)
                     yield engines[gpu].drain()
+                    last_render_end[gpu] = sim.now
                     note_end(gpu, gi)
                     if alive_count > 1:
                         done = Event(sim)
@@ -823,6 +919,7 @@ class Chopin(SFRScheme):
                             opaque_comp_proc(gpu, gi, comp_tail, done),
                             name=f"{self.name}-comp-g{gi}-gpu{gpu}")
                         comp_tail = done
+                        windows[gpu].push(done)
                 else:  # transparent: needs globally composed depth -> sync
                     if not comp_tail.processed:
                         yield comp_tail
@@ -840,6 +937,7 @@ class Chopin(SFRScheme):
                     if repair is not None:
                         yield from run_adopted(gpu, repair, group_start)
                     yield engines[gpu].drain()
+                    last_render_end[gpu] = sim.now
                     chunk_events[gi][gpu].succeed()
                     yield scatter_events[gi][gpu]
                     yield group_barrier.wait()
@@ -852,6 +950,15 @@ class Chopin(SFRScheme):
                      for gpu in range(n)]
         stats.frame_cycles = self._run_sim_checked(sim, processes,
                                                    stats=stats)
+
+        stats.pipeline_depth = (0 if cfg.pipeline_depth is None
+                                else cfg.pipeline_depth)
+        stats.pipeline_stall_cycles = sum(stall_cycles)
+        stats.comp_overlap_cycles = sum(overlap_cycles)
+        busy = sum(g.total_cycles for g in stats.gpus)
+        stats.idle_cycles = max(0.0, n * stats.frame_cycles - busy)
+        if sched is not None:
+            stats.scheduler_groups_peak = sched.groups_peak
 
         for gpu, tally in enumerate(prep.tallies):
             gstats = stats.gpus[gpu]
@@ -876,12 +983,18 @@ class Chopin(SFRScheme):
 
     def _wire_transparent(self, sim, interconnect, stats, gp,
                           chunk_done, scatter_done,
-                          repair: Optional[_GroupRepair] = None) -> None:
+                          repair: Optional[_GroupRepair] = None,
+                          tile_pixels: Optional[np.ndarray] = None) -> None:
         """Spawn the pair-reduction and scatter processes for one group.
 
         With ``repair`` set, the rebuilt tree (over survivors, merged-chunk
         bitmaps) replaces the fault-free one and the final scatter covers
         only surviving GPUs (dead GPUs' tiles went to their inheritors).
+
+        Under the DFB scheme (``composition_style == "tiles"``) every tree
+        edge streams its payload one tile at a time in raster order — the
+        receiver folds each tile as it lands (tree-adjacent tile reduction),
+        at the cost of one head latency per tile message.
         """
         n = self.config.num_gpus
         pixel_bytes = self.config.pixel_bytes
@@ -893,6 +1006,7 @@ class Chopin(SFRScheme):
                             for dst in repair.alive]
             ready: Dict[int, Event] = {m: chunk_done[m]
                                        for m in repair.alive}
+            leaf_bitmaps = repair.layer_bitmaps
         else:
             tree_levels = gp.tree_levels
             root = 0
@@ -901,15 +1015,32 @@ class Chopin(SFRScheme):
                              else 0)
                             for dst in range(n)]
             ready = dict(enumerate(chunk_done))
+            leaf_bitmaps = dict(enumerate(gp.layer_tiles))
+        tile_streams = None
+        if self.composition_style == "tiles" and tile_pixels is not None:
+            tile_streams = tree_edge_tile_sizes(tree_levels, leaf_bitmaps,
+                                                tile_pixels)
 
-        def pair_proc(sender, receiver, pixels, ready_s, ready_r, out):
+        def pair_proc(sender, receiver, pixels, ready_s, ready_r, out,
+                      tiles=None):
             # Adjacent pairs start only when both sides are available.
             # (Gating a tree transfer on a *previous* transfer's completion
             # would pin the receiver's ingress port against the very message
             # that must complete first — so no naive gating here; this is
             # exactly the readiness handshake §IV-E prescribes.)
             yield sim.all_of([ready_s, ready_r])
-            if pixels:
+            if tiles is not None:
+                for tile_px in tiles:
+                    tile_px *= samples
+                    if tile_px == 0:
+                        continue
+                    compose_cycles = self.costs.compose_cycles(tile_px)
+                    yield from interconnect.transfer(
+                        sender, receiver, tile_px * pixel_bytes,
+                        TRAFFIC_COMPOSITION, receive_cycles=compose_cycles)
+                    stats.add_cycles(receiver, STAGE_COMPOSITION,
+                                     compose_cycles)
+            elif pixels:
                 compose_cycles = self.costs.compose_cycles(pixels)
                 yield from interconnect.transfer(
                     sender, receiver, pixels * pixel_bytes,
@@ -917,13 +1048,15 @@ class Chopin(SFRScheme):
                 stats.add_cycles(receiver, STAGE_COMPOSITION, compose_cycles)
             out.succeed()
 
-        for level in tree_levels:
-            for sender, receiver, pixels in level:
+        for li, level in enumerate(tree_levels):
+            for ei, (sender, receiver, pixels) in enumerate(level):
                 pixels *= samples
                 out = Event(sim)
+                tiles = tile_streams[li][ei] if tile_streams else None
                 sim.process(
                     pair_proc(sender, receiver, pixels,
-                              ready[sender], ready[receiver], out),
+                              ready[sender], ready[receiver], out,
+                              tiles=tiles),
                     name=f"pair-{sender}->{receiver}")
                 ready[receiver] = out
         root_ready = ready[root]

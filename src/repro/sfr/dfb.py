@@ -1,0 +1,43 @@
+"""DFB: CHOPIN with a Distributed FrameBuffer tile-streaming compositor.
+
+The ``dfb`` scheme keeps CHOPIN's grouping, draw scheduling and functional
+pipeline but replaces the composition transport: instead of exchanging
+whole per-region sub-image messages at the group boundary (naive
+direct-send gated on receiver readiness, or the §IV-E pairing scheduler),
+each GPU streams its sub-image as fixed-size screen tiles straight to the
+tiles' owners the moment rendering finishes.
+
+- No receiver gating and no pairing handshake: a tile message departs as
+  soon as the sender's sub-image is done and contends only for link ports.
+  The owner folds tiles in *arrival order* — sound for opaque groups
+  because the per-pixel ``(depth, source)`` argmin reduction of
+  :mod:`repro.composition.dfb` is order-independent and bit-identical to
+  the sequential compositor.
+- Transparent groups keep the adjacent-pair reduction tree (blending is
+  not commutative) but every tree edge streams its payload one tile at a
+  time; out-of-order tile folds are a protocol violation the functional
+  core rejects with a typed :class:`~repro.errors.SchedulingError`.
+- The cost model bills one interconnect head latency per tile message
+  (messages serialize on the sender's egress port), which is the price DFB
+  pays for composing without any scheduling hardware.
+- Fail-stop repair folds the dead GPUs' touched-tile bitmaps onto their
+  re-rendering inheritors and re-owns their framebuffer tiles — the
+  tile-granular analogue of the region-matrix repair, and strictly more
+  precise (overlapping tiles stream once, not twice).
+
+All timing/wiring lives in :meth:`Chopin._timing_pass`, branched on
+``composition_style``; the functional tile reducers live in
+:mod:`repro.composition.dfb`.
+"""
+
+from __future__ import annotations
+
+from .chopin import Chopin
+
+
+class DistributedFramebufferChopin(Chopin):
+    """CHOPIN variant composing via asynchronous per-tile streaming."""
+
+    name = "dfb"
+    use_composition_scheduler = False
+    composition_style = "tiles"

@@ -156,6 +156,26 @@ class RunStats:
     serve_latency_p50_cycles: float = 0.0
     serve_latency_p95_cycles: float = 0.0
     serve_latency_p99_cycles: float = 0.0
+    #: composition cycles a serve batch overlapped with the next request's
+    #: geometry (cross-request group pipelining) / batches that overlapped
+    serve_overlap_cycles: float = 0.0
+    serve_overlapped_batches: int = 0
+
+    # -- cross-group pipelining (see repro.sfr.chopin / repro.sfr.dfb) ------
+    #: configured in-flight group window (0 = unbounded)
+    pipeline_depth: int = 0
+    #: cycles GPUs spent stalled at a full pipeline window before they
+    #: could start rendering the next group
+    pipeline_stall_cycles: float = 0.0
+    #: composition cycles that ran concurrently with later groups'
+    #: rendering on the same GPU (the overlap pipelining buys)
+    comp_overlap_cycles: float = 0.0
+    #: total GPU-idle cycles over the frame: num_gpus * frame_cycles minus
+    #: busy cycles across all stages
+    idle_cycles: float = 0.0
+    #: high-water mark of concurrently in-flight composition groups in the
+    #: (windowed) image composition scheduler table
+    scheduler_groups_peak: int = 0
 
     def __post_init__(self) -> None:
         if not self.gpus:
@@ -262,6 +282,18 @@ class RunStats:
             "serve_latency_p50_cycles": self.serve_latency_p50_cycles,
             "serve_latency_p95_cycles": self.serve_latency_p95_cycles,
             "serve_latency_p99_cycles": self.serve_latency_p99_cycles,
+            "serve_overlap_cycles": self.serve_overlap_cycles,
+            "serve_overlapped_batches": self.serve_overlapped_batches,
+        }
+
+    def pipeline_summary(self) -> Dict[str, object]:
+        """Cross-group pipelining counters for reports/exports."""
+        return {
+            "pipeline_depth": self.pipeline_depth,
+            "pipeline_stall_cycles": self.pipeline_stall_cycles,
+            "comp_overlap_cycles": self.comp_overlap_cycles,
+            "idle_cycles": self.idle_cycles,
+            "scheduler_groups_peak": self.scheduler_groups_peak,
         }
 
     # -- serialization (run journal, see repro.harness.engine) -------------
@@ -308,6 +340,13 @@ class RunStats:
             "serve_latency_p50_cycles": self.serve_latency_p50_cycles,
             "serve_latency_p95_cycles": self.serve_latency_p95_cycles,
             "serve_latency_p99_cycles": self.serve_latency_p99_cycles,
+            "serve_overlap_cycles": self.serve_overlap_cycles,
+            "serve_overlapped_batches": self.serve_overlapped_batches,
+            "pipeline_depth": self.pipeline_depth,
+            "pipeline_stall_cycles": self.pipeline_stall_cycles,
+            "comp_overlap_cycles": self.comp_overlap_cycles,
+            "idle_cycles": self.idle_cycles,
+            "scheduler_groups_peak": self.scheduler_groups_peak,
             "gpus": [{
                 "stage_cycles": dict(g.stage_cycles),
                 "traffic_bytes": dict(g.traffic_bytes),
@@ -370,7 +409,19 @@ class RunStats:
                     serve_latency_p95_cycles=float(
                         data.get("serve_latency_p95_cycles", 0.0)),
                     serve_latency_p99_cycles=float(
-                        data.get("serve_latency_p99_cycles", 0.0)))
+                        data.get("serve_latency_p99_cycles", 0.0)),
+                    serve_overlap_cycles=float(
+                        data.get("serve_overlap_cycles", 0.0)),
+                    serve_overlapped_batches=int(
+                        data.get("serve_overlapped_batches", 0)),
+                    pipeline_depth=int(data.get("pipeline_depth", 0)),
+                    pipeline_stall_cycles=float(
+                        data.get("pipeline_stall_cycles", 0.0)),
+                    comp_overlap_cycles=float(
+                        data.get("comp_overlap_cycles", 0.0)),
+                    idle_cycles=float(data.get("idle_cycles", 0.0)),
+                    scheduler_groups_peak=int(
+                        data.get("scheduler_groups_peak", 0)))
         stats.gpus = []
         for entry in data["gpus"]:
             gpu = GPUStats(
